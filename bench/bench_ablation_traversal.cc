@@ -1,0 +1,111 @@
+// Ablation: lock coupling (AtomFS) vs. traversal retry (RetryFS, the Linux
+// VFS design of §5.1) vs. big lock, under a rename-heavy workload where the
+// two fine-grained designs pay their respective costs: coupling serializes
+// on shared path prefixes, retry redoes lookups whenever a rename lands.
+//
+// Reports throughput on 16 simulated cores across thread counts, plus the
+// retry rate of RetryFS.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/retryfs/retry_fs.h"
+#include "src/sim/executor.h"
+#include "src/util/rand.h"
+
+namespace atomfs {
+namespace {
+
+constexpr uint32_t kCores = 16;
+constexpr int kDirs = 32;
+constexpr int kFilesPerDir = 32;
+constexpr uint64_t kOpsPerThread = 3000;
+
+std::string FileAt(Rng& rng) {
+  return "/d" + std::to_string(rng.Below(kDirs)) + "/f" + std::to_string(rng.Below(kFilesPerDir));
+}
+
+void Setup(FileSystem& fs) {
+  for (int d = 0; d < kDirs; ++d) {
+    fs.Mkdir("/d" + std::to_string(d));
+    for (int f = 0; f < kFilesPerDir; ++f) {
+      fs.Mknod("/d" + std::to_string(d) + "/f" + std::to_string(f));
+    }
+  }
+}
+
+void Worker(FileSystem& fs, uint64_t seed) {
+  Rng rng(seed);
+  for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+    const uint64_t dice = rng.Below(10);
+    if (dice < 2) {
+      fs.Rename(FileAt(rng), FileAt(rng));  // 20% renames: heavy inter-dependency
+    } else if (dice < 4) {
+      fs.Mknod(FileAt(rng));
+    } else if (dice < 5) {
+      fs.Unlink(FileAt(rng));
+    } else {
+      fs.Stat(FileAt(rng));
+    }
+  }
+}
+
+template <typename MakeFs>
+double Throughput(int threads, MakeFs make_fs, uint64_t* retries_out = nullptr) {
+  SimExecutor sim(kCores);
+  auto fs = make_fs(&sim);
+  RunInSim(sim, [&] { Setup(*fs); });
+  const uint64_t start = sim.GlobalVirtualNanos();
+  for (int t = 0; t < threads; ++t) {
+    sim.Spawn([&fs, t] { Worker(*fs, 555 + t); });
+  }
+  sim.Run();
+  const double secs = static_cast<double>(sim.GlobalVirtualNanos() - start) * 1e-9;
+  if (retries_out != nullptr) {
+    if (auto* retry_fs = dynamic_cast<RetryFs*>(fs.get())) {
+      *retries_out = retry_fs->RetryCount();
+    }
+  }
+  return static_cast<double>(kOpsPerThread) * threads / secs;
+}
+
+}  // namespace
+}  // namespace atomfs
+
+int main() {
+  using namespace atomfs;
+  std::printf("Ablation: traversal strategy under a rename-heavy mix (20%% renames)\n");
+  std::printf("throughput in Mops per virtual second, 16 simulated cores\n\n");
+  std::printf("%8s %16s %16s %16s %14s\n", "threads", "lock-coupling", "traversal-retry",
+              "big-lock", "retry-rate");
+  for (int threads : {1, 2, 4, 8, 16}) {
+    const double atom = Throughput(threads, [](Executor* ex) {
+      AtomFs::Options o;
+      o.executor = ex;
+      return std::make_unique<AtomFs>(std::move(o));
+    });
+    uint64_t retries = 0;
+    const double retry = Throughput(
+        threads,
+        [](Executor* ex) {
+          RetryFs::Options o;
+          o.executor = ex;
+          return std::make_unique<RetryFs>(o);
+        },
+        &retries);
+    const double big = Throughput(threads, [](Executor* ex) {
+      BigLockFs::Options o;
+      o.executor = ex;
+      return std::make_unique<BigLockFs>(o);
+    });
+    const double total_ops = static_cast<double>(kOpsPerThread) * threads;
+    std::printf("%8d %16.2f %16.2f %16.2f %13.1f%%\n", threads, atom * 1e-6, retry * 1e-6,
+                big * 1e-6, 100.0 * static_cast<double>(retries) / total_ops);
+  }
+  std::printf("\nExpected shape: both fine-grained designs scale, big-lock flattens;\n");
+  std::printf("retry pays a growing redo rate as rename frequency x threads rises.\n");
+  return 0;
+}

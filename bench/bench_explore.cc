@@ -1,0 +1,131 @@
+// Exhaustive schedule exploration summary — the model-checking counterpart
+// of the paper's per-figure interleaving arguments. For each small
+// concurrent program, EVERY schedule of the real AtomFS code is executed
+// and verified by the CRL-H monitor; the table reports how many schedules
+// exist, how many needed the helper mechanism, and the verdict. The last
+// row removes lock coupling and shows the explorer *discovering* the
+// paper's Figure 8 violation automatically.
+
+#include <cstdio>
+
+#include "src/crlh/explore.h"
+#include "src/util/stats.h"
+
+namespace atomfs {
+namespace {
+
+OpCall Mkdir(std::string_view p) { return OpCall::MkdirOf(*ParsePath(p)); }
+OpCall Mknod(std::string_view p) { return OpCall::MknodOf(*ParsePath(p)); }
+OpCall Rmdir(std::string_view p) { return OpCall::RmdirOf(*ParsePath(p)); }
+OpCall Stat(std::string_view p) { return OpCall::StatOf(*ParsePath(p)); }
+OpCall Rename(std::string_view s, std::string_view d) {
+  return OpCall::RenameOf(*ParsePath(s), *ParsePath(d));
+}
+OpCall Exchange(std::string_view a, std::string_view b) {
+  return OpCall::ExchangeOf(*ParsePath(a), *ParsePath(b));
+}
+
+void Report(const char* name, const ConcurrentProgram& program, bool expect_ok,
+            bool check_invariants = true) {
+  ExploreOptions options;
+  options.max_executions = 100000;
+  options.check_invariants = check_invariants;
+  WallTimer timer;
+  auto stats = ExploreSchedules(program, options);
+  const char* verdict = stats.all_ok ? "all linearizable" : "VIOLATION FOUND";
+  std::printf("%-28s %10llu %s %10llu %8llu   %-18s %6.1fs %s\n", name,
+              static_cast<unsigned long long>(stats.executions),
+              stats.exhausted ? "(all)" : "(cap)",
+              static_cast<unsigned long long>(stats.schedules_with_helping),
+              static_cast<unsigned long long>(stats.max_decision_points), verdict,
+              timer.ElapsedSeconds(),
+              stats.all_ok == expect_ok ? "" : "  << UNEXPECTED");
+}
+
+}  // namespace
+}  // namespace atomfs
+
+int main() {
+  using namespace atomfs;
+  std::printf("Exhaustive schedule exploration (bounded model checking of AtomFS under\n");
+  std::printf("the CRL-H monitor; every schedule must pass refinement + invariants)\n\n");
+  std::printf("%-28s %10s %5s %10s %8s   %-18s %7s\n", "program", "schedules", "", "w/helping",
+              "maxdec", "verdict", "time");
+
+  {
+    ConcurrentProgram p;
+    p.setup = [](FileSystem& fs) {
+      fs.Mkdir("/a");
+      fs.Mkdir("/a/b");
+    };
+    p.threads = {{Mkdir("/a/b/c")}, {Rename("/a", "/e")}};
+    Report("fig1: mkdir || rename", p, /*expect_ok=*/true);
+  }
+  {
+    ConcurrentProgram p;
+    p.setup = [](FileSystem& fs) {
+      fs.Mkdir("/a");
+      fs.Mkdir("/d");
+    };
+    p.threads = {{Mkdir("/a/c")}, {Rmdir("/d")}};
+    Report("fig4a: disjoint ins || del", p, true);
+  }
+  {
+    ConcurrentProgram p;
+    p.setup = [](FileSystem& fs) {
+      fs.Mkdir("/a");
+      fs.Mkdir("/a/b");
+      fs.Mknod("/a/b/f");
+    };
+    p.threads = {{Stat("/a/b/f")}, {Rename("/a/b", "/g")}};
+    Report("fig4b: stat || rename", p, true);
+  }
+  {
+    ConcurrentProgram p;
+    p.setup = [](FileSystem& fs) {
+      fs.Mkdir("/a");
+      fs.Mkdir("/a/b");
+      fs.Mkdir("/a/b/c");
+    };
+    p.threads = {{Mkdir("/a/b/c/d")}, {Rename("/a", "/i"), Rmdir("/i/b/c")}};
+    Report("fig8: ins || rename;del", p, true);
+  }
+  {
+    ConcurrentProgram p;
+    p.setup = [](FileSystem& fs) {
+      fs.Mkdir("/l");
+      fs.Mkdir("/l/s");
+      fs.Mkdir("/r");
+      fs.Mkdir("/r/s");
+    };
+    p.threads = {{Mknod("/l/s/x")}, {Mknod("/r/s/y")}, {Exchange("/l", "/r")}};
+    // Three threads explode the tree; a 30k-schedule sample is plenty here.
+    ExploreOptions capped;
+    capped.max_executions = 30000;
+    WallTimer timer;
+    auto stats = ExploreSchedules(p, capped);
+    std::printf("%-28s %10llu %s %10llu %8llu   %-18s %6.1fs\n", "ext: ins || ins || exchange",
+                static_cast<unsigned long long>(stats.executions),
+                stats.exhausted ? "(all)" : "(cap)",
+                static_cast<unsigned long long>(stats.schedules_with_helping),
+                static_cast<unsigned long long>(stats.max_decision_points),
+                stats.all_ok ? "all linearizable" : "VIOLATION FOUND", timer.ElapsedSeconds());
+  }
+  {
+    // The negative control: same Figure 8 program, lock coupling removed.
+    ConcurrentProgram p;
+    p.setup = [](FileSystem& fs) {
+      fs.Mkdir("/a");
+      fs.Mkdir("/a/b");
+      fs.Mkdir("/a/b/c");
+    };
+    p.threads = {{Mkdir("/a/b/c/d")}, {Rename("/a", "/i"), Rmdir("/i/b/c")}};
+    p.unsafe_no_coupling = true;
+    Report("fig8 WITHOUT coupling", p, /*expect_ok=*/false, /*check_invariants=*/false);
+  }
+
+  std::printf("\nThe final row demonstrates the checkers' discrimination: removing lock\n");
+  std::printf("coupling (the non-bypassable criterion) makes the explorer find the\n");
+  std::printf("paper's Figure 8 non-linearizable schedule automatically.\n");
+  return 0;
+}

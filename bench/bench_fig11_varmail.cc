@@ -1,0 +1,10 @@
+// Figure 11 extension: Varmail scalability (not in the paper's evaluation;
+// a third Filebench personality between fileserver's many directories and
+// webproxy's two). Same harness and series as Figure 11(a)/(b).
+
+#include "bench/fig11_common.h"
+
+int main() {
+  atomfs::RunFig11(atomfs::FilebenchProfile::Varmail());
+  return 0;
+}

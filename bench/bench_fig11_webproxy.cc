@@ -1,0 +1,10 @@
+// Figure 11(b): Webproxy scalability. The webproxy profile concentrates all
+// directory operations on two directories, so lock coupling gains much less
+// over the big lock (the paper reports only 1.16x at 16 threads).
+
+#include "bench/fig11_common.h"
+
+int main() {
+  atomfs::RunFig11(atomfs::FilebenchProfile::Webproxy());
+  return 0;
+}

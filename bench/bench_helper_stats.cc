@@ -1,0 +1,107 @@
+// Helper-mechanism characterization: how often does helping actually happen?
+//
+// The paper motivates the helper mechanism qualitatively; this bench
+// quantifies it: random workloads over a small shared namespace run under
+// randomized schedules (the adversarial sim scheduler) with the CRL-H
+// monitor counting (a) renames/exchanges that helped at least one thread and
+// (b) operations that were linearized by a helper, as the thread count and
+// the rename fraction vary.
+
+#include <cstdio>
+
+#include "src/crlh/explore.h"
+#include "src/util/rand.h"
+
+namespace atomfs {
+namespace {
+
+Path RandomPath(Rng& rng) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  Path p;
+  const size_t depth = rng.Between(1, 3);
+  for (size_t i = 0; i < depth; ++i) {
+    p.parts.emplace_back(kNames[rng.Below(4)]);
+  }
+  return p;
+}
+
+ConcurrentProgram MakeProgram(int threads, int ops_per_thread, uint32_t rename_percent,
+                              uint64_t seed) {
+  ConcurrentProgram program;
+  program.setup = [](FileSystem& fs) {
+    fs.Mkdir("/a");
+    fs.Mkdir("/a/b");
+    fs.Mkdir("/c");
+    fs.Mknod("/a/b/f");
+  };
+  Rng rng(seed);
+  for (int t = 0; t < threads; ++t) {
+    std::vector<OpCall> ops;
+    for (int i = 0; i < ops_per_thread; ++i) {
+      if (rng.Below(100) < rename_percent) {
+        ops.push_back(OpCall::RenameOf(RandomPath(rng), RandomPath(rng)));
+      } else {
+        switch (rng.Below(4)) {
+          case 0:
+            ops.push_back(OpCall::MkdirOf(RandomPath(rng)));
+            break;
+          case 1:
+            ops.push_back(OpCall::StatOf(RandomPath(rng)));
+            break;
+          case 2:
+            ops.push_back(OpCall::MknodOf(RandomPath(rng)));
+            break;
+          default:
+            ops.push_back(OpCall::UnlinkOf(RandomPath(rng)));
+            break;
+        }
+      }
+    }
+    program.threads.push_back(std::move(ops));
+  }
+  return program;
+}
+
+}  // namespace
+}  // namespace atomfs
+
+int main() {
+  using namespace atomfs;
+  constexpr int kOpsPerThread = 8;
+  constexpr uint64_t kRuns = 150;
+
+  std::printf("Helper-mechanism frequency under randomized schedules\n");
+  std::printf("(%llu random schedules per cell, %d ops/thread, CRL-H verified)\n\n",
+              static_cast<unsigned long long>(kRuns), kOpsPerThread);
+  std::printf("%8s %10s %18s %18s %10s\n", "threads", "rename%", "helped ops/1k ops",
+              "schedules w/help", "verdict");
+  // Each cell averages over several independently generated programs so
+  // that one unlucky op mix does not dominate.
+  constexpr int kProgramsPerCell = 6;
+  for (int threads : {2, 3, 4}) {
+    for (uint32_t rename_pct : {10u, 30u, 60u}) {
+      uint64_t helped_ops = 0;
+      uint64_t helping_schedules = 0;
+      bool all_ok = true;
+      for (int prog = 0; prog < kProgramsPerCell; ++prog) {
+        ConcurrentProgram program = MakeProgram(
+            threads, kOpsPerThread, rename_pct,
+            1000 + threads * 100 + rename_pct + 31 * static_cast<uint64_t>(prog));
+        auto stats =
+            ExploreRandom(program, kRuns, /*base_seed=*/17 + prog, /*wing_gong=*/false);
+        helped_ops += stats.total_helped_ops;
+        helping_schedules += stats.schedules_with_helping;
+        all_ok = all_ok && stats.all_ok;
+      }
+      const double runs = static_cast<double>(kRuns) * kProgramsPerCell;
+      const double total_ops = runs * threads * kOpsPerThread;
+      std::printf("%8d %9u%% %18.1f %17.1f%% %10s\n", threads, rename_pct,
+                  1000.0 * static_cast<double>(helped_ops) / total_ops,
+                  100.0 * static_cast<double>(helping_schedules) / runs,
+                  all_ok ? "clean" : "VIOLATION");
+    }
+  }
+  std::printf("\nHelping rises with both concurrency and rename frequency — the paper's\n");
+  std::printf("path inter-dependency is common, not a corner case, on shared namespaces.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// §3.2 generality study reproduction: path inter-dependency across
+// rename + op combinations.
+//
+// The paper instruments nine file systems, runs rename concurrently with
+// each of {create, unlink, mkdir, rmdir, stat}, and reports that every
+// combination exhibits path inter-dependency (the rename completes while the
+// other operation sits inside its critical section with a traversed path the
+// rename just broke). Here the schedule is *forced* deterministically on
+// AtomFS with the gate observer, and the CRL-H monitor confirms that each
+// combination (a) exhibits the inter-dependency, (b) is resolved by the
+// helper mechanism, and (c) remains linearizable.
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "src/core/atom_fs.h"
+#include "src/crlh/gate.h"
+#include "src/crlh/monitor.h"
+
+namespace atomfs {
+namespace {
+
+struct ComboResult {
+  bool interdependency = false;
+  bool helped = false;
+  bool clean = false;
+};
+
+ComboResult RunCombo(const char* op_name) {
+  CrlhMonitor monitor;
+  GateObserver gate;
+  TeeObserver tee(&monitor, &gate);
+  AtomFs::Options opts;
+  opts.observer = &tee;
+  AtomFs fs(std::move(opts));
+
+  // Tree: /a/b with a victim file /a/b/x and an empty victim dir /a/b/d.
+  fs.Mkdir("/a");
+  fs.Mkdir("/a/b");
+  fs.Mknod("/a/b/x");
+  fs.Mkdir("/a/b/d");
+  const Inum ino_a = fs.Stat("/a")->ino;
+
+  // The op traverses through /a and parks inside its critical section. A
+  // start latch ensures the gate is armed before the traversal begins.
+  std::promise<Tid> tid_promise;
+  std::promise<void> go;
+  std::shared_future<void> go_future = go.get_future();
+  std::thread op_thread([&] {
+    tid_promise.set_value(CurrentTid());
+    go_future.wait();
+    const std::string op(op_name);
+    if (op == "create") {
+      fs.Mknod("/a/b/new");
+    } else if (op == "unlink") {
+      fs.Unlink("/a/b/x");
+    } else if (op == "mkdir") {
+      fs.Mkdir("/a/b/new");
+    } else if (op == "rmdir") {
+      fs.Rmdir("/a/b/d");
+    } else {
+      fs.Stat("/a/b/x");
+    }
+  });
+  const Tid op_tid = tid_promise.get_future().get();
+  gate.Arm(op_tid, GateObserver::Point::kLockReleased, ino_a);
+  go.set_value();
+  gate.WaitParked(op_tid);
+
+  // rename breaks the op's traversed path and completes first.
+  const bool rename_done_during_cs = fs.Rename("/a", "/z").ok() && gate.IsParked(op_tid);
+  const uint64_t helped = monitor.helped_ops();
+
+  gate.Open(op_tid);
+  op_thread.join();
+
+  ComboResult result;
+  result.interdependency = rename_done_during_cs;
+  result.helped = helped == 1;
+  result.clean = monitor.ok() && monitor.CheckQuiescent(fs.SnapshotSpec());
+  return result;
+}
+
+}  // namespace
+}  // namespace atomfs
+
+int main() {
+  using namespace atomfs;
+  std::printf("Section 3.2 generality study: rename + op path inter-dependency\n");
+  std::printf("(paper: all 5 combinations show the phenomenon on all 9 file systems;\n");
+  std::printf(" here: forced deterministically on AtomFS and checked by CRL-H)\n\n");
+  std::printf("%-18s%-20s%-12s%-14s\n", "combination", "inter-dependency", "helped",
+              "linearizable");
+  bool all = true;
+  for (const char* op : {"create", "unlink", "mkdir", "rmdir", "stat"}) {
+    ComboResult r = RunCombo(op);
+    std::printf("rename + %-9s%-20s%-12s%-14s\n", op, r.interdependency ? "yes" : "NO",
+                r.helped ? "yes" : "NO", r.clean ? "yes" : "NO");
+    all = all && r.interdependency && r.helped && r.clean;
+  }
+  std::printf("\n%s\n", all ? "All combinations exhibit path inter-dependency and are "
+                              "resolved by the helper mechanism."
+                            : "UNEXPECTED: some combination failed!");
+  return all ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Micro-benchmarks: single-operation latency of each file system variant
+// (google-benchmark). Useful for spotting constant-factor regressions in the
+// data structures (hash-table directories, block store, lock coupling).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/naive/naive_fs.h"
+#include "src/retryfs/retry_fs.h"
+
+namespace atomfs {
+namespace {
+
+enum class Which { kAtom, kBigLock, kNaive, kRetry };
+
+std::unique_ptr<FileSystem> MakeFs(Which which) {
+  switch (which) {
+    case Which::kAtom:
+      return std::make_unique<AtomFs>();
+    case Which::kBigLock:
+      return std::make_unique<BigLockFs>();
+    case Which::kNaive:
+      return std::make_unique<NaiveFs>();
+    case Which::kRetry:
+      return std::make_unique<RetryFs>();
+  }
+  return nullptr;
+}
+
+void SetupDeepTree(FileSystem& fs) {
+  fs.Mkdir("/a");
+  fs.Mkdir("/a/b");
+  fs.Mkdir("/a/b/c");
+  fs.Mknod("/a/b/c/f");
+}
+
+void BM_StatDeep(benchmark::State& state) {
+  auto fs = MakeFs(static_cast<Which>(state.range(0)));
+  SetupDeepTree(*fs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs->Stat("/a/b/c/f"));
+  }
+}
+BENCHMARK(BM_StatDeep)->DenseRange(0, 3)->ArgNames({"fs"});
+
+void BM_CreateUnlink(benchmark::State& state) {
+  auto fs = MakeFs(static_cast<Which>(state.range(0)));
+  fs->Mkdir("/d");
+  for (auto _ : state) {
+    fs->Mknod("/d/f");
+    fs->Unlink("/d/f");
+  }
+}
+BENCHMARK(BM_CreateUnlink)->DenseRange(0, 3)->ArgNames({"fs"});
+
+void BM_RenamePingPong(benchmark::State& state) {
+  auto fs = MakeFs(static_cast<Which>(state.range(0)));
+  fs->Mkdir("/x");
+  fs->Mkdir("/y");
+  fs->Mknod("/x/f");
+  bool at_x = true;
+  for (auto _ : state) {
+    if (at_x) {
+      fs->Rename("/x/f", "/y/f");
+    } else {
+      fs->Rename("/y/f", "/x/f");
+    }
+    at_x = !at_x;
+  }
+}
+BENCHMARK(BM_RenamePingPong)->DenseRange(0, 3)->ArgNames({"fs"});
+
+void BM_Write4K(benchmark::State& state) {
+  auto fs = MakeFs(static_cast<Which>(state.range(0)));
+  fs->Mknod("/f");
+  std::vector<std::byte> buf(4096, std::byte{0x11});
+  uint64_t off = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs->Write("/f", off % (1 << 20), std::span<const std::byte>(buf)));
+    off += 4096;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Write4K)->DenseRange(0, 3)->ArgNames({"fs"});
+
+void BM_ReadDir64(benchmark::State& state) {
+  auto fs = MakeFs(static_cast<Which>(state.range(0)));
+  fs->Mkdir("/d");
+  for (int i = 0; i < 64; ++i) {
+    fs->Mknod("/d/f" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs->ReadDir("/d"));
+  }
+}
+BENCHMARK(BM_ReadDir64)->DenseRange(0, 3)->ArgNames({"fs"});
+
+}  // namespace
+}  // namespace atomfs
+
+BENCHMARK_MAIN();

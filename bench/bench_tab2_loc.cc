@@ -1,0 +1,96 @@
+// Table 2 analog: lines of code per component.
+//
+// The paper's Table 2 reports the Coq development sizes (abstraction/Aops
+// 344, invariants 1397, R-G conditions 451, verified code 673, proof
+// 60,324). This repository has no Coq proof; the analogous inventory is the
+// executable artifact: the abstract specification, the concrete file
+// systems, and the CRL-H runtime verification layer. This binary counts
+// non-blank lines under each component directory and prints the comparison.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef ATOMFS_SOURCE_DIR
+#define ATOMFS_SOURCE_DIR "."
+#endif
+
+namespace {
+
+uint64_t CountLines(const std::filesystem::path& dir) {
+  uint64_t lines = 0;
+  std::error_code ec;
+  for (auto it = std::filesystem::recursive_directory_iterator(dir, ec);
+       it != std::filesystem::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec || !it->is_regular_file()) {
+      continue;
+    }
+    const auto ext = it->path().extension();
+    if (ext != ".cc" && ext != ".h" && ext != ".cpp") {
+      continue;
+    }
+    std::ifstream in(it->path());
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos != std::string::npos) {
+        ++lines;
+      }
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  const std::filesystem::path root = ATOMFS_SOURCE_DIR;
+  struct Row {
+    const char* component;
+    const char* paper_counterpart;
+    uint64_t paper_loc;
+    std::vector<const char*> dirs;
+  };
+  const std::vector<Row> rows = {
+      {"Abstraction and Aops (src/afs)", "Abstraction and Aops", 344, {"src/afs"}},
+      {"CRL-H runtime: ghost/helper/invariants/rollback/checkers (src/crlh)",
+       "Invariants + R-G conditions + proof", 1397 + 451 + 60324, {"src/crlh"}},
+      {"Verified code: AtomFS core (src/core)", "Verified code", 673, {"src/core"}},
+      {"Substrates: vfs/sim/util (FUSE+VFS+testbed analogs)", "(trusted: FUSE, VFS, libc)", 0,
+       {"src/vfs", "src/sim", "src/util"}},
+      {"Durability: journal (op-log + recovery)", "(future work in the paper)", 0,
+       {"src/journal"}},
+      {"Baselines: biglock/naive/retryfs", "(biglock baseline of Sec. 7.3)", 0,
+       {"src/biglock", "src/naive", "src/retryfs"}},
+      {"Workloads (src/workload)", "(LFS/Filebench/apps)", 0, {"src/workload"}},
+      {"Tests", "(xfstests role)", 0, {"tests"}},
+      {"Benches + examples + tools", "(evaluation scripts)", 0,
+       {"bench", "examples", "tools"}},
+  };
+
+  std::printf("Table 2 analog: lines of code per component (non-blank .h/.cc/.cpp)\n");
+  std::printf("(the paper's column counts Coq lines; this repo's verification layer is an\n");
+  std::printf(" executable runtime checker, so the numbers are not comparable in kind)\n\n");
+  std::printf("%-70s %10s %14s\n", "component", "this repo", "paper (Coq)");
+  uint64_t total = 0;
+  for (const auto& row : rows) {
+    uint64_t lines = 0;
+    for (const char* dir : row.dirs) {
+      lines += CountLines(root / dir);
+    }
+    total += lines;
+    if (row.paper_loc > 0) {
+      std::printf("%-70s %10llu %14llu\n", row.component,
+                  static_cast<unsigned long long>(lines),
+                  static_cast<unsigned long long>(row.paper_loc));
+    } else {
+      std::printf("%-70s %10llu %14s\n", row.component,
+                  static_cast<unsigned long long>(lines), row.paper_counterpart);
+    }
+  }
+  std::printf("%-70s %10llu %14llu\n", "Total", static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(63099));
+  return 0;
+}

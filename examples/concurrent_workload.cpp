@@ -1,0 +1,64 @@
+// Concurrent-workload example: drives the same Filebench-style worker over
+// AtomFS and the big-lock baseline on the virtual-time simulator, printing a
+// miniature version of the paper's Figure 11 scalability comparison.
+//
+//   $ ./concurrent_workload [threads]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/sim/executor.h"
+#include "src/workload/filebench.h"
+
+using namespace atomfs;
+
+namespace {
+
+template <typename MakeFs>
+double OpsPerVirtualSecond(const FilebenchProfile& profile, int threads, MakeFs make_fs) {
+  SimExecutor sim(/*cores=*/16);
+  auto fs = make_fs(&sim);
+  RunInSim(sim, [&] { FilebenchSetup(*fs, profile, 1); });
+  const uint64_t start = sim.GlobalVirtualNanos();
+  constexpr uint64_t kOps = 2000;
+  for (int t = 0; t < threads; ++t) {
+    sim.Spawn([&fs, &profile, t] { FilebenchWorker(*fs, profile, 10 + t, kOps); });
+  }
+  sim.Run();
+  const double secs = static_cast<double>(sim.GlobalVirtualNanos() - start) * 1e-9;
+  return static_cast<double>(kOps) * threads / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_threads = argc > 1 ? std::atoi(argv[1]) : 16;
+  FilebenchProfile profile;
+  profile.name = "demo-fileserver";
+  profile.dirs = 64;
+  profile.files = 1024;
+  profile.file_bytes = 4096;
+  profile.io_bytes = 4096;
+
+  std::printf("Fileserver-style workload on 16 simulated cores\n\n");
+  std::printf("%8s %20s %20s %10s\n", "threads", "AtomFS (ops/s)", "BigLock (ops/s)", "ratio");
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    const double atom = OpsPerVirtualSecond(profile, threads, [](Executor* ex) {
+      AtomFs::Options o;
+      o.executor = ex;
+      return std::make_unique<AtomFs>(std::move(o));
+    });
+    const double big = OpsPerVirtualSecond(profile, threads, [](Executor* ex) {
+      BigLockFs::Options o;
+      o.executor = ex;
+      return std::make_unique<BigLockFs>(o);
+    });
+    std::printf("%8d %20.0f %20.0f %9.2fx\n", threads, atom, big, atom / big);
+  }
+  std::printf("\nFine-grained lock coupling lets independent operations proceed in\n");
+  std::printf("parallel; the big lock serializes every operation (paper Sec. 7.3).\n");
+  return 0;
+}

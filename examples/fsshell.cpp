@@ -1,0 +1,119 @@
+// fsshell: a tiny interactive shell over AtomFS through the Vfs layer.
+// Reads commands from stdin (interactive or piped):
+//
+//   mkdir PATH | touch PATH | rm PATH | rmdir PATH | mv SRC DST | xchg A B
+//   ls PATH    | stat PATH  | cat PATH | write PATH TEXT... | tree [PATH]
+//   help | quit
+//
+//   $ printf 'mkdir /a\nwrite /a/f hello world\ncat /a/f\ntree /\n' | ./fsshell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/atom_fs.h"
+#include "src/vfs/vfs.h"
+
+using namespace atomfs;
+
+namespace {
+
+void PrintStatus(const char* what, Status st) {
+  if (st.ok()) {
+    std::printf("ok\n");
+  } else {
+    std::printf("%s: %s\n", what, ErrcName(st.code()).data());
+  }
+}
+
+void Tree(FileSystem& fs, const std::string& path, int depth) {
+  auto entries = fs.ReadDir(path);
+  if (!entries.ok()) {
+    return;
+  }
+  for (const auto& e : *entries) {
+    std::printf("%*s%s%s\n", depth * 2, "", e.name.c_str(),
+                e.type == FileType::kDir ? "/" : "");
+    if (e.type == FileType::kDir) {
+      Tree(fs, (path == "/" ? "" : path) + "/" + e.name, depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  AtomFs fs;
+  Vfs vfs(&fs);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') {
+      continue;
+    }
+    std::string a;
+    std::string b;
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "help") {
+      std::printf("mkdir touch rm rmdir mv xchg ls stat cat write tree quit\n");
+    } else if (cmd == "mkdir" && in >> a) {
+      PrintStatus("mkdir", fs.Mkdir(a));
+    } else if (cmd == "touch" && in >> a) {
+      PrintStatus("touch", fs.Mknod(a));
+    } else if (cmd == "rm" && in >> a) {
+      PrintStatus("rm", fs.Unlink(a));
+    } else if (cmd == "rmdir" && in >> a) {
+      PrintStatus("rmdir", fs.Rmdir(a));
+    } else if (cmd == "mv" && in >> a >> b) {
+      PrintStatus("mv", fs.Rename(a, b));
+    } else if (cmd == "xchg" && in >> a >> b) {
+      PrintStatus("xchg", fs.Exchange(a, b));
+    } else if (cmd == "ls" && in >> a) {
+      auto entries = fs.ReadDir(a);
+      if (!entries.ok()) {
+        std::printf("ls: %s\n", ErrcName(entries.status().code()).data());
+        continue;
+      }
+      for (const auto& e : *entries) {
+        std::printf("%s%s\n", e.name.c_str(), e.type == FileType::kDir ? "/" : "");
+      }
+    } else if (cmd == "stat" && in >> a) {
+      auto attr = fs.Stat(a);
+      if (!attr.ok()) {
+        std::printf("stat: %s\n", ErrcName(attr.status().code()).data());
+        continue;
+      }
+      std::printf("ino=%llu type=%s size=%llu\n", static_cast<unsigned long long>(attr->ino),
+                  attr->type == FileType::kDir ? "dir" : "file",
+                  static_cast<unsigned long long>(attr->size));
+    } else if (cmd == "cat" && in >> a) {
+      auto text = ReadString(fs, a);
+      if (!text.ok()) {
+        std::printf("cat: %s\n", ErrcName(text.status().code()).data());
+        continue;
+      }
+      std::printf("%s\n", text->c_str());
+    } else if (cmd == "write" && in >> a) {
+      std::string rest;
+      std::getline(in, rest);
+      if (!rest.empty() && rest.front() == ' ') {
+        rest.erase(rest.begin());
+      }
+      PrintStatus("write", WriteString(fs, a, rest));
+    } else if (cmd == "tree") {
+      if (!(in >> a)) {
+        a = "/";
+      }
+      std::printf("%s\n", a.c_str());
+      Tree(fs, a, 1);
+    } else {
+      std::printf("unknown command (try: help)\n");
+    }
+  }
+  return 0;
+}

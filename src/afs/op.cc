@@ -1,0 +1,319 @@
+#include "src/afs/op.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace atomfs {
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMkdir:
+      return "mkdir";
+    case OpKind::kMknod:
+      return "mknod";
+    case OpKind::kRmdir:
+      return "rmdir";
+    case OpKind::kUnlink:
+      return "unlink";
+    case OpKind::kRename:
+      return "rename";
+    case OpKind::kExchange:
+      return "exchange";
+    case OpKind::kStat:
+      return "stat";
+    case OpKind::kReadDir:
+      return "readdir";
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kTruncate:
+      return "truncate";
+  }
+  return "?";
+}
+
+bool IsPathBased(OpKind kind) {
+  (void)kind;
+  return true;  // see header: AtomFS path-resolves every interface
+}
+
+bool IsTreeMutation(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMkdir:
+    case OpKind::kMknod:
+    case OpKind::kRmdir:
+    case OpKind::kUnlink:
+    case OpKind::kRename:
+    case OpKind::kExchange:
+      return true;
+    default:
+      return false;
+  }
+}
+
+OpCall OpCall::MkdirOf(Path p) {
+  OpCall c;
+  c.kind = OpKind::kMkdir;
+  c.a = std::move(p);
+  return c;
+}
+
+OpCall OpCall::MknodOf(Path p) {
+  OpCall c;
+  c.kind = OpKind::kMknod;
+  c.a = std::move(p);
+  return c;
+}
+
+OpCall OpCall::RmdirOf(Path p) {
+  OpCall c;
+  c.kind = OpKind::kRmdir;
+  c.a = std::move(p);
+  return c;
+}
+
+OpCall OpCall::UnlinkOf(Path p) {
+  OpCall c;
+  c.kind = OpKind::kUnlink;
+  c.a = std::move(p);
+  return c;
+}
+
+OpCall OpCall::RenameOf(Path src, Path dst) {
+  OpCall c;
+  c.kind = OpKind::kRename;
+  c.a = std::move(src);
+  c.b = std::move(dst);
+  return c;
+}
+
+OpCall OpCall::ExchangeOf(Path a, Path b) {
+  OpCall c;
+  c.kind = OpKind::kExchange;
+  c.a = std::move(a);
+  c.b = std::move(b);
+  return c;
+}
+
+OpCall OpCall::StatOf(Path p) {
+  OpCall c;
+  c.kind = OpKind::kStat;
+  c.a = std::move(p);
+  return c;
+}
+
+OpCall OpCall::ReadDirOf(Path p) {
+  OpCall c;
+  c.kind = OpKind::kReadDir;
+  c.a = std::move(p);
+  return c;
+}
+
+OpCall OpCall::ReadOf(Path p, uint64_t offset, uint64_t len) {
+  OpCall c;
+  c.kind = OpKind::kRead;
+  c.a = std::move(p);
+  c.offset = offset;
+  c.len = len;
+  return c;
+}
+
+OpCall OpCall::WriteOf(Path p, uint64_t offset, std::vector<std::byte> payload) {
+  OpCall c;
+  c.kind = OpKind::kWrite;
+  c.a = std::move(p);
+  c.offset = offset;
+  c.data = std::move(payload);
+  return c;
+}
+
+OpCall OpCall::TruncateOf(Path p, uint64_t size) {
+  OpCall c;
+  c.kind = OpKind::kTruncate;
+  c.a = std::move(p);
+  c.offset = size;
+  return c;
+}
+
+std::string OpCall::ToString() const {
+  std::ostringstream os;
+  os << OpKindName(kind) << "(" << a.ToString();
+  if (kind == OpKind::kRename || kind == OpKind::kExchange) {
+    os << ", " << b.ToString();
+  } else if (kind == OpKind::kRead) {
+    os << ", off=" << offset << ", len=" << len;
+  } else if (kind == OpKind::kWrite) {
+    os << ", off=" << offset << ", n=" << data.size();
+  } else if (kind == OpKind::kTruncate) {
+    os << ", size=" << offset;
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string OpResult::ToString(OpKind kind) const {
+  std::ostringstream os;
+  os << ErrcName(status.code());
+  if (!status.ok()) {
+    return os.str();
+  }
+  switch (kind) {
+    case OpKind::kStat:
+      os << " {type=" << (attr.type == FileType::kDir ? "dir" : "file") << ", size=" << attr.size
+         << "}";
+      break;
+    case OpKind::kReadDir: {
+      os << " [";
+      for (size_t i = 0; i < entries.size(); ++i) {
+        if (i != 0) {
+          os << ", ";
+        }
+        os << entries[i].name;
+      }
+      os << "]";
+      break;
+    }
+    case OpKind::kRead:
+    case OpKind::kWrite:
+      os << " n=" << nbytes;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+OpResult RunOp(FileSystem& fs, const OpCall& call) {
+  OpResult r;
+  switch (call.kind) {
+    case OpKind::kMkdir:
+      r.status = fs.Mkdir(call.a);
+      break;
+    case OpKind::kMknod:
+      r.status = fs.Mknod(call.a);
+      break;
+    case OpKind::kRmdir:
+      r.status = fs.Rmdir(call.a);
+      break;
+    case OpKind::kUnlink:
+      r.status = fs.Unlink(call.a);
+      break;
+    case OpKind::kRename:
+      r.status = fs.Rename(call.a, call.b);
+      break;
+    case OpKind::kExchange:
+      r.status = fs.Exchange(call.a, call.b);
+      break;
+    case OpKind::kStat: {
+      auto attr = fs.Stat(call.a);
+      r.status = attr.status();
+      if (attr.ok()) {
+        r.attr = *attr;
+      }
+      break;
+    }
+    case OpKind::kReadDir: {
+      auto entries = fs.ReadDir(call.a);
+      r.status = entries.status();
+      if (entries.ok()) {
+        r.entries = std::move(*entries);
+      }
+      break;
+    }
+    case OpKind::kRead: {
+      r.data.resize(call.len);
+      auto n = fs.Read(call.a, call.offset, std::span<std::byte>(r.data));
+      r.status = n.status();
+      if (n.ok()) {
+        r.nbytes = *n;
+        r.data.resize(*n);
+      } else {
+        r.data.clear();
+      }
+      break;
+    }
+    case OpKind::kWrite: {
+      auto n = fs.Write(call.a, call.offset, std::span<const std::byte>(call.data));
+      r.status = n.status();
+      if (n.ok()) {
+        r.nbytes = *n;
+      }
+      break;
+    }
+    case OpKind::kTruncate:
+      r.status = fs.Truncate(call.a, call.offset);
+      break;
+  }
+  return r;
+}
+
+bool ResultsEquivalent(OpKind kind, const OpResult& lhs, const OpResult& rhs) {
+  if (lhs.status != rhs.status) {
+    return false;
+  }
+  if (!lhs.status.ok()) {
+    return true;
+  }
+  switch (kind) {
+    case OpKind::kStat:
+      // Inode number masked; see header.
+      return lhs.attr.type == rhs.attr.type && lhs.attr.size == rhs.attr.size;
+    case OpKind::kReadDir: {
+      if (lhs.entries.size() != rhs.entries.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < lhs.entries.size(); ++i) {
+        if (lhs.entries[i].name != rhs.entries[i].name ||
+            lhs.entries[i].type != rhs.entries[i].type) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case OpKind::kRead:
+      return lhs.nbytes == rhs.nbytes && lhs.data == rhs.data;
+    case OpKind::kWrite:
+      return lhs.nbytes == rhs.nbytes;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+bool StructurallyEqualAt(const SpecFs& a, Inum ia, const SpecFs& b, Inum ib) {
+  const SpecInode* na = a.Find(ia);
+  const SpecInode* nb = b.Find(ib);
+  ATOMFS_CHECK(na != nullptr && nb != nullptr);
+  if (na->type != nb->type) {
+    return false;
+  }
+  if (na->type == FileType::kFile) {
+    return na->data == nb->data;
+  }
+  if (na->links.size() != nb->links.size()) {
+    return false;
+  }
+  auto it_a = na->links.begin();
+  auto it_b = nb->links.begin();
+  for (; it_a != na->links.end(); ++it_a, ++it_b) {
+    if (it_a->first != it_b->first) {
+      return false;
+    }
+    if (!StructurallyEqualAt(a, it_a->second, b, it_b->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StructurallyEqual(const SpecFs& a, const SpecFs& b) {
+  return StructurallyEqualAt(a, kRootInum, b, kRootInum);
+}
+
+}  // namespace atomfs

@@ -1,0 +1,96 @@
+// Reified file-system operations (the paper's Aops with their arguments) and
+// their results. The CRL-H runtime records concurrent histories as OpCall /
+// OpResult pairs and replays OpCalls against the SpecFs oracle; workload
+// traces reuse the same representation.
+
+#ifndef ATOMFS_SRC_AFS_OP_H_
+#define ATOMFS_SRC_AFS_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/afs/spec_fs.h"
+#include "src/util/status.h"
+#include "src/vfs/filesystem.h"
+#include "src/vfs/path.h"
+
+namespace atomfs {
+
+enum class OpKind : uint8_t {
+  kMkdir,
+  kMknod,
+  kRmdir,
+  kUnlink,
+  kRename,
+  kExchange,
+  kStat,
+  kReadDir,
+  kRead,
+  kWrite,
+  kTruncate,
+};
+
+std::string_view OpKindName(OpKind kind);
+
+// True for the operations whose first step is a lock-coupled path traversal
+// (the paper's "path-based operations", which the non-bypassable criterion
+// governs). In this code base that is every operation: AtomFS resolves even
+// read/write through a full path traversal (§5.4).
+bool IsPathBased(OpKind kind);
+
+// True if the operation can modify the directory tree.
+bool IsTreeMutation(OpKind kind);
+
+// An invocation with all of its arguments.
+struct OpCall {
+  OpKind kind = OpKind::kStat;
+  Path a;                        // primary path (src for rename)
+  Path b;                        // rename destination
+  uint64_t offset = 0;           // read/write offset; truncate size
+  uint64_t len = 0;              // read length
+  std::vector<std::byte> data;   // write payload
+
+  static OpCall MkdirOf(Path p);
+  static OpCall MknodOf(Path p);
+  static OpCall RmdirOf(Path p);
+  static OpCall UnlinkOf(Path p);
+  static OpCall RenameOf(Path src, Path dst);
+  static OpCall ExchangeOf(Path a, Path b);
+  static OpCall StatOf(Path p);
+  static OpCall ReadDirOf(Path p);
+  static OpCall ReadOf(Path p, uint64_t offset, uint64_t len);
+  static OpCall WriteOf(Path p, uint64_t offset, std::vector<std::byte> payload);
+  static OpCall TruncateOf(Path p, uint64_t size);
+
+  std::string ToString() const;
+};
+
+// The observable outcome of an operation.
+struct OpResult {
+  Status status;
+  Attr attr;                      // stat
+  std::vector<DirEntry> entries;  // readdir
+  uint64_t nbytes = 0;            // read/write byte count
+  std::vector<std::byte> data;    // read payload
+
+  std::string ToString(OpKind kind) const;
+};
+
+// Executes `call` against `fs` through the generic FileSystem interface and
+// captures the result. This is how both concrete file systems and the SpecFs
+// oracle are driven.
+OpResult RunOp(FileSystem& fs, const OpCall& call);
+
+// Result equivalence for refinement checking. Inode numbers are masked: they
+// are abstract handles whose concrete allocation order legitimately differs
+// between a concurrent implementation and the sequential spec replay.
+bool ResultsEquivalent(OpKind kind, const OpResult& lhs, const OpResult& rhs);
+
+// Structural equality of two file-system states up to an inum bijection:
+// same tree of names, same types, same file contents.
+bool StructurallyEqual(const SpecFs& a, const SpecFs& b);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_AFS_OP_H_

@@ -1,0 +1,113 @@
+// SpecFs: the executable abstract file system specification (the paper's AFS,
+// Figure 6).
+//
+// The abstract state is a map from inode numbers to abstract inodes, where a
+// directory maps names to inode numbers and a file is a byte sequence, plus
+// the root inode number. Every abstract operation (the paper's "Aops") is an
+// atomic transition on this state and doubles as the reference semantics for
+// all concrete file systems in this repository: the CRL-H refinement checkers
+// replay concurrent histories against SpecFs and compare results.
+//
+// SpecFs is deliberately sequential and unsynchronized; callers that share an
+// instance across threads must serialize access themselves.
+
+#ifndef ATOMFS_SRC_AFS_SPEC_FS_H_
+#define ATOMFS_SRC_AFS_SPEC_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/vfs/filesystem.h"
+#include "src/vfs/limits.h"
+#include "src/vfs/path.h"
+
+namespace atomfs {
+
+// Abstract inode: Dir(Links) | File(bytes).
+struct SpecInode {
+  FileType type = FileType::kFile;
+  std::map<std::string, Inum> links;  // meaningful when type == kDir
+  std::vector<std::byte> data;        // meaningful when type == kFile
+
+  friend bool operator==(const SpecInode& a, const SpecInode& b) {
+    return a.type == b.type && a.links == b.links && a.data == b.data;
+  }
+};
+
+class SpecFs : public FileSystem {
+ public:
+  // Starts with an empty root directory (inode kRootInum).
+  SpecFs();
+
+  // Deep-copyable so checkers can branch states during search.
+  SpecFs(const SpecFs&) = default;
+  SpecFs& operator=(const SpecFs&) = default;
+
+  // FileSystem interface; pure sequential semantics.
+  Status Mkdir(const Path& path) override;
+  Status Mknod(const Path& path) override;
+  Status Rmdir(const Path& path) override;
+  Status Unlink(const Path& path) override;
+  Status Rename(const Path& src, const Path& dst) override;
+  Status Exchange(const Path& a, const Path& b) override;
+  Result<Attr> Stat(const Path& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const Path& path) override;
+  Result<size_t> Read(const Path& path, uint64_t offset, std::span<std::byte> out) override;
+  Result<size_t> Write(const Path& path, uint64_t offset,
+                       std::span<const std::byte> data) override;
+  Status Truncate(const Path& path, uint64_t size) override;
+  using FileSystem::Mkdir;
+  using FileSystem::Mknod;
+  using FileSystem::Read;
+  using FileSystem::ReadDir;
+  using FileSystem::Exchange;
+  using FileSystem::Rename;
+  using FileSystem::Rmdir;
+  using FileSystem::Stat;
+  using FileSystem::Truncate;
+  using FileSystem::Unlink;
+  using FileSystem::Write;
+
+  // --- Structural access for checkers -------------------------------------
+
+  // Follows the component list from the root. kNoEnt when a link is missing,
+  // kNotDir when a non-final component is not a directory.
+  Result<Inum> Resolve(const Path& path) const;
+
+  const SpecInode* Find(Inum ino) const;
+  SpecInode* FindMutable(Inum ino);
+  const std::map<Inum, SpecInode>& imap() const { return imap_; }
+  std::map<Inum, SpecInode>& imap_mutable() { return imap_; }
+
+  // The paper's GoodAFS invariant: the inode map forms a tree rooted at the
+  // root inode — every inode is reachable from the root exactly once, all
+  // links point to existing inodes, and files carry no links.
+  bool WellFormed() const;
+
+  // Structure-sensitive hash used for memoization by the Wing&Gong checker.
+  uint64_t Hash() const;
+
+  friend bool operator==(const SpecFs& a, const SpecFs& b) { return a.imap_ == b.imap_; }
+
+  // Allocates a fresh inode number (used by checkers replaying effects).
+  Inum AllocInum() { return next_inum_++; }
+
+  // Moves the internal allocator. The CRL-H monitor points its ghost copy at
+  // a reserved scratch range so spec-allocated numbers can never collide
+  // with the concrete inums it forces in (see crlh/effects.h).
+  void SetNextInum(Inum next) { next_inum_ = next; }
+
+ private:
+  // Resolves path.Dir() to the parent directory. Shared by the mutating ops.
+  Result<Inum> ResolveParent(const Path& path) const;
+
+  std::map<Inum, SpecInode> imap_;
+  Inum next_inum_ = kRootInum + 1;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_AFS_SPEC_FS_H_

@@ -1,0 +1,759 @@
+#include "src/core/atom_fs.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/check.h"
+
+namespace atomfs {
+namespace {
+
+// Longest common prefix length of two component lists.
+size_t CommonPrefixLen(const std::vector<std::string>& a, const std::vector<std::string>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) {
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+AtomFs::AtomFs() : AtomFs(Options{}) {}
+
+AtomFs::AtomFs(Options options) : opts_(std::move(options)) {
+  ATOMFS_CHECK(opts_.executor != nullptr);
+  root_ = std::make_unique<Inode>(kRootInum, FileType::kDir, opts_.executor->CreateLock(),
+                                  opts_.dir_buckets);
+}
+
+AtomFs::~AtomFs() {
+  // Iterative teardown: a deep directory chain must not recurse through
+  // nested unique_ptr destructors.
+  std::deque<std::unique_ptr<Inode>> work;
+  work.push_back(std::move(root_));
+  {
+    std::lock_guard<std::mutex> lk(graveyard_mu_);
+    for (auto& node : graveyard_) {
+      work.push_back(std::move(node));
+    }
+    graveyard_.clear();
+  }
+  while (!work.empty()) {
+    std::unique_ptr<Inode> node = std::move(work.front());
+    work.pop_front();
+    if (node != nullptr && node->type == FileType::kDir) {
+      for (auto& child : node->dir.TakeAll()) {
+        work.push_back(std::move(child));
+      }
+    }
+  }
+}
+
+// --- Observation plumbing ---------------------------------------------------
+
+void AtomFs::ObserveBegin(const OpCall& call) {
+  opts_.executor->Work(opts_.costs.op_base_ns);
+  if (opts_.observer != nullptr) {
+    opts_.observer->OnOpBegin(CurrentTid(), call);
+  }
+}
+
+void AtomFs::ObserveEnd(const OpResult& result) {
+  if (opts_.observer != nullptr) {
+    opts_.observer->OnOpEnd(CurrentTid(), result);
+  }
+}
+
+void AtomFs::ObserveLp(Inum created) {
+  if (opts_.observer != nullptr) {
+    opts_.observer->OnLp(CurrentTid(), created);
+  }
+}
+
+Status AtomFs::FailOp(Errc code) {
+  ObserveLp();
+  OpResult r;
+  r.status = Status(code);
+  ObserveEnd(r);
+  return Status(code);
+}
+
+void AtomFs::LockInode(Inode* node, LockPathRole role) {
+  if (opts_.disable_inode_locks) {
+    return;
+  }
+  node->lock->Lock();
+  if (opts_.observer != nullptr) {
+    opts_.observer->OnLockAcquired(CurrentTid(), node->ino, role);
+  }
+}
+
+void AtomFs::UnlockInode(Inode* node) {
+  if (opts_.disable_inode_locks) {
+    return;
+  }
+  // Release first, then report: a ghost LockPath is append-only (releases do
+  // not shrink it), so the ghost state needs no atomicity with the unlock —
+  // and observers that park threads at release events (GateObserver) then
+  // park them *after* the lock is actually free, which is what the paper's
+  // interleavings require.
+  const Inum ino = node->ino;
+  node->lock->Unlock();
+  if (opts_.observer != nullptr) {
+    opts_.observer->OnLockReleased(CurrentTid(), ino);
+  }
+}
+
+void AtomFs::UnlockAll(const std::vector<Inode*>& nodes) {
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    UnlockInode(*it);
+  }
+}
+
+Inode* AtomFs::LookupCharged(Inode* dir, const std::string& name) {
+  size_t probes = 0;
+  Inode* child = dir->dir.Find(name, &probes);
+  opts_.executor->Work(opts_.costs.lookup_ns + opts_.costs.lookup_probe_ns * probes);
+  return child;
+}
+
+// --- Inode lifecycle --------------------------------------------------------
+
+std::unique_ptr<Inode> AtomFs::NewInode(FileType type) {
+  opts_.executor->Work(opts_.costs.inode_alloc_ns);
+  inode_count_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<Inode>(next_inum_.fetch_add(1, std::memory_order_relaxed), type,
+                                 opts_.executor->CreateLock(), opts_.dir_buckets);
+}
+
+void AtomFs::DisposeInode(std::unique_ptr<Inode> node) {
+  opts_.executor->Work(opts_.costs.inode_free_ns);
+  inode_count_.fetch_sub(1, std::memory_order_relaxed);
+  if (opts_.unsafe_release_before_lock) {
+    // A bypassing traversal may still hold a raw pointer; park the inode so
+    // the (deliberately provoked) linearizability violation stays
+    // memory-safe.
+    std::lock_guard<std::mutex> lk(graveyard_mu_);
+    graveyard_.push_back(std::move(node));
+    return;
+  }
+  // rmdir only removes empty directories and unlink only files, so `node`
+  // has no children and plain destruction cannot recurse.
+}
+
+// --- Traversal --------------------------------------------------------------
+
+Result<Inode*> AtomFs::TraverseLocked(const std::vector<std::string>& parts, size_t count,
+                                      LockPathRole role) {
+  Inode* cur = root_.get();
+  LockInode(cur, role);
+  for (size_t i = 0; i < count; ++i) {
+    if (cur->type != FileType::kDir) {
+      ObserveLp();
+      UnlockInode(cur);
+      return Errc::kNotDir;
+    }
+    Inode* child = LookupCharged(cur, parts[i]);
+    if (child == nullptr) {
+      ObserveLp();
+      UnlockInode(cur);
+      return Errc::kNoEnt;
+    }
+    if (opts_.unsafe_release_before_lock) {
+      UnlockInode(cur);
+      LockInode(child, role);
+    } else {
+      // Lock coupling: child first, then release the parent.
+      LockInode(child, role);
+      UnlockInode(cur);
+    }
+    cur = child;
+  }
+  return cur;
+}
+
+Result<Inode*> AtomFs::ResolveTargetLocked(const Path& path) {
+  if (path.IsRoot()) {
+    LockInode(root_.get(), LockPathRole::kSingle);
+    return root_.get();
+  }
+  auto parent = TraverseLocked(path.parts, path.parts.size() - 1, LockPathRole::kSingle);
+  if (!parent.ok()) {
+    return parent;
+  }
+  Inode* dir = *parent;
+  if (dir->type != FileType::kDir) {
+    ObserveLp();
+    UnlockInode(dir);
+    return Errc::kNotDir;
+  }
+  Inode* child = LookupCharged(dir, path.Base());
+  if (child == nullptr) {
+    ObserveLp();
+    UnlockInode(dir);
+    return Errc::kNoEnt;
+  }
+  if (opts_.unsafe_release_before_lock) {
+    UnlockInode(dir);
+    LockInode(child, LockPathRole::kSingle);
+  } else {
+    LockInode(child, LockPathRole::kSingle);
+    UnlockInode(dir);
+  }
+  return child;
+}
+
+// --- ins / del --------------------------------------------------------------
+
+Status AtomFs::Mkdir(const Path& path) { return Insert(path, FileType::kDir); }
+Status AtomFs::Mknod(const Path& path) { return Insert(path, FileType::kFile); }
+Status AtomFs::Rmdir(const Path& path) { return Delete(path, FileType::kDir); }
+Status AtomFs::Unlink(const Path& path) { return Delete(path, FileType::kFile); }
+
+Status AtomFs::Insert(const Path& path, FileType type) {
+  ObserveBegin(type == FileType::kDir ? OpCall::MkdirOf(path) : OpCall::MknodOf(path));
+  auto finish = [this](Status st) {
+    OpResult r;
+    r.status = st;
+    ObserveEnd(r);
+    return st;
+  };
+  if (path.IsRoot()) {
+    ObserveLp();
+    return finish(Status(Errc::kExist));
+  }
+  auto parent = TraverseLocked(path.parts, path.parts.size() - 1, LockPathRole::kSingle);
+  if (!parent.ok()) {
+    return finish(parent.status());  // failure LP already emitted
+  }
+  Inode* dir = *parent;
+  if (dir->type != FileType::kDir) {
+    ObserveLp();
+    UnlockInode(dir);
+    return finish(Status(Errc::kNotDir));
+  }
+  if (LookupCharged(dir, path.Base()) != nullptr) {
+    ObserveLp();
+    UnlockInode(dir);
+    return finish(Status(Errc::kExist));
+  }
+  if (opts_.inject_alloc_failure && opts_.inject_alloc_failure()) {
+    ObserveLp();
+    UnlockInode(dir);
+    return finish(Status(Errc::kNoSpace));
+  }
+  std::unique_ptr<Inode> node = NewInode(type);
+  const Inum created = node->ino;
+  opts_.executor->Work(opts_.costs.dir_insert_ns);
+  ATOMFS_CHECK(dir->dir.Insert(path.Base(), std::move(node)));
+  ObserveLp(created);
+  UnlockInode(dir);
+  return finish(Status::Ok());
+}
+
+Status AtomFs::Delete(const Path& path, FileType type) {
+  ObserveBegin(type == FileType::kDir ? OpCall::RmdirOf(path) : OpCall::UnlinkOf(path));
+  auto finish = [this](Status st) {
+    OpResult r;
+    r.status = st;
+    ObserveEnd(r);
+    return st;
+  };
+  if (path.IsRoot()) {
+    ObserveLp();
+    return finish(Status(type == FileType::kDir ? Errc::kBusy : Errc::kIsDir));
+  }
+  auto parent = TraverseLocked(path.parts, path.parts.size() - 1, LockPathRole::kSingle);
+  if (!parent.ok()) {
+    return finish(parent.status());
+  }
+  Inode* dir = *parent;
+  if (dir->type != FileType::kDir) {
+    ObserveLp();
+    UnlockInode(dir);
+    return finish(Status(Errc::kNotDir));
+  }
+  Inode* child = LookupCharged(dir, path.Base());
+  if (child == nullptr) {
+    ObserveLp();
+    UnlockInode(dir);
+    return finish(Status(Errc::kNoEnt));
+  }
+  LockInode(child, LockPathRole::kSingle);
+  Errc err = Errc::kOk;
+  if (type == FileType::kDir) {
+    if (child->type != FileType::kDir) {
+      err = Errc::kNotDir;
+    } else if (!child->dir.empty()) {
+      err = Errc::kNotEmpty;
+    }
+  } else {
+    if (child->type == FileType::kDir) {
+      err = Errc::kIsDir;
+    }
+  }
+  if (err != Errc::kOk) {
+    ObserveLp();
+    UnlockInode(child);
+    UnlockInode(dir);
+    return finish(Status(err));
+  }
+  opts_.executor->Work(opts_.costs.dir_remove_ns);
+  std::unique_ptr<Inode> owned = dir->dir.Remove(path.Base());
+  ATOMFS_CHECK(owned != nullptr);
+  ObserveLp();
+  UnlockInode(child);
+  UnlockInode(dir);
+  DisposeInode(std::move(owned));
+  return finish(Status::Ok());
+}
+
+// --- rename -----------------------------------------------------------------
+
+Status AtomFs::Rename(const Path& src, const Path& dst) {
+  ObserveBegin(OpCall::RenameOf(src, dst));
+  auto finish = [this](Status st) {
+    OpResult r;
+    r.status = st;
+    ObserveEnd(r);
+    return st;
+  };
+
+  // Lexical prechecks, in the same order as the abstract specification.
+  if (src.IsRoot() || dst.IsRoot()) {
+    ObserveLp();
+    return finish(Status(Errc::kBusy));
+  }
+  if (src.IsPrefixOf(dst) && src != dst) {
+    ObserveLp();
+    return finish(Status(Errc::kInval));
+  }
+  // dst strictly above src: the destination inode, if everything resolves,
+  // is an ancestor directory of the source parent. We must not lock an
+  // ancestor after its descendant (lock order is strictly top-down), so this
+  // case is decided without ever locking the destination inode: it is
+  // necessarily a non-empty directory.
+  const bool dst_above_src = dst.IsPrefixOf(src) && dst != src;
+
+  const Path sparent = src.Dir();
+  const Path dparent = dst.Dir();
+  const size_t common = CommonPrefixLen(sparent.parts, dparent.parts);
+
+  std::vector<Inode*> held;  // in acquisition order
+  auto fail_all = [&](Errc code) {
+    ObserveLp();
+    UnlockAll(held);
+    return finish(Status(code));
+  };
+
+  // Phase 1: lock-coupled traversal of the common prefix of the two parent
+  // paths, charged to both ghost LockPaths.
+  auto lca = TraverseLocked(sparent.parts, common, LockPathRole::kRenameCommon);
+  if (!lca.ok()) {
+    return finish(lca.status());
+  }
+  Inode* base = *lca;
+  held.push_back(base);
+
+  // Phase 2/3: descend each branch while keeping the last common inode
+  // locked; its lock is released only after both parents are held (§5.2).
+  auto descend = [&](const Path& parent_path, LockPathRole role) -> Result<Inode*> {
+    Inode* cur = base;
+    for (size_t i = common; i < parent_path.parts.size(); ++i) {
+      if (cur->type != FileType::kDir) {
+        return Errc::kNotDir;
+      }
+      Inode* child = LookupCharged(cur, parent_path.parts[i]);
+      if (child == nullptr) {
+        return Errc::kNoEnt;
+      }
+      LockInode(child, role);
+      if (cur != base) {
+        UnlockInode(cur);
+        std::erase(held, cur);
+      }
+      held.push_back(child);
+      cur = child;
+    }
+    return cur;
+  };
+
+  auto sres = descend(sparent, LockPathRole::kRenameSrc);
+  if (!sres.ok()) {
+    return fail_all(sres.status().code());
+  }
+  Inode* sdir = *sres;
+  // Source-parent checks come before any destination resolution, matching
+  // the specification's error precedence.
+  if (sdir->type != FileType::kDir) {
+    return fail_all(Errc::kNotDir);
+  }
+  auto dres = descend(dparent, LockPathRole::kRenameDst);
+  if (!dres.ok()) {
+    return fail_all(dres.status().code());
+  }
+  Inode* ddir = *dres;
+  if (ddir->type != FileType::kDir) {
+    return fail_all(Errc::kNotDir);
+  }
+
+  // Release the last common inode once both parents are locked.
+  if (base != sdir && base != ddir) {
+    UnlockInode(base);
+    std::erase(held, base);
+  }
+
+  // Lookups and semantic checks, mirroring SpecFs::Rename's order.
+  Inode* snode = LookupCharged(sdir, src.Base());
+  if (snode == nullptr) {
+    return fail_all(Errc::kNoEnt);
+  }
+  if (src == dst) {
+    ObserveLp();
+    UnlockAll(held);
+    return finish(Status::Ok());
+  }
+  if (dst_above_src) {
+    // See above: destination resolves to a directory on src's own path.
+    return fail_all(snode->type == FileType::kFile ? Errc::kIsDir : Errc::kNotEmpty);
+  }
+  Inode* dnode = LookupCharged(ddir, dst.Base());
+  if (dnode != nullptr) {
+    // `type` is immutable, so these checks need no lock.
+    if (snode->type == FileType::kDir && dnode->type != FileType::kDir) {
+      return fail_all(Errc::kNotDir);
+    }
+    if (snode->type != FileType::kDir && dnode->type == FileType::kDir) {
+      return fail_all(Errc::kIsDir);
+    }
+    LockInode(dnode, LockPathRole::kRenameDst);
+    held.push_back(dnode);
+    if (dnode->type == FileType::kDir && !dnode->dir.empty()) {
+      return fail_all(Errc::kNotEmpty);
+    }
+  }
+  LockInode(snode, LockPathRole::kRenameSrc);
+  held.push_back(snode);
+
+  std::unique_ptr<Inode> displaced;
+  if (dnode != nullptr) {
+    opts_.executor->Work(opts_.costs.dir_remove_ns);
+    displaced = ddir->dir.Remove(dst.Base());
+    ATOMFS_CHECK(displaced != nullptr);
+  }
+  opts_.executor->Work(opts_.costs.dir_remove_ns);
+  std::unique_ptr<Inode> moving = sdir->dir.Remove(src.Base());
+  ATOMFS_CHECK(moving != nullptr);
+  opts_.executor->Work(opts_.costs.dir_insert_ns);
+  ATOMFS_CHECK(ddir->dir.Insert(dst.Base(), std::move(moving)));
+
+  // The rename LP: the CRL-H helper (linothers) runs inside this event, then
+  // the rename's own abstract operation executes.
+  ObserveLp();
+  UnlockAll(held);
+  if (displaced != nullptr) {
+    DisposeInode(std::move(displaced));
+  }
+  return finish(Status::Ok());
+}
+
+Status AtomFs::Exchange(const Path& a, const Path& b) {
+  ObserveBegin(OpCall::ExchangeOf(a, b));
+  auto finish = [this](Status st) {
+    OpResult r;
+    r.status = st;
+    ObserveEnd(r);
+    return st;
+  };
+
+  // Lexical prechecks, in the same order as the abstract specification.
+  if (a.IsRoot() || b.IsRoot()) {
+    ObserveLp();
+    return finish(Status(Errc::kBusy));
+  }
+  if ((a.IsPrefixOf(b) || b.IsPrefixOf(a)) && a != b) {
+    ObserveLp();
+    return finish(Status(Errc::kInval));
+  }
+
+  const Path aparent = a.Dir();
+  const Path bparent = b.Dir();
+  const size_t common = CommonPrefixLen(aparent.parts, bparent.parts);
+
+  std::vector<Inode*> held;
+  auto fail_all = [&](Errc code) {
+    ObserveLp();
+    UnlockAll(held);
+    return finish(Status(code));
+  };
+
+  // Same locking discipline as rename: lock-coupled common prefix, then both
+  // branches while the last common inode stays locked (Sec. 5.2). Ghost-wise
+  // the a-side extends the "src" LockPath and the b-side the "dst" one; the
+  // helper treats *both* as breaking paths for an exchange.
+  auto lca = TraverseLocked(aparent.parts, common, LockPathRole::kRenameCommon);
+  if (!lca.ok()) {
+    return finish(lca.status());
+  }
+  Inode* base = *lca;
+  held.push_back(base);
+
+  auto descend = [&](const Path& parent_path, LockPathRole role) -> Result<Inode*> {
+    Inode* cur = base;
+    for (size_t i = common; i < parent_path.parts.size(); ++i) {
+      if (cur->type != FileType::kDir) {
+        return Errc::kNotDir;
+      }
+      Inode* child = LookupCharged(cur, parent_path.parts[i]);
+      if (child == nullptr) {
+        return Errc::kNoEnt;
+      }
+      LockInode(child, role);
+      if (cur != base) {
+        UnlockInode(cur);
+        std::erase(held, cur);
+      }
+      held.push_back(child);
+      cur = child;
+    }
+    return cur;
+  };
+
+  auto ares = descend(aparent, LockPathRole::kRenameSrc);
+  if (!ares.ok()) {
+    return fail_all(ares.status().code());
+  }
+  Inode* adir = *ares;
+  if (adir->type != FileType::kDir) {
+    return fail_all(Errc::kNotDir);
+  }
+  auto bres = descend(bparent, LockPathRole::kRenameDst);
+  if (!bres.ok()) {
+    return fail_all(bres.status().code());
+  }
+  Inode* bdir = *bres;
+  if (bdir->type != FileType::kDir) {
+    return fail_all(Errc::kNotDir);
+  }
+  if (base != adir && base != bdir) {
+    UnlockInode(base);
+    std::erase(held, base);
+  }
+
+  Inode* anode = LookupCharged(adir, a.Base());
+  if (anode == nullptr) {
+    return fail_all(Errc::kNoEnt);
+  }
+  if (a == b) {
+    ObserveLp();
+    UnlockAll(held);
+    return finish(Status::Ok());
+  }
+  Inode* bnode = LookupCharged(bdir, b.Base());
+  if (bnode == nullptr) {
+    return fail_all(Errc::kNoEnt);
+  }
+  // The prechecks rule out any ancestor relation between the two nodes, so a
+  // fixed a-then-b order cannot deadlock: both are children of directories
+  // this thread already holds.
+  LockInode(anode, LockPathRole::kRenameSrc);
+  held.push_back(anode);
+  LockInode(bnode, LockPathRole::kRenameDst);
+  held.push_back(bnode);
+
+  opts_.executor->Work(2 * (opts_.costs.dir_remove_ns + opts_.costs.dir_insert_ns));
+  std::unique_ptr<Inode> owned_a = adir->dir.Remove(a.Base());
+  std::unique_ptr<Inode> owned_b = bdir->dir.Remove(b.Base());
+  ATOMFS_CHECK(owned_a != nullptr && owned_b != nullptr);
+  ATOMFS_CHECK(adir->dir.Insert(a.Base(), std::move(owned_b)));
+  ATOMFS_CHECK(bdir->dir.Insert(b.Base(), std::move(owned_a)));
+
+  // The exchange LP: like rename, the helper runs here first.
+  ObserveLp();
+  UnlockAll(held);
+  return finish(Status::Ok());
+}
+
+// --- read-side and data operations -------------------------------------------
+
+Result<Attr> AtomFs::Stat(const Path& path) {
+  ObserveBegin(OpCall::StatOf(path));
+  auto target = ResolveTargetLocked(path);
+  if (!target.ok()) {
+    OpResult r;
+    r.status = target.status();
+    ObserveEnd(r);
+    return target.status();
+  }
+  Inode* node = *target;
+  opts_.executor->Work(opts_.costs.stat_ns);
+  Attr attr;
+  attr.ino = node->ino;
+  attr.type = node->type;
+  attr.size = node->type == FileType::kDir ? node->dir.size() : node->data.size();
+  ObserveLp();
+  UnlockInode(node);
+  OpResult r;
+  r.attr = attr;
+  ObserveEnd(r);
+  return attr;
+}
+
+Result<std::vector<DirEntry>> AtomFs::ReadDir(const Path& path) {
+  ObserveBegin(OpCall::ReadDirOf(path));
+  auto target = ResolveTargetLocked(path);
+  if (!target.ok()) {
+    OpResult r;
+    r.status = target.status();
+    ObserveEnd(r);
+    return target.status();
+  }
+  Inode* node = *target;
+  if (node->type != FileType::kDir) {
+    ObserveLp();
+    UnlockInode(node);
+    OpResult r;
+    r.status = Status(Errc::kNotDir);
+    ObserveEnd(r);
+    return Errc::kNotDir;
+  }
+  std::vector<DirEntry> entries;
+  entries.reserve(node->dir.size());
+  node->dir.ForEach([&entries](const std::string& name, const Inode* child) {
+    entries.push_back(DirEntry{name, child->ino, child->type});
+  });
+  opts_.executor->Work(opts_.costs.readdir_entry_ns * (entries.size() + 1));
+  std::sort(entries.begin(), entries.end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  ObserveLp();
+  UnlockInode(node);
+  OpResult r;
+  r.entries = entries;
+  ObserveEnd(r);
+  return entries;
+}
+
+Result<size_t> AtomFs::Read(const Path& path, uint64_t offset, std::span<std::byte> out) {
+  ObserveBegin(OpCall::ReadOf(path, offset, out.size()));
+  auto target = ResolveTargetLocked(path);
+  if (!target.ok()) {
+    OpResult r;
+    r.status = target.status();
+    ObserveEnd(r);
+    return target.status();
+  }
+  Inode* node = *target;
+  if (node->type != FileType::kFile) {
+    ObserveLp();
+    UnlockInode(node);
+    OpResult r;
+    r.status = Status(Errc::kIsDir);
+    ObserveEnd(r);
+    return Errc::kIsDir;
+  }
+  const size_t n = node->data.Read(offset, out);
+  opts_.executor->Work(opts_.costs.block_copy_ns * (FileData::BlocksSpanned(offset, n) + 1));
+  ObserveLp();
+  UnlockInode(node);
+  OpResult r;
+  r.nbytes = n;
+  r.data.assign(out.begin(), out.begin() + static_cast<ptrdiff_t>(n));
+  ObserveEnd(r);
+  return n;
+}
+
+Result<size_t> AtomFs::Write(const Path& path, uint64_t offset,
+                             std::span<const std::byte> data) {
+  ObserveBegin(OpCall::WriteOf(path, offset, std::vector<std::byte>(data.begin(), data.end())));
+  auto target = ResolveTargetLocked(path);
+  if (!target.ok()) {
+    OpResult r;
+    r.status = target.status();
+    ObserveEnd(r);
+    return target.status();
+  }
+  Inode* node = *target;
+  if (node->type != FileType::kFile) {
+    ObserveLp();
+    UnlockInode(node);
+    OpResult r;
+    r.status = Status(Errc::kIsDir);
+    ObserveEnd(r);
+    return Errc::kIsDir;
+  }
+  auto written = node->data.Write(offset, data);
+  opts_.executor->Work(opts_.costs.block_copy_ns *
+                       (FileData::BlocksSpanned(offset, data.size()) + 1));
+  ObserveLp();
+  UnlockInode(node);
+  OpResult r;
+  r.status = written.status();
+  if (written.ok()) {
+    r.nbytes = *written;
+  }
+  ObserveEnd(r);
+  if (!written.ok()) {
+    return written.status();
+  }
+  return *written;
+}
+
+Status AtomFs::Truncate(const Path& path, uint64_t size) {
+  ObserveBegin(OpCall::TruncateOf(path, size));
+  auto finish = [this](Status st) {
+    OpResult r;
+    r.status = st;
+    ObserveEnd(r);
+    return st;
+  };
+  auto target = ResolveTargetLocked(path);
+  if (!target.ok()) {
+    return finish(target.status());
+  }
+  Inode* node = *target;
+  if (node->type != FileType::kFile) {
+    ObserveLp();
+    UnlockInode(node);
+    return finish(Status(Errc::kIsDir));
+  }
+  Status st = node->data.Truncate(size);
+  opts_.executor->Work(opts_.costs.block_copy_ns);
+  ObserveLp();
+  UnlockInode(node);
+  return finish(st);
+}
+
+// --- snapshots ----------------------------------------------------------------
+
+namespace {
+
+void SnapshotInto(const Inode* node, SpecFs& out) {
+  SpecInode spec;
+  spec.type = node->type;
+  if (node->type == FileType::kFile) {
+    spec.data = node->data.ToBytes();
+  } else {
+    node->dir.ForEach([&spec](const std::string& name, const Inode* child) {
+      spec.links.emplace(name, child->ino);
+    });
+  }
+  out.imap_mutable()[node->ino] = std::move(spec);
+  if (node->type == FileType::kDir) {
+    node->dir.ForEach([&out](const std::string&, const Inode* child) {
+      SnapshotInto(child, out);
+    });
+  }
+}
+
+}  // namespace
+
+SpecFs AtomFs::SnapshotSpec() const {
+  SpecFs out;
+  out.imap_mutable().clear();
+  SnapshotInto(root_.get(), out);
+  return out;
+}
+
+}  // namespace atomfs

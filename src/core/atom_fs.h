@@ -1,0 +1,164 @@
+// AtomFS: the paper's fine-grained concurrent in-memory file system.
+//
+// Concurrency control is *lock coupling* (hand-over-hand per-inode locking)
+// over the directory tree: a traversal always acquires the next inode's lock
+// before releasing the current one. This satisfies the paper's
+// non-bypassable criterion (§5.1): no operation can overtake another on the
+// same path, which is what makes every interface linearizable even though
+// rename gives other operations *external* linearization points.
+//
+// Linearization points (LPs):
+//   * mkdir/mknod ("ins")  - after the directory insert, before unlock.
+//   * rmdir/unlink ("del") - after the directory remove, before unlock.
+//   * stat/readdir/read/write/truncate - while the target inode is locked.
+//   * rename               - after re-linking, before unlock; this is where
+//     the CRL-H helper (linothers) logically linearizes every operation
+//     whose traversed path the rename broke, before the rename itself.
+//   * failing operations   - at the step where the failure is decided (e.g.
+//     the lookup miss), while the deciding lock is held.
+//
+// Every LP and every lock transition is reported through FsObserver so the
+// CRL-H runtime can maintain ghost state and check linearizability; with a
+// null observer AtomFS runs unmonitored at full speed.
+//
+// rename traverses to the last common inode of the two parent paths with
+// lock coupling and releases that inode's lock only after both parent
+// directories are locked (paper §5.2), which keeps LockPaths acyclic and
+// rename deadlock-free.
+
+#ifndef ATOMFS_SRC_CORE_ATOM_FS_H_
+#define ATOMFS_SRC_CORE_ATOM_FS_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/afs/spec_fs.h"
+#include "src/core/cost_model.h"
+#include "src/core/inode.h"
+#include "src/core/observer.h"
+#include "src/sim/executor.h"
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+class AtomFs : public FileSystem {
+ public:
+  struct Options {
+    Executor* executor = &Executor::Real();
+    FsObserver* observer = nullptr;
+    uint32_t dir_buckets = 64;
+    CostModel costs;
+
+    // VALIDATION ONLY: release the parent's lock before acquiring the
+    // child's during traversal. This deliberately breaks the non-bypassable
+    // criterion so tests can demonstrate that the CRL-H checkers flag the
+    // resulting non-linearizable executions (paper Figure 8). Deleted inodes
+    // are parked until destruction in this mode to keep the violation
+    // memory-safe.
+    bool unsafe_release_before_lock = false;
+
+    // Skip all per-inode locking and lock/LP observer events. Used by
+    // BigLockFs, which wraps the whole structure in one global lock; the
+    // inner tree then needs no fine-grained synchronization.
+    bool disable_inode_locks = false;
+
+    // Fault injection: when set and returning true, the next inode
+    // allocation fails and the creating operation returns ENOSPC after
+    // cleanly releasing its locks. Exercises failure paths that normal
+    // operation cannot reach. (The abstract specification has no allocation
+    // failures, so injection runs are validated structurally, not against
+    // the CRL-H refinement.)
+    std::function<bool()> inject_alloc_failure;
+  };
+
+  AtomFs();
+  explicit AtomFs(Options options);
+  ~AtomFs() override;
+
+  AtomFs(const AtomFs&) = delete;
+  AtomFs& operator=(const AtomFs&) = delete;
+
+  // FileSystem interface (see src/vfs/filesystem.h for semantics).
+  Status Mkdir(const Path& path) override;
+  Status Mknod(const Path& path) override;
+  Status Rmdir(const Path& path) override;
+  Status Unlink(const Path& path) override;
+  Status Rename(const Path& src, const Path& dst) override;
+  Status Exchange(const Path& a, const Path& b) override;
+  Result<Attr> Stat(const Path& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const Path& path) override;
+  Result<size_t> Read(const Path& path, uint64_t offset, std::span<std::byte> out) override;
+  Result<size_t> Write(const Path& path, uint64_t offset,
+                       std::span<const std::byte> data) override;
+  Status Truncate(const Path& path, uint64_t size) override;
+  using FileSystem::Mkdir;
+  using FileSystem::Mknod;
+  using FileSystem::Read;
+  using FileSystem::ReadDir;
+  using FileSystem::Exchange;
+  using FileSystem::Rename;
+  using FileSystem::Rmdir;
+  using FileSystem::Stat;
+  using FileSystem::Truncate;
+  using FileSystem::Unlink;
+  using FileSystem::Write;
+
+  // Deep snapshot of the whole tree as a SpecFs (concrete inums preserved).
+  // Only valid while no operation is in flight; used by the CRL-H
+  // abstract-concrete relation checker and by tests.
+  SpecFs SnapshotSpec() const;
+
+  // Live inodes (root included). Quiescent-only, like SnapshotSpec.
+  uint64_t InodeCount() const { return inode_count_.load(std::memory_order_relaxed); }
+
+ private:
+  // mkdir/mknod share one body; rmdir/unlink likewise (the paper's ins/del).
+  Status Insert(const Path& path, FileType type);
+  Status Delete(const Path& path, FileType type);
+
+  // Resolves `path` to its target inode with lock coupling and returns it
+  // locked. Shared by stat/readdir/read/write/truncate.
+  Result<Inode*> ResolveTargetLocked(const Path& path);
+
+  // Walks `parts[0..count)` from the root with lock coupling; returns the
+  // final inode locked. On ENOENT/ENOTDIR the failure LP is emitted and all
+  // locks are released before returning.
+  Result<Inode*> TraverseLocked(const std::vector<std::string>& parts, size_t count,
+                                LockPathRole role);
+
+  // Directory lookup with chain-length-proportional cost accounting.
+  Inode* LookupCharged(Inode* dir, const std::string& name);
+
+  void LockInode(Inode* node, LockPathRole role);
+  void UnlockInode(Inode* node);
+  void UnlockAll(const std::vector<Inode*>& nodes);
+
+  std::unique_ptr<Inode> NewInode(FileType type);
+  // Destroys a detached subtree iteratively (or parks it in unsafe mode).
+  void DisposeInode(std::unique_ptr<Inode> node);
+
+  void ObserveBegin(const OpCall& call);
+  void ObserveEnd(const OpResult& result);
+  // Emits the LP event. `created` carries the concrete inum allocated by a
+  // successful ins.
+  void ObserveLp(Inum created = kInvalidInum);
+
+  // Convenience: emits LP + end for an early-decided failing operation.
+  Status FailOp(Errc code);
+
+  Options opts_;
+  std::unique_ptr<Inode> root_;
+  std::atomic<Inum> next_inum_{kRootInum + 1};
+  std::atomic<uint64_t> inode_count_{1};
+
+  // unsafe_release_before_lock only: deleted inodes parked until shutdown.
+  std::mutex graveyard_mu_;
+  std::vector<std::unique_ptr<Inode>> graveyard_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CORE_ATOM_FS_H_

@@ -1,0 +1,111 @@
+#include "src/core/dir_table.h"
+
+#include "src/core/inode.h"
+#include "src/util/check.h"
+
+namespace atomfs {
+namespace {
+
+// FNV-1a over the name bytes.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+DirTable::DirTable(uint32_t buckets) : buckets_(buckets == 0 ? 1 : buckets, nullptr) {}
+
+DirTable::~DirTable() {
+  for (Entry* head : buckets_) {
+    while (head != nullptr) {
+      Entry* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
+}
+
+size_t DirTable::BucketOf(std::string_view name) const {
+  return HashName(name) % buckets_.size();
+}
+
+Inode* DirTable::Find(std::string_view name, size_t* probes) const {
+  size_t walked = 0;
+  for (Entry* e = buckets_[BucketOf(name)]; e != nullptr; e = e->next) {
+    ++walked;
+    if (e->name == name) {
+      if (probes != nullptr) {
+        *probes = walked;
+      }
+      return e->child.get();
+    }
+  }
+  if (probes != nullptr) {
+    *probes = walked;
+  }
+  return nullptr;
+}
+
+bool DirTable::Insert(std::string_view name, std::unique_ptr<Inode> child) {
+  const size_t b = BucketOf(name);
+  for (Entry* e = buckets_[b]; e != nullptr; e = e->next) {
+    if (e->name == name) {
+      return false;
+    }
+  }
+  auto* entry = new Entry;
+  entry->name = std::string(name);
+  entry->child = std::move(child);
+  entry->next = buckets_[b];
+  buckets_[b] = entry;
+  ++size_;
+  return true;
+}
+
+std::unique_ptr<Inode> DirTable::Remove(std::string_view name) {
+  const size_t b = BucketOf(name);
+  Entry** link = &buckets_[b];
+  while (*link != nullptr) {
+    Entry* e = *link;
+    if (e->name == name) {
+      std::unique_ptr<Inode> child = std::move(e->child);
+      *link = e->next;
+      delete e;
+      ATOMFS_CHECK(size_ > 0);
+      --size_;
+      return child;
+    }
+    link = &e->next;
+  }
+  return nullptr;
+}
+
+void DirTable::ForEach(const std::function<void(const std::string&, const Inode*)>& fn) const {
+  for (Entry* head : buckets_) {
+    for (Entry* e = head; e != nullptr; e = e->next) {
+      fn(e->name, e->child.get());
+    }
+  }
+}
+
+std::vector<std::unique_ptr<Inode>> DirTable::TakeAll() {
+  std::vector<std::unique_ptr<Inode>> out;
+  out.reserve(size_);
+  for (Entry*& head : buckets_) {
+    while (head != nullptr) {
+      Entry* next = head->next;
+      out.push_back(std::move(head->child));
+      delete head;
+      head = next;
+    }
+  }
+  size_ = 0;
+  return out;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,70 @@
+// DirTable: directory contents as a hash table of separately chained
+// buckets, matching the paper's prototype ("a hash table followed by linked
+// lists for directory lookups").
+//
+// A DirTable is always accessed under its owning inode's lock, so it needs
+// no internal synchronization. Entries own their child inodes: the
+// directory tree is the ownership tree, and rename moves ownership between
+// tables.
+
+#ifndef ATOMFS_SRC_CORE_DIR_TABLE_H_
+#define ATOMFS_SRC_CORE_DIR_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace atomfs {
+
+struct Inode;
+
+class DirTable {
+ public:
+  explicit DirTable(uint32_t buckets = 64);
+  ~DirTable();
+
+  DirTable(const DirTable&) = delete;
+  DirTable& operator=(const DirTable&) = delete;
+
+  // Returns the child inode or nullptr. The returned pointer stays valid
+  // while the owning directory's lock is held (or while the lock-coupling
+  // protocol otherwise pins the entry). If `probes` is non-null it receives
+  // the number of chain links inspected (for chain-length-aware cost
+  // accounting).
+  Inode* Find(std::string_view name, size_t* probes = nullptr) const;
+
+  // Inserts; returns false (and keeps ownership untouched) if `name` exists.
+  bool Insert(std::string_view name, std::unique_ptr<Inode> child);
+
+  // Removes and returns the child, or nullptr if absent.
+  std::unique_ptr<Inode> Remove(std::string_view name);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Calls fn(name, child) for every entry, in unspecified order.
+  void ForEach(const std::function<void(const std::string&, const Inode*)>& fn) const;
+
+  // Releases ownership of every entry (used when tearing down a whole tree
+  // iteratively to avoid deep recursive destructor chains).
+  std::vector<std::unique_ptr<Inode>> TakeAll();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Inode> child;
+    Entry* next = nullptr;
+  };
+
+  size_t BucketOf(std::string_view name) const;
+
+  std::vector<Entry*> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CORE_DIR_TABLE_H_

@@ -1,0 +1,95 @@
+#include "src/core/file_data.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace atomfs {
+
+uint64_t FileData::BlocksSpanned(uint64_t offset, uint64_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  const uint64_t first = offset / kBlockSize;
+  const uint64_t last = (offset + len - 1) / kBlockSize;
+  return last - first + 1;
+}
+
+void FileData::EnsureBlocks(uint64_t size) {
+  const uint64_t need = (size + kBlockSize - 1) / kBlockSize;
+  ATOMFS_CHECK(need <= kMaxFileBlocks);
+  while (blocks_.size() < need) {
+    auto block = std::make_unique<Block>();
+    block->fill(std::byte{0});
+    blocks_.push_back(std::move(block));
+  }
+}
+
+size_t FileData::Read(uint64_t offset, std::span<std::byte> out) const {
+  if (offset >= size_) {
+    return 0;
+  }
+  const size_t n = static_cast<size_t>(std::min<uint64_t>(out.size(), size_ - offset));
+  size_t copied = 0;
+  while (copied < n) {
+    const uint64_t pos = offset + copied;
+    const size_t block = static_cast<size_t>(pos / kBlockSize);
+    const size_t in_block = static_cast<size_t>(pos % kBlockSize);
+    const size_t chunk = std::min(n - copied, kBlockSize - in_block);
+    std::memcpy(out.data() + copied, blocks_[block]->data() + in_block, chunk);
+    copied += chunk;
+  }
+  return n;
+}
+
+Result<size_t> FileData::Write(uint64_t offset, std::span<const std::byte> data) {
+  const uint64_t end = offset + data.size();
+  if (end > kMaxFileSize) {
+    return Errc::kNoSpace;
+  }
+  if (end > size_) {
+    EnsureBlocks(end);
+    size_ = end;
+  }
+  size_t copied = 0;
+  while (copied < data.size()) {
+    const uint64_t pos = offset + copied;
+    const size_t block = static_cast<size_t>(pos / kBlockSize);
+    const size_t in_block = static_cast<size_t>(pos % kBlockSize);
+    const size_t chunk = std::min(data.size() - copied, kBlockSize - in_block);
+    std::memcpy(blocks_[block]->data() + in_block, data.data() + copied, chunk);
+    copied += chunk;
+  }
+  return data.size();
+}
+
+Status FileData::Truncate(uint64_t size) {
+  if (size > kMaxFileSize) {
+    return Status(Errc::kNoSpace);
+  }
+  if (size < size_) {
+    const uint64_t keep = (size + kBlockSize - 1) / kBlockSize;
+    blocks_.resize(keep);
+    // Zero the tail of the last kept block so a later grow re-exposes zeros.
+    if (size % kBlockSize != 0 && !blocks_.empty()) {
+      auto& last = *blocks_.back();
+      std::fill(last.begin() + static_cast<ptrdiff_t>(size % kBlockSize), last.end(),
+                std::byte{0});
+    }
+  } else if (size > size_) {
+    EnsureBlocks(size);
+  }
+  size_ = size;
+  return Status::Ok();
+}
+
+std::vector<std::byte> FileData::ToBytes() const {
+  std::vector<std::byte> out(size_);
+  if (size_ != 0) {
+    Read(0, std::span<std::byte>(out));
+  }
+  return out;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,62 @@
+// FileData: file contents as 4 KiB blocks addressed through an index array,
+// following the paper's prototype ("a fixed-size array of indexes for file
+// data storage"). The index array grows on demand but is capped at
+// kMaxFileBlocks, which bounds a file at kMaxFileSize; writes beyond that
+// fail with ENOSPC, in lockstep with the abstract specification.
+//
+// FileData is always accessed under the owning inode's lock.
+
+#ifndef ATOMFS_SRC_CORE_FILE_DATA_H_
+#define ATOMFS_SRC_CORE_FILE_DATA_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/vfs/limits.h"
+
+namespace atomfs {
+
+class FileData {
+ public:
+  FileData() = default;
+
+  FileData(const FileData&) = delete;
+  FileData& operator=(const FileData&) = delete;
+
+  uint64_t size() const { return size_; }
+
+  // Number of blocks the read/write will touch; used for cost accounting.
+  static uint64_t BlocksSpanned(uint64_t offset, uint64_t len);
+
+  // Reads up to out.size() bytes at `offset`; returns bytes read (short at
+  // EOF, 0 past EOF).
+  size_t Read(uint64_t offset, std::span<std::byte> out) const;
+
+  // Writes, zero-filling any hole below `offset`. kNoSpace if the write
+  // would exceed kMaxFileSize.
+  Result<size_t> Write(uint64_t offset, std::span<const std::byte> data);
+
+  // Grows (zero-filled) or shrinks to `size`.
+  Status Truncate(uint64_t size);
+
+  // Copies the whole contents out (snapshots for checkers).
+  std::vector<std::byte> ToBytes() const;
+
+ private:
+  using Block = std::array<std::byte, kBlockSize>;
+
+  // Ensures blocks_[i] exists for every block overlapping [0, size).
+  void EnsureBlocks(uint64_t size);
+
+  std::vector<std::unique_ptr<Block>> blocks_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CORE_FILE_DATA_H_

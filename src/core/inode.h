@@ -1,0 +1,32 @@
+// The concrete in-memory inode. Each inode carries its own lock (the paper's
+// per-inode, fine-grained locking); `ino` and `type` are immutable after
+// creation and may be read without the lock, everything else requires it.
+
+#ifndef ATOMFS_SRC_CORE_INODE_H_
+#define ATOMFS_SRC_CORE_INODE_H_
+
+#include <memory>
+
+#include "src/core/dir_table.h"
+#include "src/core/file_data.h"
+#include "src/sim/executor.h"
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+struct Inode {
+  Inode(Inum ino_arg, FileType type_arg, std::unique_ptr<Lockable> lock_arg,
+        uint32_t dir_buckets)
+      : ino(ino_arg), type(type_arg), lock(std::move(lock_arg)), dir(dir_buckets) {}
+
+  const Inum ino;
+  const FileType type;
+  const std::unique_ptr<Lockable> lock;
+
+  DirTable dir;    // valid when type == kDir
+  FileData data;   // valid when type == kFile
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CORE_INODE_H_

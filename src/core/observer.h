@@ -1,0 +1,103 @@
+// Observation interface between the concrete file systems and the CRL-H
+// runtime (src/crlh).
+//
+// The paper introduces ghost state whose updates are grouped with concrete
+// program steps into atomic blocks. We realize that by having AtomFS emit an
+// event at each ghost-relevant step *while still holding the locks that make
+// the step atomic*; the CRL-H monitor serializes event handling with one
+// ghost mutex, so each (concrete step, ghost update) pair is atomic with
+// respect to every other ghost-relevant step. Observers must not call back
+// into the file system.
+
+#ifndef ATOMFS_SRC_CORE_OBSERVER_H_
+#define ATOMFS_SRC_CORE_OBSERVER_H_
+
+#include "src/afs/op.h"
+#include "src/util/tid.h"
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+// Which ghost LockPath a lock acquisition extends. A rename holds a pair of
+// LockPaths (SrcPath, DestPath), per the paper's §5.2; every other operation
+// has a single LockPath.
+enum class LockPathRole : uint8_t {
+  kSingle,        // the only LockPath of a non-rename operation
+  kRenameCommon,  // shared prefix up to the last common inode (extends both)
+  kRenameSrc,     // source-branch lock (extends SrcPath)
+  kRenameDst,     // destination-branch lock (extends DestPath)
+};
+
+class FsObserver {
+ public:
+  virtual ~FsObserver() = default;
+
+  // An operation was invoked with the given arguments.
+  virtual void OnOpBegin(Tid tid, const OpCall& call) {
+    (void)tid;
+    (void)call;
+  }
+
+  // The operation returned with `result`.
+  virtual void OnOpEnd(Tid tid, const OpResult& result) {
+    (void)tid;
+    (void)result;
+  }
+
+  // The calling thread just acquired / released the lock of inode `ino`.
+  virtual void OnLockAcquired(Tid tid, Inum ino, LockPathRole role) {
+    (void)tid;
+    (void)ino;
+    (void)role;
+  }
+  virtual void OnLockReleased(Tid tid, Inum ino) {
+    (void)tid;
+    (void)ino;
+  }
+
+  // The operation reached its linearization point: its concrete effect (if
+  // any) has just been applied and is still protected by the held locks.
+  // `created_ino` carries the concrete inode number allocated by a
+  // successful mkdir/mknod, or kInvalidInum. For a rename this is where the
+  // CRL-H helper (`linothers`) runs.
+  virtual void OnLp(Tid tid, Inum created_ino) {
+    (void)tid;
+    (void)created_ino;
+  }
+};
+
+// Fans an event stream out to several observers (e.g. the CRL-H monitor plus
+// a test gate that pauses threads at chosen points).
+class TeeObserver : public FsObserver {
+ public:
+  TeeObserver(FsObserver* first, FsObserver* second) : first_(first), second_(second) {}
+
+  void OnOpBegin(Tid tid, const OpCall& call) override {
+    first_->OnOpBegin(tid, call);
+    second_->OnOpBegin(tid, call);
+  }
+  void OnOpEnd(Tid tid, const OpResult& result) override {
+    first_->OnOpEnd(tid, result);
+    second_->OnOpEnd(tid, result);
+  }
+  void OnLockAcquired(Tid tid, Inum ino, LockPathRole role) override {
+    first_->OnLockAcquired(tid, ino, role);
+    second_->OnLockAcquired(tid, ino, role);
+  }
+  void OnLockReleased(Tid tid, Inum ino) override {
+    first_->OnLockReleased(tid, ino);
+    second_->OnLockReleased(tid, ino);
+  }
+  void OnLp(Tid tid, Inum created_ino) override {
+    first_->OnLp(tid, created_ino);
+    second_->OnLp(tid, created_ino);
+  }
+
+ private:
+  FsObserver* first_;
+  FsObserver* second_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CORE_OBSERVER_H_

@@ -1,0 +1,55 @@
+// Effects and the roll-back mechanism (paper §4.4, §5.3).
+//
+// When a helper executes a thread's abstract operation ahead of its concrete
+// execution, the abstract state runs ahead of the concrete state. To state
+// the abstract-concrete relation, CRL-H records the *effect* of each helped
+// Aop and establishes consistency by rolling those effects back on the
+// abstract state ("first roll back the effects applied last").
+//
+// The paper records effects as micro-operations (OPins, OPcreate, ...) at
+// inode granularity. We record them as per-inode before/after pairs computed
+// by diffing the abstract state across the Aop — the same information at the
+// same granularity, but obtained mechanically from the specification itself,
+// so the effect log can never drift from the spec's semantics.
+
+#ifndef ATOMFS_SRC_CRLH_EFFECTS_H_
+#define ATOMFS_SRC_CRLH_EFFECTS_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/afs/op.h"
+#include "src/afs/spec_fs.h"
+
+namespace atomfs {
+
+// One modified abstract inode: absent `before` means the Aop created it,
+// absent `after` means the Aop freed it.
+struct InodeEffect {
+  Inum ino = kInvalidInum;
+  std::optional<SpecInode> before;
+  std::optional<SpecInode> after;
+};
+
+// Runs `call` on `spec` (mutating it) and records the per-inode effects. If
+// `forced_ino` is valid and the operation creates an inode, the new inode is
+// given that number (so the ghost abstract state can mirror concrete inode
+// numbers, or use a ghost placeholder for helped creations).
+OpResult ApplyWithEffects(SpecFs& spec, const OpCall& call, Inum forced_ino,
+                          std::vector<InodeEffect>* effects);
+
+// Undoes `effects` on `spec` (restores every `before`). Callers roll back
+// helped operations in reverse Helplist order.
+void RollbackEffects(SpecFs& spec, const std::vector<InodeEffect>& effects);
+
+// Renames inode `from` to `to` throughout `spec` (the imap key and every
+// link referring to it). Used when a helped creation's ghost placeholder
+// becomes a concrete inum.
+void RemapInum(SpecFs& spec, Inum from, Inum to);
+
+// Same remapping applied to a recorded effect list.
+void RemapInum(std::vector<InodeEffect>& effects, Inum from, Inum to);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CRLH_EFFECTS_H_

@@ -1,0 +1,79 @@
+#include "src/crlh/gate.h"
+
+namespace atomfs {
+
+void GateObserver::Arm(Tid tid, Point point, Inum ino) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Gate& g = gates_[tid];
+  g.point = point;
+  g.ino = ino;
+  g.armed = true;
+  g.parked = false;
+  g.open = false;
+}
+
+void GateObserver::WaitParked(Tid tid) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    auto it = gates_.find(tid);
+    return it != gates_.end() && it->second.parked;
+  });
+}
+
+void GateObserver::Open(Tid tid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Gate& g = gates_[tid];
+  g.open = true;
+  cv_.notify_all();
+}
+
+bool GateObserver::IsParked(Tid tid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gates_.find(tid);
+  return it != gates_.end() && it->second.parked;
+}
+
+void GateObserver::MaybePark(Tid tid, Point point, Inum ino) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = gates_.find(tid);
+  if (it == gates_.end()) {
+    return;
+  }
+  Gate& g = it->second;
+  if (!g.armed || g.point != point) {
+    return;
+  }
+  if (point == Point::kLockAcquired || point == Point::kLockReleased) {
+    if (g.ino != kInvalidInum && g.ino != ino) {
+      return;
+    }
+  }
+  g.armed = false;  // one-shot
+  g.parked = true;
+  cv_.notify_all();
+  cv_.wait(lk, [&g] { return g.open; });
+  g.parked = false;
+  g.open = false;
+  cv_.notify_all();
+}
+
+void GateObserver::OnOpBegin(Tid tid, const OpCall& call) {
+  (void)call;
+  MaybePark(tid, Point::kOpBegin, kInvalidInum);
+}
+
+void GateObserver::OnLockAcquired(Tid tid, Inum ino, LockPathRole role) {
+  (void)role;
+  MaybePark(tid, Point::kLockAcquired, ino);
+}
+
+void GateObserver::OnLockReleased(Tid tid, Inum ino) {
+  MaybePark(tid, Point::kLockReleased, ino);
+}
+
+void GateObserver::OnLp(Tid tid, Inum created_ino) {
+  (void)created_ino;
+  MaybePark(tid, Point::kLp, kInvalidInum);
+}
+
+}  // namespace atomfs

@@ -1,0 +1,71 @@
+// GateObserver: deterministic schedule control for scenario tests.
+//
+// Reproducing the paper's figures (1, 4(a-c), 8, 9) requires forcing
+// specific interleavings: "mkdir has traversed through /a and halts, then
+// rename runs to completion, then mkdir resumes". A GateObserver is placed
+// after the CrlhMonitor in a TeeObserver chain; the test arms one-shot gates
+// ("park thread T when it acquires inode I") and opens them when the rest of
+// the schedule has played out. Parked threads keep holding their inode locks
+// — exactly the states the paper's interleavings are built from.
+//
+// Only for use with RealExecutor threads (parking a SimExecutor thread
+// inside a callback would stall the cooperative scheduler).
+
+#ifndef ATOMFS_SRC_CRLH_GATE_H_
+#define ATOMFS_SRC_CRLH_GATE_H_
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "src/core/observer.h"
+
+namespace atomfs {
+
+class GateObserver : public FsObserver {
+ public:
+  enum class Point : uint8_t {
+    kLockAcquired,
+    kLockReleased,
+    kLp,
+    kOpBegin,
+  };
+
+  // Arms a one-shot gate: the next matching event parks the calling thread
+  // until Open(tid). For kLp / kOpBegin, `ino` is ignored.
+  void Arm(Tid tid, Point point, Inum ino = kInvalidInum);
+
+  // Blocks the caller until `tid` is parked at its gate.
+  void WaitParked(Tid tid);
+
+  // Releases a parked (or future) gate for `tid`.
+  void Open(Tid tid);
+
+  // True if `tid` is currently parked.
+  bool IsParked(Tid tid) const;
+
+  // FsObserver.
+  void OnOpBegin(Tid tid, const OpCall& call) override;
+  void OnLockAcquired(Tid tid, Inum ino, LockPathRole role) override;
+  void OnLockReleased(Tid tid, Inum ino) override;
+  void OnLp(Tid tid, Inum created_ino) override;
+
+ private:
+  struct Gate {
+    Point point = Point::kLp;
+    Inum ino = kInvalidInum;
+    bool armed = false;
+    bool parked = false;
+    bool open = false;
+  };
+
+  void MaybePark(Tid tid, Point point, Inum ino);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Tid, Gate> gates_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CRLH_GATE_H_

@@ -1,0 +1,133 @@
+#include "src/crlh/lin_check.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace atomfs {
+
+std::vector<HistoryOp> HistoryFromRecords(
+    const std::vector<CrlhMonitor::CompletedRecord>& records) {
+  std::vector<HistoryOp> ops;
+  ops.reserve(records.size());
+  for (const auto& rec : records) {
+    HistoryOp op;
+    op.tid = rec.tid;
+    op.call = rec.call;
+    op.result = rec.concrete;
+    op.invoke_seq = rec.begin_seq;
+    op.response_seq = rec.end_seq;
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::optional<size_t> ReplayOrder(const std::vector<HistoryOp>& ops,
+                                  const std::vector<size_t>& order) {
+  SpecFs spec;
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    const HistoryOp& op = ops[order[pos]];
+    OpResult expected = RunOp(spec, op.call);
+    if (!ResultsEquivalent(op.call.kind, op.result, expected)) {
+      return pos;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<size_t> OrderBy(const std::vector<HistoryOp>& ops,
+                            const std::vector<uint64_t>& keys) {
+  ATOMFS_CHECK(ops.size() == keys.size());
+  std::vector<size_t> order(ops.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&keys](size_t a, size_t b) { return keys[a] < keys[b]; });
+  return order;
+}
+
+namespace {
+
+struct SearchState {
+  const std::vector<HistoryOp>* ops = nullptr;
+  uint64_t max_states = 0;
+  uint64_t states = 0;
+  bool aborted = false;
+  std::unordered_set<uint64_t> visited;  // hash of (mask, spec hash)
+  std::vector<size_t> chosen;
+};
+
+uint64_t MixKey(uint64_t mask, uint64_t spec_hash) {
+  uint64_t h = mask * 0x9e3779b97f4a7c15ULL;
+  h ^= spec_hash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+// DFS: pick any minimal op (no unchosen op responded before its invoke),
+// replay, recurse. Memoize on (chosen mask, abstract state hash) — two
+// different legal prefixes reaching the same completed-set and tree never
+// need exploring twice.
+bool Search(SearchState& st, SpecFs& spec, uint64_t mask) {
+  const auto& ops = *st.ops;
+  const size_t n = ops.size();
+  if (st.chosen.size() == n) {
+    return true;
+  }
+  if (++st.states > st.max_states) {
+    st.aborted = true;
+    return false;
+  }
+  if (!st.visited.insert(MixKey(mask, spec.Hash())).second) {
+    return false;
+  }
+  // Earliest unfinished response bounds which ops may linearize next.
+  uint64_t min_response = UINT64_MAX;
+  for (size_t i = 0; i < n; ++i) {
+    if ((mask & (1ULL << i)) == 0) {
+      min_response = std::min(min_response, ops[i].response_seq);
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if ((mask & (1ULL << i)) != 0) {
+      continue;
+    }
+    if (ops[i].invoke_seq > min_response) {
+      continue;  // some unchosen op responded before this one was invoked
+    }
+    SpecFs next = spec;
+    OpResult expected = RunOp(next, ops[i].call);
+    if (!ResultsEquivalent(ops[i].call.kind, ops[i].result, expected)) {
+      continue;
+    }
+    st.chosen.push_back(i);
+    if (Search(st, next, mask | (1ULL << i))) {
+      return true;
+    }
+    if (st.aborted) {
+      return false;
+    }
+    st.chosen.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+LinCheckResult CheckLinearizable(const std::vector<HistoryOp>& ops, uint64_t max_states) {
+  ATOMFS_CHECK(ops.size() <= 64);
+  SearchState st;
+  st.ops = &ops;
+  st.max_states = max_states;
+  SpecFs spec;
+  LinCheckResult result;
+  result.linearizable = Search(st, spec, 0);
+  result.aborted = st.aborted;
+  result.states_explored = st.states;
+  if (result.linearizable) {
+    result.witness = st.chosen;
+  }
+  return result;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,71 @@
+// Offline linearizability checking.
+//
+// Two independent ways to validate a recorded concurrent history against the
+// abstract specification:
+//
+//   * ReplayOrder: replays a *given* total order (e.g. the helper-derived
+//     order maintained by CrlhMonitor, or the fixed-LP order) on a fresh
+//     SpecFs and reports the first operation whose recorded concrete result
+//     diverges. This is how the paper's Figure 1 is demonstrated: the
+//     fixed-LP order of a rename/mkdir interleaving replays illegally while
+//     the helper order replays legally.
+//
+//   * CheckLinearizable: a Wing&Gong-style exhaustive search for *any*
+//     linearization consistent with the history's real-time order. Used as
+//     ground truth on small histories — in particular to confirm that the
+//     helper mechanism's verdicts (both accepts and rejects) are correct,
+//     and to validate RetryFs, whose LPs the helper framework does not
+//     model.
+
+#ifndef ATOMFS_SRC_CRLH_LIN_CHECK_H_
+#define ATOMFS_SRC_CRLH_LIN_CHECK_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/afs/op.h"
+#include "src/crlh/monitor.h"
+#include "src/util/tid.h"
+
+namespace atomfs {
+
+// One completed operation of a concurrent history. Real-time order: A
+// precedes B iff A.response_seq < B.invoke_seq.
+struct HistoryOp {
+  Tid tid = 0;
+  OpCall call;
+  OpResult result;  // observed concrete result
+  uint64_t invoke_seq = 0;
+  uint64_t response_seq = 0;
+};
+
+// Builds a history from a monitor's completed records.
+std::vector<HistoryOp> HistoryFromRecords(
+    const std::vector<CrlhMonitor::CompletedRecord>& records);
+
+// Replays ops in `order` (indices into `ops`) on a fresh SpecFs; returns the
+// index (position in `order`) of the first result mismatch, or nullopt if
+// the whole sequential history is legal.
+std::optional<size_t> ReplayOrder(const std::vector<HistoryOp>& ops,
+                                  const std::vector<size_t>& order);
+
+// Convenience orders.
+std::vector<size_t> OrderBy(const std::vector<HistoryOp>& ops,
+                            const std::vector<uint64_t>& keys);
+
+struct LinCheckResult {
+  bool linearizable = false;
+  bool aborted = false;  // state budget exhausted before a verdict
+  std::vector<size_t> witness;  // a legal order when linearizable
+  uint64_t states_explored = 0;
+};
+
+// Wing&Gong search (with memoization on (completed-set, state-hash)).
+// History size is limited to 64 operations.
+LinCheckResult CheckLinearizable(const std::vector<HistoryOp>& ops,
+                                 uint64_t max_states = 2000000);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CRLH_LIN_CHECK_H_

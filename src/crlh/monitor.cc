@@ -1,0 +1,489 @@
+#include "src/crlh/monitor.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace atomfs {
+namespace {
+
+// Scratch inum range for the ghost SpecFs's internal allocator; every
+// creation is immediately remapped to either the concrete inum (unhelped
+// ops) or a ghost placeholder (helped ops), so scratch numbers never
+// survive, but they must not collide with either range in the interim.
+constexpr Inum kScratchInumBase = 1ULL << 61;
+
+}  // namespace
+
+CrlhMonitor::CrlhMonitor() : CrlhMonitor(Options{}) {}
+
+CrlhMonitor::CrlhMonitor(Options options) : opts_(options) {
+  aspec_.SetNextInum(kScratchInumBase);
+}
+
+void CrlhMonitor::Violation(std::string message) {
+  violations_.push_back(std::move(message));
+}
+
+bool CrlhMonitor::ok() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return violations_.empty();
+}
+
+std::vector<std::string> CrlhMonitor::violations() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return violations_;
+}
+
+uint64_t CrlhMonitor::help_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return help_events_;
+}
+
+uint64_t CrlhMonitor::helped_ops() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return helped_ops_;
+}
+
+std::vector<CrlhMonitor::CompletedRecord> CrlhMonitor::Completed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return completed_;
+}
+
+std::vector<Tid> CrlhMonitor::Helplist() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return helplist_;
+}
+
+std::optional<Descriptor> CrlhMonitor::GetDescriptor(Tid tid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pool_.find(tid);
+  if (it == pool_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+SpecFs CrlhMonitor::AbstractState() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return aspec_;
+}
+
+// --- events -----------------------------------------------------------------
+
+void CrlhMonitor::OnOpBegin(Tid tid, const OpCall& call) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++seq_;
+  if (pool_.count(tid) != 0) {
+    Violation("thread " + std::to_string(tid) + " began an op while one is in flight");
+    return;
+  }
+  Descriptor d;
+  d.call = call;
+  d.begin_seq = seq_;
+  pool_.emplace(tid, std::move(d));
+}
+
+void CrlhMonitor::OnLockAcquired(Tid tid, Inum ino, LockPathRole role) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++seq_;
+  auto it = pool_.find(tid);
+  if (it == pool_.end()) {
+    Violation("lock acquired by thread " + std::to_string(tid) + " with no op in flight");
+    return;
+  }
+  Descriptor& d = it->second;
+  switch (role) {
+    case LockPathRole::kSingle:
+      d.path.inos.push_back(ino);
+      break;
+    case LockPathRole::kRenameCommon:
+      d.src_path.inos.push_back(ino);
+      d.dst_path.inos.push_back(ino);
+      break;
+    case LockPathRole::kRenameSrc:
+      d.src_path.inos.push_back(ino);
+      break;
+    case LockPathRole::kRenameDst:
+      d.dst_path.inos.push_back(ino);
+      break;
+  }
+  d.held.push_back(ino);
+
+  if (!opts_.check_invariants) {
+    return;
+  }
+
+  // Future-lockpath-validness for this thread: a helped operation must
+  // acquire exactly the locks predicted when it was helped.
+  if (d.state == AopState::kHelped && d.fut_tracked) {
+    if (d.fut_lock_path.empty() || d.fut_lock_path.front() != ino) {
+      std::ostringstream os;
+      os << "Future-lockpath-validness violated: thread " << tid << " locked " << ino
+         << " but FutLockPath predicts "
+         << (d.fut_lock_path.empty() ? std::string("<none>")
+                                     : std::to_string(d.fut_lock_path.front()));
+      Violation(os.str());
+    } else {
+      d.fut_lock_path.pop_front();
+    }
+  }
+
+  // Non-bypassable invariants: nobody may lock an inode that a (different)
+  // helped operation is still predicted to lock — that would mean the helped
+  // op is being bypassed and could compute a result inconsistent with its
+  // already-published abstract outcome.
+  for (const auto& [otid, od] : pool_) {
+    if (otid == tid || od.state != AopState::kHelped || !od.fut_tracked) {
+      continue;
+    }
+    if (std::find(od.fut_lock_path.begin(), od.fut_lock_path.end(), ino) ==
+        od.fut_lock_path.end()) {
+      continue;
+    }
+    if (d.state == AopState::kPending) {
+      std::ostringstream os;
+      os << "Unhelped-non-bypassable violated: unhelped thread " << tid << " locked inode "
+         << ino << " in FutLockPath of helped thread " << otid;
+      Violation(os.str());
+    } else if (d.state == AopState::kHelped) {
+      const auto self_pos = std::find(helplist_.begin(), helplist_.end(), tid);
+      const auto other_pos = std::find(helplist_.begin(), helplist_.end(), otid);
+      if (self_pos > other_pos) {
+        std::ostringstream os;
+        os << "Helped-non-bypassable violated: thread " << tid
+           << " (helped later) locked inode " << ino << " in FutLockPath of thread " << otid;
+        Violation(os.str());
+      }
+    }
+  }
+}
+
+void CrlhMonitor::OnLockReleased(Tid tid, Inum ino) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++seq_;
+  auto it = pool_.find(tid);
+  if (it == pool_.end()) {
+    Violation("lock released by thread " + std::to_string(tid) + " with no op in flight");
+    return;
+  }
+  Descriptor& d = it->second;
+  auto held_it = std::find(d.held.begin(), d.held.end(), ino);
+  if (held_it == d.held.end()) {
+    Violation("thread " + std::to_string(tid) + " released inode " + std::to_string(ino) +
+              " it does not hold");
+  } else {
+    d.held.erase(held_it);
+  }
+  if (opts_.check_invariants && !d.lp_passed) {
+    // Last-locked-lockpath: before its LP, a thread never releases the last
+    // inode of a LockPath (lock coupling acquires the next lock first).
+    for (const LockPath* lp : d.LockPaths()) {
+      if (!lp->inos.empty() && lp->inos.back() == ino) {
+        std::ostringstream os;
+        os << "Last-locked-lockpath violated: thread " << tid
+           << " released the tip of its LockPath " << lp->ToString() << " before its LP";
+        Violation(os.str());
+      }
+    }
+  }
+}
+
+void CrlhMonitor::ApplyAopLocked(Tid tid, Descriptor& d, Inum forced_ino, bool record_effects) {
+  ++seq_;
+  d.abs_result = ApplyWithEffects(aspec_, d.call, forced_ino,
+                                  record_effects ? &d.effects : nullptr);
+  d.has_abs_result = true;
+  (void)tid;
+  CheckGoodAfsLocked("after Aop");
+}
+
+void CrlhMonitor::CheckGoodAfsLocked(const char* where) {
+  if (opts_.check_invariants && !aspec_.WellFormed()) {
+    Violation(std::string("GoodAFS violated ") + where);
+  }
+}
+
+void CrlhMonitor::ComputeFutLockPathLocked(Descriptor& d) {
+  d.fut_lock_path.clear();
+  d.fut_tracked = false;
+  if (IsHelperOp(d.call.kind)) {
+    // A helped rename/exchange holds a pair of partially-built LockPaths;
+    // predicting its remaining acquisitions is possible but not needed for
+    // the invariants we enforce, so it is left untracked.
+    return;
+  }
+  // The full lock sequence of a successful single-path operation: the root,
+  // every parent component, and (except for ins, which creates its target)
+  // the target inode itself.
+  const Path& p = d.call.a;
+  const bool is_ins = d.call.kind == OpKind::kMkdir || d.call.kind == OpKind::kMknod;
+  std::vector<Inum> full;
+  full.push_back(kRootInum);
+  Inum cur = kRootInum;
+  const size_t parent_comps = p.IsRoot() ? 0 : p.parts.size() - 1;
+  bool resolved = true;
+  for (size_t i = 0; i < parent_comps; ++i) {
+    const SpecInode* node = aspec_.Find(cur);
+    if (node == nullptr || node->type != FileType::kDir) {
+      resolved = false;
+      break;
+    }
+    auto link = node->links.find(p.parts[i]);
+    if (link == node->links.end()) {
+      resolved = false;
+      break;
+    }
+    cur = link->second;
+    full.push_back(cur);
+  }
+  if (resolved && !is_ins && !p.IsRoot()) {
+    const SpecInode* node = aspec_.Find(cur);
+    if (node != nullptr && node->type == FileType::kDir) {
+      auto link = node->links.find(p.Base());
+      if (link != node->links.end()) {
+        full.push_back(link->second);
+      }
+    }
+  }
+  // Sanity: the already-acquired prefix must agree with the abstract path.
+  const size_t have = d.path.inos.size();
+  for (size_t i = 0; i < std::min(have, full.size()); ++i) {
+    if (d.path.inos[i] != full[i]) {
+      std::ostringstream os;
+      os << "helped thread's LockPath " << d.path.ToString()
+         << " diverges from the abstract path at position " << i;
+      Violation(os.str());
+      return;
+    }
+  }
+  for (size_t i = have; i < full.size(); ++i) {
+    d.fut_lock_path.push_back(full[i]);
+  }
+  d.fut_tracked = true;
+}
+
+void CrlhMonitor::HelpThreadLocked(Tid helper, Tid target) {
+  Descriptor& td = pool_.at(target);
+  ATOMFS_CHECK(td.state == AopState::kPending);
+  Inum forced = kInvalidInum;
+  if (td.call.kind == OpKind::kMkdir || td.call.kind == OpKind::kMknod) {
+    td.placeholder = ghost_next_++;
+    forced = td.placeholder;
+  }
+  // Predict the locks the thread will still acquire from the state *before*
+  // its own Aop runs: a helped del locks its target and then removes it, so
+  // the post-Aop tree no longer contains the inode it is about to lock.
+  ComputeFutLockPathLocked(td);
+  ApplyAopLocked(target, td, forced, /*record_effects=*/true);
+  td.state = AopState::kHelped;
+  td.helper = helper;
+  helplist_.push_back(target);
+  ++helped_ops_;
+}
+
+void CrlhMonitor::RemapPlaceholderLocked(Inum from, Inum to) {
+  RemapInum(aspec_, from, to);
+  for (auto& [tid, d] : pool_) {
+    RemapInum(d.effects, from, to);
+    for (Inum& ino : d.fut_lock_path) {
+      if (ino == from) {
+        ino = to;
+      }
+    }
+  }
+}
+
+void CrlhMonitor::OnLp(Tid tid, Inum created_ino) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++seq_;
+  auto it = pool_.find(tid);
+  if (it == pool_.end()) {
+    Violation("LP from thread " + std::to_string(tid) + " with no op in flight");
+    return;
+  }
+  Descriptor& d = it->second;
+  if (d.lp_passed) {
+    Violation("thread " + std::to_string(tid) + " passed two LPs in one op");
+    return;
+  }
+  d.lp_passed = true;
+  d.lp_seq = seq_;
+
+  if (d.state == AopState::kHelped) {
+    // (end, ret): the abstract op already ran; the concrete effect has just
+    // been published, so the pending effect is discharged.
+    if (d.placeholder != kInvalidInum && created_ino != kInvalidInum) {
+      RemapPlaceholderLocked(d.placeholder, created_ino);
+      d.placeholder = kInvalidInum;
+    }
+    if (opts_.check_invariants && d.fut_tracked && !d.fut_lock_path.empty()) {
+      std::ostringstream os;
+      os << "Future-lockpath-validness violated: thread " << tid
+         << " reached its LP with unacquired predicted locks";
+      Violation(os.str());
+    }
+    auto pos = std::find(helplist_.begin(), helplist_.end(), tid);
+    if (pos == helplist_.end()) {
+      Violation("Helplist-consistency violated: helped thread " + std::to_string(tid) +
+                " missing from Helplist");
+    } else {
+      helplist_.erase(pos);
+    }
+    d.effects.clear();
+    d.state = AopState::kDone;  // abs_seq keeps the help-time position
+    return;
+  }
+
+  if (opts_.check_invariants && std::count(helplist_.begin(), helplist_.end(), tid) != 0) {
+    Violation("Helplist-consistency violated: pending thread " + std::to_string(tid) +
+              " present in Helplist");
+  }
+
+  if (IsHelperOp(d.call.kind) && !opts_.fixed_lp_mode) {
+    // linothers: find the helping set and order, linearize each helped
+    // thread's Aop, then the rename's own (paper Fig. 5).
+    auto order = ComputeHelpOrder(tid, pool_);
+    if (!order.has_value()) {
+      Violation("Lockpath-wellformed violated: linearize-before relation is cyclic at "
+                "rename LP of thread " +
+                std::to_string(tid));
+    } else {
+      if (!order->empty()) {
+        ++help_events_;
+      }
+      for (Tid target : *order) {
+        HelpThreadLocked(tid, target);
+        pool_.at(target).abs_seq = seq_;
+      }
+    }
+  }
+  ApplyAopLocked(tid, d, created_ino, /*record_effects=*/false);
+  d.abs_seq = seq_;
+  d.state = AopState::kDone;
+}
+
+void CrlhMonitor::OnOpEnd(Tid tid, const OpResult& result) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++seq_;
+  auto it = pool_.find(tid);
+  if (it == pool_.end()) {
+    Violation("op end from thread " + std::to_string(tid) + " with no op in flight");
+    return;
+  }
+  Descriptor& d = it->second;
+  if (!d.lp_passed || !d.has_abs_result) {
+    Violation("op " + d.call.ToString() + " of thread " + std::to_string(tid) +
+              " returned without linearizing");
+  } else if (!ResultsEquivalent(d.call.kind, result, d.abs_result)) {
+    std::ostringstream os;
+    os << "REFINEMENT violated: " << d.call.ToString() << " of thread " << tid
+       << " returned " << result.ToString(d.call.kind) << " but its abstract operation "
+       << (d.helper != 0 ? "(helped) " : "") << "returned "
+       << d.abs_result.ToString(d.call.kind);
+    Violation(os.str());
+  }
+  if (opts_.check_invariants && !d.held.empty()) {
+    Violation("thread " + std::to_string(tid) + " finished an op still holding locks");
+  }
+  if (opts_.record_history) {
+    CompletedRecord rec;
+    rec.tid = tid;
+    rec.call = d.call;
+    rec.concrete = result;
+    rec.abstract = d.abs_result;
+    rec.begin_seq = d.begin_seq;
+    rec.lp_seq = d.lp_seq;
+    rec.abs_seq = d.abs_seq;
+    rec.end_seq = seq_;
+    rec.helped = d.helper != 0;
+    rec.helper = d.helper;
+    completed_.push_back(std::move(rec));
+  }
+  pool_.erase(it);
+}
+
+// --- state checks -------------------------------------------------------------
+
+bool CrlhMonitor::CheckQuiescent(const SpecFs& concrete_snapshot) {
+  std::lock_guard<std::mutex> lk(mu_);
+  bool good = true;
+  if (!pool_.empty()) {
+    Violation("CheckQuiescent called with operations in flight");
+    good = false;
+  }
+  if (!helplist_.empty()) {
+    Violation("Helplist-consistency violated: non-empty Helplist at quiescence");
+    good = false;
+  }
+  if (!StructurallyEqual(aspec_, concrete_snapshot)) {
+    Violation("Abstract-concrete-relation violated: trees differ at quiescence");
+    good = false;
+  }
+  return good;
+}
+
+namespace {
+
+// Relaxed consistency mapping (§4.4): compare two trees structurally, but a
+// concretely-locked inode's content is exempt (it may be mid-modification).
+bool RelaxedEqualAt(const SpecFs& rolled, Inum a, const SpecFs& concrete, Inum b,
+                    const std::set<Inum>& locked) {
+  const SpecInode* na = rolled.Find(a);
+  const SpecInode* nb = concrete.Find(b);
+  if (na == nullptr || nb == nullptr) {
+    return na == nb;
+  }
+  if (na->type != nb->type) {
+    return false;
+  }
+  if (locked.count(b) != 0) {
+    return true;  // content of a locked inode is unconstrained
+  }
+  if (na->type == FileType::kFile) {
+    return na->data == nb->data;
+  }
+  if (na->links.size() != nb->links.size()) {
+    return false;
+  }
+  auto ia = na->links.begin();
+  auto ib = nb->links.begin();
+  for (; ia != na->links.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) {
+      return false;
+    }
+    if (!RelaxedEqualAt(rolled, ia->second, concrete, ib->second, locked)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool CrlhMonitor::CheckAbstractConcreteRelation(const SpecFs& concrete_snapshot) {
+  std::lock_guard<std::mutex> lk(mu_);
+  SpecFs rolled = aspec_;
+  for (auto it = helplist_.rbegin(); it != helplist_.rend(); ++it) {
+    auto pit = pool_.find(*it);
+    if (pit == pool_.end()) {
+      Violation("Helplist-consistency violated: Helplist names a finished thread");
+      return false;
+    }
+    RollbackEffects(rolled, pit->second.effects);
+  }
+  std::set<Inum> locked;
+  for (const auto& [tid, d] : pool_) {
+    locked.insert(d.held.begin(), d.held.end());
+  }
+  if (!RelaxedEqualAt(rolled, kRootInum, concrete_snapshot, kRootInum, locked)) {
+    Violation("Abstract-concrete-relation violated: roll-back of helped effects does not "
+              "match the concrete tree");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace atomfs

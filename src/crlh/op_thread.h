@@ -1,0 +1,53 @@
+// OpThread: launch an operation on its own thread and learn its Tid before
+// the operation starts, so GateObserver gates can be armed for it. Used by
+// scenario tests and the linearizability demos.
+
+#ifndef ATOMFS_SRC_CRLH_OP_THREAD_H_
+#define ATOMFS_SRC_CRLH_OP_THREAD_H_
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "src/util/tid.h"
+
+namespace atomfs {
+
+class OpThread {
+ public:
+  // The body starts executing only after Go() is called.
+  explicit OpThread(std::function<void()> body) {
+    std::promise<Tid> tid_promise;
+    auto tid_future = tid_promise.get_future();
+    go_future_ = go_.get_future();
+    thread_ = std::thread([this, body = std::move(body), &tid_promise] {
+      tid_promise.set_value(CurrentTid());
+      go_future_.wait();
+      body();
+    });
+    tid_ = tid_future.get();
+  }
+
+  ~OpThread() { Join(); }
+
+  Tid tid() const { return tid_; }
+
+  void Go() { go_.set_value(); }
+
+  void Join() {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+  }
+
+ private:
+  std::thread thread_;
+  Tid tid_ = 0;
+  std::promise<void> go_;
+  std::shared_future<void> go_future_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CRLH_OP_THREAD_H_

@@ -1,0 +1,82 @@
+// Guarantee-condition checking (paper §4.2 and §8).
+//
+// CRL-H specifies a shared-data protocol through rely/guarantee conditions.
+// The paper's §8 reports that AtomFS's guarantee merges into exactly three
+// transition kinds:
+//
+//   Lock(t, ino)      - t acquires ino's lock
+//   Unlock(t, ino)    - t releases it
+//   Lockedtrans(t)    - t arbitrarily modifies inodes it currently locks
+//
+// (A thread's rely is then the union of every other thread's guarantee.)
+//
+// GuaranteeChecker makes this protocol executable: at every observer event
+// it snapshots the concrete tree, diffs it against the previous snapshot,
+// and demands that every change be a Lockedtrans — each created, freed, or
+// modified inode must be covered by a lock (the inode's own lock or its
+// parent's) held per the ghost state. In `strict_attribution` mode the lock
+// must be held by the *acting* thread: valid when thread switches only
+// happen at evented points, i.e. under the schedule explorer's
+// single-core, no-yield-on-work simulator.
+//
+// Snapshotting the whole tree per event is O(tree), so this checker is for
+// small programs (scenario tests, exploration), not production monitoring.
+
+#ifndef ATOMFS_SRC_CRLH_RG_CHECK_H_
+#define ATOMFS_SRC_CRLH_RG_CHECK_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/afs/spec_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/core/observer.h"
+
+namespace atomfs {
+
+class GuaranteeChecker : public FsObserver {
+ public:
+  struct Options {
+    // Require the covering lock to be held by the thread that made the
+    // change (see header). Off: any thread's lock suffices (Lockedtrans by
+    // *somebody*), which is sound under arbitrary schedules.
+    bool strict_attribution = false;
+  };
+
+  GuaranteeChecker(const AtomFs* fs, Options options);
+  explicit GuaranteeChecker(const AtomFs* fs) : GuaranteeChecker(fs, Options{}) {}
+
+  void OnOpBegin(Tid tid, const OpCall& call) override;
+  void OnOpEnd(Tid tid, const OpResult& result) override;
+  void OnLockAcquired(Tid tid, Inum ino, LockPathRole role) override;
+  void OnLockReleased(Tid tid, Inum ino) override;
+  void OnLp(Tid tid, Inum created_ino) override;
+
+  bool ok() const;
+  std::vector<std::string> violations() const;
+  uint64_t transitions_checked() const;
+
+ private:
+  // Diffs the current tree against prev_ and attributes the changes to
+  // `actor`. `pre_event` distinguishes checks made before the ghost updates
+  // of the triggering event (locks recorded at the event itself are applied
+  // after the diff for acquire, before for release).
+  void CheckTransition(Tid actor);
+  bool Covered(Inum ino, Tid actor, const SpecFs& before, const SpecFs& after) const;
+  void Violation(std::string message);
+
+  const AtomFs* fs_;
+  Options opts_;
+  mutable std::mutex mu_;
+  SpecFs prev_;
+  std::map<Tid, std::set<Inum>> held_;
+  std::vector<std::string> violations_;
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CRLH_RG_CHECK_H_

@@ -1,0 +1,176 @@
+#include "src/retryfs/handle_vfs.h"
+
+#include "src/util/check.h"
+
+namespace atomfs {
+
+HandleVfs::HandleVfs(RetryFs* fs) : fs_(fs) { ATOMFS_CHECK(fs != nullptr); }
+
+Result<Fd> HandleVfs::Open(std::string_view raw, uint32_t flags) {
+  auto parsed = ParsePath(raw);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const Path& path = *parsed;
+
+  auto handle = fs_->OpenHandle(path);
+  if (!handle.ok()) {
+    if (handle.status().code() != Errc::kNoEnt || (flags & OpenFlags::kCreate) == 0) {
+      return handle.status();
+    }
+    Status created = fs_->Mknod(path);
+    if (!created.ok() && !(created.code() == Errc::kExist && (flags & OpenFlags::kExcl) == 0)) {
+      return created;
+    }
+    handle = fs_->OpenHandle(path);
+    if (!handle.ok()) {
+      return handle.status();
+    }
+  } else if ((flags & OpenFlags::kCreate) != 0 && (flags & OpenFlags::kExcl) != 0) {
+    return Errc::kExist;
+  }
+
+  auto attr = fs_->HandleStat(*handle);
+  if (!attr.ok()) {
+    return attr.status();
+  }
+  if (attr->type == FileType::kDir && (flags & OpenFlags::kWrite) != 0) {
+    return Errc::kIsDir;
+  }
+  if (attr->type == FileType::kFile && (flags & OpenFlags::kTrunc) != 0) {
+    Status st = fs_->HandleTruncate(*handle, 0);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  const Fd fd = next_fd_++;
+  FdEntry entry;
+  entry.handle = std::move(*handle);
+  entry.flags = flags;
+  table_.emplace(fd, std::move(entry));
+  return fd;
+}
+
+Status HandleVfs::Close(Fd fd) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Erasing drops the handle's reference; the last reference frees an
+  // unlinked inode.
+  return table_.erase(fd) != 0 ? Status::Ok() : Status(Errc::kBadFd);
+}
+
+size_t HandleVfs::OpenCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return table_.size();
+}
+
+Result<HandleVfs::FdEntry> HandleVfs::Lookup(Fd fd) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(fd);
+  if (it == table_.end()) {
+    return Errc::kBadFd;
+  }
+  return it->second;
+}
+
+Result<size_t> HandleVfs::Read(Fd fd, std::span<std::byte> out) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  auto n = fs_->HandleRead(entry->handle, entry->cursor, out);
+  if (n.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = table_.find(fd);
+    if (it != table_.end()) {
+      it->second.cursor = entry->cursor + *n;
+    }
+  }
+  return n;
+}
+
+Result<size_t> HandleVfs::Write(Fd fd, std::span<const std::byte> data) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  if ((entry->flags & OpenFlags::kWrite) == 0) {
+    return Errc::kAccess;
+  }
+  uint64_t offset = entry->cursor;
+  if ((entry->flags & OpenFlags::kAppend) != 0) {
+    auto attr = fs_->HandleStat(entry->handle);
+    if (!attr.ok()) {
+      return attr.status();
+    }
+    offset = attr->size;
+  }
+  auto n = fs_->HandleWrite(entry->handle, offset, data);
+  if (n.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = table_.find(fd);
+    if (it != table_.end()) {
+      it->second.cursor = offset + *n;
+    }
+  }
+  return n;
+}
+
+Result<size_t> HandleVfs::Pread(Fd fd, uint64_t offset, std::span<std::byte> out) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return fs_->HandleRead(entry->handle, offset, out);
+}
+
+Result<size_t> HandleVfs::Pwrite(Fd fd, uint64_t offset, std::span<const std::byte> data) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  if ((entry->flags & OpenFlags::kWrite) == 0) {
+    return Errc::kAccess;
+  }
+  return fs_->HandleWrite(entry->handle, offset, data);
+}
+
+Result<Attr> HandleVfs::Fstat(Fd fd) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return fs_->HandleStat(entry->handle);
+}
+
+Result<std::vector<DirEntry>> HandleVfs::ReadDirFd(Fd fd) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return fs_->HandleReadDir(entry->handle);
+}
+
+Status HandleVfs::Ftruncate(Fd fd, uint64_t size) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  if ((entry->flags & OpenFlags::kWrite) == 0) {
+    return Status(Errc::kAccess);
+  }
+  return fs_->HandleTruncate(entry->handle, size);
+}
+
+Result<uint64_t> HandleVfs::Seek(Fd fd, uint64_t offset) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(fd);
+  if (it == table_.end()) {
+    return Errc::kBadFd;
+  }
+  it->second.cursor = offset;
+  return offset;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,27 @@
+// ATOMFS_CHECK: unconditional invariant assertion. File-system invariants are
+// cheap relative to I/O, so checks stay on in release builds; a failed check
+// is a bug in this library, never a user error.
+
+#ifndef ATOMFS_SRC_UTIL_CHECK_H_
+#define ATOMFS_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace atomfs {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ATOMFS_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace atomfs
+
+#define ATOMFS_CHECK(expr)                                 \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::atomfs::CheckFailed(#expr, __FILE__, __LINE__);    \
+    }                                                      \
+  } while (0)
+
+#endif  // ATOMFS_SRC_UTIL_CHECK_H_

@@ -1,0 +1,27 @@
+#include "src/util/stats.h"
+
+#include <cstdio>
+
+namespace atomfs {
+
+std::string FormatSeconds(double secs) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", secs);
+  return buf;
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) {
+    return s;
+  }
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) {
+    return s;
+  }
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace atomfs

@@ -1,0 +1,110 @@
+// Measurement helpers shared by the benchmark harnesses: wall-clock timer,
+// streaming summary statistics, and a log-scaled latency histogram.
+
+#ifndef ATOMFS_SRC_UTIL_STATS_H_
+#define ATOMFS_SRC_UTIL_STATS_H_
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atomfs {
+
+// Wall-clock stopwatch with nanosecond reads.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count());
+  }
+
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Streaming mean / min / max / stddev (Welford).
+class Summary {
+ public:
+  void Add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double stddev() const { return n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+// Power-of-two bucketed histogram for latencies in nanoseconds.
+class LatencyHistogram {
+ public:
+  void Add(uint64_t nanos) {
+    ++count_;
+    total_ += nanos;
+    int bucket = nanos == 0 ? 0 : 64 - __builtin_clzll(nanos);
+    bucket = std::min(bucket, static_cast<int>(buckets_.size()) - 1);
+    ++buckets_[static_cast<size_t>(bucket)];
+  }
+
+  uint64_t count() const { return count_; }
+  double MeanNanos() const {
+    return count_ ? static_cast<double>(total_) / static_cast<double>(count_) : 0.0;
+  }
+
+  // Approximate percentile (upper bound of the bucket containing it).
+  uint64_t PercentileNanos(double p) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    const uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen > target) {
+        return i == 0 ? 1 : (1ULL << i);
+      }
+    }
+    return 1ULL << (buckets_.size() - 1);
+  }
+
+ private:
+  std::array<uint64_t, 48> buckets_ = {};
+  uint64_t count_ = 0;
+  uint64_t total_ = 0;
+};
+
+// Pretty time for tables: "12.34" seconds with fixed width.
+std::string FormatSeconds(double secs);
+
+// Right-pad / left-pad helpers for the paper-style ASCII tables the bench
+// binaries print.
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_UTIL_STATS_H_

@@ -1,0 +1,37 @@
+#include "src/util/status.h"
+
+namespace atomfs {
+
+std::string_view ErrcName(Errc e) {
+  switch (e) {
+    case Errc::kOk:
+      return "OK";
+    case Errc::kExist:
+      return "EEXIST";
+    case Errc::kNoEnt:
+      return "ENOENT";
+    case Errc::kNotDir:
+      return "ENOTDIR";
+    case Errc::kIsDir:
+      return "EISDIR";
+    case Errc::kNotEmpty:
+      return "ENOTEMPTY";
+    case Errc::kInval:
+      return "EINVAL";
+    case Errc::kBadFd:
+      return "EBADF";
+    case Errc::kNameTooLong:
+      return "ENAMETOOLONG";
+    case Errc::kNoSpace:
+      return "ENOSPC";
+    case Errc::kBusy:
+      return "EBUSY";
+    case Errc::kAccess:
+      return "EACCES";
+    case Errc::kXDev:
+      return "EXDEV";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace atomfs

@@ -1,0 +1,94 @@
+// Status and Result<T>: the error model used across the AtomFS code base.
+//
+// File system operations report POSIX-shaped error conditions. We model them
+// with a small value type instead of errno so that the abstract specification
+// (src/afs) and every concrete file system return comparable results, which
+// the CRL-H refinement checkers rely on.
+
+#ifndef ATOMFS_SRC_UTIL_STATUS_H_
+#define ATOMFS_SRC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace atomfs {
+
+// POSIX-shaped error codes. Values are stable; they participate in history
+// hashing inside the linearizability checkers.
+enum class Errc : uint8_t {
+  kOk = 0,
+  kExist,        // EEXIST: target already exists
+  kNoEnt,        // ENOENT: path component missing
+  kNotDir,       // ENOTDIR: non-directory used as a directory
+  kIsDir,        // EISDIR: directory used where a file is required
+  kNotEmpty,     // ENOTEMPTY: rmdir of a non-empty directory
+  kInval,        // EINVAL: malformed argument (e.g. rename dir under itself)
+  kBadFd,        // EBADF: unknown or closed file descriptor
+  kNameTooLong,  // ENAMETOOLONG
+  kNoSpace,      // ENOSPC: file grew past the fixed block index array
+  kBusy,         // EBUSY: operating on the root inode or a mount point
+  kAccess,       // EACCES (reserved; AtomFS has no permissions)
+  kXDev,         // EXDEV (reserved; single mount)
+};
+
+std::string_view ErrcName(Errc e);
+
+// A cheap, trivially copyable status. Functions that can fail but return no
+// payload return Status; payload-carrying ones return Result<T>.
+class Status {
+ public:
+  constexpr Status() = default;
+  constexpr explicit Status(Errc code) : code_(code) {}
+
+  static constexpr Status Ok() { return Status(); }
+
+  constexpr bool ok() const { return code_ == Errc::kOk; }
+  constexpr Errc code() const { return code_; }
+
+  friend constexpr bool operator==(Status a, Status b) { return a.code_ == b.code_; }
+  friend constexpr bool operator!=(Status a, Status b) { return a.code_ != b.code_; }
+
+ private:
+  Errc code_ = Errc::kOk;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Status s) { return os << ErrcName(s.code()); }
+
+// Minimal expected-like carrier. We deliberately keep it tiny: no exceptions,
+// no monadic sugar, just `ok()`, `value()` and `status()`. Dereferencing a
+// failed Result is a programming error and aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errc code) : rep_(Status(code)) {}    // NOLINT(google-explicit-constructor)
+  Result(Status st) : rep_(st) {}              // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_UTIL_STATUS_H_

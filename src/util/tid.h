@@ -1,0 +1,26 @@
+// Logical thread identifiers.
+//
+// The CRL-H ghost state (thread pool, LockPaths, Helplist) is keyed by
+// thread. We assign small dense ids on first use per host thread; the ids
+// are process-lifetime and work for both real threads and SimExecutor
+// threads (each simulated thread is hosted by its own std::thread).
+
+#ifndef ATOMFS_SRC_UTIL_TID_H_
+#define ATOMFS_SRC_UTIL_TID_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace atomfs {
+
+using Tid = uint32_t;
+
+inline Tid CurrentTid() {
+  static std::atomic<Tid> next{1};
+  thread_local Tid tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_UTIL_TID_H_

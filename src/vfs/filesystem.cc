@@ -1,0 +1,81 @@
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+Status WriteString(FileSystem& fs, std::string_view path, std::string_view contents) {
+  auto parsed = ParsePath(path);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  Status st = fs.Mknod(*parsed);
+  if (!st.ok() && st.code() != Errc::kExist) {
+    return st;
+  }
+  if (st.code() == Errc::kExist) {
+    // Overwrite semantics: truncate first so leftover bytes do not survive.
+    Status t = fs.Truncate(*parsed, 0);
+    if (!t.ok()) {
+      return t;
+    }
+  }
+  auto bytes = std::as_bytes(std::span<const char>(contents.data(), contents.size()));
+  auto written = fs.Write(*parsed, 0, bytes);
+  if (!written.ok()) {
+    return written.status();
+  }
+  return written.value() == contents.size() ? Status::Ok() : Status(Errc::kNoSpace);
+}
+
+Result<std::string> ReadString(FileSystem& fs, std::string_view path) {
+  auto attr = fs.Stat(path);
+  if (!attr.ok()) {
+    return attr.status();
+  }
+  if (attr->type != FileType::kFile) {
+    return Errc::kIsDir;
+  }
+  std::string out(attr->size, '\0');
+  auto got = fs.Read(path, 0, std::as_writable_bytes(std::span<char>(out.data(), out.size())));
+  if (!got.ok()) {
+    return got.status();
+  }
+  out.resize(*got);
+  return out;
+}
+
+Status MkdirAll(FileSystem& fs, const Path& path) {
+  Path prefix;
+  for (const auto& part : path.parts) {
+    prefix.parts.push_back(part);
+    Status st = fs.Mkdir(prefix);
+    if (!st.ok() && st.code() != Errc::kExist) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status RemoveAll(FileSystem& fs, const Path& path) {
+  auto attr = fs.Stat(path);
+  if (!attr.ok()) {
+    return attr.status();
+  }
+  if (attr->type == FileType::kFile) {
+    return fs.Unlink(path);
+  }
+  auto entries = fs.ReadDir(path);
+  if (!entries.ok()) {
+    return entries.status();
+  }
+  for (const auto& e : *entries) {
+    Path child = path;
+    child.parts.push_back(e.name);
+    Status st = RemoveAll(fs, child);
+    if (!st.ok() && st.code() != Errc::kNoEnt) {
+      return st;
+    }
+  }
+  return fs.Rmdir(path);
+}
+
+}  // namespace atomfs

@@ -1,0 +1,170 @@
+// The public file-system interface implemented by AtomFS and its baselines.
+//
+// All operations are path-based, mirroring the paper's AtomFS prototype
+// (§5.4: even FD-based calls resolve a full path; the Vfs layer maintains the
+// FD -> path mapping). Each virtual method is required to be *linearizable*:
+// it must appear to take effect atomically between invocation and return.
+// That contract is exactly what the CRL-H runtime (src/crlh) checks.
+
+#ifndef ATOMFS_SRC_VFS_FILESYSTEM_H_
+#define ATOMFS_SRC_VFS_FILESYSTEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/vfs/path.h"
+
+namespace atomfs {
+
+// Inode numbers. The root is always inode 1.
+using Inum = uint64_t;
+inline constexpr Inum kRootInum = 1;
+inline constexpr Inum kInvalidInum = 0;
+
+enum class FileType : uint8_t {
+  kFile,
+  kDir,
+};
+
+// stat() payload.
+struct Attr {
+  Inum ino = kInvalidInum;
+  FileType type = FileType::kFile;
+  uint64_t size = 0;  // bytes for files, entry count for directories
+
+  friend bool operator==(const Attr& a, const Attr& b) {
+    return a.ino == b.ino && a.type == b.type && a.size == b.size;
+  }
+};
+
+// readdir() payload entry.
+struct DirEntry {
+  std::string name;
+  Inum ino = kInvalidInum;
+  FileType type = FileType::kFile;
+
+  friend bool operator==(const DirEntry& a, const DirEntry& b) {
+    return a.name == b.name && a.ino == b.ino && a.type == b.type;
+  }
+};
+
+// Abstract file system. Thread safety: every method may be called
+// concurrently from any number of threads.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // Directory-tree operations (the paper's six POSIX interfaces; mknod/mkdir
+  // are the paper's `ins`, unlink/rmdir its `del`).
+  virtual Status Mkdir(const Path& path) = 0;
+  virtual Status Mknod(const Path& path) = 0;
+  virtual Status Rmdir(const Path& path) = 0;
+  virtual Status Unlink(const Path& path) = 0;
+  virtual Status Rename(const Path& src, const Path& dst) = 0;
+  // Atomically swaps the two entries (RENAME_EXCHANGE-style). Both paths
+  // must exist; neither may be an ancestor of the other. An *extension*
+  // beyond the paper's six interfaces: exchange breaks the path integrity of
+  // two subtrees at once, which exercises the generality of the CRL-H helper
+  // mechanism (the paper's Sec. 3.2 anticipates such interfaces).
+  virtual Status Exchange(const Path& a, const Path& b) = 0;
+  virtual Result<Attr> Stat(const Path& path) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(const Path& path) = 0;
+
+  // File data operations. Read returns the bytes actually read (short reads
+  // at EOF); Write extends the file as needed and returns bytes written.
+  virtual Result<size_t> Read(const Path& path, uint64_t offset, std::span<std::byte> out) = 0;
+  virtual Result<size_t> Write(const Path& path, uint64_t offset,
+                               std::span<const std::byte> data) = 0;
+  virtual Status Truncate(const Path& path, uint64_t size) = 0;
+
+  // String-path conveniences: parse then dispatch. Parse errors surface as
+  // the operation's status.
+  Status Mkdir(std::string_view p) { return WithPath(p, [&](const Path& q) { return Mkdir(q); }); }
+  Status Mknod(std::string_view p) { return WithPath(p, [&](const Path& q) { return Mknod(q); }); }
+  Status Rmdir(std::string_view p) { return WithPath(p, [&](const Path& q) { return Rmdir(q); }); }
+  Status Unlink(std::string_view p) {
+    return WithPath(p, [&](const Path& q) { return Unlink(q); });
+  }
+  Status Rename(std::string_view src, std::string_view dst) {
+    auto s = ParsePath(src);
+    if (!s.ok()) {
+      return s.status();
+    }
+    auto d = ParsePath(dst);
+    if (!d.ok()) {
+      return d.status();
+    }
+    return Rename(*s, *d);
+  }
+  Status Exchange(std::string_view a, std::string_view b) {
+    auto pa = ParsePath(a);
+    if (!pa.ok()) {
+      return pa.status();
+    }
+    auto pb = ParsePath(b);
+    if (!pb.ok()) {
+      return pb.status();
+    }
+    return Exchange(*pa, *pb);
+  }
+  Result<Attr> Stat(std::string_view p) {
+    auto q = ParsePath(p);
+    if (!q.ok()) {
+      return q.status();
+    }
+    return Stat(*q);
+  }
+  Result<std::vector<DirEntry>> ReadDir(std::string_view p) {
+    auto q = ParsePath(p);
+    if (!q.ok()) {
+      return q.status();
+    }
+    return ReadDir(*q);
+  }
+  Result<size_t> Read(std::string_view p, uint64_t off, std::span<std::byte> out) {
+    auto q = ParsePath(p);
+    if (!q.ok()) {
+      return q.status();
+    }
+    return Read(*q, off, out);
+  }
+  Result<size_t> Write(std::string_view p, uint64_t off, std::span<const std::byte> data) {
+    auto q = ParsePath(p);
+    if (!q.ok()) {
+      return q.status();
+    }
+    return Write(*q, off, data);
+  }
+  Status Truncate(std::string_view p, uint64_t size) {
+    return WithPath(p, [&](const Path& q) { return Truncate(q, size); });
+  }
+
+ private:
+  template <typename Fn>
+  Status WithPath(std::string_view raw, Fn&& fn) {
+    auto p = ParsePath(raw);
+    if (!p.ok()) {
+      return p.status();
+    }
+    return fn(*p);
+  }
+};
+
+// Convenience helpers used by tests, examples and workloads.
+Status WriteString(FileSystem& fs, std::string_view path, std::string_view contents);
+Result<std::string> ReadString(FileSystem& fs, std::string_view path);
+
+// Recursively creates all directories along `path` (like `mkdir -p`).
+Status MkdirAll(FileSystem& fs, const Path& path);
+
+// Recursively removes `path` and everything under it.
+Status RemoveAll(FileSystem& fs, const Path& path);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_VFS_FILESYSTEM_H_

@@ -1,0 +1,24 @@
+// Capacity limits shared by the abstract specification and every concrete
+// file system. They are part of the interface contract: the spec and the
+// implementations must agree on when ENOSPC fires, otherwise refinement
+// checking would flag a spurious divergence.
+
+#ifndef ATOMFS_SRC_VFS_LIMITS_H_
+#define ATOMFS_SRC_VFS_LIMITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace atomfs {
+
+// File data is stored in fixed-size blocks addressed through a fixed-size
+// index array, as in the paper's prototype ("a fixed-size array of indexes
+// for file data storage").
+inline constexpr size_t kBlockSize = 4096;
+inline constexpr size_t kMaxFileBlocks = 16384;
+inline constexpr uint64_t kMaxFileSize =
+    static_cast<uint64_t>(kBlockSize) * static_cast<uint64_t>(kMaxFileBlocks);  // 64 MiB
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_VFS_LIMITS_H_

@@ -1,0 +1,84 @@
+#include "src/vfs/path.h"
+
+#include "src/util/check.h"
+
+namespace atomfs {
+
+Path Path::Dir() const {
+  ATOMFS_CHECK(!IsRoot());
+  Path d;
+  d.parts.assign(parts.begin(), parts.end() - 1);
+  return d;
+}
+
+bool Path::IsPrefixOf(const Path& other) const {
+  if (parts.size() > other.parts.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] != other.parts[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Path::ToString() const {
+  if (IsRoot()) {
+    return "/";
+  }
+  std::string s;
+  for (const auto& p : parts) {
+    s.push_back('/');
+    s.append(p);
+  }
+  return s;
+}
+
+Result<Path> ParsePath(std::string_view raw) {
+  if (raw.empty() || raw.front() != '/') {
+    return Errc::kInval;
+  }
+  if (raw.size() > kMaxPathLen) {
+    return Errc::kNameTooLong;
+  }
+  Path path;
+  size_t i = 1;
+  while (i <= raw.size()) {
+    size_t j = raw.find('/', i);
+    if (j == std::string_view::npos) {
+      j = raw.size();
+    }
+    std::string_view comp = raw.substr(i, j - i);
+    i = j + 1;
+    if (comp.empty() || comp == ".") {
+      continue;
+    }
+    if (comp == "..") {
+      // Lexical parent; ".." at the root stays at the root, as in POSIX
+      // pathname resolution.
+      if (!path.parts.empty()) {
+        path.parts.pop_back();
+      }
+      continue;
+    }
+    if (comp.size() > kMaxNameLen) {
+      return Errc::kNameTooLong;
+    }
+    path.parts.emplace_back(comp);
+  }
+  return path;
+}
+
+Status ValidateName(std::string_view name) {
+  if (name.empty() || name == "." || name == ".." ||
+      name.find('/') != std::string_view::npos) {
+    return Status(Errc::kInval);
+  }
+  if (name.size() > kMaxNameLen) {
+    return Status(Errc::kNameTooLong);
+  }
+  return Status::Ok();
+}
+
+}  // namespace atomfs

@@ -1,0 +1,57 @@
+// Path parsing and normalization.
+//
+// AtomFS is a path-based file system: every interface receives an absolute
+// path. This module turns the string into the component list the
+// lock-coupling traversal walks, with POSIX-style lexical handling of ".",
+// ".." and repeated slashes. It has no notion of symlinks (AtomFS does not
+// support them), so lexical ".." resolution is exact.
+
+#ifndef ATOMFS_SRC_VFS_PATH_H_
+#define ATOMFS_SRC_VFS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace atomfs {
+
+// Longest accepted file name and path, mirroring common POSIX limits.
+inline constexpr size_t kMaxNameLen = 255;
+inline constexpr size_t kMaxPathLen = 4096;
+
+// A parsed absolute path: the component list from the root. Empty components
+// means the root itself.
+struct Path {
+  std::vector<std::string> parts;
+
+  bool IsRoot() const { return parts.empty(); }
+
+  // Last component; requires !IsRoot().
+  const std::string& Base() const { return parts.back(); }
+
+  // All but the last component; requires !IsRoot().
+  Path Dir() const;
+
+  // True if `this` is a (non-strict) prefix of `other`, i.e. `other` names an
+  // inode inside the subtree rooted at `this`. Used by rename legality checks
+  // and by the CRL-H SrcPrefix / LockPathPrefix relations.
+  bool IsPrefixOf(const Path& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Path& a, const Path& b) { return a.parts == b.parts; }
+};
+
+// Parses an absolute path. Errors:
+//   kInval        - empty string or not starting with '/' or ".." escaping root
+//   kNameTooLong  - a component longer than kMaxNameLen or path > kMaxPathLen
+Result<Path> ParsePath(std::string_view raw);
+
+// Validates a single file name (no '/', not empty, not "." or "..").
+Status ValidateName(std::string_view name);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_VFS_PATH_H_

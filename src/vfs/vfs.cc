@@ -1,0 +1,171 @@
+#include "src/vfs/vfs.h"
+
+#include "src/util/check.h"
+
+namespace atomfs {
+
+Vfs::Vfs(FileSystem* fs) : fs_(fs) { ATOMFS_CHECK(fs != nullptr); }
+
+Result<Fd> Vfs::Open(std::string_view raw, uint32_t flags) {
+  auto parsed = ParsePath(raw);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  const Path& path = *parsed;
+
+  auto attr = fs_->Stat(path);
+  bool is_dir = false;
+  if (attr.ok()) {
+    if ((flags & OpenFlags::kCreate) != 0 && (flags & OpenFlags::kExcl) != 0) {
+      return Errc::kExist;
+    }
+    is_dir = attr->type == FileType::kDir;
+    if (is_dir && (flags & OpenFlags::kWrite) != 0) {
+      return Errc::kIsDir;
+    }
+    if (!is_dir && (flags & OpenFlags::kTrunc) != 0) {
+      Status st = fs_->Truncate(path, 0);
+      if (!st.ok()) {
+        return st;
+      }
+    }
+  } else if (attr.status().code() == Errc::kNoEnt && (flags & OpenFlags::kCreate) != 0) {
+    Status st = fs_->Mknod(path);
+    // A concurrent creator may win the race; kExist is then only an error
+    // under O_EXCL.
+    if (!st.ok() && !(st.code() == Errc::kExist && (flags & OpenFlags::kExcl) == 0)) {
+      return st;
+    }
+  } else {
+    return attr.status();
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  const Fd fd = next_fd_++;
+  FdEntry entry;
+  entry.path = path;
+  entry.flags = flags;
+  entry.is_dir = is_dir;
+  table_.emplace(fd, std::move(entry));
+  return fd;
+}
+
+Status Vfs::Close(Fd fd) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return table_.erase(fd) != 0 ? Status::Ok() : Status(Errc::kBadFd);
+}
+
+size_t Vfs::OpenCount() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return table_.size();
+}
+
+Result<Vfs::FdEntry> Vfs::Lookup(Fd fd) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(fd);
+  if (it == table_.end()) {
+    return Errc::kBadFd;
+  }
+  return it->second;
+}
+
+Result<size_t> Vfs::Read(Fd fd, std::span<std::byte> out) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  auto n = fs_->Read(entry->path, entry->cursor, out);
+  if (n.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = table_.find(fd);
+    if (it != table_.end()) {
+      it->second.cursor = entry->cursor + *n;
+    }
+  }
+  return n;
+}
+
+Result<size_t> Vfs::Write(Fd fd, std::span<const std::byte> data) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  if ((entry->flags & OpenFlags::kWrite) == 0) {
+    return Errc::kAccess;
+  }
+  uint64_t offset = entry->cursor;
+  if ((entry->flags & OpenFlags::kAppend) != 0) {
+    auto attr = fs_->Stat(entry->path);
+    if (!attr.ok()) {
+      return attr.status();
+    }
+    offset = attr->size;
+  }
+  auto n = fs_->Write(entry->path, offset, data);
+  if (n.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = table_.find(fd);
+    if (it != table_.end()) {
+      it->second.cursor = offset + *n;
+    }
+  }
+  return n;
+}
+
+Result<size_t> Vfs::Pread(Fd fd, uint64_t offset, std::span<std::byte> out) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return fs_->Read(entry->path, offset, out);
+}
+
+Result<size_t> Vfs::Pwrite(Fd fd, uint64_t offset, std::span<const std::byte> data) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  if ((entry->flags & OpenFlags::kWrite) == 0) {
+    return Errc::kAccess;
+  }
+  return fs_->Write(entry->path, offset, data);
+}
+
+Result<Attr> Vfs::Fstat(Fd fd) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return fs_->Stat(entry->path);
+}
+
+Result<std::vector<DirEntry>> Vfs::ReadDirFd(Fd fd) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return fs_->ReadDir(entry->path);
+}
+
+Status Vfs::Ftruncate(Fd fd, uint64_t size) {
+  auto entry = Lookup(fd);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  if ((entry->flags & OpenFlags::kWrite) == 0) {
+    return Status(Errc::kAccess);
+  }
+  return fs_->Truncate(entry->path, size);
+}
+
+Result<uint64_t> Vfs::Seek(Fd fd, uint64_t offset) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(fd);
+  if (it == table_.end()) {
+    return Errc::kBadFd;
+  }
+  it->second.cursor = offset;
+  return offset;
+}
+
+}  // namespace atomfs

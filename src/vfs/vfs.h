@@ -1,0 +1,93 @@
+// Vfs: the file-descriptor layer above a path-based FileSystem.
+//
+// The paper's AtomFS runs under FUSE/VFS, which maintain the mapping from a
+// file descriptor to the path of an inode; AtomFS then resolves the full
+// path even for FD-based interfaces so that *all* its interfaces stay
+// linearizable (§5.4). This class is that substrate: it keeps an fd -> path
+// table plus a file cursor, and forwards every data access as a path-based
+// call on the underlying FileSystem. Consequently an open fd observes
+// renames of its path (the call simply resolves whatever the path names
+// now), exactly like the paper's prototype — and tests/fd_test.cc checks the
+// Figure 9 semantics.
+
+#ifndef ATOMFS_SRC_VFS_VFS_H_
+#define ATOMFS_SRC_VFS_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/util/status.h"
+#include "src/vfs/filesystem.h"
+#include "src/vfs/path.h"
+
+namespace atomfs {
+
+// open() flag bits.
+struct OpenFlags {
+  static constexpr uint32_t kRead = 1u << 0;
+  static constexpr uint32_t kWrite = 1u << 1;
+  static constexpr uint32_t kCreate = 1u << 2;
+  static constexpr uint32_t kTrunc = 1u << 3;
+  static constexpr uint32_t kExcl = 1u << 4;
+  static constexpr uint32_t kAppend = 1u << 5;
+};
+
+using Fd = int32_t;
+
+class Vfs {
+ public:
+  explicit Vfs(FileSystem* fs);
+
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+
+  FileSystem& fs() { return *fs_; }
+
+  // --- descriptor lifecycle ------------------------------------------------
+  Result<Fd> Open(std::string_view path, uint32_t flags);
+  Status Close(Fd fd);
+  // Number of currently open descriptors.
+  size_t OpenCount() const;
+
+  // --- FD-based data plane (all re-resolve the stored path) -----------------
+  Result<size_t> Read(Fd fd, std::span<std::byte> out);      // advances cursor
+  Result<size_t> Write(Fd fd, std::span<const std::byte> data);
+  Result<size_t> Pread(Fd fd, uint64_t offset, std::span<std::byte> out);
+  Result<size_t> Pwrite(Fd fd, uint64_t offset, std::span<const std::byte> data);
+  Result<Attr> Fstat(Fd fd);
+  Result<std::vector<DirEntry>> ReadDirFd(Fd fd);
+  Status Ftruncate(Fd fd, uint64_t size);
+  Result<uint64_t> Seek(Fd fd, uint64_t offset);
+
+  // --- path-based control plane (forwarded) ---------------------------------
+  Status Mkdir(std::string_view path) { return fs_->Mkdir(path); }
+  Status Rmdir(std::string_view path) { return fs_->Rmdir(path); }
+  Status Unlink(std::string_view path) { return fs_->Unlink(path); }
+  Status Rename(std::string_view src, std::string_view dst) { return fs_->Rename(src, dst); }
+  Status Exchange(std::string_view a, std::string_view b) { return fs_->Exchange(a, b); }
+  Result<Attr> Stat(std::string_view path) { return fs_->Stat(path); }
+  Result<std::vector<DirEntry>> ReadDir(std::string_view path) { return fs_->ReadDir(path); }
+
+ private:
+  struct FdEntry {
+    Path path;
+    uint32_t flags = 0;
+    uint64_t cursor = 0;
+    bool is_dir = false;
+  };
+
+  // Returns a copy of the entry (the data plane works on the stored path,
+  // never on cached inode state).
+  Result<FdEntry> Lookup(Fd fd) const;
+
+  FileSystem* fs_;
+  mutable std::mutex mu_;
+  std::map<Fd, FdEntry> table_;
+  Fd next_fd_ = 3;  // 0-2 reserved, as a nod to POSIX
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_VFS_VFS_H_

@@ -1,0 +1,177 @@
+#include "src/workload/apps.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rand.h"
+
+namespace atomfs {
+namespace {
+
+// Fills a buffer with word-ish pseudo-text so grep has something to scan.
+std::vector<std::byte> MakeContent(Rng& rng, uint64_t bytes, const std::string& rare_word) {
+  std::string text;
+  text.reserve(bytes + 16);
+  while (text.size() < bytes) {
+    if (rng.Chance(1, 97)) {
+      text += rare_word;
+    } else {
+      text += rng.Name(rng.Between(2, 9));
+    }
+    text.push_back(rng.Chance(1, 8) ? '\n' : ' ');
+  }
+  text.resize(bytes);
+  const auto* data = reinterpret_cast<const std::byte*>(text.data());
+  return std::vector<std::byte>(data, data + text.size());
+}
+
+// Depth-first enumeration of all files under `root`.
+void ListFiles(FileSystem& fs, const std::string& root, std::vector<std::string>* files,
+               AppStats* stats) {
+  auto entries = fs.ReadDir(root);
+  ++stats->ops;
+  if (!entries.ok()) {
+    return;
+  }
+  for (const auto& e : *entries) {
+    const std::string path = (root == "/" ? "" : root) + "/" + e.name;
+    if (e.type == FileType::kDir) {
+      ListFiles(fs, path, files, stats);
+    } else {
+      files->push_back(path);
+    }
+  }
+}
+
+std::vector<std::byte> ReadWhole(FileSystem& fs, const std::string& path, AppStats* stats) {
+  auto attr = fs.Stat(path);
+  ++stats->ops;
+  ATOMFS_CHECK(attr.ok());
+  std::vector<std::byte> buf(attr->size);
+  auto r = fs.Read(path, 0, std::span<std::byte>(buf));
+  ATOMFS_CHECK(r.ok());
+  ++stats->ops;
+  stats->bytes += *r;
+  buf.resize(*r);
+  return buf;
+}
+
+void WriteWhole(FileSystem& fs, const std::string& path, std::span<const std::byte> data,
+                AppStats* stats) {
+  Status st = fs.Mknod(path);
+  ATOMFS_CHECK(st.ok() || st.code() == Errc::kExist);
+  auto w = fs.Write(path, 0, data);
+  ATOMFS_CHECK(w.ok() && *w == data.size());
+  stats->ops += 2;
+  stats->bytes += data.size();
+}
+
+}  // namespace
+
+AppStats BuildTree(FileSystem& fs, const std::string& root, const TreeSpec& spec) {
+  AppStats stats;
+  Rng rng(spec.seed);
+  ATOMFS_CHECK(fs.Mkdir(root).ok());
+  ++stats.ops;
+  for (uint32_t d = 0; d < spec.dirs; ++d) {
+    const std::string dir = root + "/d" + std::to_string(d);
+    ATOMFS_CHECK(fs.Mkdir(dir).ok());
+    ++stats.ops;
+    for (uint32_t f = 0; f < spec.files_per_dir; ++f) {
+      const std::string path = dir + "/src" + std::to_string(f) + ".c";
+      const uint64_t bytes = rng.Between(spec.min_file_bytes, spec.max_file_bytes);
+      auto content = MakeContent(rng, bytes, "needle");
+      WriteWhole(fs, path, content, &stats);
+    }
+  }
+  return stats;
+}
+
+AppStats RunGitClone(FileSystem& fs, const std::string& root, const TreeSpec& spec) {
+  // Object store: the packed objects arrive first...
+  AppStats stats = BuildTree(fs, root + "-git", spec);
+  // ...then checkout materializes the work tree...
+  AppStats checkout = RunCopyTree(fs, root + "-git", root);
+  // ...and git stats every path to build the index.
+  std::vector<std::string> files;
+  ListFiles(fs, root, &files, &stats);
+  for (const auto& f : files) {
+    ATOMFS_CHECK(fs.Stat(f).ok());
+    ++stats.ops;
+  }
+  stats.ops += checkout.ops;
+  stats.bytes += checkout.bytes;
+  return stats;
+}
+
+AppStats RunMakeBuild(FileSystem& fs, const std::string& root) {
+  AppStats stats;
+  std::vector<std::string> files;
+  ListFiles(fs, root, &files, &stats);
+  std::vector<std::string> objects;
+  for (const auto& f : files) {
+    auto content = ReadWhole(fs, f, &stats);
+    // "Compile": emit an object file of half the source size.
+    content.resize(content.size() / 2);
+    const std::string obj = f + ".o";
+    WriteWhole(fs, obj, content, &stats);
+    objects.push_back(obj);
+  }
+  // "Link": concatenate all objects into one binary.
+  uint64_t offset = 0;
+  Status st = fs.Mknod(root + "/bin");
+  ATOMFS_CHECK(st.ok() || st.code() == Errc::kExist);
+  ++stats.ops;
+  for (const auto& obj : objects) {
+    auto content = ReadWhole(fs, obj, &stats);
+    auto w = fs.Write(root + "/bin", offset, std::span<const std::byte>(content));
+    ATOMFS_CHECK(w.ok());
+    offset += *w;
+    ++stats.ops;
+    stats.bytes += *w;
+  }
+  return stats;
+}
+
+AppStats RunCopyTree(FileSystem& fs, const std::string& src_root, const std::string& dst_root) {
+  AppStats stats;
+  Status st = fs.Mkdir(dst_root);
+  ATOMFS_CHECK(st.ok() || st.code() == Errc::kExist);
+  ++stats.ops;
+  auto entries = fs.ReadDir(src_root);
+  ++stats.ops;
+  ATOMFS_CHECK(entries.ok());
+  for (const auto& e : *entries) {
+    const std::string from = src_root + "/" + e.name;
+    const std::string to = dst_root + "/" + e.name;
+    if (e.type == FileType::kDir) {
+      AppStats sub = RunCopyTree(fs, from, to);
+      stats.ops += sub.ops;
+      stats.bytes += sub.bytes;
+    } else {
+      auto content = ReadWhole(fs, from, &stats);
+      WriteWhole(fs, to, content, &stats);
+    }
+  }
+  return stats;
+}
+
+AppStats RunGrep(FileSystem& fs, const std::string& root, const std::string& needle) {
+  AppStats stats;
+  std::vector<std::string> files;
+  ListFiles(fs, root, &files, &stats);
+  for (const auto& f : files) {
+    auto content = ReadWhole(fs, f, &stats);
+    // Actually scan the bytes, like ripgrep would.
+    const char* data = reinterpret_cast<const char*>(content.data());
+    std::string_view view(data, content.size());
+    size_t pos = 0;
+    while ((pos = view.find(needle, pos)) != std::string_view::npos) {
+      ++stats.matches;
+      pos += needle.size();
+    }
+  }
+  return stats;
+}
+
+}  // namespace atomfs

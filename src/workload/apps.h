@@ -1,0 +1,59 @@
+// Application-shaped workload drivers for the Figure 10 reproduction.
+//
+// The paper runs real applications (git clone of xv6-public, make of the xv6
+// file system, cp -r of the qemu sources, ripgrep) over FUSE. Those binaries
+// exercise the file system with characteristic operation mixes; the drivers
+// here synthesize the same mixes directly against the FileSystem API:
+//
+//   * git-clone : metadata-heavy creation — many directories and small
+//     files written once (object store + checkout), then a stat pass.
+//   * make      : read-heavy — scan + read every source, write one object
+//     per source, then read all objects and write one linked binary.
+//   * cp -r     : full-tree traversal with paired read/write of every file.
+//   * ripgrep   : full-tree traversal reading every file and actually
+//     scanning the bytes for a needle.
+
+#ifndef ATOMFS_SRC_WORKLOAD_APPS_H_
+#define ATOMFS_SRC_WORKLOAD_APPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+struct AppStats {
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+  uint64_t matches = 0;  // grep only
+};
+
+// Parameters for a synthetic source tree.
+struct TreeSpec {
+  uint32_t dirs = 32;            // directories (flat under the root dir)
+  uint32_t files_per_dir = 12;   // files per directory
+  uint64_t min_file_bytes = 512;
+  uint64_t max_file_bytes = 16 << 10;
+  uint64_t seed = 42;
+};
+
+// Creates a source tree under `root` (which must not exist yet).
+AppStats BuildTree(FileSystem& fs, const std::string& root, const TreeSpec& spec);
+
+// Clone: build the tree (objects + checkout) and stat every path.
+AppStats RunGitClone(FileSystem& fs, const std::string& root, const TreeSpec& spec);
+
+// Make: read every file under `root`, write a .o file of half the size next
+// to it, then read all .o files and write /bin at the root.
+AppStats RunMakeBuild(FileSystem& fs, const std::string& root);
+
+// cp -r src dst.
+AppStats RunCopyTree(FileSystem& fs, const std::string& src_root, const std::string& dst_root);
+
+// ripgrep: scan every file under root for `needle`.
+AppStats RunGrep(FileSystem& fs, const std::string& root, const std::string& needle);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_WORKLOAD_APPS_H_

@@ -1,0 +1,140 @@
+#include "src/workload/filebench.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rand.h"
+
+namespace atomfs {
+
+FilebenchProfile FilebenchProfile::Fileserver() {
+  FilebenchProfile p;
+  p.name = "fileserver";
+  p.dirs = 526;  // as reported in the paper's §7.3
+  p.files = 10000;
+  p.file_bytes = 8 << 10;
+  p.io_bytes = 4 << 10;
+  return p;
+}
+
+FilebenchProfile FilebenchProfile::Webproxy() {
+  FilebenchProfile p;
+  p.name = "webproxy";
+  p.dirs = 2;  // "Webproxy involves only two directories"
+  p.files = 10000;
+  p.file_bytes = 4 << 10;
+  p.io_bytes = 4 << 10;
+  return p;
+}
+
+FilebenchProfile FilebenchProfile::Varmail() {
+  FilebenchProfile p;
+  p.name = "varmail";
+  p.dirs = 64;
+  p.files = 4000;
+  p.file_bytes = 2 << 10;  // small messages
+  p.io_bytes = 2 << 10;
+  return p;
+}
+
+namespace {
+
+std::string DirPath(uint32_t dir) { return "/fb/d" + std::to_string(dir); }
+
+std::string FilePath(const FilebenchProfile& profile, uint32_t file_idx) {
+  return DirPath(file_idx % profile.dirs) + "/f" + std::to_string(file_idx);
+}
+
+}  // namespace
+
+void FilebenchSetup(FileSystem& fs, const FilebenchProfile& profile, uint64_t seed) {
+  Rng rng(seed);
+  ATOMFS_CHECK(fs.Mkdir("/fb").ok());
+  for (uint32_t d = 0; d < profile.dirs; ++d) {
+    ATOMFS_CHECK(fs.Mkdir(DirPath(d)).ok());
+  }
+  std::vector<std::byte> buf(profile.file_bytes, std::byte{0x42});
+  for (uint32_t f = 0; f < profile.files; ++f) {
+    const std::string path = FilePath(profile, f);
+    ATOMFS_CHECK(fs.Mknod(path).ok());
+    const uint64_t bytes = rng.Between(profile.file_bytes / 2, profile.file_bytes);
+    auto w = fs.Write(path, 0, std::span<const std::byte>(buf.data(), bytes));
+    ATOMFS_CHECK(w.ok());
+  }
+}
+
+WorkerStats FilebenchWorker(FileSystem& fs, const FilebenchProfile& profile, uint64_t seed,
+                            uint64_t op_count) {
+  Rng rng(seed);
+  WorkerStats stats;
+  std::vector<std::byte> buf(profile.io_bytes, std::byte{0x37});
+  auto note = [&stats](bool ok) {
+    ++stats.ops;
+    if (!ok) {
+      ++stats.failures;
+    }
+  };
+  const bool webproxy = profile.name == "webproxy";
+  const bool varmail = profile.name == "varmail";
+  while (stats.ops < op_count) {
+    const uint32_t idx = static_cast<uint32_t>(rng.Below(profile.files));
+    const std::string path = FilePath(profile, idx);
+    if (varmail) {
+      // varmail loop: delete a message, create+append a new one, then read
+      // two messages whole (the fsyncs of the real profile have no analog in
+      // an in-memory FS).
+      note(fs.Unlink(path).ok());
+      note(fs.Mknod(path).ok());
+      note(fs.Write(path, 0, std::span<const std::byte>(buf)).ok());
+      for (int r = 0; r < 2; ++r) {
+        const std::string msg =
+            FilePath(profile, static_cast<uint32_t>(rng.Below(profile.files)));
+        note(fs.Read(msg, 0, std::span<std::byte>(buf)).ok());
+      }
+      continue;
+    }
+    if (webproxy) {
+      // webproxy personality: delete, re-create, append, then 5 reads of
+      // random files.
+      note(fs.Unlink(path).ok());
+      note(fs.Mknod(path).ok());
+      note(fs.Write(path, 0, std::span<const std::byte>(buf)).ok());
+      for (int r = 0; r < 5; ++r) {
+        const std::string victim =
+            FilePath(profile, static_cast<uint32_t>(rng.Below(profile.files)));
+        auto attr = fs.Stat(victim);
+        ++stats.ops;
+        if (!attr.ok()) {
+          ++stats.failures;
+          continue;
+        }
+        note(fs.Read(victim, 0, std::span<std::byte>(buf)).ok());
+      }
+    } else {
+      // fileserver personality: create+write, append, read, delete, stat —
+      // one of each per loop, over independently chosen files.
+      const std::string fresh =
+          FilePath(profile, static_cast<uint32_t>(rng.Below(profile.files)));
+      Status created = fs.Mknod(fresh);
+      note(created.ok() || created.code() == Errc::kExist);
+      note(fs.Write(fresh, 0, std::span<const std::byte>(buf)).ok());
+
+      const std::string append_target =
+          FilePath(profile, static_cast<uint32_t>(rng.Below(profile.files)));
+      auto attr = fs.Stat(append_target);
+      ++stats.ops;
+      if (attr.ok()) {
+        note(fs.Write(append_target, attr->size, std::span<const std::byte>(buf)).ok());
+      } else {
+        ++stats.failures;
+      }
+
+      note(fs.Read(path, 0, std::span<std::byte>(buf)).ok());
+      note(fs.Unlink(FilePath(profile, static_cast<uint32_t>(rng.Below(profile.files)))).ok());
+      note(fs.Stat(FilePath(profile, static_cast<uint32_t>(rng.Below(profile.files)))).ok());
+    }
+  }
+  return stats;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,56 @@
+// Filebench-style multi-threaded workload profiles (paper §7.3).
+//
+// The paper uses the two most common Filebench personalities:
+//   * Fileserver - "526 different directories and about 10000 files"; each
+//     worker loops { create+write, open+append, open+read-whole, delete,
+//     stat } over randomly chosen files spread across many directories.
+//     Plenty of distinct inodes => fine-grained locking pays off.
+//   * Webproxy  - only two directories; each worker loops { delete, create,
+//     append, then five open/read-whole }. Nearly all lock traffic lands on
+//     two directory inodes => lock coupling gains little (the paper measures
+//     1.16x vs. 1.46x for fileserver).
+//
+// Workers are plain callables so they can run on real threads or on
+// SimExecutor::Spawn for the virtual-time scalability measurements.
+
+#ifndef ATOMFS_SRC_WORKLOAD_FILEBENCH_H_
+#define ATOMFS_SRC_WORKLOAD_FILEBENCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+struct FilebenchProfile {
+  std::string name;
+  uint32_t dirs = 64;
+  uint32_t files = 2000;
+  uint64_t file_bytes = 8 << 10;   // mean created-file size
+  uint64_t io_bytes = 4 << 10;     // append / read chunk
+
+  static FilebenchProfile Fileserver();
+  static FilebenchProfile Webproxy();
+  // Mail-server personality (extension; not in the paper's Figure 11):
+  // per-message create/append/read/delete over many small files in a
+  // moderate number of directories.
+  static FilebenchProfile Varmail();
+};
+
+// Creates the directory tree and initial file population.
+void FilebenchSetup(FileSystem& fs, const FilebenchProfile& profile, uint64_t seed);
+
+struct WorkerStats {
+  uint64_t ops = 0;
+  uint64_t failures = 0;  // benign races (e.g. a chosen file was deleted)
+};
+
+// Runs `op_count` operations of the profile's mix. Each worker must get a
+// distinct seed. Safe to run concurrently with other workers on the same fs.
+WorkerStats FilebenchWorker(FileSystem& fs, const FilebenchProfile& profile, uint64_t seed,
+                            uint64_t op_count);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_WORKLOAD_FILEBENCH_H_

@@ -1,0 +1,62 @@
+#include "src/workload/lfs.h"
+
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace atomfs {
+
+LfsStats RunLargeFile(FileSystem& fs, uint64_t file_bytes, uint64_t chunk) {
+  LfsStats stats;
+  ATOMFS_CHECK(fs.Mknod("/largefile").ok());
+  ++stats.ops;
+  std::vector<std::byte> buf(chunk, std::byte{0xa5});
+  for (uint64_t off = 0; off < file_bytes; off += chunk) {
+    const uint64_t n = std::min(chunk, file_bytes - off);
+    auto w = fs.Write("/largefile", off, std::span<const std::byte>(buf.data(), n));
+    ATOMFS_CHECK(w.ok() && *w == n);
+    ++stats.ops;
+    stats.bytes += n;
+  }
+  for (uint64_t off = 0; off < file_bytes; off += chunk) {
+    auto r = fs.Read("/largefile", off, std::span<std::byte>(buf));
+    ATOMFS_CHECK(r.ok());
+    ++stats.ops;
+    stats.bytes += *r;
+  }
+  ATOMFS_CHECK(fs.Unlink("/largefile").ok());
+  ++stats.ops;
+  return stats;
+}
+
+LfsStats RunSmallFile(FileSystem& fs, uint32_t files, uint64_t file_bytes) {
+  LfsStats stats;
+  ATOMFS_CHECK(fs.Mkdir("/small").ok());
+  ++stats.ops;
+  std::vector<std::byte> buf(file_bytes, std::byte{0x5a});
+  for (uint32_t i = 0; i < files; ++i) {
+    const std::string path = "/small/f" + std::to_string(i);
+    ATOMFS_CHECK(fs.Mknod(path).ok());
+    auto w = fs.Write(path, 0, std::span<const std::byte>(buf));
+    ATOMFS_CHECK(w.ok() && *w == file_bytes);
+    stats.ops += 2;
+    stats.bytes += file_bytes;
+  }
+  for (uint32_t i = 0; i < files; ++i) {
+    const std::string path = "/small/f" + std::to_string(i);
+    auto r = fs.Read(path, 0, std::span<std::byte>(buf));
+    ATOMFS_CHECK(r.ok() && *r == file_bytes);
+    ++stats.ops;
+    stats.bytes += *r;
+  }
+  for (uint32_t i = 0; i < files; ++i) {
+    ATOMFS_CHECK(fs.Unlink("/small/f" + std::to_string(i)).ok());
+    ++stats.ops;
+  }
+  ATOMFS_CHECK(fs.Rmdir("/small").ok());
+  ++stats.ops;
+  return stats;
+}
+
+}  // namespace atomfs

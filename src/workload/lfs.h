@@ -1,0 +1,33 @@
+// LFS microbenchmarks (Rosenblum & Ousterhout), as used by the FSCQ line of
+// work and by the paper's Figure 10:
+//   * largefile  - sequentially write one large file (10 MB), then read it
+//     back sequentially.
+//   * smallfile  - create / write / read / delete many small files
+//     (10,000 x 1 KB).
+
+#ifndef ATOMFS_SRC_WORKLOAD_LFS_H_
+#define ATOMFS_SRC_WORKLOAD_LFS_H_
+
+#include <cstdint>
+
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+struct LfsStats {
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+};
+
+// Writes `file_bytes` sequentially in `chunk` sized writes to /largefile,
+// reads it back, then unlinks it.
+LfsStats RunLargeFile(FileSystem& fs, uint64_t file_bytes = 10ull << 20,
+                      uint64_t chunk = 64 << 10);
+
+// Creates `files` files of `file_bytes` each under /small (one directory),
+// reads each back, then deletes everything.
+LfsStats RunSmallFile(FileSystem& fs, uint32_t files = 10000, uint64_t file_bytes = 1 << 10);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_WORKLOAD_LFS_H_

@@ -1,0 +1,260 @@
+#include "src/workload/trace.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace atomfs {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string ToHex(const std::vector<std::byte>& data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::byte b : data) {
+    out.push_back(kHexDigits[static_cast<unsigned>(b) >> 4]);
+    out.push_back(kHexDigits[static_cast<unsigned>(b) & 0xf]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+Result<std::vector<std::byte>> FromHex(std::string_view hex) {
+  if (hex == "-") {
+    return std::vector<std::byte>{};
+  }
+  if (hex.size() % 2 != 0) {
+    return Errc::kInval;
+  }
+  std::vector<std::byte> out;
+  out.reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    return -1;
+  };
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Errc::kInval;
+    }
+    out.push_back(static_cast<std::byte>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Result<uint64_t> ParseU64(std::string_view token) {
+  uint64_t value = 0;
+  auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return Errc::kInval;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string FormatTraceLine(const OpCall& call) {
+  std::ostringstream os;
+  os << OpKindName(call.kind) << ' ' << call.a.ToString();
+  switch (call.kind) {
+    case OpKind::kRename:
+    case OpKind::kExchange:
+      os << ' ' << call.b.ToString();
+      break;
+    case OpKind::kRead:
+      os << ' ' << call.offset << ' ' << call.len;
+      break;
+    case OpKind::kWrite:
+      os << ' ' << call.offset << ' ' << ToHex(call.data);
+      break;
+    case OpKind::kTruncate:
+      os << ' ' << call.offset;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+Result<OpCall> ParseTraceLine(std::string_view line) {
+  std::istringstream in{std::string(line)};
+  std::string verb;
+  std::string a;
+  if (!(in >> verb >> a)) {
+    return Errc::kInval;
+  }
+  auto pa = ParsePath(a);
+  if (!pa.ok()) {
+    return pa.status();
+  }
+  auto need_path2 = [&in]() -> Result<Path> {
+    std::string b;
+    if (!(in >> b)) {
+      return Errc::kInval;
+    }
+    return ParsePath(b);
+  };
+  auto need_u64 = [&in]() -> Result<uint64_t> {
+    std::string tok;
+    if (!(in >> tok)) {
+      return Errc::kInval;
+    }
+    return ParseU64(tok);
+  };
+
+  if (verb == "mkdir") {
+    return OpCall::MkdirOf(*pa);
+  }
+  if (verb == "mknod") {
+    return OpCall::MknodOf(*pa);
+  }
+  if (verb == "rmdir") {
+    return OpCall::RmdirOf(*pa);
+  }
+  if (verb == "unlink") {
+    return OpCall::UnlinkOf(*pa);
+  }
+  if (verb == "stat") {
+    return OpCall::StatOf(*pa);
+  }
+  if (verb == "readdir") {
+    return OpCall::ReadDirOf(*pa);
+  }
+  if (verb == "rename" || verb == "exchange") {
+    auto pb = need_path2();
+    if (!pb.ok()) {
+      return pb.status();
+    }
+    return verb == "rename" ? OpCall::RenameOf(*pa, *pb) : OpCall::ExchangeOf(*pa, *pb);
+  }
+  if (verb == "read") {
+    auto off = need_u64();
+    auto len = need_u64();
+    if (!off.ok() || !len.ok()) {
+      return Errc::kInval;
+    }
+    return OpCall::ReadOf(*pa, *off, *len);
+  }
+  if (verb == "write") {
+    auto off = need_u64();
+    if (!off.ok()) {
+      return Errc::kInval;
+    }
+    std::string hex;
+    if (!(in >> hex)) {
+      return Errc::kInval;
+    }
+    auto data = FromHex(hex);
+    if (!data.ok()) {
+      return data.status();
+    }
+    return OpCall::WriteOf(*pa, *off, std::move(*data));
+  }
+  if (verb == "truncate") {
+    auto size = need_u64();
+    if (!size.ok()) {
+      return Errc::kInval;
+    }
+    return OpCall::TruncateOf(*pa, *size);
+  }
+  return Errc::kInval;
+}
+
+Result<std::vector<OpCall>> ParseTrace(std::istream& in) {
+  std::vector<OpCall> calls;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    auto call = ParseTraceLine(line);
+    if (!call.ok()) {
+      return call.status();
+    }
+    calls.push_back(std::move(*call));
+  }
+  return calls;
+}
+
+void WriteTrace(const std::vector<OpCall>& calls, std::ostream& out) {
+  for (const auto& call : calls) {
+    out << FormatTraceLine(call) << '\n';
+  }
+}
+
+namespace {
+
+void ExportSubtree(const SpecFs& state, Inum ino, const Path& at,
+                   std::vector<OpCall>* calls) {
+  const SpecInode* node = state.Find(ino);
+  if (node == nullptr) {
+    return;
+  }
+  if (node->type == FileType::kFile) {
+    calls->push_back(OpCall::MknodOf(at));
+    if (!node->data.empty()) {
+      calls->push_back(OpCall::WriteOf(at, 0, node->data));
+    }
+    return;
+  }
+  if (ino != kRootInum) {
+    calls->push_back(OpCall::MkdirOf(at));
+  }
+  for (const auto& [name, child] : node->links) {
+    Path child_path = at;
+    child_path.parts.push_back(name);
+    ExportSubtree(state, child, child_path, calls);
+  }
+}
+
+}  // namespace
+
+std::vector<OpCall> ExportAsTrace(const SpecFs& state) {
+  std::vector<OpCall> calls;
+  ExportSubtree(state, kRootInum, Path{}, &calls);
+  return calls;
+}
+
+ReplayStats ReplayTrace(FileSystem& fs, const std::vector<OpCall>& calls) {
+  ReplayStats stats;
+  for (const auto& call : calls) {
+    OpResult result = RunOp(fs, call);
+    ++stats.ops;
+    if (!result.status.ok()) {
+      ++stats.failed_ops;
+    }
+  }
+  return stats;
+}
+
+void TraceRecorder::OnOpBegin(Tid tid, const OpCall& call) {
+  std::lock_guard<std::mutex> lk(mu_);
+  inflight_[tid] = call;
+}
+
+void TraceRecorder::OnOpEnd(Tid tid, const OpResult& result) {
+  (void)result;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = inflight_.find(tid);
+  if (it != inflight_.end()) {
+    calls_.push_back(std::move(it->second));
+    inflight_.erase(it);
+  }
+}
+
+std::vector<OpCall> TraceRecorder::Take() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<OpCall> out = std::move(calls_);
+  calls_.clear();
+  return out;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,85 @@
+// Operation traces: a line-oriented text format for recording streams of
+// file-system operations and replaying them against any FileSystem.
+//
+// Format (one op per line, fields separated by single spaces):
+//
+//   mkdir  <path>
+//   mknod  <path>
+//   rmdir  <path>
+//   unlink <path>
+//   rename <src> <dst>
+//   exchange <a> <b>
+//   stat   <path>
+//   readdir <path>
+//   read   <path> <offset> <len>
+//   write  <path> <offset> <hex-bytes>
+//   truncate <path> <size>
+//
+// Lines starting with '#' and blank lines are ignored. Paths are the
+// normalized absolute form (no spaces; names produced by the workload
+// generators satisfy this).
+//
+// Traces decouple workload generation from execution: capture a run once
+// (e.g. from a workload driver), then replay it bit-identically against any
+// implementation for debugging, differential testing, or benchmarking.
+
+#ifndef ATOMFS_SRC_WORKLOAD_TRACE_H_
+#define ATOMFS_SRC_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/afs/op.h"
+#include "src/afs/spec_fs.h"
+#include "src/core/observer.h"
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+// Serializes one call to its trace line (no trailing newline).
+std::string FormatTraceLine(const OpCall& call);
+
+// Parses one trace line; kInval for malformed input.
+Result<OpCall> ParseTraceLine(std::string_view line);
+
+// Parses a whole trace; stops with the error of the first malformed line
+// (comments/blank lines skipped).
+Result<std::vector<OpCall>> ParseTrace(std::istream& in);
+
+// Serializes a call list, one line each.
+void WriteTrace(const std::vector<OpCall>& calls, std::ostream& out);
+
+// Exports a file-system state as a trace that recreates it on an empty
+// file system (mkdirs in path order, then file writes). Lets the trace
+// format double as a state snapshot.
+std::vector<OpCall> ExportAsTrace(const SpecFs& state);
+
+struct ReplayStats {
+  uint64_t ops = 0;
+  uint64_t failed_ops = 0;  // ops that returned a non-OK status
+};
+
+// Replays the calls in order against `fs`.
+ReplayStats ReplayTrace(FileSystem& fs, const std::vector<OpCall>& calls);
+
+// An FsObserver that records every completed call into a trace buffer
+// (thread-safe; ops are appended in completion order).
+class TraceRecorder : public FsObserver {
+ public:
+  void OnOpBegin(Tid tid, const OpCall& call) override;
+  void OnOpEnd(Tid tid, const OpResult& result) override;
+
+  std::vector<OpCall> Take();
+
+ private:
+  std::mutex mu_;
+  std::map<Tid, OpCall> inflight_;
+  std::vector<OpCall> calls_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_WORKLOAD_TRACE_H_

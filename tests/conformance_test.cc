@@ -1,0 +1,354 @@
+// POSIX-semantics conformance suite — the xfstests analog from §6, run
+// against every file system in the repository through the common interface.
+// Each check pins one observable behaviour (success effect or error code).
+
+#include <gtest/gtest.h>
+
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/naive/naive_fs.h"
+#include "src/retryfs/retry_fs.h"
+
+namespace atomfs {
+namespace {
+
+std::span<const std::byte> Bytes(std::string_view s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+template <typename Fs>
+class ConformanceTest : public ::testing::Test {
+ protected:
+  Fs fs_;
+};
+
+using AllFileSystems = ::testing::Types<AtomFs, BigLockFs, NaiveFs, RetryFs>;
+TYPED_TEST_SUITE(ConformanceTest, AllFileSystems);
+
+// --- mkdir -------------------------------------------------------------------
+
+TYPED_TEST(ConformanceTest, MkdirCreatesEmptyDirectory) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  auto entries = this->fs_.ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TYPED_TEST(ConformanceTest, MkdirExistingFails) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  EXPECT_EQ(this->fs_.Mkdir("/d").code(), Errc::kExist);
+}
+
+TYPED_TEST(ConformanceTest, MkdirOverFileFails) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.Mkdir("/f").code(), Errc::kExist);
+}
+
+TYPED_TEST(ConformanceTest, MkdirMissingParent) {
+  EXPECT_EQ(this->fs_.Mkdir("/no/dir").code(), Errc::kNoEnt);
+}
+
+TYPED_TEST(ConformanceTest, MkdirThroughFile) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.Mkdir("/f/d").code(), Errc::kNotDir);
+}
+
+TYPED_TEST(ConformanceTest, MkdirRoot) {
+  EXPECT_EQ(this->fs_.Mkdir("/").code(), Errc::kExist);
+}
+
+TYPED_TEST(ConformanceTest, MkdirDeepNesting) {
+  std::string path;
+  for (int i = 0; i < 24; ++i) {
+    path += "/d" + std::to_string(i);
+    ASSERT_TRUE(this->fs_.Mkdir(path).ok()) << path;
+  }
+  EXPECT_TRUE(this->fs_.Stat(path).ok());
+}
+
+// --- mknod / unlink ------------------------------------------------------------
+
+TYPED_TEST(ConformanceTest, MknodCreatesEmptyFile) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  auto attr = this->fs_.Stat("/f");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, FileType::kFile);
+  EXPECT_EQ(attr->size, 0u);
+}
+
+TYPED_TEST(ConformanceTest, UnlinkRemovesFile) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  ASSERT_TRUE(this->fs_.Unlink("/f").ok());
+  EXPECT_EQ(this->fs_.Stat("/f").status().code(), Errc::kNoEnt);
+}
+
+TYPED_TEST(ConformanceTest, UnlinkDirectoryFails) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  EXPECT_EQ(this->fs_.Unlink("/d").code(), Errc::kIsDir);
+}
+
+TYPED_TEST(ConformanceTest, UnlinkMissing) {
+  EXPECT_EQ(this->fs_.Unlink("/f").code(), Errc::kNoEnt);
+}
+
+TYPED_TEST(ConformanceTest, NameReusableAfterUnlink) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  ASSERT_TRUE(this->fs_.Write("/f", 0, Bytes("old")).ok());
+  ASSERT_TRUE(this->fs_.Unlink("/f").ok());
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.Stat("/f")->size, 0u);
+}
+
+// --- rmdir ---------------------------------------------------------------------
+
+TYPED_TEST(ConformanceTest, RmdirEmptyDir) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(this->fs_.Rmdir("/d").ok());
+  EXPECT_EQ(this->fs_.Stat("/d").status().code(), Errc::kNoEnt);
+}
+
+TYPED_TEST(ConformanceTest, RmdirNonEmptyFails) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(this->fs_.Mknod("/d/f").ok());
+  EXPECT_EQ(this->fs_.Rmdir("/d").code(), Errc::kNotEmpty);
+  ASSERT_TRUE(this->fs_.Unlink("/d/f").ok());
+  EXPECT_TRUE(this->fs_.Rmdir("/d").ok());
+}
+
+TYPED_TEST(ConformanceTest, RmdirFileFails) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.Rmdir("/f").code(), Errc::kNotDir);
+}
+
+TYPED_TEST(ConformanceTest, RmdirRootFails) {
+  EXPECT_EQ(this->fs_.Rmdir("/").code(), Errc::kBusy);
+}
+
+// --- rename ---------------------------------------------------------------------
+
+TYPED_TEST(ConformanceTest, RenameFilePreservesContent) {
+  ASSERT_TRUE(WriteString(this->fs_, "/f", "content").ok());
+  ASSERT_TRUE(this->fs_.Rename("/f", "/g").ok());
+  EXPECT_EQ(ReadString(this->fs_, "/g").value(), "content");
+  EXPECT_EQ(this->fs_.Stat("/f").status().code(), Errc::kNoEnt);
+}
+
+TYPED_TEST(ConformanceTest, RenameDirMovesSubtree) {
+  ASSERT_TRUE(this->fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(this->fs_.Mkdir("/a/b").ok());
+  ASSERT_TRUE(WriteString(this->fs_, "/a/b/f", "x").ok());
+  ASSERT_TRUE(this->fs_.Mkdir("/dst").ok());
+  ASSERT_TRUE(this->fs_.Rename("/a", "/dst/a").ok());
+  EXPECT_EQ(ReadString(this->fs_, "/dst/a/b/f").value(), "x");
+}
+
+TYPED_TEST(ConformanceTest, RenameReplacesExistingFile) {
+  ASSERT_TRUE(WriteString(this->fs_, "/f", "new").ok());
+  ASSERT_TRUE(WriteString(this->fs_, "/g", "old").ok());
+  ASSERT_TRUE(this->fs_.Rename("/f", "/g").ok());
+  EXPECT_EQ(ReadString(this->fs_, "/g").value(), "new");
+}
+
+TYPED_TEST(ConformanceTest, RenameDirOntoEmptyDir) {
+  ASSERT_TRUE(this->fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(this->fs_.Mknod("/a/f").ok());
+  ASSERT_TRUE(this->fs_.Mkdir("/b").ok());
+  ASSERT_TRUE(this->fs_.Rename("/a", "/b").ok());
+  EXPECT_TRUE(this->fs_.Stat("/b/f").ok());
+}
+
+TYPED_TEST(ConformanceTest, RenameDirOntoNonEmptyDirFails) {
+  ASSERT_TRUE(this->fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(this->fs_.Mkdir("/b").ok());
+  ASSERT_TRUE(this->fs_.Mknod("/b/f").ok());
+  EXPECT_EQ(this->fs_.Rename("/a", "/b").code(), Errc::kNotEmpty);
+}
+
+TYPED_TEST(ConformanceTest, RenameTypeMismatchErrors) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.Rename("/d", "/f").code(), Errc::kNotDir);
+  EXPECT_EQ(this->fs_.Rename("/f", "/d").code(), Errc::kIsDir);
+}
+
+TYPED_TEST(ConformanceTest, RenameIntoOwnSubtreeFails) {
+  ASSERT_TRUE(this->fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(this->fs_.Mkdir("/a/b").ok());
+  EXPECT_EQ(this->fs_.Rename("/a", "/a/b/c").code(), Errc::kInval);
+}
+
+TYPED_TEST(ConformanceTest, RenameAncestorOntoDescendantParent) {
+  ASSERT_TRUE(this->fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(this->fs_.Mkdir("/a/b").ok());
+  EXPECT_EQ(this->fs_.Rename("/a/b", "/a").code(), Errc::kNotEmpty);
+}
+
+TYPED_TEST(ConformanceTest, RenameSelfNoOp) {
+  ASSERT_TRUE(WriteString(this->fs_, "/f", "zz").ok());
+  EXPECT_TRUE(this->fs_.Rename("/f", "/f").ok());
+  EXPECT_EQ(ReadString(this->fs_, "/f").value(), "zz");
+}
+
+TYPED_TEST(ConformanceTest, RenameMissingSource) {
+  EXPECT_EQ(this->fs_.Rename("/nope", "/x").code(), Errc::kNoEnt);
+}
+
+TYPED_TEST(ConformanceTest, RenameMissingDestParent) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.Rename("/f", "/no/x").code(), Errc::kNoEnt);
+}
+
+TYPED_TEST(ConformanceTest, RenameRootForbidden) {
+  EXPECT_EQ(this->fs_.Rename("/", "/x").code(), Errc::kBusy);
+  EXPECT_EQ(this->fs_.Rename("/x", "/").code(), Errc::kBusy);
+}
+
+TYPED_TEST(ConformanceTest, RenameSameParentSwapNames) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(WriteString(this->fs_, "/d/a", "A").ok());
+  ASSERT_TRUE(this->fs_.Rename("/d/a", "/d/b").ok());
+  EXPECT_EQ(ReadString(this->fs_, "/d/b").value(), "A");
+  EXPECT_EQ(this->fs_.Stat("/d/a").status().code(), Errc::kNoEnt);
+}
+
+// --- stat / readdir ---------------------------------------------------------------
+
+TYPED_TEST(ConformanceTest, StatRoot) {
+  auto attr = this->fs_.Stat("/");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, FileType::kDir);
+}
+
+TYPED_TEST(ConformanceTest, StatSizeIsEntryCountForDirs) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(this->fs_.Mknod("/d/a").ok());
+  ASSERT_TRUE(this->fs_.Mkdir("/d/b").ok());
+  EXPECT_EQ(this->fs_.Stat("/d")->size, 2u);
+}
+
+TYPED_TEST(ConformanceTest, ReadDirSortedByName) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  for (const char* n : {"zz", "mm", "aa"}) {
+    ASSERT_TRUE(this->fs_.Mknod(std::string("/d/") + n).ok());
+  }
+  auto entries = this->fs_.ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "aa");
+  EXPECT_EQ((*entries)[1].name, "mm");
+  EXPECT_EQ((*entries)[2].name, "zz");
+}
+
+TYPED_TEST(ConformanceTest, ReadDirOnFileFails) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.ReadDir("/f").status().code(), Errc::kNotDir);
+}
+
+TYPED_TEST(ConformanceTest, StatThroughFileComponentFails) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.Stat("/f/x").status().code(), Errc::kNotDir);
+}
+
+// --- read / write / truncate ---------------------------------------------------------
+
+TYPED_TEST(ConformanceTest, WriteExtendsAndReadsBack) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  ASSERT_TRUE(this->fs_.Write("/f", 0, Bytes("0123456789")).ok());
+  std::vector<std::byte> buf(4);
+  auto n = this->fs_.Read("/f", 3, std::span<std::byte>(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf.data()), 4), "3456");
+}
+
+TYPED_TEST(ConformanceTest, SparseWriteZeroFills) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  ASSERT_TRUE(this->fs_.Write("/f", 100, Bytes("end")).ok());
+  EXPECT_EQ(this->fs_.Stat("/f")->size, 103u);
+  std::vector<std::byte> buf(100);
+  auto n = this->fs_.Read("/f", 0, std::span<std::byte>(buf));
+  ASSERT_TRUE(n.ok());
+  for (auto b : buf) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TYPED_TEST(ConformanceTest, ReadMissingFile) {
+  std::vector<std::byte> buf(4);
+  EXPECT_EQ(this->fs_.Read("/f", 0, std::span<std::byte>(buf)).status().code(), Errc::kNoEnt);
+}
+
+TYPED_TEST(ConformanceTest, DataOpsOnDirectoryFail) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  std::vector<std::byte> buf(4);
+  EXPECT_EQ(this->fs_.Read("/d", 0, std::span<std::byte>(buf)).status().code(), Errc::kIsDir);
+  EXPECT_EQ(this->fs_.Write("/d", 0, Bytes("x")).status().code(), Errc::kIsDir);
+  EXPECT_EQ(this->fs_.Truncate("/d", 0).code(), Errc::kIsDir);
+}
+
+TYPED_TEST(ConformanceTest, TruncateGrowAndShrink) {
+  ASSERT_TRUE(WriteString(this->fs_, "/f", "abcdef").ok());
+  ASSERT_TRUE(this->fs_.Truncate("/f", 3).ok());
+  EXPECT_EQ(ReadString(this->fs_, "/f").value(), "abc");
+  ASSERT_TRUE(this->fs_.Truncate("/f", 5).ok());
+  EXPECT_EQ(ReadString(this->fs_, "/f").value(), std::string("abc\0\0", 5));
+}
+
+TYPED_TEST(ConformanceTest, EnospcAtMaxFileSize) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  EXPECT_EQ(this->fs_.Write("/f", kMaxFileSize, Bytes("x")).status().code(), Errc::kNoSpace);
+}
+
+TYPED_TEST(ConformanceTest, LargeWriteRoundTrip) {
+  ASSERT_TRUE(this->fs_.Mknod("/f").ok());
+  std::vector<std::byte> data(3 * kBlockSize + 123);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 31 % 251);
+  }
+  auto w = this->fs_.Write("/f", 0, std::span<const std::byte>(data));
+  ASSERT_TRUE(w.ok());
+  std::vector<std::byte> back(data.size());
+  auto r = this->fs_.Read("/f", 0, std::span<std::byte>(back));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data.size());
+  EXPECT_EQ(back, data);
+}
+
+// --- path handling ------------------------------------------------------------------
+
+TYPED_TEST(ConformanceTest, PathNormalization) {
+  ASSERT_TRUE(this->fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(this->fs_.Mknod("/d/f").ok());
+  EXPECT_TRUE(this->fs_.Stat("//d///f").ok());
+  EXPECT_TRUE(this->fs_.Stat("/d/./f").ok());
+  EXPECT_TRUE(this->fs_.Stat("/d/../d/f").ok());
+  EXPECT_TRUE(this->fs_.Stat("/d/f/").ok());
+}
+
+TYPED_TEST(ConformanceTest, RelativePathRejected) {
+  EXPECT_EQ(this->fs_.Mkdir("d").code(), Errc::kInval);
+  EXPECT_EQ(this->fs_.Stat("").status().code(), Errc::kInval);
+}
+
+TYPED_TEST(ConformanceTest, LongNameRejected) {
+  const std::string name(kMaxNameLen + 1, 'n');
+  EXPECT_EQ(this->fs_.Mkdir("/" + name).code(), Errc::kNameTooLong);
+}
+
+TYPED_TEST(ConformanceTest, ManyEntriesInOneDirectory) {
+  ASSERT_TRUE(this->fs_.Mkdir("/big").ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(this->fs_.Mknod("/big/f" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(this->fs_.Stat("/big")->size, 500u);
+  auto entries = this->fs_.ReadDir("/big");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 500u);
+  for (int i = 0; i < 500; i += 7) {
+    ASSERT_TRUE(this->fs_.Unlink("/big/f" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(this->fs_.Stat("/big")->size, 500u - (500 + 6) / 7);
+}
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,106 @@
+// Unit tests for the directory hash table (src/core/dir_table.h).
+
+#include "src/core/dir_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/inode.h"
+#include "src/sim/executor.h"
+
+namespace atomfs {
+namespace {
+
+std::unique_ptr<Inode> MakeInode(Inum ino, FileType type = FileType::kFile) {
+  return std::make_unique<Inode>(ino, type, Executor::Real().CreateLock(), 4);
+}
+
+TEST(DirTable, InsertFindRemove) {
+  DirTable table(8);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.Find("a"), nullptr);
+
+  EXPECT_TRUE(table.Insert("a", MakeInode(10)));
+  EXPECT_EQ(table.size(), 1u);
+  ASSERT_NE(table.Find("a"), nullptr);
+  EXPECT_EQ(table.Find("a")->ino, 10u);
+
+  auto removed = table.Remove("a");
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->ino, 10u);
+  EXPECT_EQ(table.Find("a"), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(DirTable, DuplicateInsertRejected) {
+  DirTable table(8);
+  EXPECT_TRUE(table.Insert("a", MakeInode(1)));
+  EXPECT_FALSE(table.Insert("a", MakeInode(2)));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find("a")->ino, 1u);
+}
+
+TEST(DirTable, RemoveMissingReturnsNull) {
+  DirTable table(8);
+  EXPECT_EQ(table.Remove("nope"), nullptr);
+}
+
+TEST(DirTable, SingleBucketChainsCorrectly) {
+  // Every entry collides: exercises the linked-list path.
+  DirTable table(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(table.Insert("n" + std::to_string(i), MakeInode(100 + i)));
+  }
+  EXPECT_EQ(table.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_NE(table.Find("n" + std::to_string(i)), nullptr);
+    EXPECT_EQ(table.Find("n" + std::to_string(i))->ino, static_cast<Inum>(100 + i));
+  }
+  // Remove from the middle of chains.
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_NE(table.Remove("n" + std::to_string(i)), nullptr);
+  }
+  EXPECT_EQ(table.size(), 50u);
+  for (int i = 0; i < 100; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(table.Find("n" + std::to_string(i)), nullptr);
+    } else {
+      EXPECT_NE(table.Find("n" + std::to_string(i)), nullptr);
+    }
+  }
+}
+
+TEST(DirTable, ForEachVisitsAll) {
+  DirTable table(16);
+  for (int i = 0; i < 37; ++i) {
+    EXPECT_TRUE(table.Insert("k" + std::to_string(i), MakeInode(i + 1)));
+  }
+  std::set<std::string> seen;
+  table.ForEach([&seen](const std::string& name, const Inode* child) {
+    EXPECT_NE(child, nullptr);
+    seen.insert(name);
+  });
+  EXPECT_EQ(seen.size(), 37u);
+}
+
+TEST(DirTable, TakeAllDrainsOwnership) {
+  DirTable table(4);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(table.Insert("k" + std::to_string(i), MakeInode(i + 1)));
+  }
+  auto all = table.TakeAll();
+  EXPECT_EQ(all.size(), 10u);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Find("k0"), nullptr);
+}
+
+TEST(DirTable, ZeroBucketRequestIsClamped) {
+  DirTable table(0);
+  EXPECT_TRUE(table.Insert("a", MakeInode(1)));
+  EXPECT_NE(table.Find("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,126 @@
+// Unit tests for block-based file storage (src/core/file_data.h).
+
+#include "src/core/file_data.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace atomfs {
+namespace {
+
+std::span<const std::byte> Bytes(std::string_view s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+std::string ToString(std::span<const std::byte> data) {
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+TEST(FileData, EmptyFile) {
+  FileData f;
+  EXPECT_EQ(f.size(), 0u);
+  std::byte buf[4];
+  EXPECT_EQ(f.Read(0, buf), 0u);
+}
+
+TEST(FileData, WriteReadWithinOneBlock) {
+  FileData f;
+  auto w = f.Write(0, Bytes("hello"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, 5u);
+  EXPECT_EQ(f.size(), 5u);
+  std::vector<std::byte> buf(5);
+  EXPECT_EQ(f.Read(0, buf), 5u);
+  EXPECT_EQ(ToString(buf), "hello");
+}
+
+TEST(FileData, WriteAcrossBlockBoundary) {
+  FileData f;
+  std::vector<std::byte> data(kBlockSize + 100, std::byte{0x7});
+  ASSERT_TRUE(f.Write(kBlockSize - 50, data).ok());
+  EXPECT_EQ(f.size(), 2 * kBlockSize + 50);
+  std::vector<std::byte> buf(data.size());
+  EXPECT_EQ(f.Read(kBlockSize - 50, buf), data.size());
+  EXPECT_EQ(buf, data);
+}
+
+TEST(FileData, HoleReadsAsZeros) {
+  FileData f;
+  ASSERT_TRUE(f.Write(3 * kBlockSize, Bytes("x")).ok());
+  std::vector<std::byte> buf(kBlockSize);
+  EXPECT_EQ(f.Read(kBlockSize, buf), kBlockSize);
+  for (auto b : buf) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(FileData, ShortReadAtEof) {
+  FileData f;
+  ASSERT_TRUE(f.Write(0, Bytes("abcdef")).ok());
+  std::vector<std::byte> buf(100);
+  EXPECT_EQ(f.Read(4, buf), 2u);
+  EXPECT_EQ(f.Read(6, buf), 0u);
+  EXPECT_EQ(f.Read(1000, buf), 0u);
+}
+
+TEST(FileData, TruncateShrinkZeroesTail) {
+  FileData f;
+  std::vector<std::byte> data(100, std::byte{0xff});
+  ASSERT_TRUE(f.Write(0, data).ok());
+  ASSERT_TRUE(f.Truncate(10).ok());
+  EXPECT_EQ(f.size(), 10u);
+  // Growing back must expose zeros, not stale bytes.
+  ASSERT_TRUE(f.Truncate(100).ok());
+  std::vector<std::byte> buf(90);
+  EXPECT_EQ(f.Read(10, buf), 90u);
+  for (auto b : buf) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(FileData, TruncateGrowZeroFills) {
+  FileData f;
+  ASSERT_TRUE(f.Truncate(2 * kBlockSize).ok());
+  EXPECT_EQ(f.size(), 2 * kBlockSize);
+  std::vector<std::byte> buf(2 * kBlockSize);
+  EXPECT_EQ(f.Read(0, buf), 2 * kBlockSize);
+  for (auto b : buf) {
+    EXPECT_EQ(b, std::byte{0});
+  }
+}
+
+TEST(FileData, MaxSizeEnforced) {
+  FileData f;
+  EXPECT_EQ(f.Write(kMaxFileSize, Bytes("x")).status().code(), Errc::kNoSpace);
+  EXPECT_EQ(f.Truncate(kMaxFileSize + 1).code(), Errc::kNoSpace);
+  EXPECT_TRUE(f.Truncate(kMaxFileSize).ok());
+  EXPECT_EQ(f.size(), kMaxFileSize);
+  EXPECT_TRUE(f.Truncate(0).ok());
+}
+
+TEST(FileData, BlocksSpanned) {
+  EXPECT_EQ(FileData::BlocksSpanned(0, 0), 0u);
+  EXPECT_EQ(FileData::BlocksSpanned(0, 1), 1u);
+  EXPECT_EQ(FileData::BlocksSpanned(0, kBlockSize), 1u);
+  EXPECT_EQ(FileData::BlocksSpanned(0, kBlockSize + 1), 2u);
+  EXPECT_EQ(FileData::BlocksSpanned(kBlockSize - 1, 2), 2u);
+}
+
+TEST(FileData, ToBytesRoundTrip) {
+  FileData f;
+  ASSERT_TRUE(f.Write(0, Bytes("roundtrip")).ok());
+  auto bytes = f.ToBytes();
+  EXPECT_EQ(ToString(bytes), "roundtrip");
+}
+
+TEST(FileData, OverwriteInPlace) {
+  FileData f;
+  ASSERT_TRUE(f.Write(0, Bytes("aaaaaaa")).ok());
+  ASSERT_TRUE(f.Write(2, Bytes("BB")).ok());
+  EXPECT_EQ(ToString(f.ToBytes()), "aaBBaaa");
+  EXPECT_EQ(f.size(), 7u);
+}
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,150 @@
+// Unit tests for the ghost-state algorithms: LockPath relations,
+// linearize-before, and the helping set/order computation (paper §3.4/§5.2).
+
+#include "src/crlh/ghost.h"
+
+#include <gtest/gtest.h>
+
+namespace atomfs {
+namespace {
+
+LockPath LP(std::initializer_list<Inum> inos) {
+  LockPath lp;
+  lp.inos = inos;
+  return lp;
+}
+
+Descriptor SingleOp(OpKind kind, LockPath path) {
+  Descriptor d;
+  d.call.kind = kind;
+  d.path = std::move(path);
+  return d;
+}
+
+Descriptor RenameOp(LockPath src, LockPath dst) {
+  Descriptor d;
+  d.call.kind = OpKind::kRename;
+  d.src_path = std::move(src);
+  d.dst_path = std::move(dst);
+  return d;
+}
+
+TEST(LockPath, PrefixRelations) {
+  EXPECT_TRUE(LP({1, 2}).IsPrefixOf(LP({1, 2, 3})));
+  EXPECT_TRUE(LP({1, 2}).IsPrefixOf(LP({1, 2})));
+  EXPECT_FALSE(LP({1, 2}).IsStrictPrefixOf(LP({1, 2})));
+  EXPECT_TRUE(LP({1, 2}).IsStrictPrefixOf(LP({1, 2, 3})));
+  EXPECT_FALSE(LP({1, 3}).IsPrefixOf(LP({1, 2, 3})));
+  EXPECT_FALSE(LP({1, 2, 3}).IsPrefixOf(LP({1, 2})));
+  EXPECT_TRUE(LP({}).IsPrefixOf(LP({1})));
+}
+
+TEST(LinearizeBefore, DeeperThreadGoesFirst) {
+  // Paper Fig. 4(b): t2 rename SrcPath (root,a,e); t3 stat LockPath
+  // (root,a,e,f) => t3 linearizes before t2.
+  Descriptor t2 = RenameOp(LP({1, 2, 3}), LP({1, 5, 6, 7}));
+  Descriptor t3 = SingleOp(OpKind::kStat, LP({1, 2, 3, 4}));
+  EXPECT_TRUE(LinearizeBefore(t3, t2));
+  EXPECT_FALSE(LinearizeBefore(t2, t3));
+}
+
+TEST(LinearizeBefore, EqualPathsDoNotOrder) {
+  Descriptor a = SingleOp(OpKind::kMkdir, LP({1, 2}));
+  Descriptor b = SingleOp(OpKind::kStat, LP({1, 2}));
+  EXPECT_FALSE(LinearizeBefore(a, b));
+  EXPECT_FALSE(LinearizeBefore(b, a));
+}
+
+TEST(LinearizeBefore, DisjointPathsDoNotOrder) {
+  Descriptor a = SingleOp(OpKind::kMkdir, LP({1, 2, 3}));
+  Descriptor b = SingleOp(OpKind::kStat, LP({1, 5, 6}));
+  EXPECT_FALSE(LinearizeBefore(a, b));
+  EXPECT_FALSE(LinearizeBefore(b, a));
+}
+
+TEST(ComputeHelpOrder, EmptyWhenNoDependencies) {
+  std::map<Tid, Descriptor> pool;
+  pool[1] = RenameOp(LP({1, 2}), LP({1, 3}));
+  pool[2] = SingleOp(OpKind::kMkdir, LP({1, 9, 10}));  // disjoint
+  auto order = ComputeHelpOrder(1, pool);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(ComputeHelpOrder, DirectSrcPrefixDependency) {
+  // Fig. 1: rename(/a, /e) with SrcPath (root, a#2); mkdir(/a/b/c) has
+  // LockPath (root, a#2, b#3).
+  std::map<Tid, Descriptor> pool;
+  pool[1] = RenameOp(LP({1, 2}), LP({1}));
+  pool[2] = SingleOp(OpKind::kMkdir, LP({1, 2, 3}));
+  auto order = ComputeHelpOrder(1, pool);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 1u);
+  EXPECT_EQ((*order)[0], 2u);
+}
+
+TEST(ComputeHelpOrder, RecursiveDependencyFig4c) {
+  // Fig. 4(c): t1 rename(/b/c, /b/g)-ish helps t2 rename whose LockPath
+  // contains t1's SrcPath; t3 stat depends on t2's SrcPath and must come
+  // before t2 even though t3 has no relation with t1's SrcPath.
+  //
+  // Inode numbering: root=1, a=2, b=3, c=4, d=5, e=6, f=7.
+  // t1: rename(/b,c -> /b,g): SrcPath (1,3,4), DestPath (1,3).
+  // t2: rename(/a,e -> /b/c/d,e): SrcPath (1,2,6), DestPath (1,3,4,5).
+  // t3: stat(/a/e/f): LockPath (1,2,6,7).
+  std::map<Tid, Descriptor> pool;
+  pool[1] = RenameOp(LP({1, 3, 4}), LP({1, 3}));
+  pool[2] = RenameOp(LP({1, 2, 6}), LP({1, 3, 4, 5}));
+  pool[3] = SingleOp(OpKind::kStat, LP({1, 2, 6, 7}));
+
+  auto order = ComputeHelpOrder(1, pool);
+  ASSERT_TRUE(order.has_value());
+  // t2 depends on t1 via DestPath (1,3,4,5) extending SrcPath (1,3,4); t3
+  // depends recursively through t2.
+  ASSERT_EQ(order->size(), 2u);
+  EXPECT_EQ((*order)[0], 3u);  // stat first
+  EXPECT_EQ((*order)[1], 2u);  // then the dependent rename
+}
+
+TEST(ComputeHelpOrder, HelpedAndDoneThreadsExcluded) {
+  std::map<Tid, Descriptor> pool;
+  pool[1] = RenameOp(LP({1, 2}), LP({1}));
+  pool[2] = SingleOp(OpKind::kMkdir, LP({1, 2, 3}));
+  pool[2].state = AopState::kHelped;
+  pool[3] = SingleOp(OpKind::kStat, LP({1, 2, 4}));
+  pool[3].state = AopState::kDone;
+  auto order = ComputeHelpOrder(1, pool);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(ComputeHelpOrder, OrderRespectsAllConstraints) {
+  // Three ops at increasing depth below the rename source: deepest first.
+  std::map<Tid, Descriptor> pool;
+  pool[1] = RenameOp(LP({1, 2}), LP({1}));
+  pool[2] = SingleOp(OpKind::kStat, LP({1, 2, 3}));
+  pool[3] = SingleOp(OpKind::kStat, LP({1, 2, 3, 4}));
+  pool[4] = SingleOp(OpKind::kStat, LP({1, 2, 3, 4, 5}));
+  auto order = ComputeHelpOrder(1, pool);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 3u);
+  EXPECT_EQ((*order)[0], 4u);
+  EXPECT_EQ((*order)[1], 3u);
+  EXPECT_EQ((*order)[2], 2u);
+}
+
+TEST(ComputeHelpOrder, DeterministicTieBreak) {
+  // Two incomparable helped threads: smallest tid first.
+  std::map<Tid, Descriptor> pool;
+  pool[5] = RenameOp(LP({1, 2}), LP({1}));
+  pool[9] = SingleOp(OpKind::kStat, LP({1, 2, 3}));
+  pool[4] = SingleOp(OpKind::kStat, LP({1, 2, 7}));
+  auto order = ComputeHelpOrder(5, pool);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 2u);
+  EXPECT_EQ((*order)[0], 4u);
+  EXPECT_EQ((*order)[1], 9u);
+}
+
+}  // namespace
+}  // namespace atomfs

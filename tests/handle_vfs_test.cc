@@ -1,0 +1,137 @@
+// Tests for HandleVfs: the fd layer over pinned inode handles. Pairs with
+// vfs_test.cc, which tests the path-based layer — the same flows show the
+// two designs' *different* semantics around renames and unlinks.
+
+#include "src/retryfs/handle_vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace atomfs {
+namespace {
+
+std::span<const std::byte> Bytes(std::string_view s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+class HandleVfsTest : public ::testing::Test {
+ protected:
+  HandleVfsTest() : vfs_(&fs_) {}
+
+  std::string ReadAll(Fd fd, size_t cap = 256) {
+    std::string out(cap, '\0');
+    auto n = vfs_.Pread(fd, 0, std::as_writable_bytes(std::span<char>(out.data(), out.size())));
+    EXPECT_TRUE(n.ok());
+    out.resize(*n);
+    return out;
+  }
+
+  RetryFs fs_;
+  HandleVfs vfs_;
+};
+
+TEST_F(HandleVfsTest, OpenCreateWriteReadClose) {
+  auto fd = vfs_.Open("/f", OpenFlags::kCreate | OpenFlags::kWrite | OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("hello")).ok());
+  EXPECT_EQ(ReadAll(*fd), "hello");
+  EXPECT_TRUE(vfs_.Close(*fd).ok());
+  EXPECT_EQ(vfs_.OpenCount(), 0u);
+  EXPECT_EQ(vfs_.Close(*fd).code(), Errc::kBadFd);
+}
+
+TEST_F(HandleVfsTest, OpenFlagSemantics) {
+  ASSERT_TRUE(fs_.Mknod("/f").ok());
+  EXPECT_EQ(vfs_.Open("/f", OpenFlags::kCreate | OpenFlags::kExcl).status().code(),
+            Errc::kExist);
+  EXPECT_EQ(vfs_.Open("/missing", OpenFlags::kRead).status().code(), Errc::kNoEnt);
+  ASSERT_TRUE(WriteString(fs_, "/f", "stale").ok());
+  auto fd = vfs_.Open("/f", OpenFlags::kWrite | OpenFlags::kTrunc);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fs_.Stat("/f")->size, 0u);
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_EQ(vfs_.Open("/d", OpenFlags::kWrite).status().code(), Errc::kIsDir);
+  auto ro = vfs_.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(vfs_.Write(*ro, Bytes("x")).status().code(), Errc::kAccess);
+}
+
+TEST_F(HandleVfsTest, CursorSemantics) {
+  auto fd = vfs_.Open("/f", OpenFlags::kCreate | OpenFlags::kWrite | OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("abc")).ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("def")).ok());
+  ASSERT_TRUE(vfs_.Seek(*fd, 2).ok());
+  std::string buf(3, '\0');
+  ASSERT_TRUE(vfs_.Read(*fd, std::as_writable_bytes(std::span<char>(buf.data(), 3))).ok());
+  EXPECT_EQ(buf, "cde");
+}
+
+TEST_F(HandleVfsTest, AppendMode) {
+  auto fd = vfs_.Open("/log", OpenFlags::kCreate | OpenFlags::kWrite | OpenFlags::kAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("one")).ok());
+  ASSERT_TRUE(fs_.Write("/log", 3, Bytes("two")).ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("!")).ok());
+  EXPECT_EQ(ReadString(fs_, "/log").value(), "onetwo!");
+}
+
+// The defining difference from the path-based Vfs: the fd tracks the INODE.
+TEST_F(HandleVfsTest, FdSurvivesRenameUnlikePathVfs) {
+  ASSERT_TRUE(WriteString(fs_, "/f", "original").ok());
+  auto fd = vfs_.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_.Rename("/f", "/g").ok());
+  // Path-based Vfs would return ENOENT here (vfs_test.cc); the handle works.
+  EXPECT_EQ(ReadAll(*fd), "original");
+  // A new file at the old path is NOT what the fd sees.
+  ASSERT_TRUE(WriteString(fs_, "/f", "impostor").ok());
+  EXPECT_EQ(ReadAll(*fd), "original");
+}
+
+TEST_F(HandleVfsTest, UnlinkedButOpenPosixSemantics) {
+  auto fd = vfs_.Open("/tmp", OpenFlags::kCreate | OpenFlags::kWrite | OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("scratch")).ok());
+  ASSERT_TRUE(fs_.Unlink("/tmp").ok());
+  EXPECT_EQ(fs_.Stat("/tmp").status().code(), Errc::kNoEnt);
+  EXPECT_EQ(ReadAll(*fd), "scratch");
+  ASSERT_TRUE(vfs_.Ftruncate(*fd, 3).ok());
+  EXPECT_EQ(vfs_.Fstat(*fd)->size, 3u);
+  EXPECT_TRUE(vfs_.Close(*fd).ok());  // last reference frees the inode
+}
+
+TEST_F(HandleVfsTest, DirectoryFdReaddir) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.Mknod("/d/one").ok());
+  auto fd = vfs_.Open("/d", OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  auto entries = vfs_.ReadDirFd(*fd);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  // Entries added after open are visible (it is the live inode).
+  ASSERT_TRUE(fs_.Mknod("/d/two").ok());
+  EXPECT_EQ(vfs_.ReadDirFd(*fd)->size(), 2u);
+}
+
+TEST_F(HandleVfsTest, BadFdEverywhere) {
+  std::byte buf[4];
+  EXPECT_EQ(vfs_.Read(42, buf).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Write(42, Bytes("x")).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Pread(42, 0, buf).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Pwrite(42, 0, Bytes("x")).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Fstat(42).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.ReadDirFd(42).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Ftruncate(42, 0).code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Seek(42, 0).status().code(), Errc::kBadFd);
+}
+
+TEST_F(HandleVfsTest, CreateRace) {
+  // kCreate without kExcl tolerates a concurrent creator (simulated by
+  // pre-creating).
+  ASSERT_TRUE(fs_.Mknod("/racy").ok());
+  auto fd = vfs_.Open("/racy", OpenFlags::kCreate | OpenFlags::kRead);
+  EXPECT_TRUE(fd.ok());
+}
+
+}  // namespace
+}  // namespace atomfs

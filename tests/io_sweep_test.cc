@@ -1,0 +1,166 @@
+// Parameterized I/O boundary sweeps: reads, writes and truncates at every
+// interesting offset/length around block boundaries, on every file system,
+// checked against the abstract specification. These are the cases where
+// block-indexed storage implementations classically go wrong (off-by-one at
+// block edges, stale tails after shrink+grow, hole zero-fill).
+
+#include <gtest/gtest.h>
+
+#include "src/afs/spec_fs.h"
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/naive/naive_fs.h"
+#include "src/retryfs/retry_fs.h"
+#include "src/util/rand.h"
+#include "src/vfs/limits.h"
+
+namespace atomfs {
+namespace {
+
+// Offsets worth probing: around 0, around each of the first two block
+// boundaries, and a deep offset.
+std::vector<uint64_t> BoundaryOffsets() {
+  std::vector<uint64_t> offsets;
+  const uint64_t anchors[] = {0, kBlockSize, 2 * kBlockSize, 7 * kBlockSize};
+  for (uint64_t anchor : anchors) {
+    for (int64_t delta : {-2, -1, 0, 1, 2}) {
+      const int64_t value = static_cast<int64_t>(anchor) + delta;
+      if (value >= 0) {
+        offsets.push_back(static_cast<uint64_t>(value));
+      }
+    }
+  }
+  return offsets;
+}
+
+std::vector<uint64_t> ProbeLengths() { return {1, 2, 255, kBlockSize, kBlockSize + 1}; }
+
+struct SweepCase {
+  uint64_t offset;
+  uint64_t length;
+};
+
+std::vector<SweepCase> AllCases() {
+  std::vector<SweepCase> cases;
+  for (uint64_t offset : BoundaryOffsets()) {
+    for (uint64_t length : ProbeLengths()) {
+      cases.push_back(SweepCase{offset, length});
+    }
+  }
+  return cases;
+}
+
+template <typename Fs>
+class IoSweepTest : public ::testing::Test {};
+
+using AllFileSystems = ::testing::Types<AtomFs, BigLockFs, NaiveFs, RetryFs>;
+TYPED_TEST_SUITE(IoSweepTest, AllFileSystems);
+
+TYPED_TEST(IoSweepTest, WriteThenReadMatchesSpecAtEveryBoundary) {
+  Rng rng(1234);
+  TypeParam fs;
+  SpecFs spec;
+  ASSERT_TRUE(fs.Mknod("/f").ok());
+  ASSERT_TRUE(spec.Mknod("/f").ok());
+  for (const SweepCase& c : AllCases()) {
+    std::vector<std::byte> payload(c.length);
+    for (auto& b : payload) {
+      b = static_cast<std::byte>(rng.Below(256));
+    }
+    auto w1 = fs.Write("/f", c.offset, std::span<const std::byte>(payload));
+    auto w2 = spec.Write("/f", c.offset, std::span<const std::byte>(payload));
+    ASSERT_EQ(w1.status().code(), w2.status().code()) << c.offset << "+" << c.length;
+    // Read back a window straddling the write.
+    const uint64_t read_off = c.offset > 3 ? c.offset - 3 : 0;
+    std::vector<std::byte> got1(c.length + 6);
+    std::vector<std::byte> got2(c.length + 6);
+    auto r1 = fs.Read("/f", read_off, std::span<std::byte>(got1));
+    auto r2 = spec.Read("/f", read_off, std::span<std::byte>(got2));
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    ASSERT_EQ(*r1, *r2) << c.offset << "+" << c.length;
+    got1.resize(*r1);
+    got2.resize(*r2);
+    ASSERT_EQ(got1, got2) << c.offset << "+" << c.length;
+    // Sizes stay in lockstep.
+    ASSERT_EQ(fs.Stat("/f")->size, spec.Stat("/f")->size);
+  }
+}
+
+TYPED_TEST(IoSweepTest, TruncateSweepMatchesSpec) {
+  TypeParam fs;
+  SpecFs spec;
+  ASSERT_TRUE(fs.Mknod("/f").ok());
+  ASSERT_TRUE(spec.Mknod("/f").ok());
+  // Fill with a recognizable pattern first.
+  std::vector<std::byte> pattern(3 * kBlockSize);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::byte>(i % 251 + 1);
+  }
+  ASSERT_TRUE(fs.Write("/f", 0, std::span<const std::byte>(pattern)).ok());
+  ASSERT_TRUE(spec.Write("/f", 0, std::span<const std::byte>(pattern)).ok());
+  // Alternate shrink/grow across boundaries; contents must match throughout.
+  for (uint64_t size : {3 * kBlockSize - 1, kBlockSize + 1, kBlockSize, kBlockSize - 1,
+                        uint64_t{1}, uint64_t{0}, kBlockSize + 5, 2 * kBlockSize,
+                        4 * kBlockSize + 3}) {
+    ASSERT_EQ(fs.Truncate("/f", size).code(), spec.Truncate("/f", size).code()) << size;
+    std::vector<std::byte> got1(5 * kBlockSize);
+    std::vector<std::byte> got2(5 * kBlockSize);
+    auto r1 = fs.Read("/f", 0, std::span<std::byte>(got1));
+    auto r2 = spec.Read("/f", 0, std::span<std::byte>(got2));
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r2.ok());
+    ASSERT_EQ(*r1, *r2) << size;
+    got1.resize(*r1);
+    got2.resize(*r2);
+    ASSERT_EQ(got1, got2) << "after truncate to " << size;
+  }
+}
+
+TYPED_TEST(IoSweepTest, ReadsNeverExceedEof) {
+  TypeParam fs;
+  ASSERT_TRUE(fs.Mknod("/f").ok());
+  std::vector<std::byte> data(kBlockSize + 100, std::byte{0x5c});
+  ASSERT_TRUE(fs.Write("/f", 0, std::span<const std::byte>(data)).ok());
+  const uint64_t size = data.size();
+  for (uint64_t offset : BoundaryOffsets()) {
+    std::vector<std::byte> buf(2 * kBlockSize);
+    auto n = fs.Read("/f", offset, std::span<std::byte>(buf));
+    ASSERT_TRUE(n.ok());
+    const uint64_t expect = offset >= size ? 0 : std::min<uint64_t>(buf.size(), size - offset);
+    EXPECT_EQ(*n, expect) << "offset " << offset;
+  }
+}
+
+// Path-parser property: parsing is idempotent through ToString.
+class PathPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PathPropertyTest, ParseToStringRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    // Random raw path from a small alphabet including separators and dots.
+    static const char* kPieces[] = {"/", "a", "bb", ".", "..", "//", "c.d"};
+    std::string raw = "/";
+    const size_t pieces = rng.Between(1, 10);
+    for (size_t p = 0; p < pieces; ++p) {
+      raw += kPieces[rng.Below(7)];
+    }
+    auto first = ParsePath(raw);
+    if (!first.ok()) {
+      continue;  // over-long or malformed: fine
+    }
+    auto second = ParsePath(first->ToString());
+    ASSERT_TRUE(second.ok()) << raw;
+    EXPECT_EQ(*first, *second) << raw;
+    EXPECT_EQ(first->ToString(), second->ToString()) << raw;
+    // Normalized form contains no "." / ".." / empty components.
+    for (const auto& part : second->parts) {
+      EXPECT_TRUE(ValidateName(part).ok()) << raw;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathPropertyTest, ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,145 @@
+// Tests for the offline linearizability checkers (src/crlh/lin_check.h):
+// hand-built histories with known verdicts, including the paper's Figure 1
+// history in its legal and illegal forms.
+
+#include "src/crlh/lin_check.h"
+
+#include <gtest/gtest.h>
+
+namespace atomfs {
+namespace {
+
+HistoryOp Op(Tid tid, OpCall call, Errc code, uint64_t invoke, uint64_t response) {
+  HistoryOp op;
+  op.tid = tid;
+  op.call = std::move(call);
+  op.result.status = Status(code);
+  op.invoke_seq = invoke;
+  op.response_seq = response;
+  return op;
+}
+
+TEST(LinCheck, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(CheckLinearizable({}).linearizable);
+}
+
+TEST(LinCheck, SequentialLegalHistory) {
+  std::vector<HistoryOp> ops;
+  ops.push_back(Op(1, OpCall::MkdirOf(*ParsePath("/a")), Errc::kOk, 1, 2));
+  ops.push_back(Op(1, OpCall::MkdirOf(*ParsePath("/a/b")), Errc::kOk, 3, 4));
+  ops.push_back(Op(1, OpCall::RmdirOf(*ParsePath("/a")), Errc::kNotEmpty, 5, 6));
+  auto res = CheckLinearizable(ops);
+  EXPECT_TRUE(res.linearizable);
+  ASSERT_EQ(res.witness.size(), 3u);
+}
+
+TEST(LinCheck, SequentialIllegalHistory) {
+  // mkdir /a/b succeeded before /a existed: no legal order.
+  std::vector<HistoryOp> ops;
+  ops.push_back(Op(1, OpCall::MkdirOf(*ParsePath("/a/b")), Errc::kOk, 1, 2));
+  ops.push_back(Op(1, OpCall::MkdirOf(*ParsePath("/a")), Errc::kOk, 3, 4));
+  EXPECT_FALSE(CheckLinearizable(ops).linearizable);
+}
+
+TEST(LinCheck, ConcurrentOpsMayReorder) {
+  // mkdir /a/b responds before mkdir /a *but they overlap*: reordering is
+  // allowed, so the history is linearizable.
+  std::vector<HistoryOp> ops;
+  ops.push_back(Op(1, OpCall::MkdirOf(*ParsePath("/a/b")), Errc::kOk, 1, 3));
+  ops.push_back(Op(2, OpCall::MkdirOf(*ParsePath("/a")), Errc::kOk, 2, 4));
+  auto res = CheckLinearizable(ops);
+  ASSERT_TRUE(res.linearizable);
+  // The witness must put /a first.
+  EXPECT_EQ(res.witness[0], 1u);
+}
+
+TEST(LinCheck, RealTimeOrderIsRespected) {
+  // Same two ops but strictly ordered: NOT linearizable.
+  std::vector<HistoryOp> ops;
+  ops.push_back(Op(1, OpCall::MkdirOf(*ParsePath("/a/b")), Errc::kOk, 1, 2));
+  ops.push_back(Op(2, OpCall::MkdirOf(*ParsePath("/a")), Errc::kOk, 3, 4));
+  EXPECT_FALSE(CheckLinearizable(ops).linearizable);
+}
+
+TEST(LinCheck, Figure1History) {
+  // rename(/a,/e) and mkdir(/a/b/c) overlap; both succeed. Legal only if
+  // mkdir linearizes first.
+  std::vector<HistoryOp> setup;
+  setup.push_back(Op(0, OpCall::MkdirOf(*ParsePath("/a")), Errc::kOk, 1, 2));
+  setup.push_back(Op(0, OpCall::MkdirOf(*ParsePath("/a/b")), Errc::kOk, 3, 4));
+  std::vector<HistoryOp> ops = setup;
+  ops.push_back(Op(1, OpCall::MkdirOf(*ParsePath("/a/b/c")), Errc::kOk, 5, 8));
+  ops.push_back(
+      Op(2, OpCall::RenameOf(*ParsePath("/a"), *ParsePath("/e")), Errc::kOk, 6, 7));
+  auto res = CheckLinearizable(ops);
+  ASSERT_TRUE(res.linearizable);
+
+  // The fixed-LP order (rename first) must fail the replay.
+  std::vector<size_t> fixed = {0, 1, 3, 2};
+  auto mismatch = ReplayOrder(ops, fixed);
+  ASSERT_TRUE(mismatch.has_value());
+  EXPECT_EQ(*mismatch, 3u);  // the mkdir is the op that diverges
+
+  // The helper order (mkdir before rename) replays cleanly.
+  std::vector<size_t> helper = {0, 1, 2, 3};
+  EXPECT_EQ(ReplayOrder(ops, helper), std::nullopt);
+}
+
+TEST(LinCheck, NonLinearizableFigure8History) {
+  // Figure 8: ins(/a/b/c, d) succeeds, rename(/a -> /i) succeeds, del(/i/b,
+  // c) succeeds — all overlapping ins. There is no sequential order where
+  // all three succeed with these results... del succeeding requires c empty,
+  // but ins's success placed d into c before any point del could run after
+  // rename.
+  std::vector<HistoryOp> ops;
+  ops.push_back(Op(0, OpCall::MkdirOf(*ParsePath("/a")), Errc::kOk, 1, 2));
+  ops.push_back(Op(0, OpCall::MkdirOf(*ParsePath("/a/b")), Errc::kOk, 3, 4));
+  ops.push_back(Op(0, OpCall::MkdirOf(*ParsePath("/a/b/c")), Errc::kOk, 5, 6));
+  // ins spans the rename and the del.
+  ops.push_back(Op(1, OpCall::MkdirOf(*ParsePath("/a/b/c/d")), Errc::kOk, 7, 12));
+  ops.push_back(
+      Op(2, OpCall::RenameOf(*ParsePath("/a"), *ParsePath("/i")), Errc::kOk, 8, 9));
+  ops.push_back(Op(2, OpCall::RmdirOf(*ParsePath("/i/b/c")), Errc::kOk, 10, 11));
+  EXPECT_FALSE(CheckLinearizable(ops).linearizable);
+}
+
+TEST(LinCheck, ReadPayloadsParticipateInVerdict) {
+  // A read that returned data nobody wrote at a compatible point.
+  std::vector<std::byte> written{std::byte{'x'}};
+  std::vector<HistoryOp> ops;
+  ops.push_back(Op(0, OpCall::MknodOf(*ParsePath("/f")), Errc::kOk, 1, 2));
+  HistoryOp w = Op(1, OpCall::WriteOf(*ParsePath("/f"), 0, written), Errc::kOk, 3, 4);
+  w.result.nbytes = 1;
+  ops.push_back(w);
+  HistoryOp r = Op(2, OpCall::ReadOf(*ParsePath("/f"), 0, 1), Errc::kOk, 5, 6);
+  r.result.nbytes = 1;
+  r.result.data = {std::byte{'y'}};  // never written
+  ops.push_back(r);
+  EXPECT_FALSE(CheckLinearizable(ops).linearizable);
+  ops.back().result.data = {std::byte{'x'}};
+  EXPECT_TRUE(CheckLinearizable(ops).linearizable);
+}
+
+TEST(LinCheck, StateBudgetAborts) {
+  // Many concurrent no-conflict ops explode the search; a tiny budget must
+  // abort rather than hang.
+  std::vector<HistoryOp> ops;
+  for (Tid t = 1; t <= 12; ++t) {
+    ops.push_back(
+        Op(t, OpCall::MkdirOf(*ParsePath("/d" + std::to_string(t))), Errc::kOk, 1, 100));
+  }
+  auto res = CheckLinearizable(ops, /*max_states=*/5);
+  EXPECT_TRUE(res.aborted);
+}
+
+TEST(LinCheck, OrderBySortsStably) {
+  std::vector<HistoryOp> ops(3);
+  auto order = OrderBy(ops, {30, 10, 20});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+}  // namespace
+}  // namespace atomfs

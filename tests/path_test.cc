@@ -1,0 +1,114 @@
+// Unit tests for path parsing and normalization (src/vfs/path.h).
+
+#include "src/vfs/path.h"
+
+#include <gtest/gtest.h>
+
+namespace atomfs {
+namespace {
+
+TEST(ParsePath, Root) {
+  auto p = ParsePath("/");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsRoot());
+  EXPECT_EQ(p->ToString(), "/");
+}
+
+TEST(ParsePath, Simple) {
+  auto p = ParsePath("/a/b/c");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->parts.size(), 3u);
+  EXPECT_EQ(p->parts[0], "a");
+  EXPECT_EQ(p->parts[1], "b");
+  EXPECT_EQ(p->parts[2], "c");
+  EXPECT_EQ(p->ToString(), "/a/b/c");
+}
+
+TEST(ParsePath, CollapsesRepeatedSlashes) {
+  auto p = ParsePath("//a///b//");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "/a/b");
+}
+
+TEST(ParsePath, TrailingSlash) {
+  auto p = ParsePath("/a/b/");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "/a/b");
+}
+
+TEST(ParsePath, DotIsSkipped) {
+  auto p = ParsePath("/a/./b/.");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "/a/b");
+}
+
+TEST(ParsePath, DotDotResolvesLexically) {
+  auto p = ParsePath("/a/b/../c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->ToString(), "/a/c");
+}
+
+TEST(ParsePath, DotDotAtRootStaysAtRoot) {
+  auto p = ParsePath("/../..");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsRoot());
+}
+
+TEST(ParsePath, RejectsEmpty) {
+  EXPECT_EQ(ParsePath("").status().code(), Errc::kInval);
+}
+
+TEST(ParsePath, RejectsRelative) {
+  EXPECT_EQ(ParsePath("a/b").status().code(), Errc::kInval);
+}
+
+TEST(ParsePath, RejectsOverlongName) {
+  std::string name(kMaxNameLen + 1, 'x');
+  EXPECT_EQ(ParsePath("/" + name).status().code(), Errc::kNameTooLong);
+}
+
+TEST(ParsePath, AcceptsMaxLenName) {
+  std::string name(kMaxNameLen, 'x');
+  EXPECT_TRUE(ParsePath("/" + name).ok());
+}
+
+TEST(ParsePath, RejectsOverlongPath) {
+  std::string path;
+  while (path.size() <= kMaxPathLen) {
+    path += "/abcdefg";
+  }
+  EXPECT_EQ(ParsePath(path).status().code(), Errc::kNameTooLong);
+}
+
+TEST(Path, DirAndBase) {
+  auto p = ParsePath("/a/b/c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Base(), "c");
+  EXPECT_EQ(p->Dir().ToString(), "/a/b");
+  EXPECT_EQ(p->Dir().Dir().ToString(), "/a");
+  EXPECT_TRUE(p->Dir().Dir().Dir().IsRoot());
+}
+
+TEST(Path, IsPrefixOf) {
+  auto a = ParsePath("/a");
+  auto ab = ParsePath("/a/b");
+  auto ac = ParsePath("/a/c");
+  auto root = ParsePath("/");
+  EXPECT_TRUE(a->IsPrefixOf(*ab));
+  EXPECT_TRUE(a->IsPrefixOf(*a));
+  EXPECT_FALSE(ab->IsPrefixOf(*a));
+  EXPECT_FALSE(ab->IsPrefixOf(*ac));
+  EXPECT_TRUE(root->IsPrefixOf(*ab));
+}
+
+TEST(ValidateName, Rules) {
+  EXPECT_TRUE(ValidateName("ok").ok());
+  EXPECT_FALSE(ValidateName("").ok());
+  EXPECT_FALSE(ValidateName(".").ok());
+  EXPECT_FALSE(ValidateName("..").ok());
+  EXPECT_FALSE(ValidateName("a/b").ok());
+  EXPECT_EQ(ValidateName(std::string(kMaxNameLen + 1, 'a')).code(), Errc::kNameTooLong);
+}
+
+}  // namespace
+}  // namespace atomfs

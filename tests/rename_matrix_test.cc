@@ -1,0 +1,175 @@
+// Systematic semantic matrices for the two multi-path operations: every
+// (source state x destination state) combination of rename and exchange is
+// checked on every file system against the abstract specification, with the
+// exact error code pinned. This is the enumerated, human-readable complement
+// of the randomized differential tests.
+
+#include <gtest/gtest.h>
+
+#include "src/afs/op.h"
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/naive/naive_fs.h"
+#include "src/retryfs/retry_fs.h"
+
+namespace atomfs {
+namespace {
+
+// The state an endpoint path can be in before the operation.
+enum class NodeState {
+  kMissing,        // entry absent (parent exists)
+  kMissingParent,  // parent directory itself absent
+  kFileParent,     // a file where the parent directory should be
+  kFile,
+  kEmptyDir,
+  kNonEmptyDir,
+};
+
+const char* NodeStateName(NodeState s) {
+  switch (s) {
+    case NodeState::kMissing:
+      return "missing";
+    case NodeState::kMissingParent:
+      return "missing-parent";
+    case NodeState::kFileParent:
+      return "file-parent";
+    case NodeState::kFile:
+      return "file";
+    case NodeState::kEmptyDir:
+      return "empty-dir";
+    case NodeState::kNonEmptyDir:
+      return "nonempty-dir";
+  }
+  return "?";
+}
+
+// Materializes `state` at /<stem>/x (except the parent-error states, which
+// sabotage /<stem> itself) and returns the endpoint path.
+std::string Materialize(FileSystem& fs, const std::string& stem, NodeState state) {
+  const std::string parent = "/" + stem;
+  const std::string path = parent + "/x";
+  switch (state) {
+    case NodeState::kMissingParent:
+      return path;  // create nothing
+    case NodeState::kFileParent:
+      EXPECT_TRUE(fs.Mknod(parent).ok());
+      return path;
+    case NodeState::kMissing:
+      EXPECT_TRUE(fs.Mkdir(parent).ok());
+      return path;
+    case NodeState::kFile:
+      EXPECT_TRUE(fs.Mkdir(parent).ok());
+      EXPECT_TRUE(fs.Mknod(path).ok());
+      return path;
+    case NodeState::kEmptyDir:
+      EXPECT_TRUE(fs.Mkdir(parent).ok());
+      EXPECT_TRUE(fs.Mkdir(path).ok());
+      return path;
+    case NodeState::kNonEmptyDir:
+      EXPECT_TRUE(fs.Mkdir(parent).ok());
+      EXPECT_TRUE(fs.Mkdir(path).ok());
+      EXPECT_TRUE(fs.Mknod(path + "/inner").ok());
+      return path;
+  }
+  return path;
+}
+
+constexpr NodeState kAllStates[] = {NodeState::kMissing, NodeState::kMissingParent,
+                                    NodeState::kFileParent, NodeState::kFile,
+                                    NodeState::kEmptyDir, NodeState::kNonEmptyDir};
+
+using MatrixParam = std::tuple<NodeState, NodeState>;
+
+std::string ParamName(const ::testing::TestParamInfo<MatrixParam>& info) {
+  std::string name = std::string(NodeStateName(std::get<0>(info.param))) + "_to_" +
+                     NodeStateName(std::get<1>(info.param));
+  for (char& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+template <typename Fs>
+void CheckAgainstSpec(OpKind kind, NodeState src_state, NodeState dst_state) {
+  Fs fs;
+  SpecFs spec;
+  const std::string src_fs = Materialize(fs, "s", src_state);
+  const std::string src_spec = Materialize(spec, "s", src_state);
+  const std::string dst_fs = Materialize(fs, "d", dst_state);
+  const std::string dst_spec = Materialize(spec, "d", dst_state);
+  ASSERT_EQ(src_fs, src_spec);
+  ASSERT_EQ(dst_fs, dst_spec);
+
+  const Status concrete = kind == OpKind::kRename ? fs.Rename(src_fs, dst_fs)
+                                                  : fs.Exchange(src_fs, dst_fs);
+  const Status abstract = kind == OpKind::kRename ? spec.Rename(src_spec, dst_spec)
+                                                  : spec.Exchange(src_spec, dst_spec);
+  EXPECT_EQ(concrete.code(), abstract.code())
+      << OpKindName(kind) << "(" << NodeStateName(src_state) << " -> "
+      << NodeStateName(dst_state) << "): concrete=" << ErrcName(concrete.code())
+      << " abstract=" << ErrcName(abstract.code());
+  EXPECT_TRUE(StructurallyEqual(fs.SnapshotSpec(), spec));
+}
+
+class RenameMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(RenameMatrixTest, AtomFs) {
+  CheckAgainstSpec<AtomFs>(OpKind::kRename, std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+TEST_P(RenameMatrixTest, BigLockFs) {
+  CheckAgainstSpec<BigLockFs>(OpKind::kRename, std::get<0>(GetParam()),
+                              std::get<1>(GetParam()));
+}
+
+TEST_P(RenameMatrixTest, RetryFs) {
+  CheckAgainstSpec<RetryFs>(OpKind::kRename, std::get<0>(GetParam()), std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, RenameMatrixTest,
+                         ::testing::Combine(::testing::ValuesIn(kAllStates),
+                                            ::testing::ValuesIn(kAllStates)),
+                         ParamName);
+
+class ExchangeMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ExchangeMatrixTest, AtomFs) {
+  CheckAgainstSpec<AtomFs>(OpKind::kExchange, std::get<0>(GetParam()),
+                           std::get<1>(GetParam()));
+}
+
+TEST_P(ExchangeMatrixTest, RetryFs) {
+  CheckAgainstSpec<RetryFs>(OpKind::kExchange, std::get<0>(GetParam()),
+                            std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ExchangeMatrixTest,
+                         ::testing::Combine(::testing::ValuesIn(kAllStates),
+                                            ::testing::ValuesIn(kAllStates)),
+                         ParamName);
+
+// A few exact-code anchors so the matrix cannot silently drift together with
+// a spec bug: these are POSIX-documented outcomes.
+TEST(RenameMatrixAnchors, PosixPinnedCodes) {
+  AtomFs fs;
+  Materialize(fs, "s", NodeState::kNonEmptyDir);
+  Materialize(fs, "d", NodeState::kNonEmptyDir);
+  EXPECT_EQ(fs.Rename("/s/x", "/d/x").code(), Errc::kNotEmpty);
+  AtomFs fs2;
+  Materialize(fs2, "s", NodeState::kEmptyDir);
+  Materialize(fs2, "d", NodeState::kFile);
+  EXPECT_EQ(fs2.Rename("/s/x", "/d/x").code(), Errc::kNotDir);
+  AtomFs fs3;
+  Materialize(fs3, "s", NodeState::kFile);
+  Materialize(fs3, "d", NodeState::kEmptyDir);
+  EXPECT_EQ(fs3.Rename("/s/x", "/d/x").code(), Errc::kIsDir);
+  AtomFs fs4;
+  Materialize(fs4, "s", NodeState::kMissing);
+  Materialize(fs4, "d", NodeState::kFile);
+  EXPECT_EQ(fs4.Rename("/s/x", "/d/x").code(), Errc::kNoEnt);
+}
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,153 @@
+// Tests for the guarantee-condition checker (paper §4.2 / §8): every
+// concrete-state transition of AtomFS must be one of Lock, Unlock, or
+// Lockedtrans. Positive: sequential runs and explored schedules stay clean
+// (strict attribution under the single-core simulator). Negative: a file
+// system that mutates outside its announced locks is flagged.
+
+#include "src/crlh/rg_check.h"
+
+#include <gtest/gtest.h>
+
+#include "src/crlh/explore.h"
+#include "src/sim/executor.h"
+
+namespace atomfs {
+namespace {
+
+// AtomFs takes its observer at construction, but the checker needs the fs
+// pointer to snapshot it — a trampoline breaks the cycle: the fs gets the
+// trampoline, the checker is built afterwards and plugged in.
+class Trampoline : public FsObserver {
+ public:
+  void SetTarget(FsObserver* target) { target_ = target; }
+  void OnOpBegin(Tid tid, const OpCall& call) override {
+    if (target_ != nullptr) {
+      target_->OnOpBegin(tid, call);
+    }
+  }
+  void OnOpEnd(Tid tid, const OpResult& result) override {
+    if (target_ != nullptr) {
+      target_->OnOpEnd(tid, result);
+    }
+  }
+  void OnLockAcquired(Tid tid, Inum ino, LockPathRole role) override {
+    if (target_ != nullptr) {
+      target_->OnLockAcquired(tid, ino, role);
+    }
+  }
+  void OnLockReleased(Tid tid, Inum ino) override {
+    if (target_ != nullptr) {
+      target_->OnLockReleased(tid, ino);
+    }
+  }
+  void OnLp(Tid tid, Inum created_ino) override {
+    if (target_ != nullptr) {
+      target_->OnLp(tid, created_ino);
+    }
+  }
+
+ private:
+  FsObserver* target_ = nullptr;
+};
+
+TEST(GuaranteeChecker, SequentialMixedOpsSatisfyProtocol) {
+  Trampoline trampoline;
+  AtomFs::Options opts;
+  opts.observer = &trampoline;
+  AtomFs fs(std::move(opts));
+  GuaranteeChecker::Options gopts;
+  gopts.strict_attribution = true;
+  GuaranteeChecker checker(&fs, gopts);
+  trampoline.SetTarget(&checker);
+
+  EXPECT_TRUE(fs.Mkdir("/a").ok());
+  EXPECT_TRUE(fs.Mkdir("/a/b").ok());
+  EXPECT_TRUE(WriteString(fs, "/a/b/f", "payload").ok());
+  EXPECT_TRUE(fs.Rename("/a/b", "/c").ok());
+  EXPECT_TRUE(fs.Exchange("/a", "/c").ok());
+  // After the exchange, the file moved with its directory to /a/f.
+  EXPECT_TRUE(fs.Truncate("/a/f", 2).ok());
+  EXPECT_TRUE(fs.Unlink("/a/f").ok());
+  EXPECT_TRUE(fs.Rmdir("/a").ok());
+  EXPECT_TRUE(fs.Rmdir("/c").ok());
+
+  EXPECT_TRUE(checker.ok()) << checker.violations()[0];
+  EXPECT_GT(checker.transitions_checked(), 20u);
+}
+
+// Under the single-core, no-yield-on-work simulator, thread switches happen
+// only at evented points, so strict attribution holds on every schedule of a
+// small concurrent program.
+TEST(GuaranteeChecker, HoldsOnExploredSchedules) {
+  auto run_one_schedule = [](std::vector<uint32_t> script) {
+    ScheduleOptions sched;
+    sched.policy = SchedulePolicy::kScripted;
+    sched.script = std::move(script);
+    sched.yield_on_work = false;
+    SimExecutor sim(1, sched);
+    Trampoline trampoline;
+    AtomFs::Options opts;
+    opts.executor = &sim;
+    opts.observer = &trampoline;
+    AtomFs fs(std::move(opts));
+    GuaranteeChecker::Options gopts;
+    gopts.strict_attribution = true;
+    GuaranteeChecker checker(&fs, gopts);
+    trampoline.SetTarget(&checker);
+
+    RunInSim(sim, [&] {
+      fs.Mkdir("/a");
+      fs.Mkdir("/a/b");
+    });
+    sim.Spawn([&] { fs.Mkdir("/a/b/c"); });
+    sim.Spawn([&] { fs.Rename("/a", "/e"); });
+    sim.Run();
+    return std::make_tuple(checker.ok(),
+                           checker.ok() ? std::string() : checker.violations()[0],
+                           sim.ScheduleTrace(), sim.ScheduleFanouts());
+  };
+
+  // Enumerate all schedules (same DFS as the explorer, inline).
+  std::vector<std::vector<uint32_t>> pending{{}};
+  int executions = 0;
+  while (!pending.empty() && executions < 2000) {
+    auto script = std::move(pending.back());
+    pending.pop_back();
+    auto [ok, first_violation, trace, fanouts] = run_one_schedule(script);
+    ++executions;
+    ASSERT_TRUE(ok) << first_violation;
+    for (size_t pos = script.size(); pos < trace.size(); ++pos) {
+      for (uint32_t c = 1; c < fanouts[pos]; ++c) {
+        std::vector<uint32_t> child(trace.begin(),
+                                    trace.begin() + static_cast<ptrdiff_t>(pos));
+        child.push_back(c);
+        pending.push_back(std::move(child));
+      }
+    }
+  }
+  EXPECT_GT(executions, 10);
+}
+
+// Negative: a file system that mutates shared state without announcing any
+// lock (BigLockFs emits op events but no per-inode lock events) violates the
+// fine-grained protocol — the checker must say so.
+TEST(GuaranteeChecker, FlagsMutationsOutsideLocks) {
+  // Reuse the trampoline trick with an AtomFs that *suppresses* lock events:
+  // disable_inode_locks drops both the locks and their events while the
+  // tree still changes — exactly "a transition that is not Lock/Unlock/
+  // Lockedtrans".
+  Trampoline trampoline;
+  AtomFs::Options opts;
+  opts.observer = &trampoline;
+  opts.disable_inode_locks = true;
+  AtomFs fs(std::move(opts));
+  GuaranteeChecker checker(&fs);
+  trampoline.SetTarget(&checker);
+
+  EXPECT_TRUE(fs.Mkdir("/a").ok());
+  EXPECT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations()[0].find("GUARANTEE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atomfs

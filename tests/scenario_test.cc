@@ -1,0 +1,395 @@
+// Deterministic reproductions of the paper's key interleavings:
+//
+//   * Figure 4(a): disjoint ins/del — fixed LPs suffice.
+//   * Figure 1:    rename breaks mkdir's traversed path — the fixed-LP order
+//                  is illegal, the helper order is legal.
+//   * Figure 4(b)-style: rename helps a read-side op (stat).
+//   * Figure 4(c): recursive path inter-dependency across two renames.
+//   * fixed_lp_mode: the same Figure 1 schedule *fails* refinement when the
+//                  helper mechanism is disabled, exactly as §3.1 predicts.
+//
+// Schedules are forced with GateObserver: a thread is parked at a lock
+// release so it sits inside its critical section holding exactly the lock
+// the scenario requires.
+
+#include <gtest/gtest.h>
+
+#include "src/afs/op.h"
+#include "src/core/atom_fs.h"
+#include "src/crlh/gate.h"
+#include "src/crlh/lin_check.h"
+#include "src/crlh/monitor.h"
+#include "src/crlh/op_thread.h"
+
+namespace atomfs {
+namespace {
+
+// Test fixture wiring AtomFs -> (CrlhMonitor, GateObserver).
+class ScenarioTest : public ::testing::Test {
+ protected:
+  void Build(CrlhMonitor::Options mon_opts = {}) {
+    monitor_ = std::make_unique<CrlhMonitor>(mon_opts);
+    tee_ = std::make_unique<TeeObserver>(monitor_.get(), &gate_);
+    AtomFs::Options opts;
+    opts.observer = tee_.get();
+    fs_ = std::make_unique<AtomFs>(std::move(opts));
+  }
+
+  Inum InoOf(std::string_view path) {
+    auto attr = fs_->Stat(path);
+    EXPECT_TRUE(attr.ok()) << path;
+    return attr->ino;
+  }
+
+  // Orders of the completed records.
+  std::vector<size_t> FixedLpOrder(const std::vector<CrlhMonitor::CompletedRecord>& recs) {
+    std::vector<uint64_t> keys;
+    for (const auto& r : recs) {
+      keys.push_back(r.lp_seq);
+    }
+    return OrderBy(HistoryFromRecords(recs), keys);
+  }
+
+  std::vector<size_t> HelperOrder(const std::vector<CrlhMonitor::CompletedRecord>& recs) {
+    std::vector<uint64_t> keys;
+    for (const auto& r : recs) {
+      keys.push_back(r.abs_seq);
+    }
+    return OrderBy(HistoryFromRecords(recs), keys);
+  }
+
+  GateObserver gate_;
+  std::unique_ptr<CrlhMonitor> monitor_;
+  std::unique_ptr<TeeObserver> tee_;
+  std::unique_ptr<AtomFs> fs_;
+};
+
+// The monitor must be clean after a purely sequential prologue: set up under
+// observation, drain, and check quiescent consistency.
+TEST_F(ScenarioTest, SequentialPrologueIsClean) {
+  Build();
+  EXPECT_TRUE(fs_->Mkdir("/a").ok());
+  EXPECT_TRUE(fs_->Mkdir("/a/b").ok());
+  EXPECT_TRUE(fs_->Mknod("/a/b/f").ok());
+  EXPECT_TRUE(fs_->Rename("/a/b/f", "/a/g").ok());
+  EXPECT_TRUE(fs_->Unlink("/a/g").ok());
+  EXPECT_EQ(fs_->Rmdir("/a").code(), Errc::kNotEmpty);
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+  EXPECT_EQ(monitor_->helped_ops(), 0u);
+}
+
+// Figure 4(a): ins(/a, c) runs concurrently with del(/, a)... here realized
+// as ins completing before an overlapping del of a *disjoint* path; no path
+// inter-dependency, no helping, and the fixed-LP order is already legal.
+TEST_F(ScenarioTest, Fig4aFixedLpsSufficeWithoutInterdependency) {
+  Build();
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+
+  OpThread ins([&] { EXPECT_TRUE(fs_->Mkdir("/a/c").ok()); });
+  OpThread del([&] { EXPECT_TRUE(fs_->Rmdir("/d").ok()); });
+  // Park ins inside its critical section (holding /a), run del fully, then
+  // let ins finish: overlapping, but no shared path.
+  gate_.Arm(ins.tid(), GateObserver::Point::kLockReleased, kRootInum);
+  ins.Go();
+  gate_.WaitParked(ins.tid());
+  del.Go();
+  del.Join();
+  gate_.Open(ins.tid());
+  ins.Join();
+
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_EQ(monitor_->helped_ops(), 0u);
+  auto recs = monitor_->Completed();
+  EXPECT_EQ(ReplayOrder(HistoryFromRecords(recs), FixedLpOrder(recs)), std::nullopt);
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+}
+
+// Figure 1: mkdir(/a/b/c) traverses through /a and halts; rename(/a, /e)
+// completes first. The helper mechanism must linearize the mkdir before the
+// rename; the fixed-LP temporal order is an illegal sequential history.
+TEST_F(ScenarioTest, Fig1RenameHelpsMkdir) {
+  Build();
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  const Inum ino_a = InoOf("/a");
+
+  OpThread mkdir_op([&] { EXPECT_TRUE(fs_->Mkdir("/a/b/c").ok()); });
+  // Park mkdir right after it releases /a: it then holds only /a/b, with
+  // LockPath (root, a, b).
+  gate_.Arm(mkdir_op.tid(), GateObserver::Point::kLockReleased, ino_a);
+  mkdir_op.Go();
+  gate_.WaitParked(mkdir_op.tid());
+
+  // rename completes while mkdir sits in its critical section.
+  EXPECT_TRUE(fs_->Rename("/a", "/e").ok());
+  EXPECT_EQ(monitor_->helped_ops(), 1u);
+
+  gate_.Open(mkdir_op.tid());
+  mkdir_op.Join();
+
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+  // The directory landed inside the renamed tree.
+  EXPECT_TRUE(fs_->Stat("/e/b/c").ok());
+
+  auto recs = monitor_->Completed();  // includes the observed setup ops
+  size_t helped_count = 0;
+  for (const auto& r : recs) {
+    helped_count += r.helped ? 1 : 0;
+  }
+  EXPECT_EQ(helped_count, 1u);
+  // The helper order replays legally...
+  EXPECT_EQ(ReplayOrder(HistoryFromRecords(recs), HelperOrder(recs)), std::nullopt);
+  // ...the fixed-LP order does not (the paper's Figure 1).
+  EXPECT_NE(ReplayOrder(HistoryFromRecords(recs), FixedLpOrder(recs)), std::nullopt);
+  // Ground truth: the concurrent history *is* linearizable.
+  auto verdict = CheckLinearizable(HistoryFromRecords(recs));
+  EXPECT_TRUE(verdict.linearizable);
+}
+
+// The same schedule with the helper disabled: the monitor must report a
+// refinement violation at the mkdir (its abstract op, run at its concrete
+// LP, fails with ENOENT while the concrete op succeeded).
+TEST_F(ScenarioTest, Fig1FixedLpModeFailsRefinement) {
+  CrlhMonitor::Options opts;
+  opts.fixed_lp_mode = true;
+  opts.check_invariants = false;  // isolate the refinement verdict
+  Build(opts);
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  const Inum ino_a = InoOf("/a");
+
+  OpThread mkdir_op([&] { EXPECT_TRUE(fs_->Mkdir("/a/b/c").ok()); });
+  gate_.Arm(mkdir_op.tid(), GateObserver::Point::kLockReleased, ino_a);
+  mkdir_op.Go();
+  gate_.WaitParked(mkdir_op.tid());
+  EXPECT_TRUE(fs_->Rename("/a", "/e").ok());
+  gate_.Open(mkdir_op.tid());
+  mkdir_op.Join();
+
+  EXPECT_FALSE(monitor_->ok());
+  bool found_refinement = false;
+  for (const auto& v : monitor_->violations()) {
+    if (v.find("REFINEMENT") != std::string::npos) {
+      found_refinement = true;
+    }
+  }
+  EXPECT_TRUE(found_refinement);
+}
+
+// Figure 4(b) flavour: a read-side operation (stat) is helped. The stat's
+// result must be computed against the pre-rename tree even though it
+// concretely finishes afterwards.
+TEST_F(ScenarioTest, RenameHelpsStat) {
+  Build();
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs_->Mknod("/a/b/f").ok());
+  ASSERT_TRUE(WriteString(*fs_, "/a/b/f", "xyz").ok());
+  const Inum ino_b = InoOf("/a/b");
+
+  OpThread stat_op([&] {
+    auto attr = fs_->Stat("/a/b/f");
+    ASSERT_TRUE(attr.ok());
+    EXPECT_EQ(attr->size, 3u);
+  });
+  // Park after releasing b: the stat holds only f. LockPath (root,a,b,f).
+  gate_.Arm(stat_op.tid(), GateObserver::Point::kLockReleased, ino_b);
+  stat_op.Go();
+  gate_.WaitParked(stat_op.tid());
+
+  // This rename's SrcPath (root, a, b) is a prefix of the stat's LockPath.
+  EXPECT_TRUE(fs_->Rename("/a/b", "/g").ok());
+  EXPECT_EQ(monitor_->helped_ops(), 1u);
+
+  gate_.Open(stat_op.tid());
+  stat_op.Join();
+
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+  auto recs = monitor_->Completed();
+  EXPECT_EQ(ReplayOrder(HistoryFromRecords(recs), HelperOrder(recs)), std::nullopt);
+  EXPECT_TRUE(CheckLinearizable(HistoryFromRecords(recs)).linearizable);
+}
+
+// Figure 4(c): recursive path inter-dependency. t1's rename helps t2's
+// rename, which in turn forces t3's stat to be helped and ordered before t2.
+TEST_F(ScenarioTest, Fig4cRecursiveDependency) {
+  Build();
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/e").ok());
+  ASSERT_TRUE(fs_->Mknod("/a/e/f").ok());
+  ASSERT_TRUE(fs_->Mkdir("/b").ok());
+  ASSERT_TRUE(fs_->Mkdir("/b/c").ok());
+  ASSERT_TRUE(fs_->Mkdir("/b/c/d").ok());
+  const Inum ino_e = InoOf("/a/e");
+
+  // t3: stat(/a/e/f), parked holding only f.
+  OpThread t3([&] { EXPECT_TRUE(fs_->Stat("/a/e/f").ok()); });
+  gate_.Arm(t3.tid(), GateObserver::Point::kLockReleased, ino_e);
+  t3.Go();
+  gate_.WaitParked(t3.tid());
+
+  // t2: rename(/a/e, /b/c/d/e), parked right after releasing the last common
+  // inode (the root): it holds sdir=a and ddir=d, with SrcPath (root,a) and
+  // DestPath (root,b,c,d).
+  OpThread t2([&] { EXPECT_TRUE(fs_->Rename("/a/e", "/b/c/d/e").ok()); });
+  gate_.Arm(t2.tid(), GateObserver::Point::kLockReleased, kRootInum);
+  t2.Go();
+  gate_.WaitParked(t2.tid());
+
+  // t1: rename(/b/c, /b/g) runs to completion. Its SrcPath (root,b,c) is a
+  // strict prefix of t2's DestPath, and t3's LockPath extends t2's SrcPath:
+  // both must be helped, t3 before t2.
+  EXPECT_TRUE(fs_->Rename("/b/c", "/b/g").ok());
+  EXPECT_EQ(monitor_->helped_ops(), 2u);
+
+  gate_.Open(t3.tid());
+  t3.Join();
+  gate_.Open(t2.tid());
+  t2.Join();
+
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+  // The moved file ends up below the doubly-renamed path.
+  EXPECT_TRUE(fs_->Stat("/b/g/d/e/f").ok());
+
+  auto recs = monitor_->Completed();  // includes the observed setup ops
+  EXPECT_EQ(ReplayOrder(HistoryFromRecords(recs), HelperOrder(recs)), std::nullopt);
+  EXPECT_NE(ReplayOrder(HistoryFromRecords(recs), FixedLpOrder(recs)), std::nullopt);
+  EXPECT_TRUE(CheckLinearizable(HistoryFromRecords(recs)).linearizable);
+
+  // The helped stat must be ordered before the helped rename (t2), which is
+  // ordered before the helper (t1).
+  uint64_t stat_abs = 0;
+  uint64_t t2_abs = 0;
+  uint64_t t1_abs = 0;
+  for (const auto& r : recs) {
+    if (r.call.kind == OpKind::kStat && r.call.a.ToString() == "/a/e/f") {
+      stat_abs = r.abs_seq;
+      EXPECT_TRUE(r.helped);
+    } else if (r.call.kind == OpKind::kRename && r.call.a.ToString() == "/a/e") {
+      t2_abs = r.abs_seq;
+      EXPECT_TRUE(r.helped);
+    } else if (r.call.kind == OpKind::kRename && r.call.a.ToString() == "/b/c") {
+      t1_abs = r.abs_seq;
+      EXPECT_FALSE(r.helped);
+    }
+  }
+  ASSERT_NE(stat_abs, 0u);
+  ASSERT_NE(t2_abs, 0u);
+  ASSERT_NE(t1_abs, 0u);
+  EXPECT_LT(stat_abs, t2_abs);
+  EXPECT_LT(t2_abs, t1_abs);
+}
+
+// A rename whose destination victim is a populated-then-emptied directory,
+// overlapping with a deep read: exercises helping together with a dnode
+// replacement.
+TEST_F(ScenarioTest, RenameWithVictimHelpsReader) {
+  Build();
+  ASSERT_TRUE(fs_->Mkdir("/src").ok());
+  ASSERT_TRUE(fs_->Mknod("/src/f").ok());
+  ASSERT_TRUE(fs_->Mkdir("/victim").ok());
+  const Inum ino_src = InoOf("/src");
+
+  OpThread reader([&] {
+    auto attr = fs_->Stat("/src/f");
+    EXPECT_TRUE(attr.ok());
+  });
+  gate_.Arm(reader.tid(), GateObserver::Point::kLockReleased, ino_src);
+  reader.Go();
+  gate_.WaitParked(reader.tid());
+
+  EXPECT_TRUE(fs_->Rename("/src", "/victim").ok());
+  EXPECT_EQ(monitor_->helped_ops(), 1u);
+
+  gate_.Open(reader.tid());
+  reader.Join();
+
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+  EXPECT_TRUE(fs_->Stat("/victim/f").ok());
+}
+
+// A helped delete: its FutLockPath must predict the target lock from the
+// pre-Aop abstract state (regression: computing it after the helped UNLINK
+// removed the target made the concrete target lock look like a bypass).
+TEST_F(ScenarioTest, RenameHelpsUnlink) {
+  Build();
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs_->Mknod("/a/b/x").ok());
+  const Inum ino_a = InoOf("/a");
+
+  OpThread unlink_op([&] { EXPECT_TRUE(fs_->Unlink("/a/b/x").ok()); });
+  gate_.Arm(unlink_op.tid(), GateObserver::Point::kLockReleased, ino_a);
+  unlink_op.Go();
+  gate_.WaitParked(unlink_op.tid());
+
+  EXPECT_TRUE(fs_->Rename("/a", "/z").ok());
+  EXPECT_EQ(monitor_->helped_ops(), 1u);
+
+  gate_.Open(unlink_op.tid());
+  unlink_op.Join();
+
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+  EXPECT_EQ(fs_->Stat("/z/b/x").status().code(), Errc::kNoEnt);
+}
+
+// Same for a helped rmdir of an empty directory.
+TEST_F(ScenarioTest, RenameHelpsRmdir) {
+  Build();
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b/d").ok());
+  const Inum ino_a = InoOf("/a");
+
+  OpThread rmdir_op([&] { EXPECT_TRUE(fs_->Rmdir("/a/b/d").ok()); });
+  gate_.Arm(rmdir_op.tid(), GateObserver::Point::kLockReleased, ino_a);
+  rmdir_op.Go();
+  gate_.WaitParked(rmdir_op.tid());
+
+  EXPECT_TRUE(fs_->Rename("/a", "/z").ok());
+  EXPECT_EQ(monitor_->helped_ops(), 1u);
+
+  gate_.Open(rmdir_op.tid());
+  rmdir_op.Join();
+
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+}
+
+// Abstract-concrete relation mid-flight: while a helped mkdir is still
+// parked, the abstract state runs ahead; the roll-back mechanism must
+// reconcile it with the concrete snapshot.
+TEST_F(ScenarioTest, RollbackRelationHoldsMidFlight) {
+  Build();
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  const Inum ino_a = InoOf("/a");
+
+  OpThread mkdir_op([&] { EXPECT_TRUE(fs_->Mkdir("/a/b/c").ok()); });
+  gate_.Arm(mkdir_op.tid(), GateObserver::Point::kLockReleased, ino_a);
+  mkdir_op.Go();
+  gate_.WaitParked(mkdir_op.tid());
+
+  EXPECT_TRUE(fs_->Rename("/a", "/e").ok());
+  ASSERT_EQ(monitor_->Helplist().size(), 1u);
+
+  // The abstract tree already contains /e/b/c; the concrete tree does not.
+  // Rolling back the helped mkdir's effect must reconcile them.
+  EXPECT_TRUE(monitor_->CheckAbstractConcreteRelation(fs_->SnapshotSpec()));
+
+  gate_.Open(mkdir_op.tid());
+  mkdir_op.Join();
+  EXPECT_TRUE(monitor_->Helplist().empty());
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+}
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,203 @@
+// Randomized concurrency stress under full CRL-H monitoring.
+//
+// Many threads hammer a small shared namespace (to maximize conflicts and
+// path inter-dependencies) while the monitor checks refinement and the
+// Table-1 invariants online; afterwards the abstract and concrete trees must
+// coincide. Small-history variants cross-check the monitor's verdict against
+// the exhaustive Wing&Gong checker.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/core/atom_fs.h"
+#include "src/crlh/lin_check.h"
+#include "src/crlh/monitor.h"
+#include "src/util/rand.h"
+
+namespace atomfs {
+namespace {
+
+// Small namespace: up to depth 3 over 4 names, so concurrent renames
+// constantly break each other's paths.
+Path RandomPath(Rng& rng, size_t max_depth = 3) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  Path p;
+  const size_t depth = rng.Between(1, max_depth);
+  for (size_t i = 0; i < depth; ++i) {
+    p.parts.emplace_back(kNames[rng.Below(4)]);
+  }
+  return p;
+}
+
+OpCall RandomCall(Rng& rng) {
+  switch (rng.Below(12)) {
+    case 0:
+    case 1:
+      return OpCall::MkdirOf(RandomPath(rng));
+    case 2:
+      return OpCall::MknodOf(RandomPath(rng));
+    case 3:
+      return OpCall::RmdirOf(RandomPath(rng));
+    case 4:
+      return OpCall::UnlinkOf(RandomPath(rng));
+    case 5:
+    case 6:
+    case 7:
+      return OpCall::RenameOf(RandomPath(rng), RandomPath(rng));
+    case 8:
+      return OpCall::StatOf(RandomPath(rng));
+    case 9:
+      return OpCall::ReadDirOf(RandomPath(rng));
+    case 10:
+      return OpCall::ReadOf(RandomPath(rng), rng.Below(16), rng.Between(1, 32));
+    default: {
+      std::vector<std::byte> payload(rng.Between(1, 32));
+      for (auto& b : payload) {
+        b = static_cast<std::byte>(rng.Below(256));
+      }
+      return OpCall::WriteOf(RandomPath(rng), rng.Below(16), std::move(payload));
+    }
+  }
+}
+
+struct StressParams {
+  uint64_t seed;
+  int threads;
+  int ops_per_thread;
+};
+
+class MonitoredStressTest : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(MonitoredStressTest, RefinementAndInvariantsHold) {
+  const StressParams params = GetParam();
+  CrlhMonitor monitor;
+  AtomFs::Options opts;
+  opts.observer = &monitor;
+  AtomFs fs(std::move(opts));
+
+  std::vector<std::thread> threads;
+  threads.reserve(params.threads);
+  for (int t = 0; t < params.threads; ++t) {
+    threads.emplace_back([&fs, &params, t] {
+      Rng rng(params.seed * 1000003 + t);
+      for (int i = 0; i < params.ops_per_thread; ++i) {
+        RunOp(fs, RandomCall(rng));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  ASSERT_TRUE(monitor.ok()) << monitor.violations()[0];
+  EXPECT_TRUE(monitor.CheckQuiescent(fs.SnapshotSpec()));
+  EXPECT_TRUE(monitor.Helplist().empty());
+
+  // The helper-derived linearization replays legally end-to-end.
+  auto recs = monitor.Completed();
+  std::vector<uint64_t> keys;
+  keys.reserve(recs.size());
+  for (const auto& r : recs) {
+    keys.push_back(r.abs_seq);
+  }
+  auto history = HistoryFromRecords(recs);
+  EXPECT_EQ(ReplayOrder(history, OrderBy(history, keys)), std::nullopt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, MonitoredStressTest,
+    ::testing::Values(StressParams{101, 4, 300}, StressParams{202, 4, 300},
+                      StressParams{303, 8, 150}, StressParams{404, 8, 150},
+                      StressParams{505, 2, 600}, StressParams{606, 6, 200},
+                      StressParams{707, 3, 400}, StressParams{808, 5, 240}));
+
+// Small histories: the monitor's accept verdict must agree with the
+// exhaustive Wing&Gong ground truth.
+class SmallHistoryTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SmallHistoryTest, MonitorAgreesWithWingGong) {
+  CrlhMonitor::Options mopts;
+  CrlhMonitor monitor(mopts);
+  AtomFs::Options opts;
+  opts.observer = &monitor;
+  AtomFs fs(std::move(opts));
+
+  constexpr int kThreads = 3;
+  constexpr int kOpsPerThread = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fs, t] {
+      Rng rng(GetParam() * 7919 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        RunOp(fs, RandomCall(rng));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  ASSERT_TRUE(monitor.ok()) << monitor.violations()[0];
+  auto verdict = CheckLinearizable(HistoryFromRecords(monitor.Completed()));
+  EXPECT_FALSE(verdict.aborted);
+  EXPECT_TRUE(verdict.linearizable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallHistoryTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// Deep-path stress: longer paths mean longer LockPaths and deeper helping
+// chains through renames of intermediate directories.
+TEST(DeepPathStress, RefinementHolds) {
+  CrlhMonitor monitor;
+  AtomFs::Options opts;
+  opts.observer = &monitor;
+  AtomFs fs(std::move(opts));
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&fs, t] {
+      Rng rng(31337 + t);
+      for (int i = 0; i < 200; ++i) {
+        OpCall call;
+        if (rng.Chance(1, 3)) {
+          call = OpCall::RenameOf(RandomPath(rng, 5), RandomPath(rng, 5));
+        } else if (rng.Chance(1, 2)) {
+          call = OpCall::MkdirOf(RandomPath(rng, 5));
+        } else {
+          call = OpCall::StatOf(RandomPath(rng, 5));
+        }
+        RunOp(fs, call);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  ASSERT_TRUE(monitor.ok()) << monitor.violations()[0];
+  EXPECT_TRUE(monitor.CheckQuiescent(fs.SnapshotSpec()));
+}
+
+// Unmonitored smoke under heavy thread counts: no deadlocks, no crashes, and
+// a final well-formed tree.
+TEST(UnmonitoredStress, SurvivesAndStaysWellFormed) {
+  AtomFs fs;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 12; ++t) {
+    threads.emplace_back([&fs, t] {
+      Rng rng(99991 + t);
+      for (int i = 0; i < 500; ++i) {
+        RunOp(fs, RandomCall(rng));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_TRUE(fs.SnapshotSpec().WellFormed());
+}
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,228 @@
+// Tests for the trace format: parse/format round trips, error handling,
+// recording via the observer, and record-then-replay equivalence across
+// implementations.
+
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/atom_fs.h"
+#include "src/naive/naive_fs.h"
+#include "src/util/rand.h"
+#include "src/workload/apps.h"
+
+namespace atomfs {
+namespace {
+
+TEST(TraceFormat, RoundTripsEveryKind) {
+  std::vector<OpCall> calls = {
+      OpCall::MkdirOf(*ParsePath("/d")),
+      OpCall::MknodOf(*ParsePath("/d/f")),
+      OpCall::RmdirOf(*ParsePath("/d/sub")),
+      OpCall::UnlinkOf(*ParsePath("/d/f")),
+      OpCall::RenameOf(*ParsePath("/d"), *ParsePath("/e")),
+      OpCall::ExchangeOf(*ParsePath("/x"), *ParsePath("/y")),
+      OpCall::StatOf(*ParsePath("/e")),
+      OpCall::ReadDirOf(*ParsePath("/")),
+      OpCall::ReadOf(*ParsePath("/e/f"), 128, 4096),
+      OpCall::WriteOf(*ParsePath("/e/f"), 7, {std::byte{0xde}, std::byte{0xad}}),
+      OpCall::TruncateOf(*ParsePath("/e/f"), 99),
+  };
+  std::ostringstream out;
+  WriteTrace(calls, out);
+  std::istringstream in(out.str());
+  auto parsed = ParseTrace(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), calls.size());
+  for (size_t i = 0; i < calls.size(); ++i) {
+    EXPECT_EQ(FormatTraceLine((*parsed)[i]), FormatTraceLine(calls[i])) << i;
+    EXPECT_EQ((*parsed)[i].kind, calls[i].kind);
+    EXPECT_EQ((*parsed)[i].a, calls[i].a);
+    EXPECT_EQ((*parsed)[i].b, calls[i].b);
+    EXPECT_EQ((*parsed)[i].offset, calls[i].offset);
+    EXPECT_EQ((*parsed)[i].data, calls[i].data);
+  }
+}
+
+TEST(TraceFormat, EmptyWritePayload) {
+  auto call = ParseTraceLine("write /f 0 -");
+  ASSERT_TRUE(call.ok());
+  EXPECT_TRUE(call->data.empty());
+  EXPECT_EQ(FormatTraceLine(*call), "write /f 0 -");
+}
+
+TEST(TraceFormat, CommentsAndBlanksSkipped) {
+  std::istringstream in("# a comment\n\n  \t\nmkdir /a\n# another\nstat /a\n");
+  auto parsed = ParseTrace(in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(TraceFormat, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseTraceLine("").ok());
+  EXPECT_FALSE(ParseTraceLine("frobnicate /a").ok());
+  EXPECT_FALSE(ParseTraceLine("mkdir").ok());
+  EXPECT_FALSE(ParseTraceLine("mkdir relative/path").ok());
+  EXPECT_FALSE(ParseTraceLine("rename /a").ok());
+  EXPECT_FALSE(ParseTraceLine("read /f zero 4").ok());
+  EXPECT_FALSE(ParseTraceLine("write /f 0 xyz").ok());   // bad hex
+  EXPECT_FALSE(ParseTraceLine("write /f 0 abc").ok());   // odd length
+  EXPECT_FALSE(ParseTraceLine("truncate /f").ok());
+}
+
+TEST(TraceReplay, ReplayReproducesState) {
+  std::istringstream in(
+      "mkdir /d\n"
+      "mknod /d/f\n"
+      "write /d/f 0 68690a\n"  // "hi\n"
+      "rename /d/f /d/g\n"
+      "stat /d/g\n");
+  auto calls = ParseTrace(in);
+  ASSERT_TRUE(calls.ok());
+  AtomFs fs;
+  auto stats = ReplayTrace(fs, *calls);
+  EXPECT_EQ(stats.ops, 5u);
+  EXPECT_EQ(stats.failed_ops, 0u);
+  EXPECT_EQ(ReadString(fs, "/d/g").value(), "hi\n");
+}
+
+TEST(TraceReplay, FailedOpsCounted) {
+  std::istringstream in("rmdir /missing\nmkdir /ok\n");
+  auto calls = ParseTrace(in);
+  ASSERT_TRUE(calls.ok());
+  AtomFs fs;
+  auto stats = ReplayTrace(fs, *calls);
+  EXPECT_EQ(stats.ops, 2u);
+  EXPECT_EQ(stats.failed_ops, 1u);
+}
+
+TEST(TraceRecorderTest, RecordsCompletedOps) {
+  TraceRecorder recorder;
+  AtomFs::Options opts;
+  opts.observer = &recorder;
+  AtomFs fs(std::move(opts));
+  EXPECT_TRUE(fs.Mkdir("/a").ok());
+  EXPECT_TRUE(fs.Mknod("/a/f").ok());
+  EXPECT_TRUE(fs.Rename("/a/f", "/a/g").ok());
+  auto calls = recorder.Take();
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(FormatTraceLine(calls[0]), "mkdir /a");
+  EXPECT_EQ(FormatTraceLine(calls[2]), "rename /a/f /a/g");
+  EXPECT_TRUE(recorder.Take().empty());
+}
+
+// Record a run on AtomFs, serialize, parse, replay on NaiveFs: final trees
+// must match (the trace is a faithful, portable reproduction of the run).
+TEST(TraceRecorderTest, RecordSerializeReplayAcrossImplementations) {
+  TraceRecorder recorder;
+  AtomFs::Options opts;
+  opts.observer = &recorder;
+  AtomFs original(std::move(opts));
+  TreeSpec spec;
+  spec.dirs = 4;
+  spec.files_per_dir = 3;
+  spec.max_file_bytes = 512;
+  BuildTree(original, "/src", spec);
+  ASSERT_TRUE(original.Rename("/src/d0", "/src/renamed").ok());
+  ASSERT_TRUE(original.Exchange("/src/d1", "/src/d2").ok());
+
+  std::ostringstream serialized;
+  WriteTrace(recorder.Take(), serialized);
+  std::istringstream in(serialized.str());
+  auto calls = ParseTrace(in);
+  ASSERT_TRUE(calls.ok());
+
+  NaiveFs replayed;
+  auto stats = ReplayTrace(replayed, *calls);
+  EXPECT_EQ(stats.failed_ops, 0u);
+  EXPECT_TRUE(StructurallyEqual(original.SnapshotSpec(), replayed.SnapshotSpec()));
+}
+
+// Random op streams survive the round trip byte-for-byte.
+TEST(TraceFormat, FuzzRoundTrip) {
+  Rng rng(424242);
+  static const char* kNames[] = {"alpha", "beta", "gamma"};
+  auto random_path = [&rng]() {
+    Path p;
+    const size_t depth = rng.Between(1, 4);
+    for (size_t i = 0; i < depth; ++i) {
+      p.parts.emplace_back(kNames[rng.Below(3)]);
+    }
+    return p;
+  };
+  std::vector<OpCall> calls;
+  for (int i = 0; i < 500; ++i) {
+    switch (rng.Below(6)) {
+      case 0:
+        calls.push_back(OpCall::MkdirOf(random_path()));
+        break;
+      case 1:
+        calls.push_back(OpCall::RenameOf(random_path(), random_path()));
+        break;
+      case 2:
+        calls.push_back(OpCall::ReadOf(random_path(), rng.Below(1 << 20), rng.Below(1 << 16)));
+        break;
+      case 3: {
+        std::vector<std::byte> data(rng.Below(64));
+        for (auto& b : data) {
+          b = static_cast<std::byte>(rng.Below(256));
+        }
+        calls.push_back(OpCall::WriteOf(random_path(), rng.Below(4096), std::move(data)));
+        break;
+      }
+      case 4:
+        calls.push_back(OpCall::TruncateOf(random_path(), rng.Below(1 << 20)));
+        break;
+      default:
+        calls.push_back(OpCall::ExchangeOf(random_path(), random_path()));
+        break;
+    }
+  }
+  std::ostringstream out;
+  WriteTrace(calls, out);
+  std::istringstream in(out.str());
+  auto parsed = ParseTrace(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), calls.size());
+  std::ostringstream out2;
+  WriteTrace(*parsed, out2);
+  EXPECT_EQ(out.str(), out2.str());
+}
+
+// State snapshots: export the tree as a trace, replay onto a fresh FS, and
+// get a structurally identical tree back.
+TEST(TraceExport, SnapshotRoundTrip) {
+  AtomFs fs;
+  TreeSpec spec;
+  spec.dirs = 5;
+  spec.files_per_dir = 4;
+  spec.max_file_bytes = 600;
+  BuildTree(fs, "/data", spec);
+  ASSERT_TRUE(fs.Rename("/data/d0", "/data/moved").ok());
+
+  auto calls = ExportAsTrace(fs.SnapshotSpec());
+  AtomFs restored;
+  auto stats = ReplayTrace(restored, calls);
+  EXPECT_EQ(stats.failed_ops, 0u);
+  EXPECT_TRUE(StructurallyEqual(fs.SnapshotSpec(), restored.SnapshotSpec()));
+
+  // And it survives serialization.
+  std::ostringstream out;
+  WriteTrace(calls, out);
+  std::istringstream in(out.str());
+  auto parsed = ParseTrace(in);
+  ASSERT_TRUE(parsed.ok());
+  AtomFs restored2;
+  ReplayTrace(restored2, *parsed);
+  EXPECT_TRUE(StructurallyEqual(fs.SnapshotSpec(), restored2.SnapshotSpec()));
+}
+
+TEST(TraceExport, EmptyTreeExportsNothing) {
+  SpecFs empty;
+  EXPECT_TRUE(ExportAsTrace(empty).empty());
+}
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,194 @@
+// Unit tests for the utility substrate: Status/Result, the PRNG, summary
+// statistics, histograms, the per-op overhead decorator, and thread ids.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "src/core/atom_fs.h"
+#include "src/util/rand.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+#include "src/util/tid.h"
+#include "src/vfs/overhead_fs.h"
+
+namespace atomfs {
+namespace {
+
+TEST(Status, OkAndErrors) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), Errc::kOk);
+  Status err(Errc::kNoEnt);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err, Status(Errc::kNoEnt));
+  EXPECT_NE(err, ok);
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(Errc::kXDev); ++c) {
+    EXPECT_NE(ErrcName(static_cast<Errc>(c)), "UNKNOWN") << c;
+  }
+}
+
+TEST(ResultT, ValueAndStatus) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(good.status().ok());
+  Result<int> bad(Errc::kBusy);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Errc::kBusy);
+}
+
+TEST(ResultT, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(100);
+  bool differs = false;
+  Rng a2(99);
+  for (int i = 0; i < 16; ++i) {
+    differs = differs || (a2.Next() != c.Next());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    const uint64_t v = rng.Between(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NameGeneratesLowercaseIdentifiers) {
+  Rng rng(8);
+  std::set<std::string> names;
+  for (int i = 0; i < 50; ++i) {
+    const std::string n = rng.Name(8);
+    ASSERT_EQ(n.size(), 8u);
+    for (char c : n) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+    names.insert(n);
+  }
+  EXPECT_GT(names.size(), 40u);  // collisions should be rare
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  Rng rng(77);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.Chance(1, 4) ? 1 : 0;
+  }
+  EXPECT_GT(hits, 2200);
+  EXPECT_LT(hits, 2800);
+}
+
+TEST(Summary, WelfordMatchesDirectComputation) {
+  Summary s;
+  const double xs[] = {1, 2, 3, 4, 100};
+  for (double x : xs) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 22.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  // Sample stddev of {1,2,3,4,100}.
+  double mean = 22.0;
+  double acc = 0;
+  for (double x : xs) {
+    acc += (x - mean) * (x - mean);
+  }
+  EXPECT_NEAR(s.stddev(), std::sqrt(acc / 4), 1e-9);
+}
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    h.Add(rng.Between(100, 100000));
+  }
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_GT(h.MeanNanos(), 0.0);
+  EXPECT_LE(h.PercentileNanos(0.5), h.PercentileNanos(0.9));
+  EXPECT_LE(h.PercentileNanos(0.9), h.PercentileNanos(0.99));
+}
+
+TEST(Padding, PadsAndTruncatesNothing) {
+  EXPECT_EQ(PadLeft("x", 4), "   x");
+  EXPECT_EQ(PadRight("x", 4), "x   ");
+  EXPECT_EQ(PadLeft("long", 2), "long");
+  EXPECT_EQ(FormatSeconds(1.5), "1.500");
+}
+
+TEST(CurrentTidTest, StablePerThreadUniqueAcrossThreads) {
+  const Tid mine = CurrentTid();
+  EXPECT_EQ(CurrentTid(), mine);
+  Tid other = 0;
+  std::thread t([&other] { other = CurrentTid(); });
+  t.join();
+  EXPECT_NE(other, 0u);
+  EXPECT_NE(other, mine);
+}
+
+TEST(OverheadFsTest, ForwardsAllOperations) {
+  AtomFs inner;
+  OverheadFs fs(&inner, &Executor::Real(), /*per_op_ns=*/0);
+  EXPECT_TRUE(fs.Mkdir("/d").ok());
+  EXPECT_TRUE(fs.Mknod("/d/f").ok());
+  EXPECT_TRUE(WriteString(fs, "/d/f", "abc").ok());
+  EXPECT_EQ(ReadString(fs, "/d/f").value(), "abc");
+  EXPECT_TRUE(fs.Rename("/d/f", "/d/g").ok());
+  EXPECT_TRUE(fs.Mknod("/d/f2").ok());
+  EXPECT_TRUE(fs.Exchange("/d/g", "/d/f2").ok());
+  EXPECT_TRUE(fs.Truncate("/d/g", 0).ok());
+  EXPECT_EQ(fs.Stat("/d")->size, 2u);
+  EXPECT_EQ(fs.ReadDir("/d")->size(), 2u);
+  EXPECT_TRUE(fs.Unlink("/d/g").ok());
+  EXPECT_TRUE(fs.Unlink("/d/f2").ok());
+  EXPECT_TRUE(fs.Rmdir("/d").ok());
+  // The inner fs saw everything.
+  EXPECT_EQ(inner.InodeCount(), 1u);
+}
+
+TEST(OverheadFsTest, RealOverheadCostsTime) {
+  AtomFs inner;
+  OverheadFs slow(&inner, &Executor::Real(), /*per_op_ns=*/200000);
+  WallTimer timer;
+  for (int i = 0; i < 50; ++i) {
+    slow.Stat("/");
+  }
+  // 50 ops x 0.2ms >= 10ms of injected busy-wait.
+  EXPECT_GE(timer.ElapsedNanos(), 10'000'000u);
+}
+
+}  // namespace
+}  // namespace atomfs

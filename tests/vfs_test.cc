@@ -1,0 +1,150 @@
+// Tests for the FD layer (src/vfs/vfs.h): open flags, cursors, and the
+// path-re-resolution semantics of §5.4.
+
+#include "src/vfs/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/atom_fs.h"
+
+namespace atomfs {
+namespace {
+
+std::span<const std::byte> Bytes(std::string_view s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+class VfsTest : public ::testing::Test {
+ protected:
+  VfsTest() : vfs_(&fs_) {}
+
+  std::string ReadAll(Fd fd, size_t cap = 256) {
+    std::string out(cap, '\0');
+    auto n = vfs_.Pread(fd, 0, std::as_writable_bytes(std::span<char>(out.data(), out.size())));
+    EXPECT_TRUE(n.ok());
+    out.resize(*n);
+    return out;
+  }
+
+  AtomFs fs_;
+  Vfs vfs_;
+};
+
+TEST_F(VfsTest, OpenCreateWriteReadClose) {
+  auto fd = vfs_.Open("/f", OpenFlags::kCreate | OpenFlags::kWrite | OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  auto w = vfs_.Write(*fd, Bytes("hello"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(*w, 5u);
+  EXPECT_EQ(ReadAll(*fd), "hello");
+  EXPECT_TRUE(vfs_.Close(*fd).ok());
+  EXPECT_EQ(vfs_.OpenCount(), 0u);
+}
+
+TEST_F(VfsTest, CursorAdvancesOnReadAndWrite) {
+  auto fd = vfs_.Open("/f", OpenFlags::kCreate | OpenFlags::kWrite | OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("abc")).ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("def")).ok());
+  EXPECT_EQ(ReadAll(*fd), "abcdef");
+  ASSERT_TRUE(vfs_.Seek(*fd, 1).ok());
+  std::string buf(2, '\0');
+  auto n = vfs_.Read(*fd, std::as_writable_bytes(std::span<char>(buf.data(), 2)));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf, "bc");
+  // Cursor moved to 3; next read continues there.
+  auto n2 = vfs_.Read(*fd, std::as_writable_bytes(std::span<char>(buf.data(), 2)));
+  ASSERT_TRUE(n2.ok());
+  EXPECT_EQ(buf, "de");
+}
+
+TEST_F(VfsTest, OpenFlagsSemantics) {
+  // O_EXCL on existing file.
+  ASSERT_TRUE(fs_.Mknod("/f").ok());
+  EXPECT_EQ(vfs_.Open("/f", OpenFlags::kCreate | OpenFlags::kExcl).status().code(),
+            Errc::kExist);
+  // O_CREAT on existing file is fine.
+  EXPECT_TRUE(vfs_.Open("/f", OpenFlags::kCreate | OpenFlags::kRead).ok());
+  // Missing file without O_CREAT.
+  EXPECT_EQ(vfs_.Open("/g", OpenFlags::kRead).status().code(), Errc::kNoEnt);
+  // O_TRUNC empties the file.
+  ASSERT_TRUE(fs_.Write("/f", 0, Bytes("stale")).ok());
+  auto fd = vfs_.Open("/f", OpenFlags::kWrite | OpenFlags::kTrunc | OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fs_.Stat("/f")->size, 0u);
+  // Writing through a read-only fd is refused.
+  auto ro = vfs_.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(ro.ok());
+  EXPECT_EQ(vfs_.Write(*ro, Bytes("x")).status().code(), Errc::kAccess);
+  EXPECT_EQ(vfs_.Ftruncate(*ro, 0).code(), Errc::kAccess);
+}
+
+TEST_F(VfsTest, AppendMode) {
+  auto fd = vfs_.Open("/log", OpenFlags::kCreate | OpenFlags::kWrite | OpenFlags::kAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("one")).ok());
+  // Another writer extends the file; our append still lands at the new end.
+  ASSERT_TRUE(fs_.Write("/log", 3, Bytes("two")).ok());
+  ASSERT_TRUE(vfs_.Write(*fd, Bytes("three")).ok());
+  EXPECT_EQ(ReadString(fs_, "/log").value(), "onetwothree");
+}
+
+TEST_F(VfsTest, DirectoriesOpenReadOnly) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.Mknod("/d/f").ok());
+  EXPECT_EQ(vfs_.Open("/d", OpenFlags::kWrite).status().code(), Errc::kIsDir);
+  auto fd = vfs_.Open("/d", OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  auto entries = vfs_.ReadDirFd(*fd);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].name, "f");
+}
+
+TEST_F(VfsTest, BadFdErrors) {
+  std::byte buf[4];
+  EXPECT_EQ(vfs_.Read(99, buf).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Write(99, Bytes("x")).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Fstat(99).status().code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Close(99).code(), Errc::kBadFd);
+  EXPECT_EQ(vfs_.Seek(99, 0).status().code(), Errc::kBadFd);
+}
+
+TEST_F(VfsTest, FdsAreDistinct) {
+  auto fd1 = vfs_.Open("/a", OpenFlags::kCreate | OpenFlags::kWrite);
+  auto fd2 = vfs_.Open("/b", OpenFlags::kCreate | OpenFlags::kWrite);
+  ASSERT_TRUE(fd1.ok());
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_NE(*fd1, *fd2);
+  ASSERT_TRUE(vfs_.Write(*fd1, Bytes("one")).ok());
+  ASSERT_TRUE(vfs_.Write(*fd2, Bytes("two")).ok());
+  EXPECT_EQ(ReadString(fs_, "/a").value(), "one");
+  EXPECT_EQ(ReadString(fs_, "/b").value(), "two");
+}
+
+// §5.4: an fd is a *path* handle. After a rename, access through the fd
+// follows the old path — which may now name nothing (ENOENT) or a different
+// file. This is the documented AtomFS/FUSE prototype behavior.
+TEST_F(VfsTest, FdFollowsPathAcrossRename) {
+  ASSERT_TRUE(WriteString(fs_, "/f", "original").ok());
+  auto fd = vfs_.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_.Rename("/f", "/g").ok());
+  std::byte buf[8];
+  EXPECT_EQ(vfs_.Pread(*fd, 0, buf).status().code(), Errc::kNoEnt);
+  // A new file appearing at the old path is what the fd now sees.
+  ASSERT_TRUE(WriteString(fs_, "/f", "impostor").ok());
+  EXPECT_EQ(ReadAll(*fd), "impostor");
+}
+
+TEST_F(VfsTest, FstatReResolves) {
+  ASSERT_TRUE(WriteString(fs_, "/f", "12345").ok());
+  auto fd = vfs_.Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(vfs_.Fstat(*fd)->size, 5u);
+  ASSERT_TRUE(fs_.Truncate("/f", 2).ok());
+  EXPECT_EQ(vfs_.Fstat(*fd)->size, 2u);
+}
+
+}  // namespace
+}  // namespace atomfs

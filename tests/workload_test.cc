@@ -1,0 +1,208 @@
+// Smoke and correctness tests for the workload drivers (src/workload),
+// including running the Filebench profiles on the virtual-time simulator.
+
+#include <gtest/gtest.h>
+
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/sim/executor.h"
+#include "src/workload/apps.h"
+#include "src/workload/filebench.h"
+#include "src/workload/lfs.h"
+
+namespace atomfs {
+namespace {
+
+TEST(LfsWorkload, LargeFileWritesAndReadsAllBytes) {
+  AtomFs fs;
+  auto stats = RunLargeFile(fs, /*file_bytes=*/1 << 20, /*chunk=*/64 << 10);
+  EXPECT_EQ(stats.bytes, 2u << 20);  // written + read
+  // The benchmark cleans up after itself.
+  EXPECT_EQ(fs.Stat("/largefile").status().code(), Errc::kNoEnt);
+  EXPECT_EQ(fs.InodeCount(), 1u);
+}
+
+TEST(LfsWorkload, SmallFileCreatesReadsDeletes) {
+  AtomFs fs;
+  auto stats = RunSmallFile(fs, /*files=*/100, /*file_bytes=*/1024);
+  EXPECT_EQ(stats.bytes, 2u * 100 * 1024);
+  EXPECT_EQ(fs.InodeCount(), 1u);
+}
+
+TEST(AppWorkload, BuildTreeShape) {
+  AtomFs fs;
+  TreeSpec spec;
+  spec.dirs = 4;
+  spec.files_per_dir = 3;
+  BuildTree(fs, "/src", spec);
+  EXPECT_EQ(fs.Stat("/src")->size, 4u);
+  auto entries = fs.ReadDir("/src/d0");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);
+}
+
+TEST(AppWorkload, GitCloneCreatesWorkTree) {
+  AtomFs fs;
+  TreeSpec spec;
+  spec.dirs = 3;
+  spec.files_per_dir = 2;
+  spec.max_file_bytes = 2048;
+  auto stats = RunGitClone(fs, "/repo", spec);
+  EXPECT_GT(stats.ops, 0u);
+  EXPECT_TRUE(fs.Stat("/repo").ok());
+  EXPECT_TRUE(fs.Stat("/repo-git").ok());
+  EXPECT_TRUE(fs.Stat("/repo/d0").ok());
+}
+
+TEST(AppWorkload, MakeBuildEmitsObjectsAndBinary) {
+  AtomFs fs;
+  TreeSpec spec;
+  spec.dirs = 2;
+  spec.files_per_dir = 2;
+  BuildTree(fs, "/src", spec);
+  auto stats = RunMakeBuild(fs, "/src");
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_TRUE(fs.Stat("/src/bin").ok());
+  EXPECT_TRUE(fs.Stat("/src/d0/src0.c.o").ok());
+}
+
+TEST(AppWorkload, CopyTreeIsFaithful) {
+  AtomFs fs;
+  TreeSpec spec;
+  spec.dirs = 3;
+  spec.files_per_dir = 2;
+  BuildTree(fs, "/src", spec);
+  RunCopyTree(fs, "/src", "/dst");
+  auto src_file = ReadString(fs, "/src/d1/src1.c");
+  auto dst_file = ReadString(fs, "/dst/d1/src1.c");
+  ASSERT_TRUE(src_file.ok());
+  ASSERT_TRUE(dst_file.ok());
+  EXPECT_EQ(*src_file, *dst_file);
+}
+
+TEST(AppWorkload, GrepFindsPlantedNeedles) {
+  AtomFs fs;
+  TreeSpec spec;
+  spec.dirs = 4;
+  spec.files_per_dir = 4;
+  spec.min_file_bytes = 4096;
+  spec.max_file_bytes = 8192;
+  BuildTree(fs, "/src", spec);
+  auto stats = RunGrep(fs, "/src", "needle");
+  EXPECT_GT(stats.matches, 0u);  // MakeContent plants the word
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(Filebench, SetupPopulatesProfile) {
+  AtomFs fs;
+  FilebenchProfile profile;
+  profile.name = "mini";
+  profile.dirs = 4;
+  profile.files = 32;
+  profile.file_bytes = 1024;
+  FilebenchSetup(fs, profile, 1);
+  EXPECT_EQ(fs.Stat("/fb")->size, 4u);
+  uint64_t files = 0;
+  for (uint32_t d = 0; d < profile.dirs; ++d) {
+    files += fs.Stat("/fb/d" + std::to_string(d))->size;
+  }
+  EXPECT_EQ(files, 32u);
+}
+
+TEST(Filebench, WorkerRunsRequestedOps) {
+  AtomFs fs;
+  FilebenchProfile profile;
+  profile.name = "mini";
+  profile.dirs = 4;
+  profile.files = 32;
+  profile.file_bytes = 1024;
+  profile.io_bytes = 512;
+  FilebenchSetup(fs, profile, 1);
+  auto stats = FilebenchWorker(fs, profile, 7, 200);
+  EXPECT_GE(stats.ops, 200u);
+  EXPECT_LT(stats.failures, stats.ops);
+  EXPECT_TRUE(fs.SnapshotSpec().WellFormed());
+}
+
+TEST(Filebench, VarmailProfileRuns) {
+  AtomFs fs;
+  FilebenchProfile profile = FilebenchProfile::Varmail();
+  profile.files = 64;  // shrink for a unit test
+  profile.dirs = 4;
+  FilebenchSetup(fs, profile, 5);
+  auto stats = FilebenchWorker(fs, profile, 13, 200);
+  EXPECT_GE(stats.ops, 200u);
+  EXPECT_TRUE(fs.SnapshotSpec().WellFormed());
+}
+
+TEST(Filebench, WebproxyProfileRuns) {
+  AtomFs fs;
+  FilebenchProfile profile = FilebenchProfile::Webproxy();
+  profile.files = 64;  // shrink for a unit test
+  FilebenchSetup(fs, profile, 2);
+  auto stats = FilebenchWorker(fs, profile, 11, 200);
+  EXPECT_GE(stats.ops, 200u);
+  EXPECT_TRUE(fs.SnapshotSpec().WellFormed());
+}
+
+// The whole point: workloads run unmodified on the simulator, and adding
+// threads on more cores reduces the virtual makespan.
+TEST(Filebench, SimulatedScalingOnAtomFs) {
+  FilebenchProfile profile;
+  profile.name = "mini-fileserver";
+  profile.dirs = 32;
+  profile.files = 256;
+  profile.file_bytes = 4096;
+  profile.io_bytes = 4096;
+
+  auto run = [&](uint32_t cores, int threads) {
+    SimExecutor sim(cores);
+    AtomFs::Options opts;
+    opts.executor = &sim;
+    AtomFs fs(std::move(opts));
+    RunInSim(sim, [&] { FilebenchSetup(fs, profile, 3); });
+    const uint64_t start = sim.GlobalVirtualNanos();
+    for (int t = 0; t < threads; ++t) {
+      sim.Spawn([&fs, &profile, t] { FilebenchWorker(fs, profile, 100 + t, 400); });
+    }
+    sim.Run();
+    return sim.GlobalVirtualNanos() - start;
+  };
+
+  const uint64_t t1 = run(16, 1);
+  const uint64_t t8 = run(16, 8);
+  // 8 threads do 8x the operations; near-linear scaling keeps the makespan
+  // well under 8x (we only require > 2x concurrency gain here).
+  EXPECT_LT(t8, 4 * t1);
+}
+
+TEST(Filebench, BigLockDoesNotScale) {
+  // Same workload on BigLockFs: 8 threads' makespan is ~8x one thread's.
+  FilebenchProfile profile;
+  profile.name = "mini-fileserver";
+  profile.dirs = 32;
+  profile.files = 256;
+  profile.file_bytes = 4096;
+  profile.io_bytes = 4096;
+
+  auto run = [&](int threads) {
+    SimExecutor sim(16);
+    BigLockFs::Options opts;
+    opts.executor = &sim;
+    BigLockFs fs(opts);
+    RunInSim(sim, [&] { FilebenchSetup(fs, profile, 3); });
+    const uint64_t start = sim.GlobalVirtualNanos();
+    for (int t = 0; t < threads; ++t) {
+      sim.Spawn([&fs, &profile, t] { FilebenchWorker(fs, profile, 100 + t, 400); });
+    }
+    sim.Run();
+    return sim.GlobalVirtualNanos() - start;
+  };
+
+  const uint64_t t1 = run(1);
+  const uint64_t t8 = run(8);
+  EXPECT_GT(t8, 6 * t1);  // serialized: ~8x
+}
+
+}  // namespace
+}  // namespace atomfs

@@ -1,0 +1,240 @@
+// atomfs_verify: command-line linearizability verification driver.
+//
+// Modes:
+//   --trace FILE            Replay a sequential trace against AtomFS and the
+//                           abstract spec, reporting any divergence.
+//   --random                Generate a random concurrent program and explore
+//                           schedules (default mode).
+//
+// Random-mode options:
+//   --threads N             worker threads                (default 3)
+//   --ops N                 ops per thread                (default 6)
+//   --rename-pct P          percentage of rename ops      (default 30)
+//   --exchange-pct P        percentage of exchange ops    (default 10)
+//   --seed S                program generator seed        (default 1)
+//   --exhaustive            enumerate ALL schedules (else random sampling)
+//   --runs N                random schedules to sample    (default 500)
+//   --max-executions N      exhaustive-mode budget        (default 100000)
+//   --unsafe                disable lock coupling (expect violations!)
+//   --fs atomfs|retryfs|biglock
+//                           which file system to explore (default atomfs;
+//                           the non-atomfs designs are verified generically
+//                           with the Wing&Gong checker instead of the
+//                           CRL-H monitor)
+//
+// Exit code 0 = everything verified; 1 = a violation was found.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/afs/spec_fs.h"
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/crlh/explore.h"
+#include "src/retryfs/retry_fs.h"
+#include "src/util/rand.h"
+#include "src/workload/trace.h"
+
+namespace atomfs {
+namespace {
+
+Path RandomPath(Rng& rng) {
+  static const char* kNames[] = {"a", "b", "c", "d"};
+  Path p;
+  const size_t depth = rng.Between(1, 3);
+  for (size_t i = 0; i < depth; ++i) {
+    p.parts.emplace_back(kNames[rng.Below(4)]);
+  }
+  return p;
+}
+
+int VerifyTrace(const char* file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", file);
+    return 1;
+  }
+  auto calls = ParseTrace(in);
+  if (!calls.ok()) {
+    std::fprintf(stderr, "malformed trace: %s\n", ErrcName(calls.status().code()).data());
+    return 1;
+  }
+  AtomFs fs;
+  SpecFs spec;
+  for (size_t i = 0; i < calls->size(); ++i) {
+    const OpCall& call = (*calls)[i];
+    OpResult concrete = RunOp(fs, call);
+    OpResult abstract = RunOp(spec, call);
+    if (!ResultsEquivalent(call.kind, concrete, abstract)) {
+      std::printf("DIVERGENCE at line %zu: %s\n  concrete: %s\n  abstract: %s\n", i + 1,
+                  call.ToString().c_str(), concrete.ToString(call.kind).c_str(),
+                  abstract.ToString(call.kind).c_str());
+      return 1;
+    }
+  }
+  if (!StructurallyEqual(fs.SnapshotSpec(), spec)) {
+    std::printf("DIVERGENCE: final trees differ after %zu ops\n", calls->size());
+    return 1;
+  }
+  std::printf("trace verified: %zu ops, AtomFS == spec at every step\n", calls->size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace atomfs
+
+int main(int argc, char** argv) {
+  using namespace atomfs;
+
+  const char* trace_file = nullptr;
+  int threads = 3;
+  int ops = 6;
+  uint32_t rename_pct = 30;
+  uint32_t exchange_pct = 10;
+  uint64_t seed = 1;
+  bool exhaustive = false;
+  uint64_t runs = 500;
+  uint64_t max_executions = 100000;
+  bool unsafe = false;
+  std::string which_fs = "atomfs";
+
+  for (int i = 1; i < argc; ++i) {
+    auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg("--trace")) {
+      trace_file = next();
+    } else if (arg("--threads")) {
+      threads = std::atoi(next());
+    } else if (arg("--ops")) {
+      ops = std::atoi(next());
+    } else if (arg("--rename-pct")) {
+      rename_pct = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg("--exchange-pct")) {
+      exchange_pct = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg("--seed")) {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg("--exhaustive")) {
+      exhaustive = true;
+    } else if (arg("--runs")) {
+      runs = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg("--max-executions")) {
+      max_executions = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg("--unsafe")) {
+      unsafe = true;
+    } else if (arg("--fs")) {
+      which_fs = next();
+    } else if (arg("--random")) {
+      // default
+    } else {
+      std::fprintf(stderr, "unknown option %s (see header comment for usage)\n", argv[i]);
+      return 1;
+    }
+  }
+
+  if (trace_file != nullptr) {
+    return VerifyTrace(trace_file);
+  }
+
+  // Random concurrent program.
+  ConcurrentProgram program;
+  program.unsafe_no_coupling = unsafe;
+  program.setup_ops = {
+      OpCall::MkdirOf(*ParsePath("/a")),
+      OpCall::MkdirOf(*ParsePath("/a/b")),
+      OpCall::MkdirOf(*ParsePath("/c")),
+      OpCall::MknodOf(*ParsePath("/a/b/f")),
+  };
+  program.setup = [](FileSystem& fs) {
+    fs.Mkdir("/a");
+    fs.Mkdir("/a/b");
+    fs.Mkdir("/c");
+    fs.Mknod("/a/b/f");
+  };
+  Rng rng(seed);
+  for (int t = 0; t < threads; ++t) {
+    std::vector<OpCall> thread_ops;
+    for (int i = 0; i < ops; ++i) {
+      const uint64_t dice = rng.Below(100);
+      if (dice < rename_pct) {
+        thread_ops.push_back(OpCall::RenameOf(RandomPath(rng), RandomPath(rng)));
+      } else if (dice < rename_pct + exchange_pct) {
+        thread_ops.push_back(OpCall::ExchangeOf(RandomPath(rng), RandomPath(rng)));
+      } else {
+        switch (rng.Below(4)) {
+          case 0:
+            thread_ops.push_back(OpCall::MkdirOf(RandomPath(rng)));
+            break;
+          case 1:
+            thread_ops.push_back(OpCall::MknodOf(RandomPath(rng)));
+            break;
+          case 2:
+            thread_ops.push_back(OpCall::StatOf(RandomPath(rng)));
+            break;
+          default:
+            thread_ops.push_back(OpCall::UnlinkOf(RandomPath(rng)));
+            break;
+        }
+      }
+    }
+    program.threads.push_back(std::move(thread_ops));
+  }
+
+  ExploreStats stats;
+  if (which_fs != "atomfs") {
+    // Non-instrumented designs: generic Wing&Gong exploration. setup_ops
+    // replace the setup function (the history checker needs the ops).
+    program.setup = nullptr;
+    GenericFs factory;
+    if (which_fs == "retryfs") {
+      factory.make = [](Executor* ex) {
+        RetryFs::Options o;
+        o.executor = ex;
+        return std::make_unique<RetryFs>(o);
+      };
+    } else if (which_fs == "biglock") {
+      factory.make = [](Executor* ex) {
+        BigLockFs::Options o;
+        o.executor = ex;
+        return std::make_unique<BigLockFs>(o);
+      };
+    } else {
+      std::fprintf(stderr, "unknown --fs %s\n", which_fs.c_str());
+      return 1;
+    }
+    ExploreOptions options;
+    options.max_executions = exhaustive ? max_executions : runs;
+    stats = ExploreSchedulesWingGong(factory, program, options);
+  } else if (exhaustive) {
+    program.setup_ops.clear();  // the CRL-H explorer uses the setup function
+    ExploreOptions options;
+    options.max_executions = max_executions;
+    options.check_invariants = !unsafe;  // see explore.h
+    stats = ExploreSchedules(program, options);
+  } else {
+    program.setup_ops.clear();
+    stats = ExploreRandom(program, runs, seed * 7919 + 1);
+  }
+
+  std::printf("%s exploration: %llu schedule(s)%s, %llu with helping, %llu helped ops\n",
+              exhaustive ? "exhaustive" : "random",
+              static_cast<unsigned long long>(stats.executions),
+              stats.exhausted ? " (complete)" : "",
+              static_cast<unsigned long long>(stats.schedules_with_helping),
+              static_cast<unsigned long long>(stats.total_helped_ops));
+  if (stats.all_ok) {
+    std::printf("VERIFIED: every explored schedule is linearizable\n");
+    return 0;
+  }
+  std::printf("VIOLATION FOUND:\n");
+  for (const auto& msg : stats.failure_messages) {
+    std::printf("  %s\n", msg.c_str());
+  }
+  std::printf("failing schedule script:");
+  for (uint32_t c : stats.failing_script) {
+    std::printf(" %u", c);
+  }
+  std::printf("\n");
+  return 1;
+}
