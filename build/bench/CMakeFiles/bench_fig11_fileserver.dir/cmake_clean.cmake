@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fileserver.dir/bench_fig11_fileserver.cc.o"
+  "CMakeFiles/bench_fig11_fileserver.dir/bench_fig11_fileserver.cc.o.d"
+  "bench_fig11_fileserver"
+  "bench_fig11_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_varmail.dir/bench_fig11_varmail.cc.o"
+  "CMakeFiles/bench_fig11_varmail.dir/bench_fig11_varmail.cc.o.d"
+  "bench_fig11_varmail"
+  "bench_fig11_varmail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_varmail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

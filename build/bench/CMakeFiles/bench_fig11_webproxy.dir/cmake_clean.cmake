@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_webproxy.dir/bench_fig11_webproxy.cc.o"
+  "CMakeFiles/bench_fig11_webproxy.dir/bench_fig11_webproxy.cc.o.d"
+  "bench_fig11_webproxy"
+  "bench_fig11_webproxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_webproxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

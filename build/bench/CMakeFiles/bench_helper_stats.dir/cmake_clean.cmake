@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_helper_stats.dir/bench_helper_stats.cc.o"
+  "CMakeFiles/bench_helper_stats.dir/bench_helper_stats.cc.o.d"
+  "bench_helper_stats"
+  "bench_helper_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_helper_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

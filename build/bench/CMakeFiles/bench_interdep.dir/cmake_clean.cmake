@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interdep.dir/bench_interdep.cc.o"
+  "CMakeFiles/bench_interdep.dir/bench_interdep.cc.o.d"
+  "bench_interdep"
+  "bench_interdep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interdep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_loc.dir/bench_tab2_loc.cc.o"
+  "CMakeFiles/bench_tab2_loc.dir/bench_tab2_loc.cc.o.d"
+  "bench_tab2_loc"
+  "bench_tab2_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_workload.dir/concurrent_workload.cpp.o"
+  "CMakeFiles/concurrent_workload.dir/concurrent_workload.cpp.o.d"
+  "concurrent_workload"
+  "concurrent_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

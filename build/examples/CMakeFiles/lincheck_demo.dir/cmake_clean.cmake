@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lincheck_demo.dir/lincheck_demo.cpp.o"
+  "CMakeFiles/lincheck_demo.dir/lincheck_demo.cpp.o.d"
+  "lincheck_demo"
+  "lincheck_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lincheck_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

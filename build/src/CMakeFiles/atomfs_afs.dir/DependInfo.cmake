@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afs/op.cc" "src/CMakeFiles/atomfs_afs.dir/afs/op.cc.o" "gcc" "src/CMakeFiles/atomfs_afs.dir/afs/op.cc.o.d"
+  "/root/repo/src/afs/spec_fs.cc" "src/CMakeFiles/atomfs_afs.dir/afs/spec_fs.cc.o" "gcc" "src/CMakeFiles/atomfs_afs.dir/afs/spec_fs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atomfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atomfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

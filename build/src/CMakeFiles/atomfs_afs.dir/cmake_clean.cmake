@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_afs.dir/afs/op.cc.o"
+  "CMakeFiles/atomfs_afs.dir/afs/op.cc.o.d"
+  "CMakeFiles/atomfs_afs.dir/afs/spec_fs.cc.o"
+  "CMakeFiles/atomfs_afs.dir/afs/spec_fs.cc.o.d"
+  "libatomfs_afs.a"
+  "libatomfs_afs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_afs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_core.dir/core/atom_fs.cc.o"
+  "CMakeFiles/atomfs_core.dir/core/atom_fs.cc.o.d"
+  "CMakeFiles/atomfs_core.dir/core/dir_table.cc.o"
+  "CMakeFiles/atomfs_core.dir/core/dir_table.cc.o.d"
+  "CMakeFiles/atomfs_core.dir/core/file_data.cc.o"
+  "CMakeFiles/atomfs_core.dir/core/file_data.cc.o.d"
+  "libatomfs_core.a"
+  "libatomfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crlh/effects.cc" "src/CMakeFiles/atomfs_crlh.dir/crlh/effects.cc.o" "gcc" "src/CMakeFiles/atomfs_crlh.dir/crlh/effects.cc.o.d"
+  "/root/repo/src/crlh/explore.cc" "src/CMakeFiles/atomfs_crlh.dir/crlh/explore.cc.o" "gcc" "src/CMakeFiles/atomfs_crlh.dir/crlh/explore.cc.o.d"
+  "/root/repo/src/crlh/gate.cc" "src/CMakeFiles/atomfs_crlh.dir/crlh/gate.cc.o" "gcc" "src/CMakeFiles/atomfs_crlh.dir/crlh/gate.cc.o.d"
+  "/root/repo/src/crlh/ghost.cc" "src/CMakeFiles/atomfs_crlh.dir/crlh/ghost.cc.o" "gcc" "src/CMakeFiles/atomfs_crlh.dir/crlh/ghost.cc.o.d"
+  "/root/repo/src/crlh/lin_check.cc" "src/CMakeFiles/atomfs_crlh.dir/crlh/lin_check.cc.o" "gcc" "src/CMakeFiles/atomfs_crlh.dir/crlh/lin_check.cc.o.d"
+  "/root/repo/src/crlh/monitor.cc" "src/CMakeFiles/atomfs_crlh.dir/crlh/monitor.cc.o" "gcc" "src/CMakeFiles/atomfs_crlh.dir/crlh/monitor.cc.o.d"
+  "/root/repo/src/crlh/rg_check.cc" "src/CMakeFiles/atomfs_crlh.dir/crlh/rg_check.cc.o" "gcc" "src/CMakeFiles/atomfs_crlh.dir/crlh/rg_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atomfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atomfs_afs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atomfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atomfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atomfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

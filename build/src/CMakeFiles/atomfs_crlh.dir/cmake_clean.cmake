@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_crlh.dir/crlh/effects.cc.o"
+  "CMakeFiles/atomfs_crlh.dir/crlh/effects.cc.o.d"
+  "CMakeFiles/atomfs_crlh.dir/crlh/explore.cc.o"
+  "CMakeFiles/atomfs_crlh.dir/crlh/explore.cc.o.d"
+  "CMakeFiles/atomfs_crlh.dir/crlh/gate.cc.o"
+  "CMakeFiles/atomfs_crlh.dir/crlh/gate.cc.o.d"
+  "CMakeFiles/atomfs_crlh.dir/crlh/ghost.cc.o"
+  "CMakeFiles/atomfs_crlh.dir/crlh/ghost.cc.o.d"
+  "CMakeFiles/atomfs_crlh.dir/crlh/lin_check.cc.o"
+  "CMakeFiles/atomfs_crlh.dir/crlh/lin_check.cc.o.d"
+  "CMakeFiles/atomfs_crlh.dir/crlh/monitor.cc.o"
+  "CMakeFiles/atomfs_crlh.dir/crlh/monitor.cc.o.d"
+  "CMakeFiles/atomfs_crlh.dir/crlh/rg_check.cc.o"
+  "CMakeFiles/atomfs_crlh.dir/crlh/rg_check.cc.o.d"
+  "libatomfs_crlh.a"
+  "libatomfs_crlh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_crlh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_journal.dir/journal/journal_fs.cc.o"
+  "CMakeFiles/atomfs_journal.dir/journal/journal_fs.cc.o.d"
+  "libatomfs_journal.a"
+  "libatomfs_journal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_journal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_sim.dir/sim/executor.cc.o"
+  "CMakeFiles/atomfs_sim.dir/sim/executor.cc.o.d"
+  "libatomfs_sim.a"
+  "libatomfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

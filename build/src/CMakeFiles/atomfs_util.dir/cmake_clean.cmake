@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_util.dir/util/stats.cc.o"
+  "CMakeFiles/atomfs_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/atomfs_util.dir/util/status.cc.o"
+  "CMakeFiles/atomfs_util.dir/util/status.cc.o.d"
+  "libatomfs_util.a"
+  "libatomfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_variants.dir/biglock/big_lock_fs.cc.o"
+  "CMakeFiles/atomfs_variants.dir/biglock/big_lock_fs.cc.o.d"
+  "CMakeFiles/atomfs_variants.dir/naive/naive_fs.cc.o"
+  "CMakeFiles/atomfs_variants.dir/naive/naive_fs.cc.o.d"
+  "CMakeFiles/atomfs_variants.dir/retryfs/handle_vfs.cc.o"
+  "CMakeFiles/atomfs_variants.dir/retryfs/handle_vfs.cc.o.d"
+  "CMakeFiles/atomfs_variants.dir/retryfs/retry_fs.cc.o"
+  "CMakeFiles/atomfs_variants.dir/retryfs/retry_fs.cc.o.d"
+  "libatomfs_variants.a"
+  "libatomfs_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

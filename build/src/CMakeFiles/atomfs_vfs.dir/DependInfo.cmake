@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/filesystem.cc" "src/CMakeFiles/atomfs_vfs.dir/vfs/filesystem.cc.o" "gcc" "src/CMakeFiles/atomfs_vfs.dir/vfs/filesystem.cc.o.d"
+  "/root/repo/src/vfs/path.cc" "src/CMakeFiles/atomfs_vfs.dir/vfs/path.cc.o" "gcc" "src/CMakeFiles/atomfs_vfs.dir/vfs/path.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "src/CMakeFiles/atomfs_vfs.dir/vfs/vfs.cc.o" "gcc" "src/CMakeFiles/atomfs_vfs.dir/vfs/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atomfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

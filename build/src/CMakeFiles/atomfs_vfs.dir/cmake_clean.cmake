@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_vfs.dir/vfs/filesystem.cc.o"
+  "CMakeFiles/atomfs_vfs.dir/vfs/filesystem.cc.o.d"
+  "CMakeFiles/atomfs_vfs.dir/vfs/path.cc.o"
+  "CMakeFiles/atomfs_vfs.dir/vfs/path.cc.o.d"
+  "CMakeFiles/atomfs_vfs.dir/vfs/vfs.cc.o"
+  "CMakeFiles/atomfs_vfs.dir/vfs/vfs.cc.o.d"
+  "libatomfs_vfs.a"
+  "libatomfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_workload.dir/workload/apps.cc.o"
+  "CMakeFiles/atomfs_workload.dir/workload/apps.cc.o.d"
+  "CMakeFiles/atomfs_workload.dir/workload/filebench.cc.o"
+  "CMakeFiles/atomfs_workload.dir/workload/filebench.cc.o.d"
+  "CMakeFiles/atomfs_workload.dir/workload/lfs.cc.o"
+  "CMakeFiles/atomfs_workload.dir/workload/lfs.cc.o.d"
+  "CMakeFiles/atomfs_workload.dir/workload/trace.cc.o"
+  "CMakeFiles/atomfs_workload.dir/workload/trace.cc.o.d"
+  "libatomfs_workload.a"
+  "libatomfs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

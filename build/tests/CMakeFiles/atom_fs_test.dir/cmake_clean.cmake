@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atom_fs_test.dir/atom_fs_test.cc.o"
+  "CMakeFiles/atom_fs_test.dir/atom_fs_test.cc.o.d"
+  "atom_fs_test"
+  "atom_fs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atom_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_table_test.dir/dir_table_test.cc.o"
+  "CMakeFiles/dir_table_test.dir/dir_table_test.cc.o.d"
+  "dir_table_test"
+  "dir_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_data_test.dir/file_data_test.cc.o"
+  "CMakeFiles/file_data_test.dir/file_data_test.cc.o.d"
+  "file_data_test"
+  "file_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_helpers_test.dir/fs_helpers_test.cc.o"
+  "CMakeFiles/fs_helpers_test.dir/fs_helpers_test.cc.o.d"
+  "fs_helpers_test"
+  "fs_helpers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_helpers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handle_test.dir/handle_test.cc.o"
+  "CMakeFiles/handle_test.dir/handle_test.cc.o.d"
+  "handle_test"
+  "handle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_sweep_test.dir/io_sweep_test.cc.o"
+  "CMakeFiles/io_sweep_test.dir/io_sweep_test.cc.o.d"
+  "io_sweep_test"
+  "io_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

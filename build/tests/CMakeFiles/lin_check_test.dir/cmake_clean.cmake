@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_check_test.dir/lin_check_test.cc.o"
+  "CMakeFiles/lin_check_test.dir/lin_check_test.cc.o.d"
+  "lin_check_test"
+  "lin_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rename_matrix_test.dir/rename_matrix_test.cc.o"
+  "CMakeFiles/rename_matrix_test.dir/rename_matrix_test.cc.o.d"
+  "rename_matrix_test"
+  "rename_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rename_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomfs_verify.dir/atomfs_verify.cpp.o"
+  "CMakeFiles/atomfs_verify.dir/atomfs_verify.cpp.o.d"
+  "atomfs_verify"
+  "atomfs_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomfs_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
