@@ -1,0 +1,366 @@
+// bench_server_throughput: closed-loop multi-client load generator for the
+// atomfsd serving layer.
+//
+// For each requested Filebench profile it starts an in-process AtomFsServer
+// (fresh backend each time), connects N clients — one connection and one
+// thread per client — and drives the profile's op mix through AtomFsClient,
+// i.e. over the real wire protocol. Every FileSystem call is timed
+// client-side; the report gives per-op count, mean and exact p50/p99/p999
+// latency plus aggregate ops/sec, and the same numbers are written to a
+// machine-readable JSON file (default BENCH_server.json).
+//
+//   bench_server_throughput [--clients N]     concurrent clients (default 4)
+//                           [--ops N]         filebench ops per client (default 800)
+//                           [--profile fileserver|webproxy|both]   (default both)
+//                           [--backend atomfs|biglock|retryfs|naive]
+//                           [--transport unix|tcp]                 (default unix)
+//                           [--json PATH]     output file (default BENCH_server.json)
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/biglock/big_lock_fs.h"
+#include "src/client/client.h"
+#include "src/core/atom_fs.h"
+#include "src/naive/naive_fs.h"
+#include "src/retryfs/retry_fs.h"
+#include "src/server/server.h"
+#include "src/util/json.h"
+#include "src/util/stats.h"
+#include "src/workload/filebench.h"
+
+namespace atomfs {
+namespace {
+
+// The path-based ops a filebench worker can issue, for per-op bucketing.
+enum OpKind : int {
+  kOpMkdir,
+  kOpMknod,
+  kOpRmdir,
+  kOpUnlink,
+  kOpRename,
+  kOpExchange,
+  kOpStat,
+  kOpReadDir,
+  kOpRead,
+  kOpWrite,
+  kOpTruncate,
+  kOpKindCount,
+};
+
+const char* OpKindName(int k) {
+  static const char* kNames[kOpKindCount] = {"mkdir", "mknod",   "rmdir", "unlink",
+                                             "rename", "exchange", "stat",  "readdir",
+                                             "read",   "write",    "truncate"};
+  return kNames[k];
+}
+
+// FileSystem decorator that timestamps every call into per-kind sample
+// vectors. One instance per client thread, so recording is contention-free
+// and percentiles are exact.
+class LatencyRecordingFs : public FileSystem {
+ public:
+  explicit LatencyRecordingFs(FileSystem* inner) : inner_(inner) {}
+
+  std::vector<std::vector<uint64_t>>& samples() { return samples_; }
+
+  // Defined before its uses: auto return deduction needs the body in scope.
+  template <typename Fn>
+  auto Timed(int kind, Fn&& fn) {
+    WallTimer timer;
+    auto result = fn();
+    samples_[static_cast<size_t>(kind)].push_back(timer.ElapsedNanos());
+    return result;
+  }
+
+  Status Mkdir(const Path& p) override { return Timed(kOpMkdir, [&] { return inner_->Mkdir(p); }); }
+  Status Mknod(const Path& p) override { return Timed(kOpMknod, [&] { return inner_->Mknod(p); }); }
+  Status Rmdir(const Path& p) override { return Timed(kOpRmdir, [&] { return inner_->Rmdir(p); }); }
+  Status Unlink(const Path& p) override {
+    return Timed(kOpUnlink, [&] { return inner_->Unlink(p); });
+  }
+  Status Rename(const Path& s, const Path& d) override {
+    return Timed(kOpRename, [&] { return inner_->Rename(s, d); });
+  }
+  Status Exchange(const Path& a, const Path& b) override {
+    return Timed(kOpExchange, [&] { return inner_->Exchange(a, b); });
+  }
+  Result<Attr> Stat(const Path& p) override {
+    return Timed(kOpStat, [&] { return inner_->Stat(p); });
+  }
+  Result<std::vector<DirEntry>> ReadDir(const Path& p) override {
+    return Timed(kOpReadDir, [&] { return inner_->ReadDir(p); });
+  }
+  Result<size_t> Read(const Path& p, uint64_t off, std::span<std::byte> out) override {
+    return Timed(kOpRead, [&] { return inner_->Read(p, off, out); });
+  }
+  Result<size_t> Write(const Path& p, uint64_t off, std::span<const std::byte> data) override {
+    return Timed(kOpWrite, [&] { return inner_->Write(p, off, data); });
+  }
+  Status Truncate(const Path& p, uint64_t size) override {
+    return Timed(kOpTruncate, [&] { return inner_->Truncate(p, size); });
+  }
+
+ private:
+  FileSystem* inner_;
+  std::vector<std::vector<uint64_t>> samples_{kOpKindCount};
+};
+
+std::unique_ptr<FileSystem> MakeBackend(const std::string& name) {
+  if (name == "atomfs") {
+    return std::make_unique<AtomFs>();
+  }
+  if (name == "biglock") {
+    return std::make_unique<BigLockFs>();
+  }
+  if (name == "retryfs") {
+    return std::make_unique<RetryFs>();
+  }
+  if (name == "naive") {
+    return std::make_unique<NaiveFs>();
+  }
+  return nullptr;
+}
+
+uint64_t Percentile(std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const size_t idx = std::min(sorted.size() - 1,
+                              static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+struct ProfileResult {
+  std::string name;
+  double wall_seconds = 0;
+  uint64_t fs_calls = 0;
+  uint64_t filebench_ops = 0;
+  uint64_t worker_failures = 0;
+  // Per op kind: merged, sorted samples.
+  std::vector<std::vector<uint64_t>> samples{kOpKindCount};
+  WireServerStats server;
+};
+
+ProfileResult RunProfile(const FilebenchProfile& profile, const std::string& backend,
+                         const std::string& transport, int clients, uint64_t ops_per_client) {
+  ProfileResult result;
+  result.name = profile.name;
+
+  std::unique_ptr<FileSystem> fs = MakeBackend(backend);
+  const std::string sock_path =
+      "/tmp/atomfs_bench_" + std::to_string(getpid()) + "_" + profile.name + ".sock";
+  ServerOptions options;
+  options.workers = clients;
+  if (transport == "tcp") {
+    options.tcp_listen = true;  // ephemeral port
+  } else {
+    options.unix_path = sock_path;
+  }
+  AtomFsServer server(fs.get(), options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "cannot start server for %s\n", profile.name.c_str());
+    std::exit(1);
+  }
+  auto connect = [&]() {
+    return transport == "tcp" ? AtomFsClient::ConnectTcp(server.BoundTcpPort())
+                              : AtomFsClient::ConnectUnix(sock_path);
+  };
+
+  // Populate directly on the backend — setup is not what we measure.
+  FilebenchSetup(*fs, profile, /*seed=*/7);
+
+  std::vector<std::unique_ptr<AtomFsClient>> conns;
+  std::vector<std::unique_ptr<LatencyRecordingFs>> recorders;
+  for (int c = 0; c < clients; ++c) {
+    auto conn = connect();
+    if (!conn.ok()) {
+      std::fprintf(stderr, "client %d cannot connect\n", c);
+      std::exit(1);
+    }
+    conns.push_back(std::move(*conn));
+    recorders.push_back(std::make_unique<LatencyRecordingFs>(conns.back().get()));
+  }
+
+  std::vector<WorkerStats> worker_stats(static_cast<size_t>(clients));
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      worker_stats[static_cast<size_t>(c)] =
+          FilebenchWorker(*recorders[static_cast<size_t>(c)], profile,
+                          /*seed=*/1000 + static_cast<uint64_t>(c), ops_per_client);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  result.wall_seconds = wall.ElapsedSeconds();
+
+  for (int c = 0; c < clients; ++c) {
+    result.filebench_ops += worker_stats[static_cast<size_t>(c)].ops;
+    result.worker_failures += worker_stats[static_cast<size_t>(c)].failures;
+    auto& per_client = recorders[static_cast<size_t>(c)]->samples();
+    for (int k = 0; k < kOpKindCount; ++k) {
+      auto& merged = result.samples[static_cast<size_t>(k)];
+      merged.insert(merged.end(), per_client[static_cast<size_t>(k)].begin(),
+                    per_client[static_cast<size_t>(k)].end());
+      result.fs_calls += per_client[static_cast<size_t>(k)].size();
+    }
+  }
+  for (auto& s : result.samples) {
+    std::sort(s.begin(), s.end());
+  }
+  result.server = server.StatsSnapshot();
+  server.Stop();
+  return result;
+}
+
+void PrintProfile(const ProfileResult& r, int clients) {
+  std::printf("\n=== %s: %d client(s), %llu wire calls in %s s => %.0f ops/sec ===\n",
+              r.name.c_str(), clients, static_cast<unsigned long long>(r.fs_calls),
+              FormatSeconds(r.wall_seconds).c_str(),
+              static_cast<double>(r.fs_calls) / r.wall_seconds);
+  std::printf("%-10s %10s %10s %10s %10s %10s\n", "op", "count", "mean_us", "p50_us", "p99_us",
+              "p999_us");
+  for (int k = 0; k < kOpKindCount; ++k) {
+    const auto& s = r.samples[static_cast<size_t>(k)];
+    if (s.empty()) {
+      continue;
+    }
+    double sum = 0;
+    for (uint64_t v : s) {
+      sum += static_cast<double>(v);
+    }
+    auto us = [](uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
+    std::printf("%-10s %10zu %10.1f %10.1f %10.1f %10.1f\n", OpKindName(k), s.size(),
+                sum / static_cast<double>(s.size()) / 1000.0,
+                us(Percentile(const_cast<std::vector<uint64_t>&>(s), 0.50)),
+                us(Percentile(const_cast<std::vector<uint64_t>&>(s), 0.99)),
+                us(Percentile(const_cast<std::vector<uint64_t>&>(s), 0.999)));
+  }
+  std::printf("server: %llu connection(s), %llu protocol error(s)\n",
+              static_cast<unsigned long long>(r.server.connections_accepted),
+              static_cast<unsigned long long>(r.server.protocol_errors));
+}
+
+}  // namespace
+}  // namespace atomfs
+
+int main(int argc, char** argv) {
+  using namespace atomfs;
+
+  int clients = 4;
+  uint64_t ops_per_client = 800;
+  std::string profile_arg = "both";
+  std::string backend = "atomfs";
+  std::string transport = "unix";
+  std::string json_path = "BENCH_server.json";
+
+  for (int i = 1; i < argc; ++i) {
+    auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg("--clients")) {
+      clients = std::atoi(next());
+    } else if (arg("--ops")) {
+      ops_per_client = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg("--profile")) {
+      profile_arg = next();
+    } else if (arg("--backend")) {
+      backend = next();
+    } else if (arg("--transport")) {
+      transport = next();
+    } else if (arg("--json")) {
+      // PATH is optional: bare --json (or --json followed by another flag)
+      // keeps the default output name.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        json_path = next();
+      }
+    } else {
+      std::fprintf(stderr, "unknown option %s (see header comment for usage)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (MakeBackend(backend) == nullptr) {
+    std::fprintf(stderr, "unknown backend %s\n", backend.c_str());
+    return 2;
+  }
+
+  std::vector<FilebenchProfile> profiles;
+  if (profile_arg == "fileserver" || profile_arg == "both") {
+    profiles.push_back(FilebenchProfile::Fileserver());
+  }
+  if (profile_arg == "webproxy" || profile_arg == "both") {
+    profiles.push_back(FilebenchProfile::Webproxy());
+  }
+  if (profiles.empty()) {
+    std::fprintf(stderr, "unknown profile %s\n", profile_arg.c_str());
+    return 2;
+  }
+
+  std::printf("atomfsd throughput: backend=%s transport=%s clients=%d ops/client=%llu\n",
+              backend.c_str(), transport.c_str(), clients,
+              static_cast<unsigned long long>(ops_per_client));
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", "server_throughput");
+  json.Field("backend", backend);
+  json.Field("transport", transport);
+  json.Field("clients", clients);
+  json.Field("ops_per_client", ops_per_client);
+  json.Key("profiles").BeginArray();
+
+  for (const FilebenchProfile& profile : profiles) {
+    ProfileResult r = RunProfile(profile, backend, transport, clients, ops_per_client);
+    PrintProfile(r, clients);
+
+    json.BeginObject();
+    json.Field("name", r.name);
+    json.Field("wall_seconds", r.wall_seconds);
+    json.Field("fs_calls", r.fs_calls);
+    json.Field("filebench_ops", r.filebench_ops);
+    json.Field("worker_failures", r.worker_failures);
+    json.Field("ops_per_sec", static_cast<double>(r.fs_calls) / r.wall_seconds);
+    json.Field("server_connections", r.server.connections_accepted);
+    json.Field("server_protocol_errors", r.server.protocol_errors);
+    json.Key("per_op").BeginArray();
+    for (int k = 0; k < kOpKindCount; ++k) {
+      auto& s = r.samples[static_cast<size_t>(k)];
+      if (s.empty()) {
+        continue;
+      }
+      double sum = 0;
+      for (uint64_t v : s) {
+        sum += static_cast<double>(v);
+      }
+      json.BeginObject();
+      json.Field("op", OpKindName(k));
+      json.Field("count", static_cast<uint64_t>(s.size()));
+      json.Field("mean_ns", sum / static_cast<double>(s.size()));
+      json.Field("p50_ns", Percentile(s, 0.50));
+      json.Field("p99_ns", Percentile(s, 0.99));
+      json.Field("p999_ns", Percentile(s, 0.999));
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteFile(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

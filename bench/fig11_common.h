@@ -15,9 +15,11 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/biglock/big_lock_fs.h"
+#include "src/util/json.h"
 #include "src/core/atom_fs.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/sim/executor.h"
@@ -120,6 +122,37 @@ inline void RunFig11(const FilebenchProfile& profile) {
                                                           : "n/a - extension profile";
   std::printf("\nAtomFS vs biglock at 16 threads: %.2fx higher speedup (paper: %s)\n",
               speedups[0][last] / speedups[1][last], paper_number);
+
+  // Machine-readable mirror of the table, for cross-PR perf tracking.
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", "fig11");
+  json.Field("profile", profile.name);
+  json.Field("simulated_cores", kFig11Cores);
+  json.Field("ops_per_thread", kFig11OpsPerThread);
+  json.Key("threads").BeginArray();
+  for (int t : thread_counts) {
+    json.Value(t);
+  }
+  json.EndArray();
+  json.Key("series").BeginArray();
+  for (size_t si = 0; si < series.size(); ++si) {
+    json.BeginObject();
+    json.Field("name", series[si].name);
+    json.Field("base_ops_per_sec", series[si].base);
+    json.Key("speedup").BeginArray();
+    for (double v : speedups[si]) {
+      json.Value(v);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  const std::string path = "BENCH_fig11_" + profile.name + ".json";
+  if (json.WriteFile(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  }
 }
 
 }  // namespace atomfs

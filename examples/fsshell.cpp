@@ -1,20 +1,25 @@
-// fsshell: a tiny interactive shell over AtomFS through the Vfs layer.
-// Reads commands from stdin (interactive or piped):
+// fsshell: a tiny interactive shell over AtomFS — in-process by default, or
+// against a running atomfsd with --connect. Reads commands from stdin
+// (interactive or piped):
 //
 //   mkdir PATH | touch PATH | rm PATH | rmdir PATH | mv SRC DST | xchg A B
 //   ls PATH    | stat PATH  | cat PATH | write PATH TEXT... | tree [PATH]
 //   help | quit
 //
 //   $ printf 'mkdir /a\nwrite /a/f hello world\ncat /a/f\ntree /\n' | ./fsshell
+//   $ ./fsshell --connect unix:/tmp/atomfs.sock     # remote mount
+//   $ ./fsshell --connect tcp:7070
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/client/client.h"
 #include "src/core/atom_fs.h"
-#include "src/vfs/vfs.h"
 
 using namespace atomfs;
 
@@ -44,9 +49,26 @@ void Tree(FileSystem& fs, const std::string& path, int depth) {
 
 }  // namespace
 
-int main() {
-  AtomFs fs;
-  Vfs vfs(&fs);
+int main(int argc, char** argv) {
+  std::unique_ptr<FileSystem> owned;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      auto client = AtomFsClient::Connect(argv[++i]);
+      if (!client.ok()) {
+        std::fprintf(stderr, "fsshell: cannot connect to %s: %s\n", argv[i],
+                     ErrcName(client.status().code()).data());
+        return 1;
+      }
+      owned = std::move(*client);
+    } else {
+      std::fprintf(stderr, "usage: fsshell [--connect unix:PATH|tcp:PORT]\n");
+      return 2;
+    }
+  }
+  if (!owned) {
+    owned = std::make_unique<AtomFs>();
+  }
+  FileSystem& fs = *owned;
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);

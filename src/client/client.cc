@@ -1,0 +1,413 @@
+#include "src/client/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace atomfs {
+
+namespace {
+
+Result<int> ConnectUnixSocket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Errc::kNameTooLong;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errc::kIo;
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    close(fd);
+    return Errc::kIo;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcpSocket(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errc::kIo;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    close(fd);
+    return Errc::kIo;
+  }
+  return fd;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AtomFsClient>> AtomFsClient::ConnectUnix(const std::string& socket_path) {
+  auto fd = ConnectUnixSocket(socket_path);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  return std::unique_ptr<AtomFsClient>(new AtomFsClient(*fd));
+}
+
+Result<std::unique_ptr<AtomFsClient>> AtomFsClient::ConnectTcp(uint16_t port) {
+  auto fd = ConnectTcpSocket(port);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  return std::unique_ptr<AtomFsClient>(new AtomFsClient(*fd));
+}
+
+Result<std::unique_ptr<AtomFsClient>> AtomFsClient::Connect(const std::string& endpoint) {
+  if (endpoint.rfind("unix:", 0) == 0) {
+    return ConnectUnix(endpoint.substr(5));
+  }
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    const int port = std::atoi(endpoint.c_str() + 4);
+    if (port <= 0 || port > 65535) {
+      return Errc::kInval;
+    }
+    return ConnectTcp(static_cast<uint16_t>(port));
+  }
+  return Errc::kInval;
+}
+
+AtomFsClient::~AtomFsClient() {
+  if (sock_ >= 0) {
+    close(sock_);
+  }
+}
+
+Result<std::vector<std::byte>> AtomFsClient::Call(const WireRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Status st = SendFrame(sock_, EncodeRequest(req)); !st.ok()) {
+    return st;
+  }
+  auto frame = RecvFrame(sock_);
+  if (!frame.ok()) {
+    // A clean server-side close mid-conversation is still a transport
+    // failure from the caller's point of view.
+    return frame.status().code() == Errc::kProto ? Errc::kProto : Errc::kIo;
+  }
+  WireReader r(*frame);
+  uint8_t wire_status = 0;
+  if (!r.U8(&wire_status)) {
+    return Errc::kProto;
+  }
+  const Errc code = ErrcOfWireStatus(wire_status);
+  if (code != Errc::kOk) {
+    return code;
+  }
+  // Hand back the body past the status byte.
+  return std::vector<std::byte>(frame->begin() + 1, frame->end());
+}
+
+Status AtomFsClient::CallStatusOnly(const WireRequest& req) {
+  auto body = Call(req);
+  return body.ok() ? Status::Ok() : body.status();
+}
+
+// --- path-based FileSystem interface ----------------------------------------
+
+Status AtomFsClient::Mkdir(const Path& path) {
+  WireRequest req;
+  req.op = WireOp::kMkdir;
+  req.path_a = path.ToString();
+  return CallStatusOnly(req);
+}
+
+Status AtomFsClient::Mknod(const Path& path) {
+  WireRequest req;
+  req.op = WireOp::kMknod;
+  req.path_a = path.ToString();
+  return CallStatusOnly(req);
+}
+
+Status AtomFsClient::Rmdir(const Path& path) {
+  WireRequest req;
+  req.op = WireOp::kRmdir;
+  req.path_a = path.ToString();
+  return CallStatusOnly(req);
+}
+
+Status AtomFsClient::Unlink(const Path& path) {
+  WireRequest req;
+  req.op = WireOp::kUnlink;
+  req.path_a = path.ToString();
+  return CallStatusOnly(req);
+}
+
+Status AtomFsClient::Rename(const Path& src, const Path& dst) {
+  WireRequest req;
+  req.op = WireOp::kRename;
+  req.path_a = src.ToString();
+  req.path_b = dst.ToString();
+  return CallStatusOnly(req);
+}
+
+Status AtomFsClient::Exchange(const Path& a, const Path& b) {
+  WireRequest req;
+  req.op = WireOp::kExchange;
+  req.path_a = a.ToString();
+  req.path_b = b.ToString();
+  return CallStatusOnly(req);
+}
+
+Result<Attr> AtomFsClient::Stat(const Path& path) {
+  WireRequest req;
+  req.op = WireOp::kStat;
+  req.path_a = path.ToString();
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  Attr attr;
+  if (!ParseAttr(r, &attr) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return attr;
+}
+
+Result<std::vector<DirEntry>> AtomFsClient::ReadDir(const Path& path) {
+  WireRequest req;
+  req.op = WireOp::kReadDir;
+  req.path_a = path.ToString();
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  std::vector<DirEntry> entries;
+  if (!ParseDirEntries(r, &entries) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return entries;
+}
+
+Result<size_t> AtomFsClient::Read(const Path& path, uint64_t offset, std::span<std::byte> out) {
+  WireRequest req;
+  req.op = WireOp::kRead;
+  req.path_a = path.ToString();
+  req.offset = offset;
+  req.count = static_cast<uint32_t>(std::min<size_t>(out.size(), kWireMaxFrameBytes));
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  std::vector<std::byte> data;
+  if (!r.Blob(&data, out.size()) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  std::copy(data.begin(), data.end(), out.begin());
+  return data.size();
+}
+
+Result<size_t> AtomFsClient::Write(const Path& path, uint64_t offset,
+                                   std::span<const std::byte> data) {
+  WireRequest req;
+  req.op = WireOp::kWrite;
+  req.path_a = path.ToString();
+  req.offset = offset;
+  req.data.assign(data.begin(), data.end());
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  uint64_t written = 0;
+  if (!r.U64(&written) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return static_cast<size_t>(written);
+}
+
+Status AtomFsClient::Truncate(const Path& path, uint64_t size) {
+  WireRequest req;
+  req.op = WireOp::kTruncate;
+  req.path_a = path.ToString();
+  req.offset = size;
+  return CallStatusOnly(req);
+}
+
+// --- descriptor ops ----------------------------------------------------------
+
+Result<Fd> AtomFsClient::Open(std::string_view path, uint32_t flags) {
+  WireRequest req;
+  req.op = WireOp::kOpen;
+  req.path_a = std::string(path);
+  req.flags = flags;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  int32_t fd = -1;
+  if (!r.I32(&fd) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return Fd{fd};
+}
+
+Status AtomFsClient::Close(Fd fd) {
+  WireRequest req;
+  req.op = WireOp::kClose;
+  req.fd = fd;
+  return CallStatusOnly(req);
+}
+
+namespace {
+
+// FdRead / Pread share the blob-into-span response shape.
+Result<size_t> ParseDataInto(Result<std::vector<std::byte>> body, std::span<std::byte> out) {
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  std::vector<std::byte> data;
+  if (!r.Blob(&data, out.size()) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  std::copy(data.begin(), data.end(), out.begin());
+  return data.size();
+}
+
+Result<size_t> ParseWritten(Result<std::vector<std::byte>> body) {
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  uint64_t written = 0;
+  if (!r.U64(&written) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return static_cast<size_t>(written);
+}
+
+}  // namespace
+
+Result<size_t> AtomFsClient::FdRead(Fd fd, std::span<std::byte> out) {
+  WireRequest req;
+  req.op = WireOp::kFdRead;
+  req.fd = fd;
+  req.count = static_cast<uint32_t>(std::min<size_t>(out.size(), kWireMaxFrameBytes));
+  return ParseDataInto(Call(req), out);
+}
+
+Result<size_t> AtomFsClient::FdWrite(Fd fd, std::span<const std::byte> data) {
+  WireRequest req;
+  req.op = WireOp::kFdWrite;
+  req.fd = fd;
+  req.data.assign(data.begin(), data.end());
+  return ParseWritten(Call(req));
+}
+
+Result<size_t> AtomFsClient::Pread(Fd fd, uint64_t offset, std::span<std::byte> out) {
+  WireRequest req;
+  req.op = WireOp::kFdPread;
+  req.fd = fd;
+  req.offset = offset;
+  req.count = static_cast<uint32_t>(std::min<size_t>(out.size(), kWireMaxFrameBytes));
+  return ParseDataInto(Call(req), out);
+}
+
+Result<size_t> AtomFsClient::Pwrite(Fd fd, uint64_t offset, std::span<const std::byte> data) {
+  WireRequest req;
+  req.op = WireOp::kFdPwrite;
+  req.fd = fd;
+  req.offset = offset;
+  req.data.assign(data.begin(), data.end());
+  return ParseWritten(Call(req));
+}
+
+Result<Attr> AtomFsClient::Fstat(Fd fd) {
+  WireRequest req;
+  req.op = WireOp::kFstat;
+  req.fd = fd;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  Attr attr;
+  if (!ParseAttr(r, &attr) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return attr;
+}
+
+Result<std::vector<DirEntry>> AtomFsClient::ReadDirFd(Fd fd) {
+  WireRequest req;
+  req.op = WireOp::kFdReadDir;
+  req.fd = fd;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  std::vector<DirEntry> entries;
+  if (!ParseDirEntries(r, &entries) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return entries;
+}
+
+Status AtomFsClient::Ftruncate(Fd fd, uint64_t size) {
+  WireRequest req;
+  req.op = WireOp::kFtruncate;
+  req.fd = fd;
+  req.offset = size;
+  return CallStatusOnly(req);
+}
+
+Result<uint64_t> AtomFsClient::Seek(Fd fd, uint64_t offset) {
+  WireRequest req;
+  req.op = WireOp::kSeek;
+  req.fd = fd;
+  req.offset = offset;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  uint64_t pos = 0;
+  if (!r.U64(&pos) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return pos;
+}
+
+// --- admin -------------------------------------------------------------------
+
+Status AtomFsClient::Ping() {
+  WireRequest req;
+  req.op = WireOp::kPing;
+  return CallStatusOnly(req);
+}
+
+Result<WireServerStats> AtomFsClient::FetchStats() {
+  WireRequest req;
+  req.op = WireOp::kStats;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  WireServerStats stats;
+  if (!ParseServerStats(r, &stats) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return stats;
+}
+
+}  // namespace atomfs

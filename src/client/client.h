@@ -1,0 +1,97 @@
+// AtomFsClient: a remote AtomFS mount speaking the src/net wire protocol.
+//
+// The client *is a* FileSystem, so every existing workload driver, test
+// harness, and conformance suite runs unmodified against a served instance —
+// the linearizability the server inherits from its backend is exactly what
+// makes this substitution sound. On top of the path interface it mirrors the
+// Vfs descriptor ops (the descriptor table lives server-side, scoped to this
+// connection).
+//
+// One connection, synchronous request/response. A mutex serializes
+// concurrent callers on the same client; parallel load wants one client per
+// thread (see bench/bench_server_throughput.cc). Transport failures surface
+// as kIo, server-rejected frames as kProto; neither is ever produced by an
+// in-process FileSystem, so remote-only failures are distinguishable.
+
+#ifndef ATOMFS_SRC_CLIENT_CLIENT_H_
+#define ATOMFS_SRC_CLIENT_CLIENT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/net/wire.h"
+#include "src/util/status.h"
+#include "src/vfs/filesystem.h"
+#include "src/vfs/vfs.h"
+
+namespace atomfs {
+
+class AtomFsClient : public FileSystem {
+ public:
+  static Result<std::unique_ptr<AtomFsClient>> ConnectUnix(const std::string& socket_path);
+  // Connects to 127.0.0.1:port (atomfsd only binds loopback).
+  static Result<std::unique_ptr<AtomFsClient>> ConnectTcp(uint16_t port);
+  // Parses "unix:PATH" or "tcp:PORT" (the form atomfsd and fsshell accept).
+  static Result<std::unique_ptr<AtomFsClient>> Connect(const std::string& endpoint);
+
+  ~AtomFsClient() override;
+
+  AtomFsClient(const AtomFsClient&) = delete;
+  AtomFsClient& operator=(const AtomFsClient&) = delete;
+
+  // FileSystem interface (remote).
+  Status Mkdir(const Path& path) override;
+  Status Mknod(const Path& path) override;
+  Status Rmdir(const Path& path) override;
+  Status Unlink(const Path& path) override;
+  Status Rename(const Path& src, const Path& dst) override;
+  Status Exchange(const Path& a, const Path& b) override;
+  Result<Attr> Stat(const Path& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const Path& path) override;
+  Result<size_t> Read(const Path& path, uint64_t offset, std::span<std::byte> out) override;
+  Result<size_t> Write(const Path& path, uint64_t offset,
+                       std::span<const std::byte> data) override;
+  Status Truncate(const Path& path, uint64_t size) override;
+  using FileSystem::Mkdir;
+  using FileSystem::Mknod;
+  using FileSystem::Rmdir;
+  using FileSystem::Unlink;
+  using FileSystem::Rename;
+  using FileSystem::Exchange;
+  using FileSystem::Stat;
+  using FileSystem::ReadDir;
+  using FileSystem::Read;
+  using FileSystem::Write;
+  using FileSystem::Truncate;
+
+  // Remote descriptor ops (server-side per-connection Vfs).
+  Result<Fd> Open(std::string_view path, uint32_t flags);
+  Status Close(Fd fd);
+  Result<size_t> FdRead(Fd fd, std::span<std::byte> out);
+  Result<size_t> FdWrite(Fd fd, std::span<const std::byte> data);
+  Result<size_t> Pread(Fd fd, uint64_t offset, std::span<std::byte> out);
+  Result<size_t> Pwrite(Fd fd, uint64_t offset, std::span<const std::byte> data);
+  Result<Attr> Fstat(Fd fd);
+  Result<std::vector<DirEntry>> ReadDirFd(Fd fd);
+  Status Ftruncate(Fd fd, uint64_t size);
+  Result<uint64_t> Seek(Fd fd, uint64_t offset);
+
+  // Admin.
+  Status Ping();
+  Result<WireServerStats> FetchStats();
+
+ private:
+  explicit AtomFsClient(int sock) : sock_(sock) {}
+
+  // Sends `req` and returns the response payload past the status byte.
+  Result<std::vector<std::byte>> Call(const WireRequest& req);
+  Status CallStatusOnly(const WireRequest& req);
+
+  int sock_;
+  std::mutex mu_;  // serializes the request/response conversation
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CLIENT_CLIENT_H_

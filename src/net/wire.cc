@@ -1,0 +1,540 @@
+#include "src/net/wire.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/vfs/path.h"
+
+namespace atomfs {
+
+std::string_view WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kPing:
+      return "ping";
+    case WireOp::kMkdir:
+      return "mkdir";
+    case WireOp::kMknod:
+      return "mknod";
+    case WireOp::kRmdir:
+      return "rmdir";
+    case WireOp::kUnlink:
+      return "unlink";
+    case WireOp::kRename:
+      return "rename";
+    case WireOp::kExchange:
+      return "exchange";
+    case WireOp::kStat:
+      return "stat";
+    case WireOp::kReadDir:
+      return "readdir";
+    case WireOp::kRead:
+      return "read";
+    case WireOp::kWrite:
+      return "write";
+    case WireOp::kTruncate:
+      return "truncate";
+    case WireOp::kOpen:
+      return "open";
+    case WireOp::kClose:
+      return "close";
+    case WireOp::kFdRead:
+      return "fdread";
+    case WireOp::kFdWrite:
+      return "fdwrite";
+    case WireOp::kFdPread:
+      return "fdpread";
+    case WireOp::kFdPwrite:
+      return "fdpwrite";
+    case WireOp::kFstat:
+      return "fstat";
+    case WireOp::kFdReadDir:
+      return "fdreaddir";
+    case WireOp::kFtruncate:
+      return "ftruncate";
+    case WireOp::kSeek:
+      return "seek";
+    case WireOp::kStats:
+      return "stats";
+  }
+  return "unknown";
+}
+
+// --- status mapping ----------------------------------------------------------
+
+uint8_t WireStatusOf(Errc code) {
+  switch (code) {
+    case Errc::kOk:
+      return 0;
+    case Errc::kExist:
+      return 1;
+    case Errc::kNoEnt:
+      return 2;
+    case Errc::kNotDir:
+      return 3;
+    case Errc::kIsDir:
+      return 4;
+    case Errc::kNotEmpty:
+      return 5;
+    case Errc::kInval:
+      return 6;
+    case Errc::kBadFd:
+      return 7;
+    case Errc::kNameTooLong:
+      return 8;
+    case Errc::kNoSpace:
+      return 9;
+    case Errc::kBusy:
+      return 10;
+    case Errc::kAccess:
+      return 11;
+    case Errc::kXDev:
+      return 12;
+    case Errc::kIo:
+      return 13;
+    case Errc::kProto:
+      return 14;
+  }
+  return 13;  // unmapped codes degrade to EIO
+}
+
+Errc ErrcOfWireStatus(uint8_t wire) {
+  switch (wire) {
+    case 0:
+      return Errc::kOk;
+    case 1:
+      return Errc::kExist;
+    case 2:
+      return Errc::kNoEnt;
+    case 3:
+      return Errc::kNotDir;
+    case 4:
+      return Errc::kIsDir;
+    case 5:
+      return Errc::kNotEmpty;
+    case 6:
+      return Errc::kInval;
+    case 7:
+      return Errc::kBadFd;
+    case 8:
+      return Errc::kNameTooLong;
+    case 9:
+      return Errc::kNoSpace;
+    case 10:
+      return Errc::kBusy;
+    case 11:
+      return Errc::kAccess;
+    case 12:
+      return Errc::kXDev;
+    case 13:
+      return Errc::kIo;
+    case 14:
+      return Errc::kProto;
+    default:
+      return Errc::kProto;
+  }
+}
+
+// --- primitive serialization -------------------------------------------------
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  for (char c : s) {
+    buf_.push_back(static_cast<std::byte>(c));
+  }
+}
+
+void WireWriter::Blob(std::span<const std::byte> b) {
+  U32(static_cast<uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+bool WireReader::Take(size_t n, const std::byte** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::U8(uint8_t* out) {
+  const std::byte* p = nullptr;
+  if (!Take(1, &p)) {
+    return false;
+  }
+  *out = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool WireReader::U32(uint32_t* out) {
+  const std::byte* p = nullptr;
+  if (!Take(4, &p)) {
+    return false;
+  }
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint32_t>(p[i]);
+  }
+  *out = v;
+  return true;
+}
+
+bool WireReader::U64(uint64_t* out) {
+  const std::byte* p = nullptr;
+  if (!Take(8, &p)) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint64_t>(p[i]);
+  }
+  *out = v;
+  return true;
+}
+
+bool WireReader::I32(int32_t* out) {
+  uint32_t v = 0;
+  if (!U32(&v)) {
+    return false;
+  }
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+bool WireReader::Str(std::string* out, size_t max_len) {
+  uint32_t len = 0;
+  if (!U32(&len) || len > max_len) {
+    ok_ = false;
+    return false;
+  }
+  const std::byte* p = nullptr;
+  if (!Take(len, &p)) {
+    return false;
+  }
+  out->assign(reinterpret_cast<const char*>(p), len);
+  return true;
+}
+
+bool WireReader::Blob(std::vector<std::byte>* out, size_t max_len) {
+  uint32_t len = 0;
+  if (!U32(&len) || len > max_len) {
+    ok_ = false;
+    return false;
+  }
+  const std::byte* p = nullptr;
+  if (!Take(len, &p)) {
+    return false;
+  }
+  out->assign(p, p + len);
+  return true;
+}
+
+// --- request model -----------------------------------------------------------
+
+std::vector<std::byte> EncodeRequest(const WireRequest& req) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(req.op));
+  switch (req.op) {
+    case WireOp::kPing:
+    case WireOp::kStats:
+      break;
+    case WireOp::kMkdir:
+    case WireOp::kMknod:
+    case WireOp::kRmdir:
+    case WireOp::kUnlink:
+    case WireOp::kStat:
+    case WireOp::kReadDir:
+      w.Str(req.path_a);
+      break;
+    case WireOp::kRename:
+    case WireOp::kExchange:
+      w.Str(req.path_a);
+      w.Str(req.path_b);
+      break;
+    case WireOp::kRead:
+      w.Str(req.path_a);
+      w.U64(req.offset);
+      w.U32(req.count);
+      break;
+    case WireOp::kWrite:
+      w.Str(req.path_a);
+      w.U64(req.offset);
+      w.Blob(req.data);
+      break;
+    case WireOp::kTruncate:
+      w.Str(req.path_a);
+      w.U64(req.offset);
+      break;
+    case WireOp::kOpen:
+      w.Str(req.path_a);
+      w.U32(req.flags);
+      break;
+    case WireOp::kClose:
+    case WireOp::kFstat:
+    case WireOp::kFdReadDir:
+      w.I32(req.fd);
+      break;
+    case WireOp::kFdRead:
+      w.I32(req.fd);
+      w.U32(req.count);
+      break;
+    case WireOp::kFdWrite:
+      w.I32(req.fd);
+      w.Blob(req.data);
+      break;
+    case WireOp::kFdPread:
+      w.I32(req.fd);
+      w.U64(req.offset);
+      w.U32(req.count);
+      break;
+    case WireOp::kFdPwrite:
+      w.I32(req.fd);
+      w.U64(req.offset);
+      w.Blob(req.data);
+      break;
+    case WireOp::kFtruncate:
+    case WireOp::kSeek:
+      w.I32(req.fd);
+      w.U64(req.offset);
+      break;
+  }
+  return w.Take();
+}
+
+Result<WireRequest> ParseRequest(std::span<const std::byte> payload) {
+  WireReader r(payload);
+  uint8_t raw_op = 0;
+  if (!r.U8(&raw_op) || !WireOpKnown(raw_op)) {
+    return Errc::kProto;
+  }
+  WireRequest req;
+  req.op = static_cast<WireOp>(raw_op);
+  bool good = true;
+  switch (req.op) {
+    case WireOp::kPing:
+    case WireOp::kStats:
+      break;
+    case WireOp::kMkdir:
+    case WireOp::kMknod:
+    case WireOp::kRmdir:
+    case WireOp::kUnlink:
+    case WireOp::kStat:
+    case WireOp::kReadDir:
+      good = r.Str(&req.path_a, kMaxPathLen);
+      break;
+    case WireOp::kRename:
+    case WireOp::kExchange:
+      good = r.Str(&req.path_a, kMaxPathLen) && r.Str(&req.path_b, kMaxPathLen);
+      break;
+    case WireOp::kRead:
+      good = r.Str(&req.path_a, kMaxPathLen) && r.U64(&req.offset) && r.U32(&req.count);
+      break;
+    case WireOp::kWrite:
+      good = r.Str(&req.path_a, kMaxPathLen) && r.U64(&req.offset) &&
+             r.Blob(&req.data, kWireMaxFrameBytes);
+      break;
+    case WireOp::kTruncate:
+      good = r.Str(&req.path_a, kMaxPathLen) && r.U64(&req.offset);
+      break;
+    case WireOp::kOpen:
+      good = r.Str(&req.path_a, kMaxPathLen) && r.U32(&req.flags);
+      break;
+    case WireOp::kClose:
+    case WireOp::kFstat:
+    case WireOp::kFdReadDir:
+      good = r.I32(&req.fd);
+      break;
+    case WireOp::kFdRead:
+      good = r.I32(&req.fd) && r.U32(&req.count);
+      break;
+    case WireOp::kFdWrite:
+      good = r.I32(&req.fd) && r.Blob(&req.data, kWireMaxFrameBytes);
+      break;
+    case WireOp::kFdPread:
+      good = r.I32(&req.fd) && r.U64(&req.offset) && r.U32(&req.count);
+      break;
+    case WireOp::kFdPwrite:
+      good = r.I32(&req.fd) && r.U64(&req.offset) && r.Blob(&req.data, kWireMaxFrameBytes);
+      break;
+    case WireOp::kFtruncate:
+    case WireOp::kSeek:
+      good = r.I32(&req.fd) && r.U64(&req.offset);
+      break;
+  }
+  if (!good || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  // Reads are answered with one blob in one frame; an unbounded count would
+  // let a client demand an oversized response.
+  if (req.count > kWireMaxFrameBytes) {
+    return Errc::kProto;
+  }
+  return req;
+}
+
+// --- response payload pieces -------------------------------------------------
+
+void EncodeAttr(WireWriter& w, const Attr& attr) {
+  w.U64(attr.ino);
+  w.U8(attr.type == FileType::kDir ? 1 : 0);
+  w.U64(attr.size);
+}
+
+bool ParseAttr(WireReader& r, Attr* out) {
+  uint8_t type = 0;
+  if (!r.U64(&out->ino) || !r.U8(&type) || type > 1) {
+    return false;
+  }
+  out->type = type == 1 ? FileType::kDir : FileType::kFile;
+  return r.U64(&out->size);
+}
+
+void EncodeDirEntries(WireWriter& w, const std::vector<DirEntry>& entries) {
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const DirEntry& e : entries) {
+    w.Str(e.name);
+    w.U64(e.ino);
+    w.U8(e.type == FileType::kDir ? 1 : 0);
+  }
+}
+
+bool ParseDirEntries(WireReader& r, std::vector<DirEntry>* out) {
+  uint32_t count = 0;
+  if (!r.U32(&count) || count > kWireMaxFrameBytes / 8) {
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DirEntry e;
+    uint8_t type = 0;
+    if (!r.Str(&e.name, kMaxNameLen) || !r.U64(&e.ino) || !r.U8(&type) || type > 1) {
+      return false;
+    }
+    e.type = type == 1 ? FileType::kDir : FileType::kFile;
+    out->push_back(std::move(e));
+  }
+  return true;
+}
+
+void EncodeServerStats(WireWriter& w, const WireServerStats& stats) {
+  w.U64(stats.connections_accepted);
+  w.U64(stats.protocol_errors);
+  w.U32(static_cast<uint32_t>(stats.ops.size()));
+  for (const WireOpStats& s : stats.ops) {
+    w.U8(s.op);
+    w.U64(s.count);
+    w.U64(s.mean_ns);
+    w.U64(s.p50_ns);
+    w.U64(s.p99_ns);
+    w.U64(s.p999_ns);
+  }
+}
+
+bool ParseServerStats(WireReader& r, WireServerStats* out) {
+  uint32_t rows = 0;
+  if (!r.U64(&out->connections_accepted) || !r.U64(&out->protocol_errors) || !r.U32(&rows) ||
+      rows > 256) {
+    return false;
+  }
+  out->ops.clear();
+  out->ops.reserve(rows);
+  for (uint32_t i = 0; i < rows; ++i) {
+    WireOpStats s;
+    if (!r.U8(&s.op) || !r.U64(&s.count) || !r.U64(&s.mean_ns) || !r.U64(&s.p50_ns) ||
+        !r.U64(&s.p99_ns) || !r.U64(&s.p999_ns)) {
+      return false;
+    }
+    out->ops.push_back(s);
+  }
+  return true;
+}
+
+// --- frame transport ---------------------------------------------------------
+
+namespace {
+
+Status SendAll(int sock, const std::byte* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = send(sock, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status(Errc::kIo);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Returns 1 on success, 0 on clean EOF before the first byte, -1 on error
+// (including EOF after at least one byte).
+int RecvAll(int sock, std::byte* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = recv(sock, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -1;
+    }
+    if (n == 0) {
+      return got == 0 ? 0 : -1;
+    }
+    got += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Status SendFrame(int sock, std::span<const std::byte> payload) {
+  WireWriter header;
+  header.U32(static_cast<uint32_t>(payload.size()));
+  if (Status st = SendAll(sock, header.buf().data(), header.buf().size()); !st.ok()) {
+    return st;
+  }
+  return SendAll(sock, payload.data(), payload.size());
+}
+
+Result<std::vector<std::byte>> RecvFrame(int sock, uint32_t max_bytes) {
+  std::byte header[4];
+  const int rc = RecvAll(sock, header, sizeof header);
+  if (rc == 0) {
+    return Errc::kNoEnt;  // clean close between frames
+  }
+  if (rc < 0) {
+    return Errc::kIo;
+  }
+  WireReader r(std::span<const std::byte>(header, sizeof header));
+  uint32_t len = 0;
+  r.U32(&len);
+  if (len > max_bytes) {
+    return Errc::kProto;
+  }
+  std::vector<std::byte> payload(len);
+  if (len > 0 && RecvAll(sock, payload.data(), len) != 1) {
+    return Errc::kIo;
+  }
+  return payload;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,191 @@
+// The atomfsd wire protocol: length-prefixed binary frames over a stream
+// socket (Unix-domain or TCP).
+//
+// Framing
+//   frame    := u32 payload_len (little-endian) | payload
+//   request  := u8 opcode | op-specific body
+//   response := u8 wire status | body on success (empty on error)
+//
+// One connection carries a synchronous request/response conversation: the
+// client sends a request frame and reads exactly one response frame. All
+// integers are little-endian; strings and blobs are u32 length + bytes.
+// Payloads are capped at kWireMaxFrameBytes — a larger declared length is a
+// protocol error and the server drops the connection (framing can no longer
+// be trusted).
+//
+// The protocol covers the complete path-based FileSystem interface plus the
+// Vfs descriptor ops (open/close/read/write/pread/pwrite/fstat/readdirfd/
+// ftruncate/seek; descriptors are per-connection, like a process fd table)
+// and a STATS admin op returning the server's per-op latency histograms.
+//
+// Every decoder here is bounds-checked and total: arbitrary bytes parse to
+// either a value or a clean kProto error, never undefined behavior. That is
+// what tests/wire_test.cc fuzzes.
+
+#ifndef ATOMFS_SRC_NET_WIRE_H_
+#define ATOMFS_SRC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+// Hard cap on one frame's payload. A single read or write burst must fit in
+// one frame; callers moving more than this chunk their I/O.
+inline constexpr uint32_t kWireMaxFrameBytes = 4u << 20;
+
+enum class WireOp : uint8_t {
+  kPing = 1,
+  // Path-based FileSystem interface.
+  kMkdir = 2,
+  kMknod = 3,
+  kRmdir = 4,
+  kUnlink = 5,
+  kRename = 6,
+  kExchange = 7,
+  kStat = 8,
+  kReadDir = 9,
+  kRead = 10,
+  kWrite = 11,
+  kTruncate = 12,
+  // Vfs descriptor ops (per-connection descriptor table).
+  kOpen = 13,
+  kClose = 14,
+  kFdRead = 15,
+  kFdWrite = 16,
+  kFdPread = 17,
+  kFdPwrite = 18,
+  kFstat = 19,
+  kFdReadDir = 20,
+  kFtruncate = 21,
+  kSeek = 22,
+  // Admin.
+  kStats = 23,
+};
+
+inline constexpr uint8_t kWireOpMin = 1;
+inline constexpr uint8_t kWireOpMax = 23;
+
+inline bool WireOpKnown(uint8_t raw) { return raw >= kWireOpMin && raw <= kWireOpMax; }
+std::string_view WireOpName(WireOp op);
+
+// --- status mapping ----------------------------------------------------------
+// Wire status bytes are an explicit stable table, independent of the Errc
+// enum layout, so old clients keep working if Errc grows or is reordered.
+
+uint8_t WireStatusOf(Errc code);
+Errc ErrcOfWireStatus(uint8_t wire);  // unknown bytes map to kProto
+
+// --- primitive serialization -------------------------------------------------
+
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I32(int32_t v) { U32(static_cast<uint32_t>(v)); }
+  void Str(std::string_view s);
+  void Blob(std::span<const std::byte> b);
+
+  const std::vector<std::byte>& buf() const { return buf_; }
+  std::vector<std::byte> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+// Bounds-checked cursor over a received payload. Every accessor returns
+// false (and latches the failure) instead of reading out of range; callers
+// check ok() / the accessor result and translate to kProto.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  bool U8(uint8_t* out);
+  bool U32(uint32_t* out);
+  bool U64(uint64_t* out);
+  bool I32(int32_t* out);
+  // Length-prefixed string, rejecting lengths beyond `max_len` or the
+  // remaining payload.
+  bool Str(std::string* out, size_t max_len);
+  bool Blob(std::vector<std::byte>* out, size_t max_len);
+
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Take(size_t n, const std::byte** out);
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- request model -----------------------------------------------------------
+// The union of every request's fields; EncodeRequest writes exactly the
+// fields `op` needs and ParseRequest reads exactly those back (and requires
+// the payload to end there — trailing garbage is a protocol error).
+
+struct WireRequest {
+  WireOp op = WireOp::kPing;
+  std::string path_a;            // path ops, open
+  std::string path_b;            // rename / exchange
+  uint64_t offset = 0;           // read/write/truncate/pread/pwrite/seek
+  uint32_t count = 0;            // read/fdread/pread length
+  uint32_t flags = 0;            // open
+  int32_t fd = -1;               // descriptor ops
+  std::vector<std::byte> data;   // write/fdwrite/pwrite payload
+};
+
+std::vector<std::byte> EncodeRequest(const WireRequest& req);
+Result<WireRequest> ParseRequest(std::span<const std::byte> payload);
+
+// --- response payload pieces -------------------------------------------------
+
+void EncodeAttr(WireWriter& w, const Attr& attr);
+bool ParseAttr(WireReader& r, Attr* out);
+
+void EncodeDirEntries(WireWriter& w, const std::vector<DirEntry>& entries);
+bool ParseDirEntries(WireReader& r, std::vector<DirEntry>* out);
+
+// Per-op server-side latency digest served by WireOp::kStats.
+struct WireOpStats {
+  uint8_t op = 0;  // raw WireOp value
+  uint64_t count = 0;
+  uint64_t mean_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
+};
+
+struct WireServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t protocol_errors = 0;
+  std::vector<WireOpStats> ops;  // only ops with count > 0
+};
+
+void EncodeServerStats(WireWriter& w, const WireServerStats& stats);
+bool ParseServerStats(WireReader& r, WireServerStats* out);
+
+// --- frame transport ---------------------------------------------------------
+// Blocking, whole-frame socket I/O. SendFrame uses MSG_NOSIGNAL so a dead
+// peer surfaces as kIo, not SIGPIPE.
+
+Status SendFrame(int sock, std::span<const std::byte> payload);
+
+// Receives one frame. Errors:
+//   kNoEnt - the peer closed cleanly before any byte of a new frame
+//   kIo    - socket error or EOF mid-frame
+//   kProto - declared payload length exceeds `max_bytes`
+Result<std::vector<std::byte>> RecvFrame(int sock, uint32_t max_bytes = kWireMaxFrameBytes);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_NET_WIRE_H_

@@ -1,0 +1,410 @@
+#include "src/server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/vfs/vfs.h"
+
+namespace atomfs {
+
+namespace {
+
+// Success responses begin with wire status 0.
+std::vector<std::byte> OkResponse(WireWriter&& body) {
+  std::vector<std::byte> out;
+  out.reserve(1 + body.buf().size());
+  out.push_back(std::byte{0});
+  out.insert(out.end(), body.buf().begin(), body.buf().end());
+  return out;
+}
+
+std::vector<std::byte> StatusResponse(Status st) {
+  WireWriter w;
+  w.U8(WireStatusOf(st.code()));
+  return w.Take();
+}
+
+}  // namespace
+
+AtomFsServer::AtomFsServer(FileSystem* fs, ServerOptions options)
+    : fs_(fs), opts_(std::move(options)) {}
+
+AtomFsServer::~AtomFsServer() { Stop(); }
+
+Status AtomFsServer::Start() {
+  if (running_) {
+    return Status(Errc::kBusy);
+  }
+  if (opts_.unix_path.empty() && !opts_.tcp_listen) {
+    return Status(Errc::kInval);
+  }
+
+  if (!opts_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status(Errc::kNameTooLong);
+    }
+    std::strncpy(addr.sun_path, opts_.unix_path.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status(Errc::kIo);
+    }
+    unlink(opts_.unix_path.c_str());  // stale socket from a crashed daemon
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 || listen(fd, 128) < 0) {
+      close(fd);
+      return Status(Errc::kIo);
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  if (opts_.tcp_listen) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      Stop();
+      return Status(Errc::kIo);
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(opts_.tcp_port);
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 || listen(fd, 128) < 0) {
+      close(fd);
+      Stop();
+      return Status(Errc::kIo);
+    }
+    socklen_t len = sizeof addr;
+    getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_tcp_port_ = ntohs(addr.sin_port);
+    listen_fds_.push_back(fd);
+  }
+
+  stopping_ = false;
+  running_ = true;
+  for (int fd : listen_fds_) {
+    acceptors_.emplace_back([this, fd] { AcceptLoop(fd); });
+  }
+  const int workers = opts_.workers > 0 ? opts_.workers : 1;
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::Ok();
+}
+
+void AtomFsServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ && !running_ && listen_fds_.empty()) {
+      return;
+    }
+    stopping_ = true;
+  }
+  // Closing the listeners makes accept() fail and the acceptors exit.
+  for (int fd : listen_fds_) {
+    shutdown(fd, SHUT_RDWR);
+    close(fd);
+  }
+  listen_fds_.clear();
+  queue_cv_.notify_all();
+  // Unblock workers parked in recv() on a live connection.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (int sock : active_conns_) {
+      shutdown(sock, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : acceptors_) {
+    t.join();
+  }
+  acceptors_.clear();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  workers_.clear();
+  // Connections still queued but never served.
+  for (int sock : pending_) {
+    close(sock);
+  }
+  pending_.clear();
+  if (!opts_.unix_path.empty()) {
+    unlink(opts_.unix_path.c_str());
+  }
+  running_ = false;
+}
+
+void AtomFsServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    const int sock = accept(listen_fd, nullptr, nullptr);
+    if (sock < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener closed (Stop) or fatal error
+    }
+    // Request/response framing is latency-bound: without this, Nagle holds
+    // each response until the client's delayed ACK (~10ms per op over TCP).
+    // No-op (ENOTSUP) on unix-domain sockets.
+    const int one = 1;
+    setsockopt(sock, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++connections_accepted_;
+    }
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      close(sock);
+      return;
+    }
+    pending_.push_back(sock);
+    queue_cv_.notify_one();
+  }
+}
+
+void AtomFsServer::WorkerLoop() {
+  for (;;) {
+    int sock = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_ || pending_.empty()) {
+        return;  // leftover queued sockets are closed by Stop
+      }
+      sock = pending_.front();
+      pending_.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active_conns_.insert(sock);
+    }
+    // Stop() may have swept active_conns_ between our pop and insert; in
+    // that window the socket would miss its shutdown(2) and recv could block
+    // past the join. Re-checking after the insert closes the race.
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (stopping_) {
+        std::lock_guard<std::mutex> conns(conns_mu_);
+        active_conns_.erase(sock);
+        close(sock);
+        return;
+      }
+    }
+    ServeConnection(sock);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      active_conns_.erase(sock);
+    }
+    close(sock);
+  }
+}
+
+void AtomFsServer::ServeConnection(int sock) {
+  Vfs vfs(fs_);  // per-connection descriptor table
+  for (;;) {
+    auto frame = RecvFrame(sock, opts_.max_frame_bytes);
+    if (!frame.ok()) {
+      if (frame.status().code() == Errc::kProto) {
+        // Oversized declared length: reply once, then drop — the byte
+        // stream is beyond resynchronization.
+        NoteProtocolError();
+        SendFrame(sock, StatusResponse(Status(Errc::kProto)));
+      }
+      return;  // clean close, reset, or poisoned framing
+    }
+    auto req = ParseRequest(*frame);
+    if (!req.ok()) {
+      NoteProtocolError();
+      SendFrame(sock, StatusResponse(Status(Errc::kProto)));
+      return;
+    }
+    WallTimer timer;
+    std::vector<std::byte> response = Dispatch(vfs, *req);
+    RecordLatency(req->op, timer.ElapsedNanos());
+    if (!SendFrame(sock, response).ok()) {
+      return;
+    }
+  }
+}
+
+std::vector<std::byte> AtomFsServer::Dispatch(Vfs& vfs, const WireRequest& req) {
+  switch (req.op) {
+    case WireOp::kPing:
+      return OkResponse(WireWriter());
+    case WireOp::kMkdir:
+      return StatusResponse(fs_->Mkdir(req.path_a));
+    case WireOp::kMknod:
+      return StatusResponse(fs_->Mknod(req.path_a));
+    case WireOp::kRmdir:
+      return StatusResponse(fs_->Rmdir(req.path_a));
+    case WireOp::kUnlink:
+      return StatusResponse(fs_->Unlink(req.path_a));
+    case WireOp::kRename:
+      return StatusResponse(fs_->Rename(req.path_a, req.path_b));
+    case WireOp::kExchange:
+      return StatusResponse(fs_->Exchange(req.path_a, req.path_b));
+    case WireOp::kTruncate:
+      return StatusResponse(fs_->Truncate(req.path_a, req.offset));
+    case WireOp::kStat: {
+      auto attr = fs_->Stat(req.path_a);
+      if (!attr.ok()) {
+        return StatusResponse(attr.status());
+      }
+      WireWriter body;
+      EncodeAttr(body, *attr);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kReadDir: {
+      auto entries = fs_->ReadDir(req.path_a);
+      if (!entries.ok()) {
+        return StatusResponse(entries.status());
+      }
+      WireWriter body;
+      EncodeDirEntries(body, *entries);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kRead: {
+      std::vector<std::byte> buf(req.count);
+      auto n = fs_->Read(req.path_a, req.offset, buf);
+      if (!n.ok()) {
+        return StatusResponse(n.status());
+      }
+      WireWriter body;
+      body.Blob(std::span<const std::byte>(buf.data(), *n));
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kWrite: {
+      auto n = fs_->Write(req.path_a, req.offset, req.data);
+      if (!n.ok()) {
+        return StatusResponse(n.status());
+      }
+      WireWriter body;
+      body.U64(*n);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kOpen: {
+      auto fd = vfs.Open(req.path_a, req.flags);
+      if (!fd.ok()) {
+        return StatusResponse(fd.status());
+      }
+      WireWriter body;
+      body.I32(*fd);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kClose:
+      return StatusResponse(vfs.Close(req.fd));
+    case WireOp::kFdRead: {
+      std::vector<std::byte> buf(req.count);
+      auto n = vfs.Read(req.fd, buf);
+      if (!n.ok()) {
+        return StatusResponse(n.status());
+      }
+      WireWriter body;
+      body.Blob(std::span<const std::byte>(buf.data(), *n));
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kFdWrite: {
+      auto n = vfs.Write(req.fd, req.data);
+      if (!n.ok()) {
+        return StatusResponse(n.status());
+      }
+      WireWriter body;
+      body.U64(*n);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kFdPread: {
+      std::vector<std::byte> buf(req.count);
+      auto n = vfs.Pread(req.fd, req.offset, buf);
+      if (!n.ok()) {
+        return StatusResponse(n.status());
+      }
+      WireWriter body;
+      body.Blob(std::span<const std::byte>(buf.data(), *n));
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kFdPwrite: {
+      auto n = vfs.Pwrite(req.fd, req.offset, req.data);
+      if (!n.ok()) {
+        return StatusResponse(n.status());
+      }
+      WireWriter body;
+      body.U64(*n);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kFstat: {
+      auto attr = vfs.Fstat(req.fd);
+      if (!attr.ok()) {
+        return StatusResponse(attr.status());
+      }
+      WireWriter body;
+      EncodeAttr(body, *attr);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kFdReadDir: {
+      auto entries = vfs.ReadDirFd(req.fd);
+      if (!entries.ok()) {
+        return StatusResponse(entries.status());
+      }
+      WireWriter body;
+      EncodeDirEntries(body, *entries);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kFtruncate:
+      return StatusResponse(vfs.Ftruncate(req.fd, req.offset));
+    case WireOp::kSeek: {
+      auto pos = vfs.Seek(req.fd, req.offset);
+      if (!pos.ok()) {
+        return StatusResponse(pos.status());
+      }
+      WireWriter body;
+      body.U64(*pos);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kStats: {
+      WireWriter body;
+      EncodeServerStats(body, StatsSnapshot());
+      return OkResponse(std::move(body));
+    }
+  }
+  return StatusResponse(Status(Errc::kProto));
+}
+
+void AtomFsServer::RecordLatency(WireOp op, uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  per_op_[static_cast<uint8_t>(op)].Add(nanos);
+}
+
+void AtomFsServer::NoteProtocolError() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++protocol_errors_;
+}
+
+WireServerStats AtomFsServer::StatsSnapshot() const {
+  WireServerStats out;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.connections_accepted = connections_accepted_;
+  out.protocol_errors = protocol_errors_;
+  for (uint8_t op = kWireOpMin; op <= kWireOpMax; ++op) {
+    const LatencyHistogram& h = per_op_[op];
+    if (h.count() == 0) {
+      continue;
+    }
+    WireOpStats s;
+    s.op = op;
+    s.count = h.count();
+    s.mean_ns = static_cast<uint64_t>(h.MeanNanos());
+    s.p50_ns = h.PercentileNanos(0.50);
+    s.p99_ns = h.PercentileNanos(0.99);
+    s.p999_ns = h.PercentileNanos(0.999);
+    out.ops.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace atomfs

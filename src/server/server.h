@@ -1,0 +1,113 @@
+// AtomFsServer: the multi-threaded serving layer of atomfsd.
+//
+// Threading model: one acceptor thread per listener (Unix-domain and/or
+// TCP on 127.0.0.1) pushes accepted sockets onto a queue; a fixed pool of
+// worker threads pops sockets and serves one connection each until the peer
+// hangs up (excess connections wait in the queue). Every connection gets its
+// own Vfs over the shared FileSystem, so descriptor tables are isolated per
+// connection — exactly a process fd table — and dropping the connection
+// drops its descriptors.
+//
+// Robustness contract: arbitrary bytes on the wire never crash the server.
+// A frame that is oversized, truncated, or fails ParseRequest gets a kProto
+// error response (when the socket still accepts writes) and the connection
+// is closed, because framing can no longer be trusted. Well-framed requests
+// with bad arguments (unparsable path, unknown fd) get their error status
+// back and the conversation continues.
+//
+// Stop() is graceful: listeners close first (no new connections), in-flight
+// sockets are shutdown(2) to unblock workers mid-recv, and every thread is
+// joined before Stop() returns.
+
+#ifndef ATOMFS_SRC_SERVER_SERVER_H_
+#define ATOMFS_SRC_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/util/stats.h"
+#include "src/util/status.h"
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+struct ServerOptions {
+  // Unix-domain listener path; empty disables. The path is unlinked on
+  // Start (stale socket) and again on Stop.
+  std::string unix_path;
+  // TCP listener on 127.0.0.1; port 0 picks an ephemeral port (see
+  // BoundTcpPort). Disabled unless tcp_listen is set.
+  bool tcp_listen = false;
+  uint16_t tcp_port = 0;
+  int workers = 4;
+  uint32_t max_frame_bytes = kWireMaxFrameBytes;
+};
+
+class AtomFsServer {
+ public:
+  // `fs` must outlive the server and be thread-safe (every FileSystem here
+  // is; that is the paper's whole point).
+  AtomFsServer(FileSystem* fs, ServerOptions options);
+  ~AtomFsServer();
+
+  AtomFsServer(const AtomFsServer&) = delete;
+  AtomFsServer& operator=(const AtomFsServer&) = delete;
+
+  // Binds the listeners and spawns acceptors + workers. kInval if no
+  // listener is configured; kIo on socket/bind failure.
+  Status Start();
+
+  // Graceful shutdown; idempotent. Joins all threads.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  // Actual TCP port after Start (useful with tcp_port = 0).
+  uint16_t BoundTcpPort() const { return bound_tcp_port_; }
+
+  // Snapshot of the counters served by WireOp::kStats.
+  WireServerStats StatsSnapshot() const;
+
+ private:
+  void AcceptLoop(int listen_fd);
+  void WorkerLoop();
+  void ServeConnection(int sock);
+  // Handles one parsed request; returns the response payload.
+  std::vector<std::byte> Dispatch(class Vfs& vfs, const WireRequest& req);
+  void RecordLatency(WireOp op, uint64_t nanos);
+  void NoteProtocolError();
+
+  FileSystem* fs_;
+  ServerOptions opts_;
+
+  std::vector<int> listen_fds_;
+  uint16_t bound_tcp_port_ = 0;
+  std::vector<std::thread> acceptors_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted sockets awaiting a worker
+  bool stopping_ = false;
+  bool running_ = false;
+
+  // Sockets currently being served, so Stop can shutdown(2) them.
+  mutable std::mutex conns_mu_;
+  std::set<int> active_conns_;
+
+  mutable std::mutex stats_mu_;
+  LatencyHistogram per_op_[kWireOpMax + 1];
+  uint64_t connections_accepted_ = 0;
+  uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_SERVER_SERVER_H_

@@ -1,0 +1,161 @@
+// A minimal JSON emitter for machine-readable benchmark output.
+//
+// The bench binaries print paper-style ASCII tables for humans; alongside
+// them they now drop BENCH_*.json files so the performance trajectory is
+// diffable across PRs. This writer covers exactly what those files need —
+// objects, arrays, strings, numbers — with correct string escaping and
+// non-locale-dependent number formatting. No parsing, no DOM.
+
+#ifndef ATOMFS_SRC_UTIL_JSON_H_
+#define ATOMFS_SRC_UTIL_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace atomfs {
+
+class JsonWriter {
+ public:
+  // Values (usable at the top level or inside arrays).
+  JsonWriter& Value(std::string_view s) {
+    Separate();
+    AppendString(s);
+    return *this;
+  }
+  // Without this overload a literal would prefer the bool conversion.
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(const std::string& s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(double v) {
+    Separate();
+    AppendNumber(v);
+    return *this;
+  }
+  // Any integer width; bool is excluded so it hits its own overload.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>, int> = 0>
+  JsonWriter& Value(T v) {
+    Separate();
+    if constexpr (std::is_signed_v<T>) {
+      out_ += std::to_string(static_cast<long long>(v));
+    } else {
+      out_ += std::to_string(static_cast<unsigned long long>(v));
+    }
+    return *this;
+  }
+  JsonWriter& Value(bool v) {
+    Separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  // Object / array structure.
+  JsonWriter& BeginObject() {
+    Separate();
+    out_ += '{';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_ += '}';
+    fresh_ = false;
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Separate();
+    out_ += '[';
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_ += ']';
+    fresh_ = false;
+    return *this;
+  }
+
+  // Key inside an object; follow with exactly one Value/Begin*.
+  JsonWriter& Key(std::string_view name) {
+    Separate();
+    AppendString(name);
+    out_ += ':';
+    fresh_ = true;  // the upcoming value must not emit a comma
+    return *this;
+  }
+
+  // Convenience: key + scalar.
+  template <typename T>
+  JsonWriter& Field(std::string_view name, T v) {
+    Key(name);
+    return Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  // Writes the document to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    const size_t n = std::fwrite(out_.data(), 1, out_.size(), f);
+    const bool ok = n == out_.size() && std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  void Separate() {
+    if (!fresh_) {
+      out_ += ',';
+    }
+    fresh_ = false;
+  }
+
+  void AppendString(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  void AppendNumber(double v) {
+    if (!std::isfinite(v)) {
+      out_ += "null";  // JSON has no inf/nan
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    out_ += buf;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_UTIL_JSON_H_

@@ -30,6 +30,10 @@ std::string_view ErrcName(Errc e) {
       return "EACCES";
     case Errc::kXDev:
       return "EXDEV";
+    case Errc::kIo:
+      return "EIO";
+    case Errc::kProto:
+      return "EPROTO";
   }
   return "UNKNOWN";
 }

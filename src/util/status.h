@@ -32,6 +32,10 @@ enum class Errc : uint8_t {
   kBusy,         // EBUSY: operating on the root inode or a mount point
   kAccess,       // EACCES (reserved; AtomFS has no permissions)
   kXDev,         // EXDEV (reserved; single mount)
+  // Serving-layer codes (src/net): never produced by the in-process file
+  // systems, so they cannot perturb the checkers' history hashing.
+  kIo,           // EIO: transport failure (connection reset, short frame)
+  kProto,        // EPROTO: malformed or oversized wire frame
 };
 
 std::string_view ErrcName(Errc e);

@@ -1,0 +1,418 @@
+// End-to-end tests for the atomfsd serving layer: loopback round-trips of
+// every FileSystem and descriptor op through AtomFsClient, a POSIX
+// conformance subset run against the remote mount, survival under malformed
+// byte streams, graceful shutdown, and a multi-client concurrent stress with
+// the CRL-H monitor attached server-side (zero violations expected — the
+// serving layer must not weaken the linearizability the backend provides).
+
+#include "src/server/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/core/atom_fs.h"
+#include "src/crlh/monitor.h"
+#include "src/util/rand.h"
+#include "src/workload/filebench.h"
+
+namespace atomfs {
+namespace {
+
+std::span<const std::byte> Bytes(std::string_view s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+std::string UniqueSocketPath(const char* tag) {
+  static int counter = 0;
+  return "/tmp/atomfs_test_" + std::to_string(getpid()) + "_" + tag + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+// Raw client socket for sending hand-crafted (malformed) byte streams.
+int RawConnect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartUnix(FileSystem* fs, int workers = 4) {
+    sock_path_ = UniqueSocketPath("srv");
+    ServerOptions options;
+    options.unix_path = sock_path_;
+    options.workers = workers;
+    server_ = std::make_unique<AtomFsServer>(fs, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  std::unique_ptr<AtomFsClient> Client() {
+    auto c = AtomFsClient::ConnectUnix(sock_path_);
+    EXPECT_TRUE(c.ok());
+    return std::move(*c);
+  }
+
+  std::string sock_path_;
+  std::unique_ptr<AtomFsServer> server_;
+};
+
+// --- basic lifecycle ---------------------------------------------------------
+
+TEST_F(ServerTest, StartAndStopIsClean) {
+  AtomFs fs;
+  StartUnix(&fs);
+  EXPECT_TRUE(server_->running());
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+  server_->Stop();  // idempotent
+}
+
+TEST_F(ServerTest, StartWithoutListenersFails) {
+  AtomFs fs;
+  AtomFsServer server(&fs, ServerOptions{});
+  EXPECT_EQ(server.Start().code(), Errc::kInval);
+}
+
+TEST_F(ServerTest, StopUnblocksIdleConnection) {
+  AtomFs fs;
+  StartUnix(&fs);
+  auto client = Client();
+  ASSERT_TRUE(client->Ping().ok());
+  server_->Stop();  // must not hang on the parked worker
+  EXPECT_EQ(client->Ping().code(), Errc::kIo);
+}
+
+// --- full-interface round-trip over Unix-domain ------------------------------
+
+TEST_F(ServerTest, RoundTripsEveryOperation) {
+  AtomFs fs;
+  StartUnix(&fs);
+  auto client = Client();
+
+  // Tree ops.
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(client->Mkdir("/d").ok());
+  EXPECT_TRUE(client->Mkdir("/d/sub").ok());
+  EXPECT_TRUE(client->Mknod("/d/f").ok());
+  EXPECT_TRUE(client->Rename("/d/f", "/d/g").ok());
+  EXPECT_TRUE(client->Mknod("/d/h").ok());
+  EXPECT_TRUE(client->Exchange("/d/g", "/d/h").ok());
+
+  // Data plane via paths.
+  EXPECT_TRUE(WriteString(*client, "/d/g", "remote bytes").ok());
+  auto text = ReadString(*client, "/d/g");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "remote bytes");
+  EXPECT_TRUE(client->Truncate("/d/g", 6).ok());
+  auto attr = client->Stat("/d/g");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 6u);
+  EXPECT_EQ(attr->type, FileType::kFile);
+
+  auto entries = client->ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 3u);  // sub, g, h
+
+  // Descriptor plane.
+  auto fd = client->Open("/d/g", OpenFlags::kRead | OpenFlags::kWrite);
+  ASSERT_TRUE(fd.ok());
+  auto fstat = client->Fstat(*fd);
+  ASSERT_TRUE(fstat.ok());
+  EXPECT_EQ(fstat->ino, attr->ino);
+  std::byte buf[16];
+  auto n = client->FdRead(*fd, std::span<std::byte>(buf, 6));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 6u);
+  EXPECT_EQ(std::memcmp(buf, "remote", 6), 0);
+  auto pos = client->Seek(*fd, 0);
+  ASSERT_TRUE(pos.ok());
+  auto wrote = client->FdWrite(*fd, Bytes("REMOTE"));
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(*wrote, 6u);
+  auto pread = client->Pread(*fd, 0, std::span<std::byte>(buf, 6));
+  ASSERT_TRUE(pread.ok());
+  EXPECT_EQ(std::memcmp(buf, "REMOTE", 6), 0);
+  EXPECT_TRUE(client->Pwrite(*fd, 2, Bytes("xx")).ok());
+  EXPECT_TRUE(client->Ftruncate(*fd, 4).ok());
+  auto after = client->Fstat(*fd);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size, 4u);
+  EXPECT_TRUE(client->Close(*fd).ok());
+  EXPECT_EQ(client->Close(*fd).code(), Errc::kBadFd);
+
+  // Directory descriptor.
+  auto dfd = client->Open("/d", OpenFlags::kRead);
+  ASSERT_TRUE(dfd.ok());
+  auto dentries = client->ReadDirFd(*dfd);
+  ASSERT_TRUE(dentries.ok());
+  EXPECT_EQ(dentries->size(), 3u);
+  EXPECT_TRUE(client->Close(*dfd).ok());
+
+  // Cleanup ops.
+  EXPECT_TRUE(client->Unlink("/d/g").ok());
+  EXPECT_TRUE(client->Unlink("/d/h").ok());
+  EXPECT_TRUE(client->Rmdir("/d/sub").ok());
+  EXPECT_TRUE(client->Rmdir("/d").ok());
+
+  // Admin stats: every op family exercised above must show up.
+  auto stats = client->FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->connections_accepted, 1u);
+  EXPECT_EQ(stats->protocol_errors, 0u);
+  EXPECT_GT(stats->ops.size(), 15u);
+  for (const WireOpStats& s : stats->ops) {
+    EXPECT_GT(s.count, 0u) << WireOpName(static_cast<WireOp>(s.op));
+  }
+}
+
+TEST_F(ServerTest, TcpRoundTrip) {
+  AtomFs fs;
+  ServerOptions options;
+  options.tcp_listen = true;  // ephemeral port
+  server_ = std::make_unique<AtomFsServer>(&fs, options);
+  ASSERT_TRUE(server_->Start().ok());
+  ASSERT_NE(server_->BoundTcpPort(), 0);
+
+  auto client = AtomFsClient::ConnectTcp(server_->BoundTcpPort());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Mkdir("/t").ok());
+  EXPECT_TRUE(WriteString(**client, "/t/f", "over tcp").ok());
+  auto text = ReadString(**client, "/t/f");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "over tcp");
+}
+
+TEST_F(ServerTest, ErrorsCrossTheWireFaithfully) {
+  AtomFs fs;
+  StartUnix(&fs);
+  auto client = Client();
+  EXPECT_EQ(client->Stat("/missing").status().code(), Errc::kNoEnt);
+  ASSERT_TRUE(client->Mkdir("/d").ok());
+  EXPECT_EQ(client->Mkdir("/d").code(), Errc::kExist);
+  ASSERT_TRUE(client->Mknod("/d/f").ok());
+  EXPECT_EQ(client->Rmdir("/d").code(), Errc::kNotEmpty);
+  EXPECT_EQ(client->ReadDir("/d/f").status().code(), Errc::kNotDir);
+  EXPECT_EQ(client->Rmdir("/d/f").code(), Errc::kNotDir);
+  EXPECT_EQ(client->Fstat(999).status().code(), Errc::kBadFd);
+  EXPECT_EQ(client->Mkdir("relative/path").code(), Errc::kInval);
+}
+
+TEST_F(ServerTest, DescriptorTablesArePerConnection) {
+  AtomFs fs;
+  StartUnix(&fs);
+  auto a = Client();
+  auto b = Client();
+  ASSERT_TRUE(a->Mknod("/f").ok());
+  auto fd = a->Open("/f", OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  // The same numeric descriptor means nothing on another connection.
+  EXPECT_EQ(b->Fstat(*fd).status().code(), Errc::kBadFd);
+  EXPECT_TRUE(a->Fstat(*fd).ok());
+}
+
+// --- POSIX conformance subset through the remote mount -----------------------
+
+TEST_F(ServerTest, ConformanceSubsetOverTheWire) {
+  AtomFs fs;
+  StartUnix(&fs);
+  auto client = Client();
+  FileSystem& remote = *client;  // the whole point: a FileSystem like any other
+
+  // mkdir/mknod semantics.
+  ASSERT_TRUE(remote.Mkdir("/d").ok());
+  EXPECT_EQ(remote.Mkdir("/d").code(), Errc::kExist);
+  EXPECT_EQ(remote.Mkdir("/no/dir").code(), Errc::kNoEnt);
+  ASSERT_TRUE(remote.Mknod("/d/f").ok());
+  EXPECT_EQ(remote.Mkdir("/d/f/x").code(), Errc::kNotDir);
+  EXPECT_EQ(remote.Mknod("/d/f").code(), Errc::kExist);
+
+  // unlink/rmdir.
+  EXPECT_EQ(remote.Unlink("/d").code(), Errc::kIsDir);
+  EXPECT_EQ(remote.Rmdir("/").code(), Errc::kBusy);
+
+  // rename semantics: into descendant fails, over empty dir works.
+  ASSERT_TRUE(remote.Mkdir("/d/sub").ok());
+  EXPECT_EQ(remote.Rename("/d", "/d/sub/x").code(), Errc::kInval);
+  ASSERT_TRUE(remote.Mkdir("/e").ok());
+  EXPECT_TRUE(remote.Rename("/e", "/d/sub2").ok());
+  EXPECT_EQ(remote.Stat("/e").status().code(), Errc::kNoEnt);
+
+  // exchange requires both ends.
+  EXPECT_EQ(remote.Exchange("/d/f", "/nope").code(), Errc::kNoEnt);
+  ASSERT_TRUE(remote.Mknod("/d/g").ok());
+  EXPECT_TRUE(remote.Exchange("/d/f", "/d/g").ok());
+
+  // read/write/truncate.
+  ASSERT_TRUE(WriteString(remote, "/d/f", "0123456789").ok());
+  std::byte buf[4];
+  auto r = remote.Read("/d/f", 8, std::span<std::byte>(buf, 4));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);  // short read at EOF
+  EXPECT_TRUE(remote.Truncate("/d/f", 3).ok());
+  auto text = ReadString(remote, "/d/f");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "012");
+  EXPECT_EQ(remote.Read("/d", 0, std::span<std::byte>(buf, 4)).status().code(), Errc::kIsDir);
+
+  // Directory listings reflect all of the above.
+  auto entries = remote.ReadDir("/d");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 4u);  // f, g, sub, sub2
+}
+
+// --- malformed frames --------------------------------------------------------
+
+TEST_F(ServerTest, SurvivesGarbageAndStaysServiceable) {
+  AtomFs fs;
+  StartUnix(&fs);
+
+  // 1. A frame whose payload is garbage: server answers EPROTO and closes.
+  {
+    const int raw = RawConnect(sock_path_);
+    std::vector<std::byte> garbage(32, std::byte{0xee});
+    ASSERT_TRUE(SendFrame(raw, garbage).ok());
+    auto response = RecvFrame(raw);
+    ASSERT_TRUE(response.ok());
+    WireReader r(*response);
+    uint8_t status = 0;
+    ASSERT_TRUE(r.U8(&status));
+    EXPECT_EQ(ErrcOfWireStatus(status), Errc::kProto);
+    // Connection is closed afterwards.
+    EXPECT_EQ(RecvFrame(raw).status().code(), Errc::kNoEnt);
+    close(raw);
+  }
+
+  // 2. An oversized declared length: EPROTO, closed.
+  {
+    const int raw = RawConnect(sock_path_);
+    WireWriter header;
+    header.U32(kWireMaxFrameBytes + 1);
+    ASSERT_EQ(send(raw, header.buf().data(), header.buf().size(), MSG_NOSIGNAL), 4);
+    auto response = RecvFrame(raw);
+    ASSERT_TRUE(response.ok());
+    WireReader r(*response);
+    uint8_t status = 0;
+    ASSERT_TRUE(r.U8(&status));
+    EXPECT_EQ(ErrcOfWireStatus(status), Errc::kProto);
+    close(raw);
+  }
+
+  // 3. A truncated frame (header promises more than we send) then close.
+  {
+    const int raw = RawConnect(sock_path_);
+    WireWriter header;
+    header.U32(100);
+    ASSERT_EQ(send(raw, header.buf().data(), header.buf().size(), MSG_NOSIGNAL), 4);
+    close(raw);  // server sees EOF mid-frame and must just drop the conn
+  }
+
+  // 4. Fuzz volley: random byte blasts on fresh connections.
+  Rng rng(0x5eed);
+  for (int iter = 0; iter < 50; ++iter) {
+    const int raw = RawConnect(sock_path_);
+    std::vector<std::byte> noise(1 + rng.Below(256));
+    for (auto& b : noise) {
+      b = static_cast<std::byte>(rng.Below(256));
+    }
+    send(raw, noise.data(), noise.size(), MSG_NOSIGNAL);
+    close(raw);
+  }
+
+  // The server is still fully serviceable for a well-behaved client...
+  auto client = Client();
+  EXPECT_TRUE(client->Mkdir("/alive").ok());
+  EXPECT_TRUE(client->Stat("/alive").ok());
+  auto stats = client->FetchStats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->protocol_errors, 2u);  // cases 1 and 2 at minimum
+  // ...and still shuts down cleanly (no leaked blocked connections).
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+}
+
+// --- multi-client concurrent stress with the CRL-H monitor -------------------
+
+TEST_F(ServerTest, MultiClientStressUnderMonitorHasNoViolations) {
+  CrlhMonitor monitor;
+  AtomFs::Options fs_options;
+  fs_options.observer = &monitor;
+  AtomFs fs(std::move(fs_options));
+  StartUnix(&fs, /*workers=*/8);
+
+  // A small filebench population shared by all clients.
+  FilebenchProfile profile;
+  profile.name = "stress";
+  profile.dirs = 8;
+  profile.files = 64;
+  profile.file_bytes = 512;
+  profile.io_bytes = 256;
+  {
+    auto setup = Client();
+    FilebenchSetup(*setup, profile, /*seed=*/3);
+  }
+
+  constexpr int kClients = 6;
+  constexpr uint64_t kOpsPerClient = 120;
+  std::vector<std::thread> threads;
+  std::vector<WorkerStats> stats(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = AtomFsClient::ConnectUnix(sock_path_);
+      ASSERT_TRUE(client.ok());
+      if (c % 3 == 2) {
+        // Every third client hammers cross-directory renames/exchanges so
+        // the helper mechanism actually fires under served concurrency.
+        Rng rng(static_cast<uint64_t>(c) * 131 + 7);
+        for (uint64_t i = 0; i < kOpsPerClient; ++i) {
+          const std::string a = "/fb/d" + std::to_string(rng.Below(profile.dirs));
+          const std::string b = "/fb/d" + std::to_string(rng.Below(profile.dirs));
+          const std::string fa = a + "/f" + std::to_string(rng.Below(profile.files));
+          const std::string fb = b + "/f" + std::to_string(rng.Below(profile.files));
+          if (rng.Chance(1, 2)) {
+            (*client)->Rename(fa, fb);
+          } else {
+            (*client)->Exchange(fa, fb);
+          }
+          (*client)->Stat(fb);
+        }
+      } else {
+        stats[static_cast<size_t>(c)] = FilebenchWorker(
+            **client, profile, /*seed=*/500 + static_cast<uint64_t>(c), kOpsPerClient);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  uint64_t total_ops = 0;
+  for (const WorkerStats& s : stats) {
+    total_ops += s.ops;
+  }
+  EXPECT_GT(total_ops, 0u);
+
+  server_->Stop();
+
+  // The serving layer preserved linearizability: the monitor saw every
+  // operation the workers issued and found no refinement or invariant
+  // violation; at quiescence abstract and concrete trees agree.
+  EXPECT_TRUE(monitor.CheckQuiescent(fs.SnapshotSpec()));
+  EXPECT_TRUE(monitor.ok()) << monitor.violations().front();
+  EXPECT_TRUE(monitor.violations().empty());
+}
+
+}  // namespace
+}  // namespace atomfs

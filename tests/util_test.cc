@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/core/atom_fs.h"
+#include "src/util/json.h"
 #include "src/util/rand.h"
 #include "src/util/stats.h"
 #include "src/util/status.h"
@@ -177,6 +178,40 @@ TEST(OverheadFsTest, ForwardsAllOperations) {
   EXPECT_TRUE(fs.Rmdir("/d").ok());
   // The inner fs saw everything.
   EXPECT_EQ(inner.InodeCount(), 1u);
+}
+
+TEST(JsonWriterTest, BuildsNestedDocument) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("name", "bench");
+  json.Field("count", static_cast<uint64_t>(3));
+  json.Field("ratio", 0.5);
+  json.Field("ok", true);
+  json.Key("values").BeginArray();
+  json.Value(1).Value(2).Value(3);
+  json.EndArray();
+  json.Key("nested").BeginObject().Field("x", 1).EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"name\":\"bench\",\"count\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"values\":[1,2,3],\"nested\":{\"x\":1}}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("s", "a\"b\\c\nd");
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Value(std::nan(""));
+  json.Value(1.0 / 0.0);
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null]");
 }
 
 TEST(OverheadFsTest, RealOverheadCostsTime) {

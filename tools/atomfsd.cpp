@@ -1,0 +1,156 @@
+// atomfsd: the AtomFS network daemon.
+//
+//   atomfsd --unix PATH            listen on a Unix-domain socket
+//           --tcp PORT             listen on 127.0.0.1:PORT (0 = ephemeral)
+//           --backend atomfs|biglock|retryfs|naive   (default atomfs)
+//           --workers N            connection worker threads (default 8)
+//           --monitor              attach the CRL-H runtime to the served
+//                                  instance (atomfs/biglock only); the
+//                                  daemon's exit code then reflects the
+//                                  verification verdict
+//
+// At least one of --unix/--tcp is required. SIGINT/SIGTERM trigger a
+// graceful shutdown: listeners close, in-flight connections are drained,
+// per-op latency stats are printed, and — with --monitor — the refinement /
+// invariant verdict decides the exit code.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "src/biglock/big_lock_fs.h"
+#include "src/core/atom_fs.h"
+#include "src/crlh/monitor.h"
+#include "src/naive/naive_fs.h"
+#include "src/retryfs/retry_fs.h"
+#include "src/server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace atomfs;
+
+  ServerOptions options;
+  options.workers = 8;
+  std::string backend = "atomfs";
+  bool monitor_requested = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg("--unix")) {
+      options.unix_path = next();
+    } else if (arg("--tcp")) {
+      options.tcp_listen = true;
+      options.tcp_port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg("--backend")) {
+      backend = next();
+    } else if (arg("--workers")) {
+      options.workers = std::atoi(next());
+    } else if (arg("--monitor")) {
+      monitor_requested = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s (see header comment for usage)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (options.unix_path.empty() && !options.tcp_listen) {
+    std::fprintf(stderr, "atomfsd: need --unix PATH and/or --tcp PORT\n");
+    return 2;
+  }
+
+  std::unique_ptr<CrlhMonitor> monitor;
+  if (monitor_requested) {
+    if (backend != "atomfs" && backend != "biglock") {
+      std::fprintf(stderr, "atomfsd: --monitor requires --backend atomfs or biglock\n");
+      return 2;
+    }
+    monitor = std::make_unique<CrlhMonitor>();
+  }
+
+  std::unique_ptr<FileSystem> fs;
+  AtomFs* atom_fs = nullptr;  // for the quiescent check at shutdown
+  if (backend == "atomfs") {
+    AtomFs::Options o;
+    o.observer = monitor.get();
+    auto owned = std::make_unique<AtomFs>(std::move(o));
+    atom_fs = owned.get();
+    fs = std::move(owned);
+  } else if (backend == "biglock") {
+    BigLockFs::Options o;
+    o.observer = monitor.get();
+    fs = std::make_unique<BigLockFs>(o);
+  } else if (backend == "retryfs") {
+    fs = std::make_unique<RetryFs>();
+  } else if (backend == "naive") {
+    fs = std::make_unique<NaiveFs>();
+  } else {
+    std::fprintf(stderr, "atomfsd: unknown backend %s\n", backend.c_str());
+    return 2;
+  }
+
+  AtomFsServer server(fs.get(), options);
+  if (Status st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "atomfsd: failed to start: %s\n", ErrcName(st.code()).data());
+    return 1;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::printf("atomfsd: serving %s%s on", backend.c_str(), monitor ? " (monitored)" : "");
+  if (!options.unix_path.empty()) {
+    std::printf(" unix:%s", options.unix_path.c_str());
+  }
+  if (options.tcp_listen) {
+    std::printf(" tcp:%u", server.BoundTcpPort());
+  }
+  std::printf(" workers=%d\n", options.workers);
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+
+  const WireServerStats stats = server.StatsSnapshot();
+  std::printf("atomfsd: shut down; %llu connection(s), %llu protocol error(s)\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.protocol_errors));
+  for (const WireOpStats& s : stats.ops) {
+    std::printf("  %-10s count=%-8llu mean=%lluns p50=%lluns p99=%lluns p99.9=%lluns\n",
+                WireOpName(static_cast<WireOp>(s.op)).data(),
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.mean_ns),
+                static_cast<unsigned long long>(s.p50_ns),
+                static_cast<unsigned long long>(s.p99_ns),
+                static_cast<unsigned long long>(s.p999_ns));
+  }
+
+  if (monitor) {
+    if (atom_fs != nullptr) {
+      monitor->CheckQuiescent(atom_fs->SnapshotSpec());
+    }
+    if (!monitor->ok()) {
+      std::printf("atomfsd: CRL-H VIOLATIONS:\n");
+      for (const auto& v : monitor->violations()) {
+        std::printf("  %s\n", v.c_str());
+      }
+      return 1;
+    }
+    std::printf("atomfsd: CRL-H monitor: every served operation linearizable (%llu helped)\n",
+                static_cast<unsigned long long>(monitor->helped_ops()));
+  }
+  return 0;
+}

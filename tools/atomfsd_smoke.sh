@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# End-to-end atomfsd smoke test (wired into ctest; see tools/CMakeLists.txt):
+# start the daemon on a Unix socket with the CRL-H monitor attached, drive a
+# handful of operations through a remote fsshell, then shut down gracefully
+# and require a clean (verified) exit.
+#
+# Usage: atomfsd_smoke.sh /path/to/atomfsd /path/to/fsshell
+set -euo pipefail
+
+ATOMFSD=${1:?usage: atomfsd_smoke.sh ATOMFSD FSSHELL}
+FSSHELL=${2:?usage: atomfsd_smoke.sh ATOMFSD FSSHELL}
+
+WORK=$(mktemp -d)
+SOCK="$WORK/atomfsd.sock"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$ATOMFSD" --unix "$SOCK" --monitor --workers 4 > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: daemon never created $SOCK"; cat "$WORK/daemon.log"; exit 1; }
+
+printf 'mkdir /a\nwrite /a/f hello from the wire\ncat /a/f\nmv /a/f /a/g\nls /a\nstat /a/g\n' \
+  | "$FSSHELL" --connect "unix:$SOCK" > "$WORK/shell.out"
+
+grep -q 'hello from the wire' "$WORK/shell.out" || {
+  echo "FAIL: remote cat did not round-trip"; cat "$WORK/shell.out"; exit 1; }
+grep -q '^g$' "$WORK/shell.out" || {
+  echo "FAIL: remote rename not visible in ls"; cat "$WORK/shell.out"; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+  echo "FAIL: daemon exited non-zero (monitor violation or crash)"
+  cat "$WORK/daemon.log"
+  exit 1
+fi
+grep -q 'shut down' "$WORK/daemon.log" || {
+  echo "FAIL: no graceful shutdown message"; cat "$WORK/daemon.log"; exit 1; }
+grep -q 'every served operation linearizable' "$WORK/daemon.log" || {
+  echo "FAIL: monitor verdict missing"; cat "$WORK/daemon.log"; exit 1; }
+
+echo "PASS: atomfsd smoke ($(grep -c . "$WORK/shell.out") shell lines, monitor clean)"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verification, as pinned in ROADMAP.md: configure, build, and run the
+# full ctest suite — which includes the atomfsd end-to-end smoke test
+# (tools/atomfsd_smoke.sh), so the serving layer is covered by default.
+#
+# Usage: tools/run_tier1.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
