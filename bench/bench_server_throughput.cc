@@ -5,15 +5,26 @@
 // (fresh backend each time), connects N clients — one connection and one
 // thread per client — and drives the profile's op mix through AtomFsClient,
 // i.e. over the real wire protocol. Every FileSystem call is timed
-// client-side; the report gives per-op count, mean and exact p50/p99/p999
-// latency plus aggregate ops/sec, and the same numbers are written to a
-// machine-readable JSON file (default BENCH_server.json).
+// client-side into an atomtrace metrics registry, so the reported
+// p50/p99/p999 use the same bucket math as the server's own histograms (a
+// client and a `METRICS` fetch can never disagree about a percentile).
+//
+// The primary pass runs with a TracingObserver attached to the backend
+// (atomfs/biglock), and the report carries the lock-coupling profile —
+// per-depth hold/step histograms — and helper counters pulled over the wire
+// via the METRICS op. For the fileserver profile the run doubles as the
+// tracing-overhead experiment: two servers over identical datasets (one
+// untraced, one traced) take load in alternating paired slices, and the
+// median traced/untraced throughput ratio yields `tracing_overhead_pct`
+// plus the hardware-independent `tracing_overhead_ns_per_op` (suppressed
+// under --monitor, where verification — not tracing — dominates).
 //
 //   bench_server_throughput [--clients N]     concurrent clients (default 4)
 //                           [--ops N]         filebench ops per client (default 800)
 //                           [--profile fileserver|webproxy|both]   (default both)
 //                           [--backend atomfs|biglock|retryfs|naive]
 //                           [--transport unix|tcp]                 (default unix)
+//                           [--monitor]       attach the CRL-H monitor too
 //                           [--json PATH]     output file (default BENCH_server.json)
 
 #include <unistd.h>
@@ -30,7 +41,10 @@
 #include "src/biglock/big_lock_fs.h"
 #include "src/client/client.h"
 #include "src/core/atom_fs.h"
+#include "src/crlh/monitor.h"
 #include "src/naive/naive_fs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/server/server.h"
 #include "src/util/json.h"
@@ -57,27 +71,30 @@ enum OpKind : int {
 };
 
 const char* OpKindName(int k) {
-  static const char* kNames[kOpKindCount] = {"mkdir", "mknod",   "rmdir", "unlink",
+  static const char* kNames[kOpKindCount] = {"mkdir",  "mknod",    "rmdir", "unlink",
                                              "rename", "exchange", "stat",  "readdir",
                                              "read",   "write",    "truncate"};
   return kNames[k];
 }
 
-// FileSystem decorator that timestamps every call into per-kind sample
-// vectors. One instance per client thread, so recording is contention-free
-// and percentiles are exact.
+// FileSystem decorator that timestamps every call into shared registry
+// histograms ("client.op.<kind>.latency_ns"). The registry shards by thread,
+// and each client runs on its own thread, so recording stays contention-free.
 class LatencyRecordingFs : public FileSystem {
  public:
-  explicit LatencyRecordingFs(FileSystem* inner) : inner_(inner) {}
-
-  std::vector<std::vector<uint64_t>>& samples() { return samples_; }
+  LatencyRecordingFs(FileSystem* inner, MetricsRegistry* registry) : inner_(inner) {
+    for (int k = 0; k < kOpKindCount; ++k) {
+      hist_[k] =
+          registry->GetHistogram(std::string("client.op.") + OpKindName(k) + ".latency_ns");
+    }
+  }
 
   // Defined before its uses: auto return deduction needs the body in scope.
   template <typename Fn>
   auto Timed(int kind, Fn&& fn) {
     WallTimer timer;
     auto result = fn();
-    samples_[static_cast<size_t>(kind)].push_back(timer.ElapsedNanos());
+    hist_[kind].Record(timer.ElapsedNanos());
     return result;
   }
 
@@ -111,15 +128,21 @@ class LatencyRecordingFs : public FileSystem {
 
  private:
   FileSystem* inner_;
-  std::vector<std::vector<uint64_t>> samples_{kOpKindCount};
+  Histogram hist_[kOpKindCount];
 };
 
-std::unique_ptr<FileSystem> MakeBackend(const std::string& name) {
+bool BackendObservable(const std::string& name) { return name == "atomfs" || name == "biglock"; }
+
+std::unique_ptr<FileSystem> MakeBackend(const std::string& name, FsObserver* observer) {
   if (name == "atomfs") {
-    return std::make_unique<AtomFs>();
+    AtomFs::Options o;
+    o.observer = observer;
+    return std::make_unique<AtomFs>(std::move(o));
   }
   if (name == "biglock") {
-    return std::make_unique<BigLockFs>();
+    BigLockFs::Options o;
+    o.observer = observer;
+    return std::make_unique<BigLockFs>(o);
   }
   if (name == "retryfs") {
     return std::make_unique<RetryFs>();
@@ -130,36 +153,54 @@ std::unique_ptr<FileSystem> MakeBackend(const std::string& name) {
   return nullptr;
 }
 
-uint64_t Percentile(std::vector<uint64_t>& sorted, double p) {
-  if (sorted.empty()) {
-    return 0;
-  }
-  const size_t idx = std::min(sorted.size() - 1,
-                              static_cast<size_t>(p * static_cast<double>(sorted.size())));
-  return sorted[idx];
-}
-
 struct ProfileResult {
   std::string name;
+  bool traced = false;
   double wall_seconds = 0;
   uint64_t fs_calls = 0;
   uint64_t filebench_ops = 0;
   uint64_t worker_failures = 0;
-  // Per op kind: merged, sorted samples.
-  std::vector<std::vector<uint64_t>> samples{kOpKindCount};
+  double ops_per_sec = 0;
+  // Client-side registry snapshot: client.op.<kind>.latency_ns histograms.
+  MetricsSnapshot client;
+  // Server-side registry, fetched over the wire with the METRICS op; carries
+  // the lock-coupling profile and helper counters when `traced`.
+  MetricsSnapshot remote;
   WireServerStats server;
 };
 
 ProfileResult RunProfile(const FilebenchProfile& profile, const std::string& backend,
-                         const std::string& transport, int clients, uint64_t ops_per_client) {
+                         const std::string& transport, int clients, uint64_t ops_per_client,
+                         bool traced, bool with_monitor) {
   ProfileResult result;
   result.name = profile.name;
+  result.traced = traced;
 
-  std::unique_ptr<FileSystem> fs = MakeBackend(backend);
+  // Server-side observability: the registry always backs the METRICS op; the
+  // tracer (and optionally the CRL-H monitor) only attach on a traced pass.
+  MetricsRegistry server_registry;
+  std::unique_ptr<TracingObserver> tracer;
+  std::unique_ptr<CrlhMonitor> monitor;
+  std::unique_ptr<TeeObserver> tee;
+  FsObserver* observer = nullptr;
+  if (traced && BackendObservable(backend)) {
+    tracer = std::make_unique<TracingObserver>(&server_registry, /*ring=*/nullptr);
+    observer = tracer.get();
+    if (with_monitor) {
+      CrlhMonitor::Options mopts;
+      mopts.obs = tracer.get();
+      monitor = std::make_unique<CrlhMonitor>(mopts);
+      tee = std::make_unique<TeeObserver>(monitor.get(), tracer.get());
+      observer = tee.get();
+    }
+  }
+
+  std::unique_ptr<FileSystem> fs = MakeBackend(backend, observer);
   const std::string sock_path =
       "/tmp/atomfs_bench_" + std::to_string(getpid()) + "_" + profile.name + ".sock";
   ServerOptions options;
   options.workers = clients;
+  options.metrics = &server_registry;
   if (transport == "tcp") {
     options.tcp_listen = true;  // ephemeral port
   } else {
@@ -178,6 +219,7 @@ ProfileResult RunProfile(const FilebenchProfile& profile, const std::string& bac
   // Populate directly on the backend — setup is not what we measure.
   FilebenchSetup(*fs, profile, /*seed=*/7);
 
+  MetricsRegistry client_registry;
   std::vector<std::unique_ptr<AtomFsClient>> conns;
   std::vector<std::unique_ptr<LatencyRecordingFs>> recorders;
   for (int c = 0; c < clients; ++c) {
@@ -187,7 +229,8 @@ ProfileResult RunProfile(const FilebenchProfile& profile, const std::string& bac
       std::exit(1);
     }
     conns.push_back(std::move(*conn));
-    recorders.push_back(std::make_unique<LatencyRecordingFs>(conns.back().get()));
+    recorders.push_back(
+        std::make_unique<LatencyRecordingFs>(conns.back().get(), &client_registry));
   }
 
   std::vector<WorkerStats> worker_stats(static_cast<size_t>(clients));
@@ -208,48 +251,353 @@ ProfileResult RunProfile(const FilebenchProfile& profile, const std::string& bac
   for (int c = 0; c < clients; ++c) {
     result.filebench_ops += worker_stats[static_cast<size_t>(c)].ops;
     result.worker_failures += worker_stats[static_cast<size_t>(c)].failures;
-    auto& per_client = recorders[static_cast<size_t>(c)]->samples();
-    for (int k = 0; k < kOpKindCount; ++k) {
-      auto& merged = result.samples[static_cast<size_t>(k)];
-      merged.insert(merged.end(), per_client[static_cast<size_t>(k)].begin(),
-                    per_client[static_cast<size_t>(k)].end());
-      result.fs_calls += per_client[static_cast<size_t>(k)].size();
-    }
   }
-  for (auto& s : result.samples) {
-    std::sort(s.begin(), s.end());
+  result.client = client_registry.Snapshot();
+  for (const HistogramSnapshot& h : result.client.histograms) {
+    result.fs_calls += h.count;
   }
+  result.ops_per_sec = static_cast<double>(result.fs_calls) / result.wall_seconds;
+
+  // Pull the server registry over the real wire — this is the same bytes an
+  // operator would get from fsshell's `metrics` command.
+  if (auto remote = conns.front()->FetchMetrics(); remote.ok()) {
+    result.remote = std::move(*remote);
+  } else {
+    std::fprintf(stderr, "METRICS fetch failed for %s\n", profile.name.c_str());
+    std::exit(1);
+  }
+
   result.server = server.StatsSnapshot();
   server.Stop();
+
+  if (monitor) {
+    if (auto* atom = dynamic_cast<AtomFs*>(fs.get()); atom != nullptr) {
+      monitor->CheckQuiescent(atom->SnapshotSpec());
+    }
+    if (!monitor->ok()) {
+      std::fprintf(stderr, "CRL-H VIOLATIONS during %s:\n", profile.name.c_str());
+      for (const auto& v : monitor->violations()) {
+        std::fprintf(stderr, "  %s\n", v.c_str());
+      }
+      std::exit(1);
+    }
+    std::printf("monitor: every op linearizable (%llu helped)\n",
+                static_cast<unsigned long long>(monitor->helped_ops()));
+  }
   return result;
 }
 
+// The tracing-overhead experiment. Sequential untraced-then-traced passes
+// cannot resolve a few-percent effect: every freshly built server gets its
+// own allocation layout and scheduler luck, and pass-to-pass throughput
+// varies by more than the tracer costs. So both servers are built ONCE —
+// identical datasets, one untraced, one traced — and the load alternates
+// between them in back-to-back slices driven with the same seeds. Layout
+// differences freeze for the whole experiment, adjacent slices share the
+// machine's conditions, and each pair yields one traced/untraced throughput
+// ratio; the reported overhead comes from the median ratio. Both sides go
+// through identical LatencyRecordingFs decorators so recorder cost cancels.
+struct OverheadOutcome {
+  ProfileResult traced;  // aggregated over the traced slices
+  double untraced_ops_per_sec = 0;
+  double overhead_pct = 0;
+  double overhead_ns_per_op = 0;  // added machine time per FileSystem call
+  int pairs = 0;
+};
+
+OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std::string& backend,
+                                      const std::string& transport, int clients,
+                                      uint64_t ops_per_client) {
+  constexpr int kPairs = 9;
+  OverheadOutcome out;
+
+  MetricsRegistry registry_a;  // untraced server: server.op metrics only
+  MetricsRegistry registry_b;  // traced server: + the full atomtrace schema
+  TracingObserver tracer(&registry_b, /*ring=*/nullptr);
+  std::unique_ptr<FileSystem> fs_a = MakeBackend(backend, nullptr);
+  std::unique_ptr<FileSystem> fs_b = MakeBackend(backend, &tracer);
+
+  const std::string sock_base =
+      "/tmp/atomfs_bench_" + std::to_string(getpid()) + "_" + profile.name;
+
+  struct Side {
+    std::unique_ptr<AtomFsServer> server;
+    std::string sock_path;
+    MetricsRegistry client_registry;
+    std::vector<std::unique_ptr<AtomFsClient>> conns;
+    std::vector<std::unique_ptr<LatencyRecordingFs>> recorders;
+    double wall = 0;
+    uint64_t filebench_ops = 0;
+    uint64_t failures = 0;
+  };
+  Side side_a;
+  Side side_b;
+
+  auto start_side = [&](Side& side, FileSystem* fs, MetricsRegistry* registry,
+                        const std::string& suffix) {
+    ServerOptions options;
+    options.workers = clients;
+    options.metrics = registry;
+    if (transport == "tcp") {
+      options.tcp_listen = true;
+    } else {
+      side.sock_path = sock_base + suffix + ".sock";
+      options.unix_path = side.sock_path;
+    }
+    side.server = std::make_unique<AtomFsServer>(fs, options);
+    if (!side.server->Start().ok()) {
+      std::fprintf(stderr, "cannot start overhead server for %s\n", profile.name.c_str());
+      std::exit(1);
+    }
+    FilebenchSetup(*fs, profile, /*seed=*/7);
+    for (int c = 0; c < clients; ++c) {
+      auto conn = transport == "tcp" ? AtomFsClient::ConnectTcp(side.server->BoundTcpPort())
+                                     : AtomFsClient::ConnectUnix(side.sock_path);
+      if (!conn.ok()) {
+        std::fprintf(stderr, "overhead client %d cannot connect\n", c);
+        std::exit(1);
+      }
+      side.conns.push_back(std::move(*conn));
+      side.recorders.push_back(
+          std::make_unique<LatencyRecordingFs>(side.conns.back().get(), &side.client_registry));
+    }
+  };
+  start_side(side_a, fs_a.get(), &registry_a, "_a");
+  start_side(side_b, fs_b.get(), &registry_b, "_b");
+
+  // One slice = every client running the profile once against one side. The
+  // same seeds drive both sides of a pair, so the two datasets stay
+  // byte-for-byte comparable as the experiment mutates them.
+  auto drive = [&](Side& side, uint64_t seed_base) {
+    std::vector<WorkerStats> stats(static_cast<size_t>(clients));
+    WallTimer wall;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        stats[static_cast<size_t>(c)] =
+            FilebenchWorker(*side.recorders[static_cast<size_t>(c)], profile,
+                            seed_base + static_cast<uint64_t>(c), ops_per_client);
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    const double secs = wall.ElapsedSeconds();
+    side.wall += secs;
+    for (const WorkerStats& s : stats) {
+      side.filebench_ops += s.ops;
+      side.failures += s.failures;
+    }
+    return secs;
+  };
+
+  // One untimed warm-up slice per side, driven through the raw connections
+  // so the client-side registries stay clean: a freshly built server's
+  // first slice is dominated by cold caches and lazy allocation, which
+  // would otherwise bias the first pair. The same seed mutates both
+  // datasets identically.
+  auto warm = [&](Side& side) {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        FilebenchWorker(*side.conns[static_cast<size_t>(c)], profile,
+                        500 + static_cast<uint64_t>(c), ops_per_client);
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  };
+  warm(side_a);
+  warm(side_b);
+
+  std::vector<double> ratios;
+  for (int pair = 0; pair < kPairs; ++pair) {
+    const uint64_t seed = 1000 + static_cast<uint64_t>(pair) * 977;
+    double wall_a = 0;
+    double wall_b = 0;
+    // Alternate which side goes first so drift inside a pair cancels too.
+    if (pair % 2 == 0) {
+      wall_a = drive(side_a, seed);
+      wall_b = drive(side_b, seed);
+    } else {
+      wall_b = drive(side_b, seed);
+      wall_a = drive(side_a, seed);
+    }
+    // Equal op counts per slice, so the throughput ratio is the wall ratio.
+    ratios.push_back(wall_a / wall_b);
+    std::printf("overhead pair %d: untraced %.3fs traced %.3fs (traced/untraced throughput %.3f)\n",
+                pair, wall_a, wall_b, wall_a / wall_b);
+  }
+
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio = ratios[ratios.size() / 2];
+
+  uint64_t calls_a = 0;
+  for (const HistogramSnapshot& h : side_a.client_registry.Snapshot().histograms) {
+    calls_a += h.count;
+  }
+  out.untraced_ops_per_sec = static_cast<double>(calls_a) / side_a.wall;
+  out.overhead_pct = (1.0 - median_ratio) * 100.0;
+  // The percentage depends on how much CPU an op costs on this machine (on a
+  // single-core container every tracer nanosecond is throughput-critical);
+  // the added time per op is the hardware-comparable number.
+  out.overhead_ns_per_op =
+      (1.0 / (out.untraced_ops_per_sec * median_ratio) - 1.0 / out.untraced_ops_per_sec) * 1e9;
+  out.pairs = kPairs;
+
+  ProfileResult& r = out.traced;
+  r.name = profile.name;
+  r.traced = true;
+  r.wall_seconds = side_b.wall;
+  r.filebench_ops = side_b.filebench_ops;
+  r.worker_failures = side_b.failures;
+  r.client = side_b.client_registry.Snapshot();
+  for (const HistogramSnapshot& h : r.client.histograms) {
+    r.fs_calls += h.count;
+  }
+  // Ratio-consistent throughput so the JSON overhead field reproduces the
+  // printed number exactly.
+  r.ops_per_sec = out.untraced_ops_per_sec * median_ratio;
+  if (auto remote = side_b.conns.front()->FetchMetrics(); remote.ok()) {
+    r.remote = std::move(*remote);
+  } else {
+    std::fprintf(stderr, "METRICS fetch failed for %s\n", profile.name.c_str());
+    std::exit(1);
+  }
+  r.server = side_b.server->StatsSnapshot();
+  side_a.server->Stop();
+  side_b.server->Stop();
+  return out;
+}
+
 void PrintProfile(const ProfileResult& r, int clients) {
-  std::printf("\n=== %s: %d client(s), %llu wire calls in %s s => %.0f ops/sec ===\n",
-              r.name.c_str(), clients, static_cast<unsigned long long>(r.fs_calls),
-              FormatSeconds(r.wall_seconds).c_str(),
-              static_cast<double>(r.fs_calls) / r.wall_seconds);
+  std::printf("\n=== %s%s: %d client(s), %llu wire calls in %s s => %.0f ops/sec ===\n",
+              r.name.c_str(), r.traced ? "" : " (untraced baseline)", clients,
+              static_cast<unsigned long long>(r.fs_calls), FormatSeconds(r.wall_seconds).c_str(),
+              r.ops_per_sec);
   std::printf("%-10s %10s %10s %10s %10s %10s\n", "op", "count", "mean_us", "p50_us", "p99_us",
               "p999_us");
+  auto us = [](uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
   for (int k = 0; k < kOpKindCount; ++k) {
-    const auto& s = r.samples[static_cast<size_t>(k)];
-    if (s.empty()) {
+    const HistogramSnapshot* h =
+        r.client.FindHistogram(std::string("client.op.") + OpKindName(k) + ".latency_ns");
+    if (h == nullptr || h->count == 0) {
       continue;
     }
-    double sum = 0;
-    for (uint64_t v : s) {
-      sum += static_cast<double>(v);
-    }
-    auto us = [](uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
-    std::printf("%-10s %10zu %10.1f %10.1f %10.1f %10.1f\n", OpKindName(k), s.size(),
-                sum / static_cast<double>(s.size()) / 1000.0,
-                us(Percentile(const_cast<std::vector<uint64_t>&>(s), 0.50)),
-                us(Percentile(const_cast<std::vector<uint64_t>&>(s), 0.99)),
-                us(Percentile(const_cast<std::vector<uint64_t>&>(s), 0.999)));
+    std::printf("%-10s %10llu %10.1f %10.1f %10.1f %10.1f\n", OpKindName(k),
+                static_cast<unsigned long long>(h->count), h->Mean() / 1000.0,
+                us(h->Percentile(0.50)), us(h->Percentile(0.99)), us(h->Percentile(0.999)));
   }
   std::printf("server: %llu connection(s), %llu protocol error(s)\n",
               static_cast<unsigned long long>(r.server.connections_accepted),
               static_cast<unsigned long long>(r.server.protocol_errors));
+  if (const uint64_t acq = r.remote.CounterValue("lock.acquires"); acq > 0) {
+    std::printf("lock coupling: %llu acquire(s); per-depth hold-time p99:\n",
+                static_cast<unsigned long long>(acq));
+    for (unsigned d = 1; d <= kMaxTrackedDepth; ++d) {
+      char name[48];
+      std::snprintf(name, sizeof(name), "lock.depth%02u.hold_ns", d);
+      const HistogramSnapshot* h = r.remote.FindHistogram(name);
+      if (h == nullptr || h->count == 0) {
+        continue;
+      }
+      std::printf("  depth %2u: count=%-8llu hold p99=%.1fus\n", d,
+                  static_cast<unsigned long long>(h->count), us(h->Percentile(0.99)));
+    }
+  }
+  if (const uint64_t helps = r.remote.CounterValue("crlh.help_events"); helps > 0) {
+    std::printf("helpers: %llu help event(s), %llu helped op(s)\n",
+                static_cast<unsigned long long>(helps),
+                static_cast<unsigned long long>(r.remote.CounterValue("crlh.helped_ops")));
+  }
+}
+
+// Emits count/mean/p50/p99/p999 fields from a registry histogram.
+void JsonHistogram(JsonWriter& json, const HistogramSnapshot& h) {
+  json.Field("count", h.count);
+  json.Field("mean_ns", h.Mean());
+  json.Field("p50_ns", h.Percentile(0.50));
+  json.Field("p99_ns", h.Percentile(0.99));
+  json.Field("p999_ns", h.Percentile(0.999));
+}
+
+void JsonProfile(JsonWriter& json, const ProfileResult& r, double untraced_ops_per_sec) {
+  json.BeginObject();
+  json.Field("name", r.name);
+  json.Field("traced", r.traced);
+  json.Field("wall_seconds", r.wall_seconds);
+  json.Field("fs_calls", r.fs_calls);
+  json.Field("filebench_ops", r.filebench_ops);
+  json.Field("worker_failures", r.worker_failures);
+  json.Field("ops_per_sec", r.ops_per_sec);
+  if (untraced_ops_per_sec > 0) {
+    json.Field("ops_per_sec_untraced", untraced_ops_per_sec);
+    json.Field("tracing_overhead_pct",
+               (untraced_ops_per_sec - r.ops_per_sec) / untraced_ops_per_sec * 100.0);
+    // Added machine time per FileSystem call — comparable across hosts,
+    // unlike the percentage, whose denominator is this machine's CPU cost
+    // per op (see the RunOverheadExperiment comment).
+    json.Field("tracing_overhead_ns_per_op",
+               (1.0 / r.ops_per_sec - 1.0 / untraced_ops_per_sec) * 1e9);
+  }
+  json.Field("server_connections", r.server.connections_accepted);
+  json.Field("server_protocol_errors", r.server.protocol_errors);
+
+  json.Key("per_op").BeginArray();
+  for (int k = 0; k < kOpKindCount; ++k) {
+    const HistogramSnapshot* h =
+        r.client.FindHistogram(std::string("client.op.") + OpKindName(k) + ".latency_ns");
+    if (h == nullptr || h->count == 0) {
+      continue;
+    }
+    json.BeginObject();
+    json.Field("op", OpKindName(k));
+    JsonHistogram(json, *h);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  // Lock-coupling profile from the server registry (over the wire). Only
+  // present on traced passes against observer-capable backends.
+  json.Field("lock_acquires", r.remote.CounterValue("lock.acquires"));
+  json.Field("lock_releases", r.remote.CounterValue("lock.releases"));
+  json.Key("lock_depths").BeginArray();
+  for (unsigned d = 1; d <= kMaxTrackedDepth; ++d) {
+    char hold[48];
+    char step[48];
+    std::snprintf(hold, sizeof(hold), "lock.depth%02u.hold_ns", d);
+    std::snprintf(step, sizeof(step), "lock.depth%02u.step_ns", d);
+    const HistogramSnapshot* hh = r.remote.FindHistogram(hold);
+    if (hh == nullptr || hh->count == 0) {
+      continue;
+    }
+    json.BeginObject();
+    json.Field("depth", static_cast<uint64_t>(d));
+    json.Field("hold_count", hh->count);
+    json.Field("hold_mean_ns", hh->Mean());
+    json.Field("hold_p99_ns", hh->Percentile(0.99));
+    if (const HistogramSnapshot* hs = r.remote.FindHistogram(step);
+        hs != nullptr && hs->count > 0) {
+      json.Field("step_mean_ns", hs->Mean());
+      json.Field("step_p99_ns", hs->Percentile(0.99));
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("helpers").BeginObject();
+  json.Field("help_events", r.remote.CounterValue("crlh.help_events"));
+  json.Field("helped_ops", r.remote.CounterValue("crlh.helped_ops"));
+  json.Field("rollback_checks", r.remote.CounterValue("crlh.rollback_checks"));
+  json.Field("rolled_back_ops", r.remote.CounterValue("crlh.rolled_back_ops"));
+  if (const HistogramSnapshot* h = r.remote.FindHistogram("crlh.help_set_size");
+      h != nullptr && h->count > 0) {
+    json.Field("help_set_size_mean", h->Mean());
+  }
+  json.EndObject();
+
+  json.EndObject();
 }
 
 }  // namespace
@@ -264,6 +612,7 @@ int main(int argc, char** argv) {
   std::string backend = "atomfs";
   std::string transport = "unix";
   std::string json_path = "BENCH_server.json";
+  bool with_monitor = false;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
@@ -278,6 +627,8 @@ int main(int argc, char** argv) {
       backend = next();
     } else if (arg("--transport")) {
       transport = next();
+    } else if (arg("--monitor")) {
+      with_monitor = true;
     } else if (arg("--json")) {
       // PATH is optional: bare --json (or --json followed by another flag)
       // keeps the default output name.
@@ -289,7 +640,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (MakeBackend(backend) == nullptr) {
+  if (MakeBackend(backend, nullptr) == nullptr) {
     std::fprintf(stderr, "unknown backend %s\n", backend.c_str());
     return 2;
   }
@@ -320,39 +671,36 @@ int main(int argc, char** argv) {
   json.Key("profiles").BeginArray();
 
   for (const FilebenchProfile& profile : profiles) {
-    ProfileResult r = RunProfile(profile, backend, transport, clients, ops_per_client);
-    PrintProfile(r, clients);
-
-    json.BeginObject();
-    json.Field("name", r.name);
-    json.Field("wall_seconds", r.wall_seconds);
-    json.Field("fs_calls", r.fs_calls);
-    json.Field("filebench_ops", r.filebench_ops);
-    json.Field("worker_failures", r.worker_failures);
-    json.Field("ops_per_sec", static_cast<double>(r.fs_calls) / r.wall_seconds);
-    json.Field("server_connections", r.server.connections_accepted);
-    json.Field("server_protocol_errors", r.server.protocol_errors);
-    json.Key("per_op").BeginArray();
-    for (int k = 0; k < kOpKindCount; ++k) {
-      auto& s = r.samples[static_cast<size_t>(k)];
-      if (s.empty()) {
-        continue;
+    // The fileserver profile doubles as the tracing-overhead experiment
+    // (see RunOverheadExperiment). The comparison is only meaningful when
+    // the two sides differ in nothing but the tracer, so --monitor (which
+    // serializes every event on the ghost mutex and runs the invariant
+    // checkers) suppresses it rather than billing verification cost to the
+    // tracing layer.
+    const bool measure_overhead =
+        profile.name == "fileserver" && BackendObservable(backend) && !with_monitor;
+    double untraced_ops_per_sec = 0;
+    ProfileResult r;
+    if (measure_overhead) {
+      OverheadOutcome outcome =
+          RunOverheadExperiment(profile, backend, transport, clients, ops_per_client);
+      r = std::move(outcome.traced);
+      untraced_ops_per_sec = outcome.untraced_ops_per_sec;
+      PrintProfile(r, clients);
+      std::printf(
+          "tracing overhead: %.2f%% of single-core throughput = %.0f ns per op "
+          "(median paired-slice ratio over %d pairs; untraced %.0f ops/sec)\n",
+          outcome.overhead_pct, outcome.overhead_ns_per_op, outcome.pairs, untraced_ops_per_sec);
+    } else {
+      r = RunProfile(profile, backend, transport, clients, ops_per_client,
+                     /*traced=*/true, with_monitor);
+      PrintProfile(r, clients);
+      if (profile.name == "fileserver" && with_monitor) {
+        std::printf(
+            "tracing overhead: not measured under --monitor (verification cost dominates)\n");
       }
-      double sum = 0;
-      for (uint64_t v : s) {
-        sum += static_cast<double>(v);
-      }
-      json.BeginObject();
-      json.Field("op", OpKindName(k));
-      json.Field("count", static_cast<uint64_t>(s.size()));
-      json.Field("mean_ns", sum / static_cast<double>(s.size()));
-      json.Field("p50_ns", Percentile(s, 0.50));
-      json.Field("p99_ns", Percentile(s, 0.99));
-      json.Field("p999_ns", Percentile(s, 0.999));
-      json.EndObject();
     }
-    json.EndArray();
-    json.EndObject();
+    JsonProfile(json, r, untraced_ops_per_sec);
   }
 
   json.EndArray();

@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "src/biglock/big_lock_fs.h"
+#include "src/crlh/monitor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/util/json.h"
 #include "src/core/atom_fs.h"
 #include "src/retryfs/retry_fs.h"
@@ -148,6 +151,73 @@ inline void RunFig11(const FilebenchProfile& profile) {
     json.EndObject();
   }
   json.EndArray();
+
+  // Instrumented pass: re-run AtomFS at the widest thread count with the
+  // atomtrace lock-coupling profiler (plus the CRL-H runtime for helper
+  // counts, with invariant checking and history dialed off so the ghost
+  // bookkeeping stays cheap). This runs *after* the speedup matrix above,
+  // which stays observer-free — the published speedup numbers are never
+  // perturbed by instrumentation.
+  MetricsRegistry registry;
+  TracingObserver tracer(&registry, /*ring=*/nullptr);
+  CrlhMonitor::Options mopts;
+  mopts.check_invariants = false;
+  mopts.record_history = false;
+  mopts.obs = &tracer;
+  CrlhMonitor monitor(mopts);
+  TeeObserver tee(&monitor, &tracer);
+  const int max_threads = thread_counts.back();
+  RunOneConfig(profile, max_threads,
+               [&tee](Executor* ex) {
+                 AtomFs::Options o;
+                 o.executor = ex;
+                 o.observer = &tee;
+                 return std::make_unique<AtomFs>(std::move(o));
+               },
+               42);
+  const MetricsSnapshot snap = registry.Snapshot();
+
+  std::printf("\nlock-coupling profile (AtomFS, %d threads, instrumented pass):\n", max_threads);
+  std::printf("%8s %12s %14s %14s\n", "depth", "acquires", "hold_p99_us", "step_p99_us");
+  json.Key("lock_profile").BeginObject();
+  json.Field("threads", max_threads);
+  json.Field("lock_acquires", snap.CounterValue("lock.acquires"));
+  json.Key("depths").BeginArray();
+  for (unsigned d = 1; d <= kMaxTrackedDepth; ++d) {
+    char hold[48];
+    char step[48];
+    std::snprintf(hold, sizeof(hold), "lock.depth%02u.hold_ns", d);
+    std::snprintf(step, sizeof(step), "lock.depth%02u.step_ns", d);
+    const HistogramSnapshot* hh = snap.FindHistogram(hold);
+    const HistogramSnapshot* hs = snap.FindHistogram(step);
+    if (hh == nullptr || hh->count == 0) {
+      continue;
+    }
+    std::printf("%8u %12llu %14.1f %14.1f\n", d, static_cast<unsigned long long>(hh->count),
+                static_cast<double>(hh->Percentile(0.99)) / 1000.0,
+                hs != nullptr ? static_cast<double>(hs->Percentile(0.99)) / 1000.0 : 0.0);
+    json.BeginObject();
+    json.Field("depth", static_cast<uint64_t>(d));
+    json.Field("hold_count", hh->count);
+    json.Field("hold_mean_ns", hh->Mean());
+    json.Field("hold_p99_ns", hh->Percentile(0.99));
+    if (hs != nullptr && hs->count > 0) {
+      json.Field("step_mean_ns", hs->Mean());
+      json.Field("step_p99_ns", hs->Percentile(0.99));
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("helpers").BeginObject();
+  json.Field("help_events", snap.CounterValue("crlh.help_events"));
+  json.Field("helped_ops", snap.CounterValue("crlh.helped_ops"));
+  json.Field("rollback_checks", snap.CounterValue("crlh.rollback_checks"));
+  json.EndObject();
+  json.EndObject();
+  std::printf("helpers: %llu help event(s), %llu helped op(s)\n",
+              static_cast<unsigned long long>(snap.CounterValue("crlh.help_events")),
+              static_cast<unsigned long long>(snap.CounterValue("crlh.helped_ops")));
+
   json.EndObject();
   const std::string path = "BENCH_fig11_" + profile.name + ".json";
   if (json.WriteFile(path)) {

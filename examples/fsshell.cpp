@@ -4,6 +4,7 @@
 //
 //   mkdir PATH | touch PATH | rm PATH | rmdir PATH | mv SRC DST | xchg A B
 //   ls PATH    | stat PATH  | cat PATH | write PATH TEXT... | tree [PATH]
+//   metrics (remote mounts only: fetch and print the atomtrace dump)
 //   help | quit
 //
 //   $ printf 'mkdir /a\nwrite /a/f hello world\ncat /a/f\ntree /\n' | ./fsshell
@@ -51,6 +52,7 @@ void Tree(FileSystem& fs, const std::string& path, int depth) {
 
 int main(int argc, char** argv) {
   std::unique_ptr<FileSystem> owned;
+  AtomFsClient* remote = nullptr;  // non-null iff --connect; powers `metrics`
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       auto client = AtomFsClient::Connect(argv[++i]);
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
                      ErrcName(client.status().code()).data());
         return 1;
       }
+      remote = client->get();
       owned = std::move(*client);
     } else {
       std::fprintf(stderr, "usage: fsshell [--connect unix:PATH|tcp:PORT]\n");
@@ -82,7 +85,18 @@ int main(int argc, char** argv) {
     if (cmd == "quit" || cmd == "exit") {
       break;
     } else if (cmd == "help") {
-      std::printf("mkdir touch rm rmdir mv xchg ls stat cat write tree quit\n");
+      std::printf("mkdir touch rm rmdir mv xchg ls stat cat write tree metrics quit\n");
+    } else if (cmd == "metrics") {
+      if (remote == nullptr) {
+        std::printf("metrics: only available on a remote mount (--connect)\n");
+        continue;
+      }
+      auto snap = remote->FetchMetrics();
+      if (!snap.ok()) {
+        std::printf("metrics: %s\n", ErrcName(snap.status().code()).data());
+        continue;
+      }
+      std::fputs(snap->ToText().c_str(), stdout);
     } else if (cmd == "mkdir" && in >> a) {
       PrintStatus("mkdir", fs.Mkdir(a));
     } else if (cmd == "touch" && in >> a) {

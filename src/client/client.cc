@@ -410,4 +410,19 @@ Result<WireServerStats> AtomFsClient::FetchStats() {
   return stats;
 }
 
+Result<MetricsSnapshot> AtomFsClient::FetchMetrics() {
+  WireRequest req;
+  req.op = WireOp::kMetrics;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  MetricsSnapshot snap;
+  if (!ParseMetricsSnapshot(r, &snap) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return snap;
+}
+
 }  // namespace atomfs

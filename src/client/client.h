@@ -80,6 +80,11 @@ class AtomFsClient : public FileSystem {
   // Admin.
   Status Ping();
   Result<WireServerStats> FetchStats();
+  // Full atomtrace registry snapshot (WireOp::kMetrics): server per-op
+  // latencies plus, when the server attached a TracingObserver, the
+  // lock-coupling and helper metrics. Percentiles computed on the returned
+  // snapshot equal the server's (buckets travel whole).
+  Result<MetricsSnapshot> FetchMetrics();
 
  private:
   explicit AtomFsClient(int sock) : sock_(sock) {}

@@ -282,6 +282,9 @@ void CrlhMonitor::HelpThreadLocked(Tid helper, Tid target) {
   td.helper = helper;
   helplist_.push_back(target);
   ++helped_ops_;
+  if (opts_.obs != nullptr) {
+    opts_.obs->OnHelpedLinearized(helper, target, helplist_.size());
+  }
 }
 
 void CrlhMonitor::RemapPlaceholderLocked(Inum from, Inum to) {
@@ -331,6 +334,9 @@ void CrlhMonitor::OnLp(Tid tid, Inum created_ino) {
                 " missing from Helplist");
     } else {
       helplist_.erase(pos);
+      if (opts_.obs != nullptr) {
+        opts_.obs->OnHelpedRetired(tid, helplist_.size());
+      }
     }
     d.effects.clear();
     d.state = AopState::kDone;  // abs_seq keeps the help-time position
@@ -353,6 +359,9 @@ void CrlhMonitor::OnLp(Tid tid, Inum created_ino) {
     } else {
       if (!order->empty()) {
         ++help_events_;
+        if (opts_.obs != nullptr) {
+          opts_.obs->OnHelpEvent(tid, order->size());
+        }
       }
       for (Tid target : *order) {
         HelpThreadLocked(tid, target);
@@ -465,6 +474,9 @@ bool RelaxedEqualAt(const SpecFs& rolled, Inum a, const SpecFs& concrete, Inum b
 
 bool CrlhMonitor::CheckAbstractConcreteRelation(const SpecFs& concrete_snapshot) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (opts_.obs != nullptr) {
+    opts_.obs->OnRollback(helplist_.size());
+  }
   SpecFs rolled = aspec_;
   for (auto it = helplist_.rbegin(); it != helplist_.rend(); ++it) {
     auto pit = pool_.find(*it);

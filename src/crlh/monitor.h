@@ -34,6 +34,7 @@
 #include "src/afs/spec_fs.h"
 #include "src/core/observer.h"
 #include "src/crlh/ghost.h"
+#include "src/obs/sink.h"
 
 namespace atomfs {
 
@@ -46,6 +47,10 @@ class CrlhMonitor : public FsObserver {
     bool record_history = true;
     // Disable the helper mechanism (fixed-LP verification, §3.1).
     bool fixed_lp_mode = false;
+    // Optional observability sink notified of helper linearizations,
+    // Helplist movement, and roll-back checks. Called with the ghost mutex
+    // held; must be non-blocking and must not call back into the monitor.
+    CrlhObsSink* obs = nullptr;
   };
 
   // A completed operation, with both its concrete outcome and the outcome of

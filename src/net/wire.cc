@@ -57,6 +57,8 @@ std::string_view WireOpName(WireOp op) {
       return "seek";
     case WireOp::kStats:
       return "stats";
+    case WireOp::kMetrics:
+      return "metrics";
   }
   return "unknown";
 }
@@ -252,6 +254,7 @@ std::vector<std::byte> EncodeRequest(const WireRequest& req) {
   switch (req.op) {
     case WireOp::kPing:
     case WireOp::kStats:
+    case WireOp::kMetrics:
       break;
     case WireOp::kMkdir:
     case WireOp::kMknod:
@@ -328,6 +331,7 @@ Result<WireRequest> ParseRequest(std::span<const std::byte> payload) {
   switch (req.op) {
     case WireOp::kPing:
     case WireOp::kStats:
+    case WireOp::kMetrics:
       break;
     case WireOp::kMkdir:
     case WireOp::kMknod:
@@ -461,6 +465,87 @@ bool ParseServerStats(WireReader& r, WireServerStats* out) {
       return false;
     }
     out->ops.push_back(s);
+  }
+  return true;
+}
+
+namespace {
+
+// Caps keeping a malicious METRICS response from forcing absurd allocations.
+inline constexpr uint32_t kMaxMetricName = 256;
+inline constexpr uint32_t kMaxMetricRows = 4096;
+
+}  // namespace
+
+void EncodeMetricsSnapshot(WireWriter& w, const MetricsSnapshot& snap) {
+  w.U32(static_cast<uint32_t>(snap.counters.size()));
+  for (const CounterSnapshot& c : snap.counters) {
+    w.Str(c.name);
+    w.U64(c.value);
+  }
+  w.U32(static_cast<uint32_t>(snap.gauges.size()));
+  for (const GaugeSnapshot& g : snap.gauges) {
+    w.Str(g.name);
+    w.U64(static_cast<uint64_t>(g.value));  // two's complement round-trip
+  }
+  w.U32(static_cast<uint32_t>(snap.histograms.size()));
+  for (const HistogramSnapshot& h : snap.histograms) {
+    w.Str(h.name);
+    w.U64(h.count);
+    w.U64(h.sum);
+    w.U32(static_cast<uint32_t>(h.buckets.size()));
+    for (uint64_t b : h.buckets) {
+      w.U64(b);
+    }
+  }
+}
+
+bool ParseMetricsSnapshot(WireReader& r, MetricsSnapshot* out) {
+  uint32_t n = 0;
+  if (!r.U32(&n) || n > kMaxMetricRows) {
+    return false;
+  }
+  out->counters.clear();
+  out->counters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CounterSnapshot c;
+    if (!r.Str(&c.name, kMaxMetricName) || !r.U64(&c.value)) {
+      return false;
+    }
+    out->counters.push_back(std::move(c));
+  }
+  if (!r.U32(&n) || n > kMaxMetricRows) {
+    return false;
+  }
+  out->gauges.clear();
+  out->gauges.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GaugeSnapshot g;
+    uint64_t raw = 0;
+    if (!r.Str(&g.name, kMaxMetricName) || !r.U64(&raw)) {
+      return false;
+    }
+    g.value = static_cast<int64_t>(raw);
+    out->gauges.push_back(std::move(g));
+  }
+  if (!r.U32(&n) || n > kMaxMetricRows) {
+    return false;
+  }
+  out->histograms.clear();
+  out->histograms.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    HistogramSnapshot h;
+    uint32_t n_buckets = 0;
+    if (!r.Str(&h.name, kMaxMetricName) || !r.U64(&h.count) || !r.U64(&h.sum) ||
+        !r.U32(&n_buckets) || n_buckets > h.buckets.size()) {
+      return false;
+    }
+    for (uint32_t b = 0; b < n_buckets; ++b) {
+      if (!r.U64(&h.buckets[b])) {
+        return false;
+      }
+    }
+    out->histograms.push_back(std::move(h));
   }
   return true;
 }

@@ -16,7 +16,11 @@
 // The protocol covers the complete path-based FileSystem interface plus the
 // Vfs descriptor ops (open/close/read/write/pread/pwrite/fstat/readdirfd/
 // ftruncate/seek; descriptors are per-connection, like a process fd table)
-// and a STATS admin op returning the server's per-op latency histograms.
+// plus two admin ops: STATS (per-op latency digest) and METRICS (the full
+// atomtrace registry snapshot, src/obs).
+//
+// docs/WIRE_PROTOCOL.md is the normative spec of this protocol; a docs-drift
+// test (tests/obs_test.cc) fails if an opcode exists here but not there.
 //
 // Every decoder here is bounds-checked and total: arbitrary bytes parse to
 // either a value or a clean kProto error, never undefined behavior. That is
@@ -32,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 #include "src/vfs/filesystem.h"
 
@@ -68,10 +73,11 @@ enum class WireOp : uint8_t {
   kSeek = 22,
   // Admin.
   kStats = 23,
+  kMetrics = 24,
 };
 
 inline constexpr uint8_t kWireOpMin = 1;
-inline constexpr uint8_t kWireOpMax = 23;
+inline constexpr uint8_t kWireOpMax = 24;
 
 inline bool WireOpKnown(uint8_t raw) { return raw >= kWireOpMin && raw <= kWireOpMax; }
 std::string_view WireOpName(WireOp op);
@@ -173,6 +179,15 @@ struct WireServerStats {
 
 void EncodeServerStats(WireWriter& w, const WireServerStats& stats);
 bool ParseServerStats(WireReader& r, WireServerStats* out);
+
+// Full atomtrace registry snapshot served by WireOp::kMetrics. Histograms
+// travel with their complete bucket arrays, so a client computes the same
+// percentiles the server would (shared bucket math, src/util/stats.h). A
+// snapshot with fewer buckets than kLatencyBucketCount parses (future
+// bucket-count reductions stay compatible); more than kLatencyBucketCount is
+// a protocol error.
+void EncodeMetricsSnapshot(WireWriter& w, const MetricsSnapshot& snap);
+bool ParseMetricsSnapshot(WireReader& r, MetricsSnapshot* out);
 
 // --- frame transport ---------------------------------------------------------
 // Blocking, whole-frame socket I/O. SendFrame uses MSG_NOSIGNAL so a dead

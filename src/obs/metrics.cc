@@ -1,0 +1,133 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace atomfs {
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<obs_internal::CounterStorage>())
+             .first;
+  }
+  return Counter(it->second.get());
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<obs_internal::GaugeStorage>()).first;
+  }
+  return Gauge(it->second.get());
+}
+
+Histogram MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<obs_internal::HistogramStorage>())
+             .first;
+  }
+  return Histogram(it->second.get());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, storage] : counters_) {
+    CounterSnapshot c;
+    c.name = name;
+    for (const auto& shard : storage->shards) {
+      c.value += shard.value.load(std::memory_order_relaxed);
+    }
+    out.counters.push_back(std::move(c));
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, storage] : gauges_) {
+    GaugeSnapshot g;
+    g.name = name;
+    for (const auto& shard : storage->shards) {
+      g.value += shard.value.load(std::memory_order_relaxed);
+    }
+    out.gauges.push_back(std::move(g));
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, storage] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    for (const auto& shard : storage->shards) {
+      h.sum += shard.sum.load(std::memory_order_relaxed);
+      for (size_t i = 0; i < h.buckets.size(); ++i) {
+        h.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+      }
+    }
+    // count is the bucket sum — the shards carry no separate count cell.
+    for (const uint64_t b : h.buckets) {
+      h.count += b;
+    }
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Vec>
+auto FindByName(const Vec& v, std::string_view name) -> const typename Vec::value_type* {
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), name,
+      [](const typename Vec::value_type& e, std::string_view n) { return e.name < n; });
+  return it != v.end() && it->name == name ? &*it : nullptr;
+}
+
+}  // namespace
+
+const CounterSnapshot* MetricsSnapshot::FindCounter(std::string_view name) const {
+  return FindByName(counters, name);
+}
+
+const GaugeSnapshot* MetricsSnapshot::FindGauge(std::string_view name) const {
+  return FindByName(gauges, name);
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(std::string_view name) const {
+  return FindByName(histograms, name);
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  const CounterSnapshot* c = FindCounter(name);
+  return c != nullptr ? c->value : 0;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out = "# atomtrace metrics\n";
+  char line[256];
+  for (const auto& c : counters) {
+    std::snprintf(line, sizeof line, "counter %s %llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += line;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(line, sizeof line, "gauge %s %lld\n", g.name.c_str(),
+                  static_cast<long long>(g.value));
+    out += line;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(line, sizeof line,
+                  "hist %s count=%llu sum=%llu mean=%.0f p50=%llu p99=%llu p999=%llu\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum), h.Mean(),
+                  static_cast<unsigned long long>(h.Percentile(0.50)),
+                  static_cast<unsigned long long>(h.Percentile(0.99)),
+                  static_cast<unsigned long long>(h.Percentile(0.999)));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,202 @@
+// atomtrace metrics registry: lock-free counters, gauges, and fixed-bucket
+// latency histograms on per-thread shards.
+//
+// Design
+//   * Registration (GetCounter / GetGauge / GetHistogram) takes a mutex and
+//     dedups by name; it happens once per metric, at setup time. Handles are
+//     trivially copyable pointers into storage owned by the registry.
+//   * Updates (Inc / Add / Record) are wait-free: one relaxed atomic RMW on
+//     the calling thread's shard (two for histograms: sum + bucket; the
+//     count is derived from the buckets at snapshot time). Shards are
+//     cache-line sized, and a thread picks its shard by CurrentTid(), so
+//     under the common "N long-lived worker threads" pattern there is no
+//     cross-core cacheline traffic on the hot path.
+//   * Snapshot() sums the shards. Totals are exact once the writing threads
+//     have quiesced (each update is an atomic add); while writers run, a
+//     snapshot is a consistent-enough monotone view for monitoring.
+//
+// Histograms use the shared power-of-two bucket scheme of src/util/stats.h
+// (kLatencyBucketCount buckets), so percentiles computed from a snapshot
+// agree exactly with every LatencyHistogram-derived report in the repo.
+//
+// The registry must outlive every handle taken from it. Handles taken from a
+// destroyed registry are invalid; default-constructed handles are inert
+// no-ops, so optional instrumentation can keep unconditional call sites.
+
+#ifndef ATOMFS_SRC_OBS_METRICS_H_
+#define ATOMFS_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/stats.h"
+#include "src/util/tid.h"
+
+namespace atomfs {
+
+// Number of per-thread shards per metric. A power of two; threads map to
+// shards by tid, so this bounds memory, not thread count.
+inline constexpr size_t kMetricShards = 16;
+
+namespace obs_internal {
+
+struct alignas(64) CounterShard {
+  std::atomic<uint64_t> value{0};
+};
+
+struct alignas(64) GaugeShard {
+  std::atomic<int64_t> value{0};
+};
+
+// No separate count cell: a record's count lives in its bucket, and the
+// snapshot derives the total as the bucket sum — one fewer atomic RMW on
+// the hot path.
+struct alignas(64) HistogramShard {
+  std::atomic<uint64_t> sum{0};
+  std::array<std::atomic<uint64_t>, kLatencyBucketCount> buckets{};
+};
+
+struct CounterStorage {
+  std::array<CounterShard, kMetricShards> shards;
+};
+struct GaugeStorage {
+  std::array<GaugeShard, kMetricShards> shards;
+};
+struct HistogramStorage {
+  std::array<HistogramShard, kMetricShards> shards;
+};
+
+inline size_t ShardOf() { return CurrentTid() % kMetricShards; }
+
+}  // namespace obs_internal
+
+// Monotone event counter.
+class Counter {
+ public:
+  Counter() = default;
+  void Inc(uint64_t n = 1) {
+    if (s_ != nullptr) {
+      s_->shards[obs_internal::ShardOf()].value.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(obs_internal::CounterStorage* s) : s_(s) {}
+  obs_internal::CounterStorage* s_ = nullptr;
+};
+
+// Signed up/down quantity (e.g. current Helplist length). Stored as
+// per-shard deltas; the snapshot value is their sum.
+class Gauge {
+ public:
+  Gauge() = default;
+  void Add(int64_t d) {
+    if (s_ != nullptr) {
+      s_->shards[obs_internal::ShardOf()].value.fetch_add(d, std::memory_order_relaxed);
+    }
+  }
+  void Sub(int64_t d) { Add(-d); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(obs_internal::GaugeStorage* s) : s_(s) {}
+  obs_internal::GaugeStorage* s_ = nullptr;
+};
+
+// Latency (or any nonnegative value) histogram on the shared power-of-two
+// buckets.
+class Histogram {
+ public:
+  Histogram() = default;
+  void Record(uint64_t value) {
+    if (s_ == nullptr) {
+      return;
+    }
+    auto& shard = s_->shards[obs_internal::ShardOf()];
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    shard.buckets[LatencyBucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(obs_internal::HistogramStorage* s) : s_(s) {}
+  obs_internal::HistogramStorage* s_ = nullptr;
+};
+
+// --- snapshots ---------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kLatencyBucketCount> buckets{};
+
+  double Mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+  uint64_t Percentile(double p) const {
+    return LatencyBucketsPercentile(buckets.data(), buckets.size(), count, p);
+  }
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<GaugeSnapshot> gauges;          // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  const CounterSnapshot* FindCounter(std::string_view name) const;
+  const GaugeSnapshot* FindGauge(std::string_view name) const;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+  uint64_t CounterValue(std::string_view name) const;  // 0 if absent
+
+  // Human-readable dump (the atomfsd --metrics-dump / SIGUSR1 format):
+  //   # atomtrace metrics
+  //   counter NAME VALUE
+  //   gauge NAME VALUE
+  //   hist NAME count=N sum=N mean=N p50=N p99=N p999=N
+  std::string ToText() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Idempotent by name: a second Get* with the same name returns a handle to
+  // the same storage (the kind must match; a name registered as one kind is
+  // never re-registered as another — callers share naming discipline).
+  Counter GetCounter(std::string_view name);
+  Gauge GetGauge(std::string_view name);
+  Histogram GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // registration and snapshot only, never updates
+  std::map<std::string, std::unique_ptr<obs_internal::CounterStorage>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<obs_internal::GaugeStorage>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<obs_internal::HistogramStorage>, std::less<>> histograms_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_OBS_METRICS_H_

@@ -1,0 +1,51 @@
+// CrlhObsSink: the narrow interface through which the CRL-H monitor reports
+// ghost-machinery activity (helper linearizations, Helplist movement,
+// roll-back checks) to the observability layer without depending on it.
+//
+// Every callback is invoked with the monitor's ghost mutex held, so
+// implementations must be non-blocking and must never call back into the
+// monitor. TracingObserver (src/obs/tracer.h) is the standard
+// implementation.
+
+#ifndef ATOMFS_SRC_OBS_SINK_H_
+#define ATOMFS_SRC_OBS_SINK_H_
+
+#include <cstddef>
+
+#include "src/util/tid.h"
+
+namespace atomfs {
+
+class CrlhObsSink {
+ public:
+  virtual ~CrlhObsSink() = default;
+
+  // A helper op's LP computed a non-empty helping set of `help_set_size`
+  // threads (one event per linothers run that helped anyone).
+  virtual void OnHelpEvent(Tid helper, size_t help_set_size) {
+    (void)helper;
+    (void)help_set_size;
+  }
+
+  // `helper` linearized `target`'s abstract op; the Helplist now holds
+  // `helplist_len` entries.
+  virtual void OnHelpedLinearized(Tid helper, Tid target, size_t helplist_len) {
+    (void)helper;
+    (void)target;
+    (void)helplist_len;
+  }
+
+  // A helped op passed its own concrete LP and left the Helplist.
+  virtual void OnHelpedRetired(Tid tid, size_t helplist_len) {
+    (void)tid;
+    (void)helplist_len;
+  }
+
+  // The abstract-concrete relation check rolled back `rolled_back` helped
+  // ops (the §4.4 roll-back mechanism ran).
+  virtual void OnRollback(size_t rolled_back) { (void)rolled_back; }
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_OBS_SINK_H_

@@ -1,0 +1,86 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace atomfs {
+
+std::string_view TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kOpBegin:
+      return "op_begin";
+    case TraceEventType::kOpEnd:
+      return "op_end";
+    case TraceEventType::kLockAcquired:
+      return "lock_acquired";
+    case TraceEventType::kLockReleased:
+      return "lock_released";
+    case TraceEventType::kLp:
+      return "lp";
+    case TraceEventType::kHelp:
+      return "help";
+    case TraceEventType::kRollback:
+      return "rollback";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "[%llu +%lluns tid=%u] %s op=%u role=%u depth=%u ino=%llu arg=%llu",
+                static_cast<unsigned long long>(seq), static_cast<unsigned long long>(t_ns), tid,
+                TraceEventTypeName(type).data(), op, role, depth,
+                static_cast<unsigned long long>(ino), static_cast<unsigned long long>(arg));
+  return buf;
+}
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(RoundUpPow2(capacity)),
+      mask_(slots_.size() - 1),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRing::Append(TraceEvent e) {
+  const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  e.seq = seq;
+  e.t_ns = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - epoch_)
+                                     .count());
+  Slot& slot = slots_[seq & mask_];
+  // Mark in-flight so a concurrent Snapshot skips the slot instead of
+  // returning the old event under the new seq (or a torn mix).
+  slot.published.store(~0ULL, std::memory_order_relaxed);
+  slot.event = e;
+  slot.published.store(seq, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t oldest = head > slots_.size() ? head - slots_.size() : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(std::min<uint64_t>(head, slots_.size()));
+  for (const Slot& slot : slots_) {
+    const uint64_t seq = slot.published.load(std::memory_order_acquire);
+    if (seq == ~0ULL || seq < oldest || seq >= head) {
+      continue;  // never written, overwritten meanwhile, or mid-write
+    }
+    out.push_back(slot.event);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  return out;
+}
+
+}  // namespace atomfs

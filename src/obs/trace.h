@@ -1,0 +1,94 @@
+// atomtrace structured trace ring: a fixed-capacity, lock-free buffer of
+// per-operation events (op begin/end, each hand-over-hand lock transition
+// with its LockPathRole and depth, LPs, helper linearizations, roll-backs).
+//
+// The ring is a flight recorder, not a log: Append overwrites the oldest
+// slot once full and never blocks or allocates. Writers claim a slot with
+// one fetch_add, fill it, then publish the slot's sequence number with a
+// release store; Snapshot only returns slots whose published sequence is
+// consistent with the current head, so a half-written slot is skipped rather
+// than returned torn. While writers are running a snapshot is best-effort;
+// once they quiesce it is exact for a single writer. With concurrent writers
+// racing across a wrap, the older claimant of a reused slot can publish
+// last, leaving a stale slot the snapshot skips — events are never torn or
+// duplicated, but a post-quiescence snapshot may hold fewer than capacity()
+// events.
+
+#ifndef ATOMFS_SRC_OBS_TRACE_H_
+#define ATOMFS_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/tid.h"
+
+namespace atomfs {
+
+enum class TraceEventType : uint8_t {
+  kOpBegin = 1,
+  kOpEnd = 2,
+  kLockAcquired = 3,
+  kLockReleased = 4,
+  kLp = 5,        // linearization point (concrete)
+  kHelp = 6,      // a rename/exchange LP linearized another thread (linothers)
+  kRollback = 7,  // roll-back relation check walked the Helplist backwards
+};
+
+std::string_view TraceEventTypeName(TraceEventType type);
+
+// One 48-byte event. Field meaning varies by type; see docs/OBSERVABILITY.md
+// for the normative schema.
+struct TraceEvent {
+  uint64_t seq = 0;   // global append order (filled by TraceRing)
+  uint64_t t_ns = 0;  // nanoseconds since ring creation (filled by TraceRing)
+  Tid tid = 0;        // emitting thread (the helper, for kHelp)
+  TraceEventType type = TraceEventType::kOpBegin;
+  uint8_t op = 0;     // OpKind for kOpBegin/kOpEnd
+  uint8_t role = 0;   // LockPathRole for kLockAcquired
+  uint8_t pad = 0;
+  uint16_t depth = 0;  // 1-based LockPath depth at lock events; final depth at kOpEnd
+  uint64_t ino = 0;    // inode for lock events; helped tid for kHelp
+  uint64_t arg = 0;    // hold_ns (kLockReleased), errc (kOpEnd), help-set size
+                       // (kHelp), rolled-back op count (kRollback)
+
+  std::string ToString() const;
+};
+
+class TraceRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit TraceRing(size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  // Lock-free; fills e.seq and e.t_ns.
+  void Append(TraceEvent e);
+
+  // The currently retained events, oldest first. Exact when writers are
+  // quiesced; otherwise in-flight slots are omitted.
+  std::vector<TraceEvent> Snapshot() const;
+
+  size_t capacity() const { return slots_.size(); }
+  // Events ever appended (>= capacity() means the ring has wrapped).
+  uint64_t total_appended() const { return head_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    // ~0 = never written; otherwise the seq of the event the slot holds.
+    std::atomic<uint64_t> published{~0ULL};
+    TraceEvent event;
+  };
+
+  std::vector<Slot> slots_;
+  size_t mask_;
+  std::atomic<uint64_t> head_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_OBS_TRACE_H_

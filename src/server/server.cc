@@ -33,7 +33,20 @@ std::vector<std::byte> StatusResponse(Status st) {
 }  // namespace
 
 AtomFsServer::AtomFsServer(FileSystem* fs, ServerOptions options)
-    : fs_(fs), opts_(std::move(options)) {}
+    : fs_(fs), opts_(std::move(options)) {
+  if (opts_.metrics != nullptr) {
+    metrics_ = opts_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  connections_accepted_ = metrics_->GetCounter("server.connections");
+  protocol_errors_ = metrics_->GetCounter("server.protocol_errors");
+  for (uint8_t op = kWireOpMin; op <= kWireOpMax; ++op) {
+    op_latency_[op] = metrics_->GetHistogram(
+        "server.op." + std::string(WireOpName(static_cast<WireOp>(op))) + ".latency_ns");
+  }
+}
 
 AtomFsServer::~AtomFsServer() { Stop(); }
 
@@ -154,10 +167,7 @@ void AtomFsServer::AcceptLoop(int listen_fd) {
     // No-op (ENOTSUP) on unix-domain sockets.
     const int one = 1;
     setsockopt(sock, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++connections_accepted_;
-    }
+    connections_accepted_.Inc();
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
       close(sock);
@@ -371,37 +381,39 @@ std::vector<std::byte> AtomFsServer::Dispatch(Vfs& vfs, const WireRequest& req) 
       EncodeServerStats(body, StatsSnapshot());
       return OkResponse(std::move(body));
     }
+    case WireOp::kMetrics: {
+      WireWriter body;
+      EncodeMetricsSnapshot(body, metrics_->Snapshot());
+      return OkResponse(std::move(body));
+    }
   }
   return StatusResponse(Status(Errc::kProto));
 }
 
 void AtomFsServer::RecordLatency(WireOp op, uint64_t nanos) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  per_op_[static_cast<uint8_t>(op)].Add(nanos);
+  op_latency_[static_cast<uint8_t>(op)].Record(nanos);
 }
 
-void AtomFsServer::NoteProtocolError() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++protocol_errors_;
-}
+void AtomFsServer::NoteProtocolError() { protocol_errors_.Inc(); }
 
 WireServerStats AtomFsServer::StatsSnapshot() const {
   WireServerStats out;
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  out.connections_accepted = connections_accepted_;
-  out.protocol_errors = protocol_errors_;
+  const MetricsSnapshot snap = metrics_->Snapshot();
+  out.connections_accepted = snap.CounterValue("server.connections");
+  out.protocol_errors = snap.CounterValue("server.protocol_errors");
   for (uint8_t op = kWireOpMin; op <= kWireOpMax; ++op) {
-    const LatencyHistogram& h = per_op_[op];
-    if (h.count() == 0) {
+    const HistogramSnapshot* h = snap.FindHistogram(
+        "server.op." + std::string(WireOpName(static_cast<WireOp>(op))) + ".latency_ns");
+    if (h == nullptr || h->count == 0) {
       continue;
     }
     WireOpStats s;
     s.op = op;
-    s.count = h.count();
-    s.mean_ns = static_cast<uint64_t>(h.MeanNanos());
-    s.p50_ns = h.PercentileNanos(0.50);
-    s.p99_ns = h.PercentileNanos(0.99);
-    s.p999_ns = h.PercentileNanos(0.999);
+    s.count = h->count;
+    s.mean_ns = static_cast<uint64_t>(h->Mean());
+    s.p50_ns = h->Percentile(0.50);
+    s.p99_ns = h->Percentile(0.99);
+    s.p999_ns = h->Percentile(0.999);
     out.ops.push_back(s);
   }
   return out;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/net/wire.h"
+#include "src/obs/metrics.h"
 #include "src/util/stats.h"
 #include "src/util/status.h"
 #include "src/vfs/filesystem.h"
@@ -48,6 +49,12 @@ struct ServerOptions {
   uint16_t tcp_port = 0;
   int workers = 4;
   uint32_t max_frame_bytes = kWireMaxFrameBytes;
+  // Registry for the server's own metrics (server.connections,
+  // server.protocol_errors, server.op.<name>.latency_ns) and the source of
+  // the WireOp::kMetrics response. Share one registry between the server and
+  // a TracingObserver on the backend to serve a unified snapshot; when null
+  // the server owns a private registry, so kMetrics always works.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class AtomFsServer {
@@ -72,8 +79,13 @@ class AtomFsServer {
   // Actual TCP port after Start (useful with tcp_port = 0).
   uint16_t BoundTcpPort() const { return bound_tcp_port_; }
 
-  // Snapshot of the counters served by WireOp::kStats.
+  // Snapshot of the counters served by WireOp::kStats, derived from the
+  // same registry histograms kMetrics serves (one bucket math, one answer).
   WireServerStats StatsSnapshot() const;
+
+  // The registry backing this server's stats (options.metrics or the
+  // internally-owned one).
+  MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   void AcceptLoop(int listen_fd);
@@ -102,10 +114,13 @@ class AtomFsServer {
   mutable std::mutex conns_mu_;
   std::set<int> active_conns_;
 
-  mutable std::mutex stats_mu_;
-  LatencyHistogram per_op_[kWireOpMax + 1];
-  uint64_t connections_accepted_ = 0;
-  uint64_t protocol_errors_ = 0;
+  // Stats live in the metrics registry; recording is lock-free (per-thread
+  // shards), unlike the mutex-guarded histograms this replaced.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  Histogram op_latency_[kWireOpMax + 1];
+  Counter connections_accepted_;
+  Counter protocol_errors_;
 };
 
 }  // namespace atomfs

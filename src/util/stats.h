@@ -59,15 +59,48 @@ class Summary {
   double max_ = -1e300;
 };
 
-// Power-of-two bucketed histogram for latencies in nanoseconds.
+// --- shared power-of-two bucket math -----------------------------------------
+// One bucketing scheme for every latency digest in the repo: the bench
+// harnesses, the server's per-op stats, and the src/obs metrics registry all
+// use these functions, so a p99 computed anywhere agrees with a p99 computed
+// anywhere else (bucket i covers (2^(i-1), 2^i] nanoseconds; bucket 0 is 0).
+
+inline constexpr size_t kLatencyBucketCount = 48;
+
+inline size_t LatencyBucketOf(uint64_t nanos) {
+  const int bucket = nanos == 0 ? 0 : 64 - __builtin_clzll(nanos);
+  return std::min(static_cast<size_t>(bucket), kLatencyBucketCount - 1);
+}
+
+// Upper bound of bucket `i`, the value percentile queries report.
+inline uint64_t LatencyBucketBound(size_t i) { return i == 0 ? 1 : 1ULL << i; }
+
+// Approximate percentile (upper bound of the bucket containing it) over any
+// bucket array produced with LatencyBucketOf.
+inline uint64_t LatencyBucketsPercentile(const uint64_t* buckets, size_t n_buckets,
+                                         uint64_t count, double p) {
+  if (count == 0) {
+    return 0;
+  }
+  const uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < n_buckets; ++i) {
+    seen += buckets[i];
+    if (seen > target) {
+      return LatencyBucketBound(i);
+    }
+  }
+  return LatencyBucketBound(n_buckets - 1);
+}
+
+// Power-of-two bucketed histogram for latencies in nanoseconds
+// (single-threaded; the concurrent equivalent is obs::Histogram).
 class LatencyHistogram {
  public:
   void Add(uint64_t nanos) {
     ++count_;
     total_ += nanos;
-    int bucket = nanos == 0 ? 0 : 64 - __builtin_clzll(nanos);
-    bucket = std::min(bucket, static_cast<int>(buckets_.size()) - 1);
-    ++buckets_[static_cast<size_t>(bucket)];
+    ++buckets_[LatencyBucketOf(nanos)];
   }
 
   uint64_t count() const { return count_; }
@@ -75,24 +108,12 @@ class LatencyHistogram {
     return count_ ? static_cast<double>(total_) / static_cast<double>(count_) : 0.0;
   }
 
-  // Approximate percentile (upper bound of the bucket containing it).
   uint64_t PercentileNanos(double p) const {
-    if (count_ == 0) {
-      return 0;
-    }
-    const uint64_t target = static_cast<uint64_t>(p * static_cast<double>(count_));
-    uint64_t seen = 0;
-    for (size_t i = 0; i < buckets_.size(); ++i) {
-      seen += buckets_[i];
-      if (seen > target) {
-        return i == 0 ? 1 : (1ULL << i);
-      }
-    }
-    return 1ULL << (buckets_.size() - 1);
+    return LatencyBucketsPercentile(buckets_.data(), buckets_.size(), count_, p);
   }
 
  private:
-  std::array<uint64_t, 48> buckets_ = {};
+  std::array<uint64_t, kLatencyBucketCount> buckets_ = {};
   uint64_t count_ = 0;
   uint64_t total_ = 0;
 };

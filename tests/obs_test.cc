@@ -1,0 +1,416 @@
+// Tests for the atomtrace observability layer (src/obs): exact registry
+// totals under concurrent hammering, shared-bucket percentile agreement with
+// LatencyHistogram, trace-ring wraparound and publication, the
+// TracingObserver's lock-coupling bookkeeping on a live AtomFS, the METRICS
+// wire round-trip over both socket families, and a docs-drift check that
+// fails whenever an opcode exists in src/net but not in
+// docs/WIRE_PROTOCOL.md (or vice versa).
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/core/atom_fs.h"
+#include "src/crlh/monitor.h"
+#include "src/net/wire.h"
+#include "src/obs/trace.h"
+#include "src/obs/tracer.h"
+#include "src/server/server.h"
+#include "src/util/stats.h"
+
+namespace atomfs {
+namespace {
+
+// --- registry ----------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterTotalsAreExactUnderConcurrency) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIncsPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter c = reg.GetCounter("test.hits");  // registration is idempotent
+      for (uint64_t i = 0; i < kIncsPerThread; ++i) {
+        c.Inc();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(reg.Snapshot().CounterValue("test.hits"), kThreads * kIncsPerThread);
+}
+
+TEST(MetricsRegistryTest, HistogramCountSumAndBucketsAreExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kRecordsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      Histogram h = reg.GetHistogram("test.lat");
+      for (uint64_t i = 0; i < kRecordsPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + i % 7);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSnapshot* h = snap.FindHistogram("test.lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kThreads * kRecordsPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h->buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, h->count);
+}
+
+TEST(MetricsRegistryTest, GaugeGoesUpAndDown) {
+  MetricsRegistry reg;
+  Gauge g = reg.GetGauge("test.queue");
+  g.Add(5);
+  g.Sub(2);
+  const MetricsSnapshot snap = reg.Snapshot();
+  const GaugeSnapshot* s = snap.FindGauge("test.queue");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 3);
+}
+
+TEST(MetricsRegistryTest, HandlesWithTheSameNameShareStorage) {
+  MetricsRegistry reg;
+  Counter a = reg.GetCounter("shared");
+  Counter b = reg.GetCounter("shared");
+  a.Inc(2);
+  b.Inc(3);
+  EXPECT_EQ(reg.Snapshot().CounterValue("shared"), 5u);
+}
+
+TEST(MetricsRegistryTest, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.Inc();
+  g.Add(1);
+  h.Record(1);  // must not crash
+}
+
+// The shared-bucket contract of satellite (d): any value stream produces
+// identical percentiles from LatencyHistogram (bench-side) and the registry
+// histogram (server-side), because both ride LatencyBucketsPercentile.
+TEST(MetricsRegistryTest, PercentilesAgreeWithLatencyHistogram) {
+  MetricsRegistry reg;
+  Histogram obs_hist = reg.GetHistogram("agree");
+  LatencyHistogram bench_hist;
+  uint64_t v = 1;
+  for (int i = 0; i < 5000; ++i) {
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG
+    const uint64_t nanos = v % 10'000'000;
+    obs_hist.Record(nanos);
+    bench_hist.Add(nanos);
+  }
+  const HistogramSnapshot* h = reg.Snapshot().FindHistogram("agree");
+  ASSERT_NE(h, nullptr);
+  for (double p : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(h->Percentile(p), bench_hist.PercentileNanos(p)) << "p=" << p;
+  }
+}
+
+TEST(MetricsRegistryTest, ToTextDumpIsParseable) {
+  MetricsRegistry reg;
+  reg.GetCounter("c.one").Inc(7);
+  reg.GetGauge("g.one").Add(-2);
+  reg.GetHistogram("h.one").Record(100);
+  const std::string text = reg.Snapshot().ToText();
+  EXPECT_NE(text.find("# atomtrace metrics"), std::string::npos);
+  EXPECT_NE(text.find("counter c.one 7"), std::string::npos);
+  EXPECT_NE(text.find("gauge g.one -2"), std::string::npos);
+  EXPECT_NE(text.find("hist h.one count=1"), std::string::npos);
+}
+
+// --- trace ring --------------------------------------------------------------
+
+TEST(TraceRingTest, RetainsTheNewestEventsAcrossWraparound) {
+  TraceRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    TraceEvent e;
+    e.type = TraceEventType::kOpBegin;
+    e.ino = i;  // payload we can assert on
+    ring.Append(e);
+  }
+  EXPECT_EQ(ring.total_appended(), 20u);
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);  // oldest retained first
+    EXPECT_EQ(events[i].ino, 12 + i);
+  }
+}
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(TraceRingTest, ConcurrentAppendsAreExactAtQuiescence) {
+  TraceRing ring(1 << 12);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        TraceEvent e;
+        e.type = TraceEventType::kLp;
+        ring.Append(e);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(ring.total_appended(), kThreads * kPerThread);
+  // When appends race across a wrap, the slower writer of an overwritten
+  // slot may publish last, leaving a stale seq the snapshot rightly skips —
+  // so concurrency guarantees "no torn events", not "ring exactly full".
+  const std::vector<TraceEvent> events = ring.Snapshot();
+  EXPECT_GT(events.size(), 0u);
+  EXPECT_LE(events.size(), ring.capacity());
+  const uint64_t oldest = ring.total_appended() - ring.capacity();
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_GE(events[i].seq, oldest);
+    EXPECT_LT(events[i].seq, ring.total_appended());
+    if (i > 0) {
+      EXPECT_LT(events[i - 1].seq, events[i].seq);
+    }
+  }
+}
+
+// --- TracingObserver on a live AtomFS ---------------------------------------
+
+TEST(TracingObserverTest, ProfilesLockCouplingOnAtomFs) {
+  MetricsRegistry reg;
+  TraceRing ring(1 << 10);
+  TracingObserver tracer(&reg, &ring);
+  AtomFs::Options o;
+  o.observer = &tracer;
+  AtomFs fs(std::move(o));
+
+  ASSERT_TRUE(fs.Mkdir("/a").ok());
+  ASSERT_TRUE(fs.Mkdir("/a/b").ok());
+  ASSERT_TRUE(fs.Mknod("/a/b/f").ok());
+  ASSERT_TRUE(fs.Stat("/a/b/f").ok());
+  ASSERT_FALSE(fs.Mkdir("/a").ok());  // kExist -> error counter
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("fs.ops"), 5u);
+  EXPECT_EQ(snap.CounterValue("fs.op.mkdir.errors"), 1u);
+  // Every hand-over-hand acquire has a matching release once quiesced.
+  const uint64_t acquires = snap.CounterValue("lock.acquires");
+  EXPECT_GT(acquires, 0u);
+  EXPECT_EQ(acquires, snap.CounterValue("lock.releases"));
+  // Depth-1 (the root) was locked by every op.
+  const HistogramSnapshot* d1 = snap.FindHistogram("lock.depth01.hold_ns");
+  ASSERT_NE(d1, nullptr);
+  EXPECT_GT(d1->count, 0u);
+  // /a/b/f ops couple three levels deep.
+  const HistogramSnapshot* d3 = snap.FindHistogram("lock.depth03.hold_ns");
+  ASSERT_NE(d3, nullptr);
+  EXPECT_GT(d3->count, 0u);
+  const HistogramSnapshot* mkdir_lat = snap.FindHistogram("fs.op.mkdir.latency_ns");
+  ASSERT_NE(mkdir_lat, nullptr);
+  EXPECT_EQ(mkdir_lat->count, 3u);
+
+  // The ring saw the same story: begin/end pairs and lock transitions.
+  uint64_t begins = 0;
+  uint64_t ends = 0;
+  uint64_t lock_events = 0;
+  for (const TraceEvent& e : ring.Snapshot()) {
+    begins += e.type == TraceEventType::kOpBegin;
+    ends += e.type == TraceEventType::kOpEnd;
+    lock_events +=
+        e.type == TraceEventType::kLockAcquired || e.type == TraceEventType::kLockReleased;
+  }
+  EXPECT_EQ(begins, 5u);
+  EXPECT_EQ(ends, 5u);
+  EXPECT_EQ(lock_events, 2 * acquires);
+}
+
+TEST(TracingObserverTest, CountsHelperActivityViaMonitorSink) {
+  MetricsRegistry reg;
+  TracingObserver tracer(&reg, nullptr);
+  CrlhMonitor::Options mopts;
+  mopts.obs = &tracer;
+  CrlhMonitor monitor(mopts);
+  TeeObserver tee(&monitor, &tracer);
+  AtomFs::Options o;
+  o.observer = &tee;
+  AtomFs fs(std::move(o));
+
+  // Concurrent renames + lookups: some lookups get helped (linothers). We
+  // only assert the plumbing stays consistent — helping is scheduling-luck.
+  ASSERT_TRUE(fs.Mkdir("/d1").ok());
+  ASSERT_TRUE(fs.Mkdir("/d2").ok());
+  ASSERT_TRUE(fs.Mknod("/d1/f").ok());
+  std::thread mover([&fs] {
+    for (int i = 0; i < 200; ++i) {
+      fs.Rename("/d1/f", "/d2/f");
+      fs.Rename("/d2/f", "/d1/f");
+    }
+  });
+  std::thread reader([&fs] {
+    for (int i = 0; i < 400; ++i) {
+      fs.Stat("/d1/f");
+      fs.Stat("/d2/f");
+    }
+  });
+  mover.join();
+  reader.join();
+
+  EXPECT_TRUE(monitor.ok());
+  const MetricsSnapshot snap = reg.Snapshot();
+  // The tracer's helped_ops counter mirrors the monitor's own tally, and the
+  // Helplist gauge must return to empty at quiescence.
+  EXPECT_EQ(snap.CounterValue("crlh.helped_ops"), monitor.helped_ops());
+  EXPECT_EQ(snap.CounterValue("crlh.help_events"), monitor.help_events());
+  const GaugeSnapshot* g = snap.FindGauge("crlh.helplist_len");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, 0);
+}
+
+// --- METRICS over the wire ---------------------------------------------------
+
+TEST(MetricsWireTest, SnapshotRoundTripsExactly) {
+  MetricsRegistry reg;
+  reg.GetCounter("a.count").Inc(42);
+  reg.GetGauge("b.gauge").Add(-17);
+  Histogram h = reg.GetHistogram("c.hist");
+  for (uint64_t v : {1u, 100u, 10000u, 1000000u}) {
+    h.Record(v);
+  }
+  const MetricsSnapshot snap = reg.Snapshot();
+
+  WireWriter w;
+  EncodeMetricsSnapshot(w, snap);
+  WireReader r(std::span<const std::byte>(w.buf().data(), w.buf().size()));
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(ParseMetricsSnapshot(r, &parsed));
+  ASSERT_TRUE(r.AtEnd());
+
+  ASSERT_EQ(parsed.counters.size(), snap.counters.size());
+  EXPECT_EQ(parsed.CounterValue("a.count"), 42u);
+  const GaugeSnapshot* g = parsed.FindGauge("b.gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->value, -17);
+  const HistogramSnapshot* hs = parsed.FindHistogram("c.hist");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 4u);
+  EXPECT_EQ(hs->buckets, snap.FindHistogram("c.hist")->buckets);
+  // Identical buckets => identical percentiles: the client can never report
+  // a p99 the server disagrees with.
+  EXPECT_EQ(hs->Percentile(0.99), snap.FindHistogram("c.hist")->Percentile(0.99));
+}
+
+// Drives a served AtomFS and fetches METRICS over a real socket.
+void ExerciseMetricsOver(const std::string& transport) {
+  MetricsRegistry reg;
+  TracingObserver tracer(&reg, nullptr);
+  AtomFs::Options fo;
+  fo.observer = &tracer;
+  AtomFs fs(std::move(fo));
+
+  ServerOptions options;
+  options.workers = 2;
+  options.metrics = &reg;
+  std::string sock_path;
+  if (transport == "tcp") {
+    options.tcp_listen = true;
+  } else {
+    sock_path = "/tmp/atomfs_obs_test_" + std::to_string(getpid()) + ".sock";
+    options.unix_path = sock_path;
+  }
+  AtomFsServer server(&fs, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client_or = transport == "tcp" ? AtomFsClient::ConnectTcp(server.BoundTcpPort())
+                                      : AtomFsClient::ConnectUnix(sock_path);
+  ASSERT_TRUE(client_or.ok());
+  AtomFsClient& client = **client_or;
+
+  ASSERT_TRUE(client.Mkdir("/dir").ok());
+  ASSERT_TRUE(client.Mknod("/dir/file").ok());
+  ASSERT_TRUE(client.Stat("/dir/file").ok());
+
+  auto snap_or = client.FetchMetrics();
+  ASSERT_TRUE(snap_or.ok());
+  const MetricsSnapshot& snap = *snap_or;
+  // Server-side wire-op latency and the backend's tracer both crossed.
+  const HistogramSnapshot* mkdir_srv = snap.FindHistogram("server.op.mkdir.latency_ns");
+  ASSERT_NE(mkdir_srv, nullptr);
+  EXPECT_EQ(mkdir_srv->count, 1u);
+  EXPECT_EQ(snap.CounterValue("fs.ops"), 3u);
+  EXPECT_GT(snap.CounterValue("lock.acquires"), 0u);
+
+  // Consistency across reporting paths: the percentile the client computes
+  // from the fetched buckets equals the one the server's stats report.
+  const WireServerStats stats = server.StatsSnapshot();
+  bool found = false;
+  for (const WireOpStats& s : stats.ops) {
+    if (static_cast<WireOp>(s.op) == WireOp::kMkdir) {
+      EXPECT_EQ(s.p99_ns, mkdir_srv->Percentile(0.99));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  server.Stop();
+}
+
+TEST(MetricsWireTest, FetchMetricsOverUnixSocket) { ExerciseMetricsOver("unix"); }
+
+TEST(MetricsWireTest, FetchMetricsOverTcpSocket) { ExerciseMetricsOver("tcp"); }
+
+// --- docs drift --------------------------------------------------------------
+
+// docs/WIRE_PROTOCOL.md is normative: every opcode in src/net/wire.h must
+// have a table row "| <num> | `<name>` |...", and the doc must not describe
+// opcodes that do not exist. Adding WireOp 25 without documenting it fails
+// here, as does documenting a 25 that was never added.
+TEST(DocsDriftTest, WireProtocolDocCoversExactlyTheImplementedOpcodes) {
+  const std::string path = std::string(ATOMFS_SOURCE_DIR) + "/docs/WIRE_PROTOCOL.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  for (uint8_t raw = kWireOpMin; raw <= kWireOpMax; ++raw) {
+    const WireOp op = static_cast<WireOp>(raw);
+    const std::string row =
+        "| " + std::to_string(raw) + " | `" + std::string(WireOpName(op)) + "`";
+    EXPECT_NE(doc.find(row), std::string::npos)
+        << "opcode " << int(raw) << " (" << WireOpName(op) << ") has no row \"" << row
+        << "\" in docs/WIRE_PROTOCOL.md";
+  }
+  const std::string beyond = "| " + std::to_string(kWireOpMax + 1) + " | `";
+  EXPECT_EQ(doc.find(beyond), std::string::npos)
+      << "docs/WIRE_PROTOCOL.md documents opcode " << int(kWireOpMax) + 1
+      << " which src/net/wire.h does not define";
+  // The status table is normative too; spot-check the anchor rows exist.
+  EXPECT_NE(doc.find("`METRICS`"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atomfs

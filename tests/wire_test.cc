@@ -31,6 +31,7 @@ std::vector<WireRequest> AllRequests() {
   auto path = [](WireRequest& r) { r.path_a = "/some/deep/path"; };
   add(WireOp::kPing, [](WireRequest&) {});
   add(WireOp::kStats, [](WireRequest&) {});
+  add(WireOp::kMetrics, [](WireRequest&) {});
   add(WireOp::kMkdir, path);
   add(WireOp::kMknod, path);
   add(WireOp::kRmdir, path);

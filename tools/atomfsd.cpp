@@ -8,6 +8,17 @@
 //                                  instance (atomfs/biglock only); the
 //                                  daemon's exit code then reflects the
 //                                  verification verdict
+//           --metrics-dump        print the atomtrace metrics dump (text
+//                                  form of the METRICS op) at shutdown
+//           --trace-ring N         trace ring capacity in events (default
+//                                  65536; 0 disables the ring)
+//
+// Observability: the daemon always carries an atomtrace metrics registry —
+// the wire METRICS op serves its full snapshot — and, for observer-capable
+// backends (atomfs/biglock), a TracingObserver feeding per-op latency,
+// lock-coupling hold/step histograms, and (with --monitor) helper/Helplist
+// counters into it. SIGUSR1 prints the current dump to stdout at any time;
+// --metrics-dump prints it once more at shutdown.
 //
 // At least one of --unix/--tcp is required. SIGINT/SIGTERM trigger a
 // graceful shutdown: listeners close, in-flight connections are drained,
@@ -27,14 +38,19 @@
 #include "src/core/atom_fs.h"
 #include "src/crlh/monitor.h"
 #include "src/naive/naive_fs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/tracer.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/server/server.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void OnSignal(int) { g_stop = 1; }
+void OnDumpSignal(int) { g_dump = 1; }
 
 }  // namespace
 
@@ -45,6 +61,8 @@ int main(int argc, char** argv) {
   options.workers = 8;
   std::string backend = "atomfs";
   bool monitor_requested = false;
+  bool metrics_dump = false;
+  size_t trace_ring_events = 1 << 16;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
@@ -60,6 +78,10 @@ int main(int argc, char** argv) {
       options.workers = std::atoi(next());
     } else if (arg("--monitor")) {
       monitor_requested = true;
+    } else if (arg("--metrics-dump")) {
+      metrics_dump = true;
+    } else if (arg("--trace-ring")) {
+      trace_ring_events = static_cast<size_t>(std::atoll(next()));
     } else {
       std::fprintf(stderr, "unknown option %s (see header comment for usage)\n", argv[i]);
       return 2;
@@ -70,26 +92,52 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The observability spine: one registry serves the METRICS op, the server
+  // stats, and (when the backend supports FsObserver) the lock-coupling
+  // profiler fed by the TracingObserver.
+  MetricsRegistry registry;
+  std::unique_ptr<TraceRing> ring;
+  if (trace_ring_events > 0) {
+    ring = std::make_unique<TraceRing>(trace_ring_events);
+  }
+  const bool backend_observable = backend == "atomfs" || backend == "biglock";
+  std::unique_ptr<TracingObserver> tracer;
+  if (backend_observable) {
+    tracer = std::make_unique<TracingObserver>(&registry, ring.get());
+  }
+
   std::unique_ptr<CrlhMonitor> monitor;
   if (monitor_requested) {
-    if (backend != "atomfs" && backend != "biglock") {
+    if (!backend_observable) {
       std::fprintf(stderr, "atomfsd: --monitor requires --backend atomfs or biglock\n");
       return 2;
     }
-    monitor = std::make_unique<CrlhMonitor>();
+    CrlhMonitor::Options mopts;
+    mopts.obs = tracer.get();
+    monitor = std::make_unique<CrlhMonitor>(mopts);
+  }
+
+  // Observer chain: monitor first (it checks), tracer second (it measures).
+  FsObserver* observer = tracer.get();
+  std::unique_ptr<TeeObserver> tee;
+  if (monitor && tracer) {
+    tee = std::make_unique<TeeObserver>(monitor.get(), tracer.get());
+    observer = tee.get();
+  } else if (monitor) {
+    observer = monitor.get();
   }
 
   std::unique_ptr<FileSystem> fs;
   AtomFs* atom_fs = nullptr;  // for the quiescent check at shutdown
   if (backend == "atomfs") {
     AtomFs::Options o;
-    o.observer = monitor.get();
+    o.observer = observer;
     auto owned = std::make_unique<AtomFs>(std::move(o));
     atom_fs = owned.get();
     fs = std::move(owned);
   } else if (backend == "biglock") {
     BigLockFs::Options o;
-    o.observer = monitor.get();
+    o.observer = observer;
     fs = std::make_unique<BigLockFs>(o);
   } else if (backend == "retryfs") {
     fs = std::make_unique<RetryFs>();
@@ -100,6 +148,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  options.metrics = &registry;
   AtomFsServer server(fs.get(), options);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "atomfsd: failed to start: %s\n", ErrcName(st.code()).data());
@@ -108,8 +157,10 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+  std::signal(SIGUSR1, OnDumpSignal);
 
-  std::printf("atomfsd: serving %s%s on", backend.c_str(), monitor ? " (monitored)" : "");
+  std::printf("atomfsd: serving %s%s%s on", backend.c_str(), monitor ? " (monitored)" : "",
+              tracer ? " (traced)" : "");
   if (!options.unix_path.empty()) {
     std::printf(" unix:%s", options.unix_path.c_str());
   }
@@ -120,6 +171,11 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   while (!g_stop) {
+    if (g_dump) {
+      g_dump = 0;
+      std::fputs(registry.Snapshot().ToText().c_str(), stdout);
+      std::fflush(stdout);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.Stop();
@@ -136,6 +192,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.p50_ns),
                 static_cast<unsigned long long>(s.p99_ns),
                 static_cast<unsigned long long>(s.p999_ns));
+  }
+  if (metrics_dump) {
+    std::fputs(registry.Snapshot().ToText().c_str(), stdout);
+  }
+  if (ring != nullptr) {
+    std::printf("atomfsd: trace ring retained %zu of %llu event(s)\n", ring->Snapshot().size(),
+                static_cast<unsigned long long>(ring->total_appended()));
   }
 
   if (monitor) {

@@ -3,6 +3,12 @@
 # full ctest suite — which includes the atomfsd end-to-end smoke test
 # (tools/atomfsd_smoke.sh), so the serving layer is covered by default.
 #
+# After the full suite, a focused observability stage re-runs the atomtrace
+# tests (obs_test: registry/trace-ring/METRICS/docs-drift) and the atomfsd
+# smoke (which asserts a parseable --metrics-dump with nonzero op counters)
+# by name, so a regression there is called out explicitly even when someone
+# trims the main suite.
+#
 # Usage: tools/run_tier1.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
 
@@ -12,3 +18,6 @@ BUILD_DIR=${1:-"$REPO_ROOT/build"}
 cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "--- observability stage (obs_test + atomfsd smoke) ---"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^(obs_test|atomfsd_smoke)$'
