@@ -19,6 +19,18 @@
 // plus the hardware-independent `tracing_overhead_ns_per_op` (suppressed
 // under --monitor, where verification — not tracing — dominates).
 //
+// A second mode exercises the pipelined request API: `--connections M
+// --pipeline N` runs M concurrent connections for a fixed wall-time window,
+// each in a closed submit-N / flush / wait-all loop over its own files
+// (stat/read/write through ClientSession). The run always takes two passes —
+// depth 1 (one request per round trip, protocol v2's lower bound) and depth
+// N — so the report carries a pipelined-vs-unpipelined throughput pair plus
+// per-connection fairness (min/max completed ops across connections).
+// `--check` turns the report into a gate: any non-OK reply or a fairness
+// ratio above 10x exits nonzero (run_tier1.sh uses this as the serving-layer
+// smoke). `--connect ENDPOINT` points both passes at an already-running
+// atomfsd instead of an in-process server.
+//
 //   bench_server_throughput [--clients N]     concurrent clients (default 4)
 //                           [--ops N]         filebench ops per client (default 800)
 //                           [--profile fileserver|webproxy|both]   (default both)
@@ -26,10 +38,16 @@
 //                           [--transport unix|tcp]                 (default unix)
 //                           [--monitor]       attach the CRL-H monitor too
 //                           [--json PATH]     output file (default BENCH_server.json)
+//   pipeline mode:          [--connections M] concurrent connections
+//                           [--pipeline N]    requests in flight per connection
+//                           [--seconds S]     wall time per pass (default 2)
+//                           [--connect unix:PATH|tcp:PORT]  use a running daemon
+//                           [--check]         exit nonzero on non-OK / unfairness
 
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -161,6 +179,11 @@ struct ProfileResult {
   uint64_t filebench_ops = 0;
   uint64_t worker_failures = 0;
   double ops_per_sec = 0;
+  // Per-connection fairness: completed filebench ops on the least- and
+  // most-served connection. A ratio far above 1 means the server starves
+  // some connections under contention.
+  uint64_t min_conn_ops = 0;
+  uint64_t max_conn_ops = 0;
   // Client-side registry snapshot: client.op.<kind>.latency_ns histograms.
   MetricsSnapshot client;
   // Server-side registry, fetched over the wire with the METRICS op; carries
@@ -249,8 +272,11 @@ ProfileResult RunProfile(const FilebenchProfile& profile, const std::string& bac
   result.wall_seconds = wall.ElapsedSeconds();
 
   for (int c = 0; c < clients; ++c) {
-    result.filebench_ops += worker_stats[static_cast<size_t>(c)].ops;
+    const uint64_t ops = worker_stats[static_cast<size_t>(c)].ops;
+    result.filebench_ops += ops;
     result.worker_failures += worker_stats[static_cast<size_t>(c)].failures;
+    result.min_conn_ops = c == 0 ? ops : std::min(result.min_conn_ops, ops);
+    result.max_conn_ops = std::max(result.max_conn_ops, ops);
   }
   result.client = client_registry.Snapshot();
   for (const HistogramSnapshot& h : result.client.histograms) {
@@ -329,6 +355,7 @@ OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std
     double wall = 0;
     uint64_t filebench_ops = 0;
     uint64_t failures = 0;
+    std::vector<uint64_t> per_conn_ops;
   };
   Side side_a;
   Side side_b;
@@ -384,9 +411,12 @@ OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std
     }
     const double secs = wall.ElapsedSeconds();
     side.wall += secs;
-    for (const WorkerStats& s : stats) {
+    side.per_conn_ops.resize(static_cast<size_t>(clients), 0);
+    for (int c = 0; c < clients; ++c) {
+      const WorkerStats& s = stats[static_cast<size_t>(c)];
       side.filebench_ops += s.ops;
       side.failures += s.failures;
+      side.per_conn_ops[static_cast<size_t>(c)] += s.ops;
     }
     return secs;
   };
@@ -452,6 +482,10 @@ OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std
   r.wall_seconds = side_b.wall;
   r.filebench_ops = side_b.filebench_ops;
   r.worker_failures = side_b.failures;
+  if (!side_b.per_conn_ops.empty()) {
+    r.min_conn_ops = *std::min_element(side_b.per_conn_ops.begin(), side_b.per_conn_ops.end());
+    r.max_conn_ops = *std::max_element(side_b.per_conn_ops.begin(), side_b.per_conn_ops.end());
+  }
   r.client = side_b.client_registry.Snapshot();
   for (const HistogramSnapshot& h : r.client.histograms) {
     r.fs_calls += h.count;
@@ -543,6 +577,11 @@ void JsonProfile(JsonWriter& json, const ProfileResult& r, double untraced_ops_p
   }
   json.Field("server_connections", r.server.connections_accepted);
   json.Field("server_protocol_errors", r.server.protocol_errors);
+  json.Field("min_conn_ops", r.min_conn_ops);
+  json.Field("max_conn_ops", r.max_conn_ops);
+  json.Field("fairness_ratio", r.min_conn_ops > 0 ? static_cast<double>(r.max_conn_ops) /
+                                                        static_cast<double>(r.min_conn_ops)
+                                                  : 0.0);
 
   json.Key("per_op").BeginArray();
   for (int k = 0; k < kOpKindCount; ++k) {
@@ -600,6 +639,255 @@ void JsonProfile(JsonWriter& json, const ProfileResult& r, double untraced_ops_p
   json.EndObject();
 }
 
+// --- pipeline mode -----------------------------------------------------------
+
+struct PipeConnStats {
+  uint64_t ops = 0;     // completed (replied-to) requests
+  uint64_t non_ok = 0;  // replies that carried an error status
+  bool connect_failed = false;
+};
+
+// One connection's closed loop: submit `depth` requests, flush, wait for all
+// replies, repeat until the deadline. Each connection works its own file so
+// the passes measure the serving layer, not directory contention, and the
+// dir name carries the pass depth so back-to-back passes never collide.
+PipeConnStats RunPipelineConn(const std::string& endpoint, int depth, int conn_index,
+                              std::chrono::steady_clock::time_point deadline) {
+  PipeConnStats st;
+  auto client = AtomFsClient::Connect(endpoint);
+  if (!client.ok()) {
+    st.connect_failed = true;
+    return st;
+  }
+  AtomFsClient& c = **client;
+  const std::string dir =
+      "/pipebench_d" + std::to_string(depth) + "_c" + std::to_string(conn_index);
+  const std::string file = dir + "/f";
+  if (!c.Mkdir(dir).ok() || !c.Mknod(file).ok() ||
+      !WriteString(c, file, "pipelined payload").ok()) {
+    ++st.non_ok;
+    return st;
+  }
+
+  std::vector<std::byte> blob(64);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>(i);
+  }
+  ClientSession& session = c.session();
+  std::vector<ClientSession::Future> futures;
+  futures.reserve(static_cast<size_t>(depth));
+  uint64_t seq = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    futures.clear();
+    for (int k = 0; k < depth; ++k, ++seq) {
+      WireRequest req;
+      req.path_a = file;
+      switch (seq % 3) {
+        case 0:
+          req.op = WireOp::kStat;
+          break;
+        case 1:
+          req.op = WireOp::kRead;
+          req.offset = 0;
+          req.count = 16;
+          break;
+        default:
+          req.op = WireOp::kWrite;
+          req.offset = 0;
+          req.data = blob;
+          break;
+      }
+      futures.push_back(session.Submit(req));
+    }
+    if (!session.Flush().ok()) {
+      st.non_ok += static_cast<uint64_t>(depth);
+      break;
+    }
+    for (ClientSession::Future& f : futures) {
+      ++st.ops;
+      if (!f.Wait().ok()) {
+        ++st.non_ok;
+      }
+    }
+  }
+  return st;
+}
+
+struct PipelinePass {
+  int depth = 0;
+  double wall_seconds = 0;
+  uint64_t total_ops = 0;
+  uint64_t non_ok = 0;
+  uint64_t min_conn_ops = 0;
+  uint64_t max_conn_ops = 0;
+  double ops_per_sec = 0;
+  double fairness_ratio = 0;  // max/min; 0 when a connection finished no op
+  bool connect_failures = false;
+};
+
+PipelinePass RunPipelinePass(const std::string& endpoint, int connections, int depth,
+                             double seconds) {
+  PipelinePass pass;
+  pass.depth = depth;
+  std::vector<PipeConnStats> stats(static_cast<size_t>(connections));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000.0));
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      stats[static_cast<size_t>(c)] = RunPipelineConn(endpoint, depth, c, deadline);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  pass.wall_seconds = wall.ElapsedSeconds();
+  for (int c = 0; c < connections; ++c) {
+    const PipeConnStats& s = stats[static_cast<size_t>(c)];
+    pass.total_ops += s.ops;
+    pass.non_ok += s.non_ok;
+    pass.connect_failures = pass.connect_failures || s.connect_failed;
+    pass.min_conn_ops = c == 0 ? s.ops : std::min(pass.min_conn_ops, s.ops);
+    pass.max_conn_ops = std::max(pass.max_conn_ops, s.ops);
+  }
+  pass.ops_per_sec = static_cast<double>(pass.total_ops) / pass.wall_seconds;
+  if (pass.min_conn_ops > 0) {
+    pass.fairness_ratio =
+        static_cast<double>(pass.max_conn_ops) / static_cast<double>(pass.min_conn_ops);
+  }
+  return pass;
+}
+
+void JsonPipelinePass(JsonWriter& json, const char* key, const PipelinePass& p) {
+  json.Key(key).BeginObject();
+  json.Field("pipeline", static_cast<uint64_t>(p.depth));
+  json.Field("wall_seconds", p.wall_seconds);
+  json.Field("total_ops", p.total_ops);
+  json.Field("non_ok_replies", p.non_ok);
+  json.Field("ops_per_sec", p.ops_per_sec);
+  json.Field("min_conn_ops", p.min_conn_ops);
+  json.Field("max_conn_ops", p.max_conn_ops);
+  json.Field("fairness_ratio", p.fairness_ratio);
+  json.EndObject();
+}
+
+int RunPipelineMode(int connections, int pipeline, double seconds, const std::string& connect,
+                    const std::string& backend, bool with_monitor, const std::string& json_path,
+                    bool check) {
+  // Either point at a running daemon or stand a server up in-process.
+  std::string endpoint = connect;
+  MetricsRegistry registry;
+  std::unique_ptr<TracingObserver> tracer;
+  std::unique_ptr<CrlhMonitor> monitor;
+  std::unique_ptr<TeeObserver> tee;
+  std::unique_ptr<FileSystem> fs;
+  std::unique_ptr<AtomFsServer> server;
+  std::string sock_path;
+  if (endpoint.empty()) {
+    FsObserver* observer = nullptr;
+    if (BackendObservable(backend)) {
+      tracer = std::make_unique<TracingObserver>(&registry, /*ring=*/nullptr);
+      observer = tracer.get();
+      if (with_monitor) {
+        CrlhMonitor::Options mopts;
+        mopts.obs = tracer.get();
+        monitor = std::make_unique<CrlhMonitor>(mopts);
+        tee = std::make_unique<TeeObserver>(monitor.get(), tracer.get());
+        observer = tee.get();
+      }
+    }
+    fs = MakeBackend(backend, observer);
+    sock_path = "/tmp/atomfs_pipebench_" + std::to_string(getpid()) + ".sock";
+    ServerOptions options;
+    options.unix_path = sock_path;
+    options.metrics = &registry;
+    server = std::make_unique<AtomFsServer>(fs.get(), options);
+    if (!server->Start().ok()) {
+      std::fprintf(stderr, "cannot start pipeline-mode server\n");
+      return 1;
+    }
+    endpoint = "unix:" + sock_path;
+  }
+
+  std::printf("pipeline mode: %d connection(s), depth %d, %.1fs per pass, endpoint %s\n",
+              connections, pipeline, seconds, endpoint.c_str());
+  const PipelinePass unpipelined = RunPipelinePass(endpoint, connections, 1, seconds);
+  const PipelinePass pipelined = pipeline > 1
+                                     ? RunPipelinePass(endpoint, connections, pipeline, seconds)
+                                     : unpipelined;
+  const double speedup =
+      unpipelined.ops_per_sec > 0 ? pipelined.ops_per_sec / unpipelined.ops_per_sec : 0;
+
+  auto print_pass = [](const char* label, const PipelinePass& p) {
+    std::printf("%-12s depth=%-3d %8llu ops in %.2fs => %9.0f ops/sec  per-conn min=%llu "
+                "max=%llu fairness=%.2fx non_ok=%llu\n",
+                label, p.depth, static_cast<unsigned long long>(p.total_ops), p.wall_seconds,
+                p.ops_per_sec, static_cast<unsigned long long>(p.min_conn_ops),
+                static_cast<unsigned long long>(p.max_conn_ops), p.fairness_ratio,
+                static_cast<unsigned long long>(p.non_ok));
+  };
+  print_pass("unpipelined", unpipelined);
+  print_pass("pipelined", pipelined);
+  std::printf("pipelining speedup: %.2fx\n", speedup);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("benchmark", "server_pipeline");
+  json.Field("endpoint", endpoint);
+  json.Field("connections", static_cast<uint64_t>(connections));
+  json.Field("pipeline", static_cast<uint64_t>(pipeline));
+  json.Field("seconds_per_pass", seconds);
+  JsonPipelinePass(json, "unpipelined", unpipelined);
+  JsonPipelinePass(json, "pipelined", pipelined);
+  json.Field("speedup", speedup);
+  json.EndObject();
+  if (!json.WriteFile(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+
+  int rc = 0;
+  if (check) {
+    if (unpipelined.connect_failures || pipelined.connect_failures) {
+      std::fprintf(stderr, "CHECK FAILED: connection failures\n");
+      rc = 1;
+    }
+    if (unpipelined.non_ok + pipelined.non_ok > 0) {
+      std::fprintf(stderr, "CHECK FAILED: %llu non-OK repl(y/ies)\n",
+                   static_cast<unsigned long long>(unpipelined.non_ok + pipelined.non_ok));
+      rc = 1;
+    }
+    if (pipelined.fairness_ratio > 10.0 || pipelined.fairness_ratio == 0.0) {
+      std::fprintf(stderr, "CHECK FAILED: fairness ratio %.2f (min=%llu max=%llu)\n",
+                   pipelined.fairness_ratio,
+                   static_cast<unsigned long long>(pipelined.min_conn_ops),
+                   static_cast<unsigned long long>(pipelined.max_conn_ops));
+      rc = 1;
+    }
+  }
+
+  if (server) {
+    server->Stop();
+  }
+  if (monitor) {
+    if (auto* atom = dynamic_cast<AtomFs*>(fs.get()); atom != nullptr) {
+      monitor->CheckQuiescent(atom->SnapshotSpec());
+    }
+    if (!monitor->ok()) {
+      std::fprintf(stderr, "CRL-H VIOLATIONS under pipelined load:\n");
+      for (const auto& v : monitor->violations()) {
+        std::fprintf(stderr, "  %s\n", v.c_str());
+      }
+      return 1;
+    }
+    std::printf("monitor: every op linearizable (%llu helped)\n",
+                static_cast<unsigned long long>(monitor->helped_ops()));
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace atomfs
 
@@ -613,12 +901,27 @@ int main(int argc, char** argv) {
   std::string transport = "unix";
   std::string json_path = "BENCH_server.json";
   bool with_monitor = false;
+  int connections = 0;
+  int pipeline = 0;
+  double seconds = 2.0;
+  std::string connect;
+  bool check = false;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
     if (arg("--clients")) {
       clients = std::atoi(next());
+    } else if (arg("--connections")) {
+      connections = std::atoi(next());
+    } else if (arg("--pipeline")) {
+      pipeline = std::atoi(next());
+    } else if (arg("--seconds")) {
+      seconds = std::atof(next());
+    } else if (arg("--connect")) {
+      connect = next();
+    } else if (arg("--check")) {
+      check = true;
     } else if (arg("--ops")) {
       ops_per_client = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg("--profile")) {
@@ -643,6 +946,19 @@ int main(int argc, char** argv) {
   if (MakeBackend(backend, nullptr) == nullptr) {
     std::fprintf(stderr, "unknown backend %s\n", backend.c_str());
     return 2;
+  }
+
+  // --connections / --pipeline select the pipelined-serving mode; the
+  // filebench profile machinery below is bypassed entirely.
+  if (connections > 0 || pipeline > 0) {
+    if (connections <= 0) {
+      connections = 4;
+    }
+    if (pipeline <= 0) {
+      pipeline = 8;
+    }
+    return RunPipelineMode(connections, pipeline, seconds, connect, backend, with_monitor,
+                           json_path, check);
   }
 
   std::vector<FilebenchProfile> profiles;

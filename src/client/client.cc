@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -49,22 +50,236 @@ Result<int> ConnectTcpSocket(uint16_t port) {
   return fd;
 }
 
+// Raw send loop (frames are already length-prefixed by the flush packer).
+Status SendBytes(int sock, std::span<const std::byte> data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(sock, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status(Errc::kIo);
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void AppendFrame(std::vector<std::byte>& out, std::span<const std::byte> payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((len >> (8 * i)) & 0xff));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
 }  // namespace
 
-Result<std::unique_ptr<AtomFsClient>> AtomFsClient::ConnectUnix(const std::string& socket_path) {
-  auto fd = ConnectUnixSocket(socket_path);
+// --- ClientSession -----------------------------------------------------------
+
+Result<std::unique_ptr<ClientSession>> ClientSession::Negotiate(int sock,
+                                                                uint32_t want_inflight) {
+  std::unique_ptr<ClientSession> session(new ClientSession(sock));
+  WireRequest hello;
+  hello.op = WireOp::kHello;
+  hello.proto_version = kWireProtoVersion;
+  hello.max_inflight = want_inflight;
+  auto reply = session->Call(hello);  // window_ is 1 here: plain round trip
+  if (!reply.ok()) {
+    return reply.status();  // session destructor closes the socket
+  }
+  WireReader r(*reply);
+  WireHello granted;
+  if (!ParseHello(r, &granted) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  session->server_version_ = granted.version;
+  session->window_ = std::max<uint32_t>(1, granted.max_inflight);
+  return session;
+}
+
+ClientSession::~ClientSession() {
+  if (sock_ >= 0) {
+    close(sock_);
+  }
+}
+
+std::shared_ptr<ClientSession::Pending> ClientSession::SubmitLocked(const WireRequest& req) {
+  auto pending = std::make_shared<Pending>();
+  staged_.push_back(StagedOp{EncodeRequest(req), pending});
+  return pending;
+}
+
+ClientSession::Future ClientSession::Submit(const WireRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Future(this, SubmitLocked(req));
+}
+
+Status ClientSession::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Result<std::vector<std::byte>> ClientSession::Call(const WireRequest& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!broken_.ok()) {
+    return broken_;
+  }
+  return WaitLocked(SubmitLocked(req));
+}
+
+Result<std::vector<std::byte>> ClientSession::Future::Wait() {
+  if (state_ == nullptr) {
+    return Errc::kInval;
+  }
+  std::lock_guard<std::mutex> lock(session_->mu_);
+  return session_->WaitLocked(state_);
+}
+
+Result<std::vector<std::byte>> ClientSession::WaitLocked(const std::shared_ptr<Pending>& p) {
+  if (p->staged && !p->done) {
+    FlushLocked();  // a failure marks p done via BreakLocked
+  }
+  while (!p->done) {
+    if (Status st = ReadOneReplyLocked(); !st.ok()) {
+      break;  // BreakLocked marked everything, including p
+    }
+  }
+  return p->result;
+}
+
+Status ClientSession::BreakLocked(Status st) {
+  broken_ = st;
+  for (auto& p : outstanding_) {
+    p->result = st;
+    p->done = true;
+  }
+  outstanding_.clear();
+  for (auto& op : staged_) {
+    op.pending->result = st;
+    op.pending->done = true;
+  }
+  staged_.clear();
+  return st;
+}
+
+Status ClientSession::FlushLocked() {
+  if (!broken_.ok()) {
+    return staged_.empty() ? broken_ : BreakLocked(broken_);
+  }
+  // Pack staged requests into frames, preserving FIFO order. Consecutive
+  // requests coalesce into one MSGBATCH frame up to the window, the batch
+  // cap, and the frame cap; a run of one goes unwrapped. Frames accumulate
+  // into one buffer so a whole flush is typically a single send(2).
+  std::vector<std::byte> wirebuf;
+  auto send_buffered = [&]() -> Status {
+    if (wirebuf.empty()) {
+      return Status::Ok();
+    }
+    Status st = SendBytes(sock_, wirebuf);
+    wirebuf.clear();
+    return st.ok() ? st : BreakLocked(st);
+  };
+  size_t i = 0;
+  while (i < staged_.size()) {
+    const size_t max_group =
+        std::min<size_t>(std::min<uint32_t>(window_, kWireMaxBatchRequests),
+                         staged_.size() - i);
+    size_t group_bytes = 1 + 4;  // MSGBATCH opcode + count
+    size_t j = i;
+    while (j - i < max_group && group_bytes + 4 + staged_[j].payload.size() <=
+                                    kWireMaxFrameBytes) {
+      group_bytes += 4 + staged_[j].payload.size();
+      ++j;
+      if (j == staged_.size()) {
+        break;
+      }
+    }
+    if (j == i) {
+      j = i + 1;  // an oversized single still goes out unwrapped
+    }
+    const size_t units = j - i;
+    // Respect the window: drain replies (sending what we buffered first, or
+    // the server could never produce them) until the group fits.
+    while (outstanding_.size() + units > window_ && !outstanding_.empty()) {
+      if (Status st = send_buffered(); !st.ok()) {
+        return st;
+      }
+      if (Status st = ReadOneReplyLocked(); !st.ok()) {
+        return st;
+      }
+    }
+    if (units == 1) {
+      AppendFrame(wirebuf, staged_[i].payload);
+    } else {
+      WireWriter w;
+      w.U8(static_cast<uint8_t>(WireOp::kMsgBatch));
+      w.U32(static_cast<uint32_t>(units));
+      for (size_t k = i; k < j; ++k) {
+        w.Blob(staged_[k].payload);
+      }
+      AppendFrame(wirebuf, w.buf());
+    }
+    for (size_t k = i; k < j; ++k) {
+      staged_[k].pending->staged = false;
+      outstanding_.push_back(std::move(staged_[k].pending));
+    }
+    i = j;
+  }
+  staged_.clear();
+  return send_buffered();
+}
+
+Status ClientSession::ReadOneReplyLocked() {
+  auto frame = RecvFrame(sock_);
+  if (!frame.ok()) {
+    // A clean server-side close mid-conversation is still a transport
+    // failure from the caller's point of view.
+    return BreakLocked(
+        Status(frame.status().code() == Errc::kProto ? Errc::kProto : Errc::kIo));
+  }
+  WireReader r(*frame);
+  uint8_t wire_status = 0;
+  if (!r.U8(&wire_status)) {
+    return BreakLocked(Status(Errc::kProto));
+  }
+  const Errc code = ErrcOfWireStatus(wire_status);
+  if (outstanding_.empty()) {
+    // Unsolicited frame: the server's idle-timeout courtesy reply carries
+    // kTimedOut; anything else means framing drifted.
+    return BreakLocked(Status(code != Errc::kOk ? code : Errc::kProto));
+  }
+  std::shared_ptr<Pending> p = std::move(outstanding_.front());
+  outstanding_.pop_front();
+  if (code != Errc::kOk) {
+    p->result = code;
+  } else {
+    p->result = std::vector<std::byte>(frame->begin() + 1, frame->end());
+  }
+  p->done = true;
+  return Status::Ok();
+}
+
+// --- AtomFsClient ------------------------------------------------------------
+
+Result<std::unique_ptr<AtomFsClient>> AtomFsClient::FromSocket(Result<int> fd) {
   if (!fd.ok()) {
     return fd.status();
   }
-  return std::unique_ptr<AtomFsClient>(new AtomFsClient(*fd));
+  auto session = ClientSession::Negotiate(*fd, kDefaultClientInflight);
+  if (!session.ok()) {
+    return session.status();
+  }
+  return std::unique_ptr<AtomFsClient>(new AtomFsClient(std::move(*session)));
+}
+
+Result<std::unique_ptr<AtomFsClient>> AtomFsClient::ConnectUnix(const std::string& socket_path) {
+  return FromSocket(ConnectUnixSocket(socket_path));
 }
 
 Result<std::unique_ptr<AtomFsClient>> AtomFsClient::ConnectTcp(uint16_t port) {
-  auto fd = ConnectTcpSocket(port);
-  if (!fd.ok()) {
-    return fd.status();
-  }
-  return std::unique_ptr<AtomFsClient>(new AtomFsClient(*fd));
+  return FromSocket(ConnectTcpSocket(port));
 }
 
 Result<std::unique_ptr<AtomFsClient>> AtomFsClient::Connect(const std::string& endpoint) {
@@ -81,34 +296,10 @@ Result<std::unique_ptr<AtomFsClient>> AtomFsClient::Connect(const std::string& e
   return Errc::kInval;
 }
 
-AtomFsClient::~AtomFsClient() {
-  if (sock_ >= 0) {
-    close(sock_);
-  }
-}
+AtomFsClient::~AtomFsClient() = default;
 
 Result<std::vector<std::byte>> AtomFsClient::Call(const WireRequest& req) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (Status st = SendFrame(sock_, EncodeRequest(req)); !st.ok()) {
-    return st;
-  }
-  auto frame = RecvFrame(sock_);
-  if (!frame.ok()) {
-    // A clean server-side close mid-conversation is still a transport
-    // failure from the caller's point of view.
-    return frame.status().code() == Errc::kProto ? Errc::kProto : Errc::kIo;
-  }
-  WireReader r(*frame);
-  uint8_t wire_status = 0;
-  if (!r.U8(&wire_status)) {
-    return Errc::kProto;
-  }
-  const Errc code = ErrcOfWireStatus(wire_status);
-  if (code != Errc::kOk) {
-    return code;
-  }
-  // Hand back the body past the status byte.
-  return std::vector<std::byte>(frame->begin() + 1, frame->end());
+  return session_->Call(req);
 }
 
 Status AtomFsClient::CallStatusOnly(const WireRequest& req) {

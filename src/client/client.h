@@ -7,18 +7,32 @@
 // Vfs descriptor ops (the descriptor table lives server-side, scoped to this
 // connection).
 //
-// One connection, synchronous request/response. A mutex serializes
-// concurrent callers on the same client; parallel load wants one client per
-// thread (see bench/bench_server_throughput.cc). Transport failures surface
-// as kIo, server-rejected frames as kProto; neither is ever produced by an
-// in-process FileSystem, so remote-only failures are distinguishable.
+// Underneath, the connection is a pipelined ClientSession (protocol v2):
+// Submit() stages a request and returns a Future, Flush() packs staged
+// requests into MSGBATCH frames (respecting the HELLO-negotiated
+// `max_inflight` window) and puts them on the wire, Future::Wait() drives
+// the socket until that request's reply arrives. Replies always resolve in
+// submission order. The synchronous FileSystem methods are thin
+// submit+flush+wait wrappers, so they cost one round trip exactly as
+// before; pipelined callers grab session() and overlap many.
+//
+// A mutex serializes concurrent callers on the same session; parallel load
+// wants one client per thread (see bench/bench_server_throughput.cc).
+// Wire-level failures carry distinct codes: transport failures surface as
+// kIo, server-rejected frames as kProto, idle-reaped connections as
+// kTimedOut, window-overcommitted batches as kBackpressure. None of these
+// is ever produced by an in-process FileSystem, so remote-only failures are
+// distinguishable. Once a session sees a transport failure it is broken for
+// good: every queued and future request fails with the same code.
 
 #ifndef ATOMFS_SRC_CLIENT_CLIENT_H_
 #define ATOMFS_SRC_CLIENT_CLIENT_H_
 
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/net/wire.h"
 #include "src/util/status.h"
@@ -26,6 +40,85 @@
 #include "src/vfs/vfs.h"
 
 namespace atomfs {
+
+// Inflight window the client asks for in HELLO; the server may grant less.
+inline constexpr uint32_t kDefaultClientInflight = 64;
+
+// One pipelined wire conversation over a connected stream socket.
+class ClientSession {
+ private:
+  struct Pending {
+    bool done = false;
+    bool staged = true;  // not yet on the wire
+    Result<std::vector<std::byte>> result{Errc::kIo};
+  };
+
+ public:
+  // A handle to one submitted request's eventual reply (the response
+  // payload past the status byte; error statuses surface as the Result's
+  // status). Wait() drives the session's socket as needed; once resolved,
+  // further Wait() calls return the stored result.
+  class Future {
+   public:
+    Future() = default;
+    bool valid() const { return state_ != nullptr; }
+    Result<std::vector<std::byte>> Wait();
+
+   private:
+    friend class ClientSession;
+    Future(ClientSession* session, std::shared_ptr<Pending> state)
+        : session_(session), state_(std::move(state)) {}
+    ClientSession* session_ = nullptr;
+    std::shared_ptr<Pending> state_;
+  };
+
+  // Takes ownership of a connected socket (closes it on failure and in the
+  // destructor), performs the HELLO handshake asking for `want_inflight`,
+  // and returns the negotiated session. kProto if the server rejects the
+  // protocol version or answers HELLO malformed.
+  static Result<std::unique_ptr<ClientSession>> Negotiate(int sock, uint32_t want_inflight);
+
+  ~ClientSession();
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  // Stages a request; nothing hits the wire until Flush()/Wait()/Call().
+  Future Submit(const WireRequest& req);
+
+  // Packs every staged request into frames (MSGBATCH when more than one fits
+  // the window) and sends them, reading replies as needed to respect the
+  // negotiated window. Returns the session's broken-status on failure.
+  Status Flush();
+
+  // Synchronous convenience: submit + flush + wait.
+  Result<std::vector<std::byte>> Call(const WireRequest& req);
+
+  // Negotiated session parameters.
+  uint32_t max_inflight() const { return window_; }
+  uint32_t server_version() const { return server_version_; }
+
+ private:
+  explicit ClientSession(int sock) : sock_(sock) {}
+
+  struct StagedOp {
+    std::vector<std::byte> payload;  // encoded request, unframed
+    std::shared_ptr<Pending> pending;
+  };
+
+  std::shared_ptr<Pending> SubmitLocked(const WireRequest& req);
+  Status FlushLocked();
+  Status ReadOneReplyLocked();
+  Status BreakLocked(Status st);  // poisons the session and every request
+  Result<std::vector<std::byte>> WaitLocked(const std::shared_ptr<Pending>& p);
+
+  std::mutex mu_;  // serializes the whole conversation
+  int sock_ = -1;
+  uint32_t window_ = 1;  // 1 until HELLO's grant arrives
+  uint32_t server_version_ = 0;
+  Status broken_ = Status::Ok();
+  std::vector<StagedOp> staged_;
+  std::deque<std::shared_ptr<Pending>> outstanding_;  // on the wire, FIFO
+};
 
 class AtomFsClient : public FileSystem {
  public:
@@ -39,6 +132,13 @@ class AtomFsClient : public FileSystem {
 
   AtomFsClient(const AtomFsClient&) = delete;
   AtomFsClient& operator=(const AtomFsClient&) = delete;
+
+  // The pipelined session underneath, for callers that want to overlap
+  // requests: session().Submit(...) xN, session().Flush(), futures resolve
+  // in order.
+  ClientSession& session() { return *session_; }
+  uint32_t protocol_version() const { return session_->server_version(); }
+  uint32_t max_inflight() const { return session_->max_inflight(); }
 
   // FileSystem interface (remote).
   Status Mkdir(const Path& path) override;
@@ -87,14 +187,17 @@ class AtomFsClient : public FileSystem {
   Result<MetricsSnapshot> FetchMetrics();
 
  private:
-  explicit AtomFsClient(int sock) : sock_(sock) {}
+  explicit AtomFsClient(std::unique_ptr<ClientSession> session)
+      : session_(std::move(session)) {}
 
-  // Sends `req` and returns the response payload past the status byte.
+  static Result<std::unique_ptr<AtomFsClient>> FromSocket(Result<int> fd);
+
+  // Sends `req` and returns the response payload past the status byte
+  // (submit + flush + wait on the session).
   Result<std::vector<std::byte>> Call(const WireRequest& req);
   Status CallStatusOnly(const WireRequest& req);
 
-  int sock_;
-  std::mutex mu_;  // serializes the request/response conversation
+  std::unique_ptr<ClientSession> session_;
 };
 
 }  // namespace atomfs

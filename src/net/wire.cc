@@ -59,6 +59,10 @@ std::string_view WireOpName(WireOp op) {
       return "stats";
     case WireOp::kMetrics:
       return "metrics";
+    case WireOp::kHello:
+      return "hello";
+    case WireOp::kMsgBatch:
+      return "msgbatch";
   }
   return "unknown";
 }
@@ -97,6 +101,10 @@ uint8_t WireStatusOf(Errc code) {
       return 13;
     case Errc::kProto:
       return 14;
+    case Errc::kTimedOut:
+      return 15;
+    case Errc::kBackpressure:
+      return 16;
   }
   return 13;  // unmapped codes degrade to EIO
 }
@@ -133,6 +141,10 @@ Errc ErrcOfWireStatus(uint8_t wire) {
       return Errc::kIo;
     case 14:
       return Errc::kProto;
+    case 15:
+      return Errc::kTimedOut;
+    case 16:
+      return Errc::kBackpressure;
     default:
       return Errc::kProto;
   }
@@ -315,11 +327,23 @@ std::vector<std::byte> EncodeRequest(const WireRequest& req) {
       w.I32(req.fd);
       w.U64(req.offset);
       break;
+    case WireOp::kHello:
+      w.U32(req.proto_version);
+      w.U32(req.max_inflight);
+      break;
+    case WireOp::kMsgBatch:
+      w.U32(static_cast<uint32_t>(req.batch.size()));
+      for (const WireRequest& sub : req.batch) {
+        w.Blob(EncodeRequest(sub));
+      }
+      break;
   }
   return w.Take();
 }
 
-Result<WireRequest> ParseRequest(std::span<const std::byte> payload) {
+namespace {
+
+Result<WireRequest> ParseRequestImpl(std::span<const std::byte> payload, bool allow_batch) {
   WireReader r(payload);
   uint8_t raw_op = 0;
   if (!r.U8(&raw_op) || !WireOpKnown(raw_op)) {
@@ -379,6 +403,30 @@ Result<WireRequest> ParseRequest(std::span<const std::byte> payload) {
     case WireOp::kSeek:
       good = r.I32(&req.fd) && r.U64(&req.offset);
       break;
+    case WireOp::kHello:
+      good = r.U32(&req.proto_version) && r.U32(&req.max_inflight);
+      break;
+    case WireOp::kMsgBatch: {
+      uint32_t n = 0;
+      good = allow_batch && r.U32(&n) && n >= 1 && n <= kWireMaxBatchRequests;
+      req.batch.reserve(good ? n : 0);
+      for (uint32_t i = 0; good && i < n; ++i) {
+        std::vector<std::byte> sub_bytes;
+        if (!r.Blob(&sub_bytes, kWireMaxFrameBytes)) {
+          good = false;
+          break;
+        }
+        Result<WireRequest> sub = ParseRequestImpl(sub_bytes, /*allow_batch=*/false);
+        // HELLO must stand alone: a window change mid-batch would be
+        // ambiguous against the batch's own admission.
+        if (!sub.ok() || sub->op == WireOp::kHello) {
+          good = false;
+          break;
+        }
+        req.batch.push_back(std::move(*sub));
+      }
+      break;
+    }
   }
   if (!good || !r.AtEnd()) {
     return Errc::kProto;
@@ -389,6 +437,23 @@ Result<WireRequest> ParseRequest(std::span<const std::byte> payload) {
     return Errc::kProto;
   }
   return req;
+}
+
+}  // namespace
+
+Result<WireRequest> ParseRequest(std::span<const std::byte> payload) {
+  return ParseRequestImpl(payload, /*allow_batch=*/true);
+}
+
+// --- HELLO negotiation -------------------------------------------------------
+
+void EncodeHello(WireWriter& w, const WireHello& hello) {
+  w.U32(hello.version);
+  w.U32(hello.max_inflight);
+}
+
+bool ParseHello(WireReader& r, WireHello* out) {
+  return r.U32(&out->version) && r.U32(&out->max_inflight);
 }
 
 // --- response payload pieces -------------------------------------------------

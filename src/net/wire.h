@@ -6,12 +6,23 @@
 //   request  := u8 opcode | op-specific body
 //   response := u8 wire status | body on success (empty on error)
 //
-// One connection carries a synchronous request/response conversation: the
-// client sends a request frame and reads exactly one response frame. All
+// A connection carries a pipelined conversation: the client may have up to
+// `max_inflight` request frames outstanding (negotiated via HELLO, see
+// below) and the server answers every request, in order, with exactly one
+// response frame per request unit. MSGBATCH packs several requests into one
+// frame; the server still answers each packed sub-request with its own
+// response frame, in order, as if they had been sent individually. All
 // integers are little-endian; strings and blobs are u32 length + bytes.
 // Payloads are capped at kWireMaxFrameBytes — a larger declared length is a
 // protocol error and the server drops the connection (framing can no longer
 // be trusted).
+//
+// Version negotiation: a client should open the conversation with HELLO
+// carrying its protocol version and desired inflight window. The server
+// answers with its version and the granted window (clamped to server
+// policy). An unsupported version gets a clean EPROTO error reply — not a
+// dropped connection — so old/new peers can fail soft. A client that skips
+// HELLO speaks at the server's default window.
 //
 // The protocol covers the complete path-based FileSystem interface plus the
 // Vfs descriptor ops (open/close/read/write/pread/pwrite/fstat/readdirfd/
@@ -46,6 +57,13 @@ namespace atomfs {
 // one frame; callers moving more than this chunk their I/O.
 inline constexpr uint32_t kWireMaxFrameBytes = 4u << 20;
 
+// Protocol version spoken by this build. v1 was PR 1's unversioned
+// synchronous protocol; v2 adds HELLO, MSGBATCH and pipelining.
+inline constexpr uint32_t kWireProtoVersion = 2;
+
+// Hard cap on sub-requests inside one MSGBATCH frame.
+inline constexpr uint32_t kWireMaxBatchRequests = 256;
+
 enum class WireOp : uint8_t {
   kPing = 1,
   // Path-based FileSystem interface.
@@ -74,10 +92,13 @@ enum class WireOp : uint8_t {
   // Admin.
   kStats = 23,
   kMetrics = 24,
+  // Session control (protocol v2).
+  kHello = 25,     // version + inflight-window negotiation
+  kMsgBatch = 26,  // several requests packed into one frame
 };
 
 inline constexpr uint8_t kWireOpMin = 1;
-inline constexpr uint8_t kWireOpMax = 24;
+inline constexpr uint8_t kWireOpMax = 26;
 
 inline bool WireOpKnown(uint8_t raw) { return raw >= kWireOpMin && raw <= kWireOpMax; }
 std::string_view WireOpName(WireOp op);
@@ -148,10 +169,30 @@ struct WireRequest {
   uint32_t flags = 0;            // open
   int32_t fd = -1;               // descriptor ops
   std::vector<std::byte> data;   // write/fdwrite/pwrite payload
+  // HELLO: protocol version and desired inflight window (0 = server default).
+  uint32_t proto_version = 0;
+  uint32_t max_inflight = 0;
+  // MSGBATCH: the packed sub-requests. Nested MSGBATCH and packed HELLO are
+  // protocol errors (a window change mid-batch would be ambiguous).
+  std::vector<WireRequest> batch;
 };
 
 std::vector<std::byte> EncodeRequest(const WireRequest& req);
 Result<WireRequest> ParseRequest(std::span<const std::byte> payload);
+
+// --- HELLO negotiation -------------------------------------------------------
+// Request body:  u32 version | u32 desired max_inflight (0 = server default)
+// Success reply: u32 version | u32 granted max_inflight (>= 1)
+// An unsupported version is answered with wire status EPROTO and the
+// connection stays open.
+
+struct WireHello {
+  uint32_t version = 0;
+  uint32_t max_inflight = 0;
+};
+
+void EncodeHello(WireWriter& w, const WireHello& hello);
+bool ParseHello(WireReader& r, WireHello* out);
 
 // --- response payload pieces -------------------------------------------------
 

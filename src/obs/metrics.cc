@@ -104,6 +104,11 @@ uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
   return c != nullptr ? c->value : 0;
 }
 
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  const GaugeSnapshot* g = FindGauge(name);
+  return g != nullptr ? g->value : 0;
+}
+
 std::string MetricsSnapshot::ToText() const {
   std::string out = "# atomtrace metrics\n";
   char line[256];

@@ -166,6 +166,7 @@ struct MetricsSnapshot {
   const GaugeSnapshot* FindGauge(std::string_view name) const;
   const HistogramSnapshot* FindHistogram(std::string_view name) const;
   uint64_t CounterValue(std::string_view name) const;  // 0 if absent
+  int64_t GaugeValue(std::string_view name) const;     // 0 if absent
 
   // Human-readable dump (the atomfsd --metrics-dump / SIGUSR1 format):
   //   # atomtrace metrics

@@ -1,19 +1,38 @@
 #include "src/server/server.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <unordered_map>
 
 #include "src/vfs/vfs.h"
 
 namespace atomfs {
 
 namespace {
+
+// How much one readiness cycle will read from a single connection before
+// yielding to the shard's other connections (fairness under pipelined load).
+constexpr size_t kReadChunk = 64u << 10;
+constexpr size_t kMaxReadPerCycle = 256u << 10;
+// iovec slots offered to one sendmsg; the flush loop chunks longer outboxes.
+constexpr int kMaxIov = 64;
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
 
 // Success responses begin with wire status 0.
 std::vector<std::byte> OkResponse(WireWriter&& body) {
@@ -30,7 +49,84 @@ std::vector<std::byte> StatusResponse(Status st) {
   return w.Take();
 }
 
+// Prepends the u32 length header: a ready-to-send frame.
+std::vector<std::byte> FrameOf(std::span<const std::byte> payload) {
+  std::vector<std::byte> out;
+  out.reserve(4 + payload.size());
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((len >> (8 * i)) & 0xff));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+uint32_t PeekU32(const std::byte* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint32_t>(p[i]);
+  }
+  return v;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
 }  // namespace
+
+// One decoded request unit awaiting execution. A poison item marks the spot
+// in the pipeline where framing broke: it is answered with kProto, in order,
+// and closes the connection behind it.
+struct ConnReadyItem {
+  WireRequest req;
+  bool poison = false;
+};
+
+// Per-connection state. Loop-owned fields are touched only by the owning
+// shard thread; fields below `mu` are the loop<->worker handoff.
+struct AtomFsServer::Conn {
+  explicit Conn(FileSystem* fs) : vfs(fs) {}
+
+  uint64_t id = 0;
+  int fd = -1;
+  Shard* shard = nullptr;
+  Vfs vfs;  // per-connection descriptor table; touched by one worker at a time
+
+  // Loop-owned.
+  std::vector<std::byte> rbuf;
+  size_t rpos = 0;
+  bool peer_eof = false;
+  bool poisoned = false;  // framing broke; never read or decode again
+  bool stalled = false;   // decode parked on a full window (metric edge)
+  uint32_t armed_mask = 0;
+  uint64_t last_activity_ms = 0;
+  size_t out_head_off = 0;  // bytes of outbox.front() already written
+
+  // Shared loop<->worker state.
+  std::mutex mu;
+  std::deque<ConnReadyItem> ready;
+  std::deque<std::vector<std::byte>> outbox;  // framed replies, FIFO
+  size_t outbox_bytes = 0;
+  uint32_t inflight = 0;  // admitted request units without a reply in the outbox
+  uint32_t window = 1;    // negotiated max_inflight
+  bool exec_scheduled = false;
+  bool want_close = false;  // drain ready+outbox, then close
+  bool dead = false;        // transport broken; close as soon as no worker holds us
+};
+
+struct AtomFsServer::Shard {
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::atomic<bool> stop{false};
+  std::mutex mu;                       // guards intake + completions
+  std::vector<int> intake;             // accepted sockets awaiting registration
+  std::vector<uint64_t> completions;   // conn ids with fresh worker output
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;  // loop-owned
+};
 
 AtomFsServer::AtomFsServer(FileSystem* fs, ServerOptions options)
     : fs_(fs), opts_(std::move(options)) {
@@ -42,6 +138,12 @@ AtomFsServer::AtomFsServer(FileSystem* fs, ServerOptions options)
   }
   connections_accepted_ = metrics_->GetCounter("server.connections");
   protocol_errors_ = metrics_->GetCounter("server.protocol_errors");
+  loop_wakeups_ = metrics_->GetCounter("server.loop.wakeups");
+  backpressure_stalls_ = metrics_->GetCounter("server.backpressure_stalls");
+  idle_timeouts_ = metrics_->GetCounter("server.idle_timeouts");
+  active_conns_ = metrics_->GetGauge("server.conns.active");
+  work_queue_depth_ = metrics_->GetGauge("server.work_queue.depth");
+  exec_batch_size_ = metrics_->GetHistogram("server.worker.batch_size");
   for (uint8_t op = kWireOpMin; op <= kWireOpMax; ++op) {
     op_latency_[op] = metrics_->GetHistogram(
         "server.op." + std::string(WireOpName(static_cast<WireOp>(op))) + ".latency_ns");
@@ -100,22 +202,42 @@ Status AtomFsServer::Start() {
     listen_fds_.push_back(fd);
   }
 
+  const int n_shards = opts_.shards > 0 ? opts_.shards : 1;
+  for (int i = 0; i < n_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    shard->event_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (shard->epoll_fd < 0 || shard->event_fd < 0) {
+      shards_.push_back(std::move(shard));
+      Stop();
+      return Status(Errc::kIo);
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = nullptr;  // nullptr marks the wakeup eventfd
+    epoll_ctl(shard->epoll_fd, EPOLL_CTL_ADD, shard->event_fd, &ev);
+    shards_.push_back(std::move(shard));
+  }
+
   stopping_ = false;
   running_ = true;
-  for (int fd : listen_fds_) {
-    acceptors_.emplace_back([this, fd] { AcceptLoop(fd); });
+  for (auto& shard : shards_) {
+    shard_threads_.emplace_back([this, s = shard.get()] { ShardLoop(*s); });
   }
   const int workers = opts_.workers > 0 ? opts_.workers : 1;
   for (int i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  for (int fd : listen_fds_) {
+    acceptors_.emplace_back([this, fd] { AcceptLoop(fd); });
   }
   return Status::Ok();
 }
 
 void AtomFsServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_ && !running_ && listen_fds_.empty()) {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    if (!running_ && listen_fds_.empty() && shards_.empty()) {
       return;
     }
     stopping_ = true;
@@ -126,27 +248,48 @@ void AtomFsServer::Stop() {
     close(fd);
   }
   listen_fds_.clear();
-  queue_cv_.notify_all();
-  // Unblock workers parked in recv() on a live connection.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (int sock : active_conns_) {
-      shutdown(sock, SHUT_RDWR);
-    }
-  }
   for (std::thread& t : acceptors_) {
     t.join();
   }
   acceptors_.clear();
+  // Workers next: once they are joined, nobody but the shard threads can
+  // touch a Conn, so the shards can tear their connections down safely.
+  work_cv_.notify_all();
   for (std::thread& t : workers_) {
     t.join();
   }
   workers_.clear();
-  // Connections still queued but never served.
-  for (int sock : pending_) {
-    close(sock);
+  work_queue_depth_.Sub(static_cast<int64_t>(work_queue_.size()));
+  work_queue_.clear();
+  for (auto& shard : shards_) {
+    shard->stop.store(true, std::memory_order_release);
+    if (shard->event_fd >= 0) {
+      const uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = write(shard->event_fd, &one, sizeof one);
+    }
   }
-  pending_.clear();
+  for (std::thread& t : shard_threads_) {
+    t.join();
+  }
+  shard_threads_.clear();
+  for (auto& shard : shards_) {
+    for (auto& [id, c] : shard->conns) {
+      close(c->fd);
+      active_conns_.Sub(1);
+    }
+    shard->conns.clear();
+    for (int fd : shard->intake) {
+      close(fd);
+    }
+    shard->intake.clear();
+    if (shard->epoll_fd >= 0) {
+      close(shard->epoll_fd);
+    }
+    if (shard->event_fd >= 0) {
+      close(shard->event_fd);
+    }
+  }
+  shards_.clear();
   if (!opts_.unix_path.empty()) {
     unlink(opts_.unix_path.c_str());
   }
@@ -162,88 +305,510 @@ void AtomFsServer::AcceptLoop(int listen_fd) {
       }
       return;  // listener closed (Stop) or fatal error
     }
-    // Request/response framing is latency-bound: without this, Nagle holds
-    // each response until the client's delayed ACK (~10ms per op over TCP).
+    // Pipelined framing is still latency-bound on the last frame of a burst:
+    // without this, Nagle holds the tail until the client's delayed ACK.
     // No-op (ENOTSUP) on unix-domain sockets.
     const int one = 1;
     setsockopt(sock, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     connections_accepted_.Inc();
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stopping_) {
-      close(sock);
-      return;
-    }
-    pending_.push_back(sock);
-    queue_cv_.notify_one();
-  }
-}
-
-void AtomFsServer::WorkerLoop() {
-  for (;;) {
-    int sock = -1;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      if (stopping_ || pending_.empty()) {
-        return;  // leftover queued sockets are closed by Stop
-      }
-      sock = pending_.front();
-      pending_.pop_front();
-    }
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      active_conns_.insert(sock);
-    }
-    // Stop() may have swept active_conns_ between our pop and insert; in
-    // that window the socket would miss its shutdown(2) and recv could block
-    // past the join. Re-checking after the insert closes the race.
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      std::lock_guard<std::mutex> lock(work_mu_);
       if (stopping_) {
-        std::lock_guard<std::mutex> conns(conns_mu_);
-        active_conns_.erase(sock);
         close(sock);
         return;
       }
     }
-    ServeConnection(sock);
+    Shard& shard =
+        *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      active_conns_.erase(sock);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.intake.push_back(sock);
     }
-    close(sock);
+    const uint64_t one64 = 1;
+    [[maybe_unused]] ssize_t n = write(shard.event_fd, &one64, sizeof one64);
   }
 }
 
-void AtomFsServer::ServeConnection(int sock) {
-  Vfs vfs(fs_);  // per-connection descriptor table
+// --- shard event loop --------------------------------------------------------
+
+void AtomFsServer::ShardLoop(Shard& shard) {
+  epoll_event evs[64];
+  const int timeout_ms =
+      opts_.idle_timeout_ms > 0 ? std::max(1, static_cast<int>(opts_.idle_timeout_ms / 4)) : -1;
   for (;;) {
-    auto frame = RecvFrame(sock, opts_.max_frame_bytes);
-    if (!frame.ok()) {
-      if (frame.status().code() == Errc::kProto) {
-        // Oversized declared length: reply once, then drop — the byte
-        // stream is beyond resynchronization.
-        NoteProtocolError();
-        SendFrame(sock, StatusResponse(Status(Errc::kProto)));
+    const int n = epoll_wait(shard.epoll_fd, evs, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
       }
-      return;  // clean close, reset, or poisoned framing
-    }
-    auto req = ParseRequest(*frame);
-    if (!req.ok()) {
-      NoteProtocolError();
-      SendFrame(sock, StatusResponse(Status(Errc::kProto)));
       return;
     }
-    WallTimer timer;
-    std::vector<std::byte> response = Dispatch(vfs, *req);
-    RecordLatency(req->op, timer.ElapsedNanos());
-    if (!SendFrame(sock, response).ok()) {
-      return;
+    loop_wakeups_.Inc();
+    if (shard.stop.load(std::memory_order_acquire)) {
+      return;  // Stop() closes the fds after joining us
+    }
+    bool notified = n == 0;  // timeout: still sweep below
+    // Pass 1: socket readiness. The wakeup eventfd is drained here but its
+    // work (intake, completions) runs after, so it can never reference a
+    // connection this pass is about to destroy... the other way round is
+    // safe: completions look connections up by id.
+    for (int i = 0; i < n; ++i) {
+      if (evs[i].data.ptr == nullptr) {
+        uint64_t junk = 0;
+        while (read(shard.event_fd, &junk, sizeof junk) > 0) {
+        }
+        notified = true;
+        continue;
+      }
+      Conn* c = static_cast<Conn*>(evs[i].data.ptr);
+      const uint32_t events = evs[i].events;
+      if ((events & EPOLLERR) != 0) {
+        {
+          std::lock_guard<std::mutex> lk(c->mu);
+          c->dead = true;
+          c->want_close = true;
+        }
+        MaybeClose(shard, c);
+        continue;
+      }
+      if ((events & EPOLLOUT) != 0) {
+        if (!FlushOutbox(shard, c)) {
+          continue;
+        }
+        UpdateReadInterest(shard, c);
+        if (!MaybeClose(shard, c)) {
+          continue;
+        }
+      }
+      if ((events & (EPOLLIN | EPOLLHUP)) != 0) {
+        OnReadable(shard, c);
+      }
+    }
+    if (notified) {
+      RegisterIntake(shard);
+      HandleCompletions(shard);
+    }
+    if (opts_.idle_timeout_ms > 0) {
+      SweepIdle(shard);
     }
   }
 }
 
-std::vector<std::byte> AtomFsServer::Dispatch(Vfs& vfs, const WireRequest& req) {
+void AtomFsServer::RegisterIntake(Shard& shard) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    fds.swap(shard.intake);
+  }
+  for (int fd : fds) {
+    SetNonBlocking(fd);
+    auto conn = std::make_unique<Conn>(fs_);
+    Conn* c = conn.get();
+    c->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    c->fd = fd;
+    c->shard = &shard;
+    c->window = std::clamp<uint32_t>(opts_.default_inflight, 1,
+                                     std::max<uint32_t>(1, opts_.max_inflight));
+    c->last_activity_ms = NowMs();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = c;
+    if (epoll_ctl(shard.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      close(fd);
+      continue;
+    }
+    c->armed_mask = EPOLLIN;
+    active_conns_.Add(1);
+    shard.conns.emplace(c->id, std::move(conn));
+  }
+}
+
+void AtomFsServer::HandleCompletions(Shard& shard) {
+  std::vector<uint64_t> done;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    done.swap(shard.completions);
+  }
+  for (uint64_t id : done) {
+    auto it = shard.conns.find(id);
+    if (it == shard.conns.end()) {
+      continue;  // closed while the worker ran
+    }
+    Conn* c = it->second.get();
+    if (!FlushOutbox(shard, c)) {
+      continue;
+    }
+    // Replies just left the outbox, so the window may have opened: decode
+    // frames that were parked in the read buffer and resume reading.
+    if (!c->poisoned) {
+      DecodeBuffered(c);
+    }
+    MaybeSchedule(c);
+    UpdateReadInterest(shard, c);
+    MaybeClose(shard, c);
+  }
+}
+
+bool AtomFsServer::OnReadable(Shard& shard, Conn* c) {
+  if (c->poisoned) {
+    // Reading is disarmed, but EPOLLHUP still lands here.
+    return MaybeClose(shard, c);
+  }
+  size_t total = 0;
+  for (;;) {
+    const size_t old_size = c->rbuf.size();
+    c->rbuf.resize(old_size + kReadChunk);
+    const ssize_t n = recv(c->fd, c->rbuf.data() + old_size, kReadChunk, 0);
+    if (n < 0) {
+      c->rbuf.resize(old_size);
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      std::lock_guard<std::mutex> lk(c->mu);
+      c->dead = true;
+      c->want_close = true;
+      break;
+    }
+    if (n == 0) {
+      c->rbuf.resize(old_size);
+      c->peer_eof = true;
+      break;
+    }
+    c->rbuf.resize(old_size + static_cast<size_t>(n));
+    total += static_cast<size_t>(n);
+    if (static_cast<size_t>(n) < kReadChunk || total >= kMaxReadPerCycle) {
+      break;  // drained, or yield to the shard's other connections
+    }
+  }
+  c->last_activity_ms = NowMs();
+  DecodeBuffered(c);
+  MaybeSchedule(c);
+  UpdateReadInterest(shard, c);
+  return MaybeClose(shard, c);
+}
+
+void AtomFsServer::DecodeBuffered(Conn* c) {
+  while (!c->poisoned) {
+    const size_t avail = c->rbuf.size() - c->rpos;
+    if (avail < 4) {
+      break;
+    }
+    const uint32_t len = PeekU32(c->rbuf.data() + c->rpos);
+    if (len > opts_.max_frame_bytes) {
+      // Oversized declared length: framing is beyond resynchronization.
+      PoisonConn(c);
+      break;
+    }
+    if (avail < 4 + static_cast<size_t>(len)) {
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      if (c->inflight >= c->window) {
+        // Window full: park. The frame stays buffered; reads throttle; the
+        // next reply drain re-enters this loop.
+        if (!c->stalled) {
+          c->stalled = true;
+          backpressure_stalls_.Inc();
+        }
+        break;
+      }
+    }
+    c->stalled = false;
+    auto payload = std::span<const std::byte>(c->rbuf.data() + c->rpos + 4, len);
+    Result<WireRequest> req = ParseRequest(payload);
+    c->rpos += 4 + static_cast<size_t>(len);
+    if (!req.ok()) {
+      PoisonConn(c);
+      break;
+    }
+    const uint32_t units =
+        req->op == WireOp::kMsgBatch ? static_cast<uint32_t>(req->batch.size()) : 1;
+    std::lock_guard<std::mutex> lk(c->mu);
+    c->ready.push_back(ConnReadyItem{std::move(*req), false});
+    c->inflight += units;
+  }
+  if (c->rpos > 0 && (c->rpos == c->rbuf.size() || c->rpos >= kReadChunk)) {
+    c->rbuf.erase(c->rbuf.begin(), c->rbuf.begin() + static_cast<ptrdiff_t>(c->rpos));
+    c->rpos = 0;
+  }
+  // EOF with everything decodable decoded: answer what was admitted, flush,
+  // then close. A trailing partial frame is dropped with the connection.
+  if (c->peer_eof && !c->poisoned) {
+    const size_t avail = c->rbuf.size() - c->rpos;
+    const bool complete_frame_parked =
+        avail >= 4 && avail >= 4 + static_cast<size_t>(PeekU32(c->rbuf.data() + c->rpos));
+    if (!complete_frame_parked) {
+      std::lock_guard<std::mutex> lk(c->mu);
+      c->want_close = true;
+    }
+  }
+}
+
+void AtomFsServer::PoisonConn(Conn* c) {
+  NoteProtocolError();
+  c->poisoned = true;
+  c->rbuf.clear();
+  c->rpos = 0;
+  std::lock_guard<std::mutex> lk(c->mu);
+  c->ready.push_back(ConnReadyItem{WireRequest{}, true});
+  c->inflight += 1;
+}
+
+bool AtomFsServer::FlushOutbox(Shard& shard, Conn* c) {
+  for (;;) {
+    iovec iov[kMaxIov];
+    int n_iov = 0;
+    size_t offered = 0;
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      if (c->dead) {
+        break;
+      }
+      size_t head_off = c->out_head_off;
+      for (const auto& frame : c->outbox) {
+        if (n_iov == kMaxIov) {
+          break;
+        }
+        iov[n_iov].iov_base = const_cast<std::byte*>(frame.data()) + head_off;
+        iov[n_iov].iov_len = frame.size() - head_off;
+        offered += iov[n_iov].iov_len;
+        head_off = 0;
+        ++n_iov;
+      }
+    }
+    if (n_iov == 0) {
+      break;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(n_iov);
+    const ssize_t wrote = sendmsg(c->fd, &msg, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        ApplyMask(shard, c, (c->armed_mask & EPOLLIN) | EPOLLOUT);
+        return true;
+      }
+      {
+        std::lock_guard<std::mutex> lk(c->mu);
+        c->dead = true;
+        c->want_close = true;
+      }
+      return MaybeClose(shard, c);
+    }
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      size_t left = static_cast<size_t>(wrote);
+      while (left > 0 && !c->outbox.empty()) {
+        auto& front = c->outbox.front();
+        const size_t remain = front.size() - c->out_head_off;
+        if (left >= remain) {
+          left -= remain;
+          c->outbox_bytes -= front.size();
+          c->outbox.pop_front();
+          c->out_head_off = 0;
+        } else {
+          c->out_head_off += left;
+          left = 0;
+        }
+      }
+    }
+    if (static_cast<size_t>(wrote) < offered) {
+      ApplyMask(shard, c, (c->armed_mask & EPOLLIN) | EPOLLOUT);
+      return true;
+    }
+  }
+  ApplyMask(shard, c, c->armed_mask & ~static_cast<uint32_t>(EPOLLOUT));
+  return true;
+}
+
+void AtomFsServer::UpdateReadInterest(Shard& shard, Conn* c) {
+  bool want_read = !c->poisoned && !c->peer_eof;
+  if (want_read) {
+    std::lock_guard<std::mutex> lk(c->mu);
+    want_read = !c->dead && !c->want_close && c->inflight < c->window &&
+                c->outbox_bytes <= opts_.max_outbox_bytes;
+  }
+  const uint32_t mask = (want_read ? EPOLLIN : 0u) | (c->armed_mask & EPOLLOUT);
+  ApplyMask(shard, c, mask);
+}
+
+void AtomFsServer::ApplyMask(Shard& shard, Conn* c, uint32_t mask) {
+  if (mask == c->armed_mask) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = mask;
+  ev.data.ptr = c;
+  epoll_ctl(shard.epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+  c->armed_mask = mask;
+}
+
+void AtomFsServer::SweepIdle(Shard& shard) {
+  const uint64_t now = NowMs();
+  std::vector<Conn*> victims;
+  for (auto& [id, conn] : shard.conns) {
+    Conn* c = conn.get();
+    if (now - c->last_activity_ms < opts_.idle_timeout_ms) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(c->mu);
+    if (!c->exec_scheduled && c->inflight == 0 && c->outbox.empty() && c->ready.empty() &&
+        !c->want_close) {
+      victims.push_back(c);
+    }
+  }
+  for (Conn* c : victims) {
+    idle_timeouts_.Inc();
+    // Best-effort courtesy frame; if the peer is half-open it just fails.
+    const std::vector<std::byte> frame = FrameOf(StatusResponse(Status(Errc::kTimedOut)));
+    send(c->fd, frame.data(), frame.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    DestroyConn(shard, c);
+  }
+}
+
+void AtomFsServer::MaybeSchedule(Conn* c) {
+  bool enqueue = false;
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    if (!c->ready.empty() && !c->exec_scheduled && !c->dead) {
+      c->exec_scheduled = true;
+      enqueue = true;
+    }
+  }
+  if (enqueue) {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_queue_.push_back(c);
+    work_queue_depth_.Add(1);
+    work_cv_.notify_one();
+  }
+}
+
+bool AtomFsServer::MaybeClose(Shard& shard, Conn* c) {
+  bool destroy = false;
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    if (c->exec_scheduled) {
+      return true;  // a worker holds this conn; completion re-checks
+    }
+    if (c->dead) {
+      destroy = true;
+    } else if (c->want_close && c->ready.empty() && c->outbox.empty()) {
+      destroy = true;
+    }
+  }
+  if (destroy) {
+    DestroyConn(shard, c);
+    return false;
+  }
+  return true;
+}
+
+void AtomFsServer::DestroyConn(Shard& shard, Conn* c) {
+  epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+  close(c->fd);
+  active_conns_.Sub(1);
+  shard.conns.erase(c->id);
+}
+
+// --- worker pool -------------------------------------------------------------
+
+void AtomFsServer::WorkerLoop() {
+  for (;;) {
+    Conn* c = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !work_queue_.empty(); });
+      if (stopping_) {
+        return;  // leftover queue entries are torn down by Stop
+      }
+      c = work_queue_.front();
+      work_queue_.pop_front();
+      work_queue_depth_.Sub(1);
+    }
+    ExecuteConn(c);
+  }
+}
+
+void AtomFsServer::ExecuteConn(Conn* c) {
+  // Captured before the drain: once exec_scheduled drops, the loop may
+  // destroy the connection and `c` must not be touched again.
+  Shard* home = c->shard;
+  const uint64_t id = c->id;
+  for (;;) {
+    std::deque<ConnReadyItem> todo;
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      if (c->ready.empty()) {
+        c->exec_scheduled = false;
+        break;
+      }
+      todo.swap(c->ready);
+    }
+    exec_batch_size_.Record(todo.size());
+    for (ConnReadyItem& item : todo) {
+      std::vector<std::vector<std::byte>> frames;
+      bool close_after = false;
+      if (item.poison) {
+        frames.push_back(FrameOf(StatusResponse(Status(Errc::kProto))));
+        close_after = true;
+      } else if (item.req.op == WireOp::kMsgBatch) {
+        uint32_t window = 0;
+        {
+          std::lock_guard<std::mutex> lk(c->mu);
+          window = c->window;
+        }
+        WallTimer batch_timer;
+        if (item.req.batch.size() > window) {
+          // Over-committed batch: shed the whole frame, execute nothing.
+          // Every sub-request still gets its reply slot.
+          for (size_t i = 0; i < item.req.batch.size(); ++i) {
+            frames.push_back(FrameOf(StatusResponse(Status(Errc::kBackpressure))));
+          }
+        } else {
+          for (const WireRequest& sub : item.req.batch) {
+            WallTimer timer;
+            frames.push_back(FrameOf(DispatchOne(*c, sub)));
+            RecordLatency(sub.op, timer.ElapsedNanos());
+          }
+        }
+        RecordLatency(WireOp::kMsgBatch, batch_timer.ElapsedNanos());
+      } else {
+        WallTimer timer;
+        frames.push_back(FrameOf(DispatchOne(*c, item.req)));
+        RecordLatency(item.req.op, timer.ElapsedNanos());
+      }
+      std::lock_guard<std::mutex> lk(c->mu);
+      for (std::vector<std::byte>& f : frames) {
+        c->outbox_bytes += f.size();
+        c->outbox.push_back(std::move(f));
+        if (c->inflight > 0) {
+          --c->inflight;
+        }
+      }
+      if (close_after) {
+        c->want_close = true;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(home->mu);
+    home->completions.push_back(id);
+  }
+  const uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(home->event_fd, &one, sizeof one);
+}
+
+// --- dispatch ----------------------------------------------------------------
+
+std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& req) {
+  Vfs& vfs = conn.vfs;
   switch (req.op) {
     case WireOp::kPing:
       return OkResponse(WireWriter());
@@ -386,6 +951,29 @@ std::vector<std::byte> AtomFsServer::Dispatch(Vfs& vfs, const WireRequest& req) 
       EncodeMetricsSnapshot(body, metrics_->Snapshot());
       return OkResponse(std::move(body));
     }
+    case WireOp::kHello: {
+      if (req.proto_version != kWireProtoVersion) {
+        // Unknown version: a clean error reply, not a dropped connection.
+        // The peer may retry with a version we speak.
+        return StatusResponse(Status(Errc::kProto));
+      }
+      const uint32_t cap = std::max<uint32_t>(1, opts_.max_inflight);
+      const uint32_t granted =
+          req.max_inflight == 0
+              ? std::clamp<uint32_t>(opts_.default_inflight, 1, cap)
+              : std::min(req.max_inflight, cap);
+      {
+        std::lock_guard<std::mutex> lk(conn.mu);
+        conn.window = granted;
+      }
+      WireWriter body;
+      EncodeHello(body, WireHello{kWireProtoVersion, granted});
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kMsgBatch:
+      // Batches are unpacked in ExecuteConn and nesting is rejected at
+      // parse; reaching here means a logic error upstream.
+      return StatusResponse(Status(Errc::kProto));
   }
   return StatusResponse(Status(Errc::kProto));
 }

@@ -1,32 +1,48 @@
-// AtomFsServer: the multi-threaded serving layer of atomfsd.
+// AtomFsServer: the event-loop serving layer of atomfsd.
 //
-// Threading model: one acceptor thread per listener (Unix-domain and/or
-// TCP on 127.0.0.1) pushes accepted sockets onto a queue; a fixed pool of
-// worker threads pops sockets and serves one connection each until the peer
-// hangs up (excess connections wait in the queue). Every connection gets its
-// own Vfs over the shared FileSystem, so descriptor tables are isolated per
-// connection — exactly a process fd table — and dropping the connection
-// drops its descriptors.
+// Threading model (protocol v2, pipelined): one acceptor thread per listener
+// (Unix-domain and/or TCP on 127.0.0.1) round-robins accepted sockets across
+// N event-loop shards. Each shard runs a non-blocking epoll loop that owns a
+// set of connections: it reads whatever the kernel has buffered, decodes
+// every complete frame in the read buffer (up to the connection's negotiated
+// `max_inflight` window), and hands the decoded requests to a bounded worker
+// pool running against the shared FileSystem. Workers drain one connection's
+// ready queue at a time, so replies are produced in request order and each
+// connection's Vfs is touched by at most one thread; the loop then flushes
+// all accumulated reply frames with a single writev(2) per readiness cycle.
+//
+// Backpressure is structural, not advisory: once a connection has
+// `max_inflight` admitted-but-unanswered request units, or its outbox grows
+// past `max_outbox_bytes`, the shard simply stops reading from that socket
+// (EPOLLIN disarmed) until replies drain — the peer's sends back up into its
+// own socket buffer. Idle and half-open connections are reaped after
+// `idle_timeout_ms` with a best-effort ETIMEDOUT reply.
+//
+// Every connection gets its own Vfs over the shared FileSystem, so
+// descriptor tables are isolated per connection — exactly a process fd
+// table — and dropping the connection drops its descriptors.
 //
 // Robustness contract: arbitrary bytes on the wire never crash the server.
-// A frame that is oversized, truncated, or fails ParseRequest gets a kProto
-// error response (when the socket still accepts writes) and the connection
-// is closed, because framing can no longer be trusted. Well-framed requests
-// with bad arguments (unparsable path, unknown fd) get their error status
-// back and the conversation continues.
+// A frame that is oversized, truncated, or fails ParseRequest poisons the
+// connection: earlier pipelined requests still get their replies, then a
+// kProto error response is sent and the connection is closed, because
+// framing can no longer be trusted. Well-framed requests with bad arguments
+// (unparsable path, unknown fd) get their error status back and the
+// conversation continues.
 //
-// Stop() is graceful: listeners close first (no new connections), in-flight
-// sockets are shutdown(2) to unblock workers mid-recv, and every thread is
-// joined before Stop() returns.
+// Stop() is graceful: listeners close first (no new connections), workers
+// are drained and joined, then each shard wakes, tears down its connections
+// and exits; every thread is joined before Stop() returns.
 
 #ifndef ATOMFS_SRC_SERVER_SERVER_H_
 #define ATOMFS_SRC_SERVER_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,12 +63,28 @@ struct ServerOptions {
   // BoundTcpPort). Disabled unless tcp_listen is set.
   bool tcp_listen = false;
   uint16_t tcp_port = 0;
+  // Event-loop shards; accepted connections are round-robined across them.
+  int shards = 2;
+  // Bounded execution pool shared by all shards.
   int workers = 4;
   uint32_t max_frame_bytes = kWireMaxFrameBytes;
+  // Largest inflight window HELLO will grant, and the window a connection
+  // speaks at before (or without) HELLO.
+  uint32_t max_inflight = 128;
+  uint32_t default_inflight = 32;
+  // Reap a connection with nothing inflight and nothing buffered after this
+  // long without traffic (a best-effort ETIMEDOUT reply is attempted).
+  // 0 disables the sweep.
+  uint32_t idle_timeout_ms = 0;
+  // Reading from a connection pauses while its un-flushed reply bytes exceed
+  // this, independent of the inflight window.
+  size_t max_outbox_bytes = 8u << 20;
   // Registry for the server's own metrics (server.connections,
-  // server.protocol_errors, server.op.<name>.latency_ns) and the source of
-  // the WireOp::kMetrics response. Share one registry between the server and
-  // a TracingObserver on the backend to serve a unified snapshot; when null
+  // server.protocol_errors, server.op.<name>.latency_ns, plus the loop
+  // counters server.loop.wakeups / server.backpressure_stalls /
+  // server.idle_timeouts and the queue-depth gauges) and the source of the
+  // WireOp::kMetrics response. Share one registry between the server and a
+  // TracingObserver on the backend to serve a unified snapshot; when null
   // the server owns a private registry, so kMetrics always works.
   MetricsRegistry* metrics = nullptr;
 };
@@ -67,8 +99,8 @@ class AtomFsServer {
   AtomFsServer(const AtomFsServer&) = delete;
   AtomFsServer& operator=(const AtomFsServer&) = delete;
 
-  // Binds the listeners and spawns acceptors + workers. kInval if no
-  // listener is configured; kIo on socket/bind failure.
+  // Binds the listeners and spawns acceptors + shards + workers. kInval if
+  // no listener is configured; kIo on socket/bind/epoll failure.
   Status Start();
 
   // Graceful shutdown; idempotent. Joins all threads.
@@ -88,11 +120,33 @@ class AtomFsServer {
   MetricsRegistry* metrics() const { return metrics_; }
 
  private:
+  struct Conn;
+  struct Shard;
+
   void AcceptLoop(int listen_fd);
+  void ShardLoop(Shard& shard);
   void WorkerLoop();
-  void ServeConnection(int sock);
-  // Handles one parsed request; returns the response payload.
-  std::vector<std::byte> Dispatch(class Vfs& vfs, const WireRequest& req);
+
+  // Shard-thread helpers (all touch Conn loop-owned state). The bool-valued
+  // ones return false when they destroyed the connection.
+  void RegisterIntake(Shard& shard);
+  void HandleCompletions(Shard& shard);
+  bool OnReadable(Shard& shard, Conn* c);
+  void DecodeBuffered(Conn* c);
+  void PoisonConn(Conn* c);
+  bool FlushOutbox(Shard& shard, Conn* c);
+  void UpdateReadInterest(Shard& shard, Conn* c);
+  void ApplyMask(Shard& shard, Conn* c, uint32_t mask);
+  void SweepIdle(Shard& shard);
+  void MaybeSchedule(Conn* c);
+  bool MaybeClose(Shard& shard, Conn* c);
+  void DestroyConn(Shard& shard, Conn* c);
+
+  // Worker-side: drain one connection's ready queue, in order.
+  void ExecuteConn(Conn* c);
+  // Handles one parsed non-batch request; returns the response payload.
+  // Needs the connection for its Vfs and for HELLO's window update.
+  std::vector<std::byte> DispatchOne(Conn& conn, const WireRequest& req);
   void RecordLatency(WireOp op, uint64_t nanos);
   void NoteProtocolError();
 
@@ -102,17 +156,20 @@ class AtomFsServer {
   std::vector<int> listen_fds_;
   uint16_t bound_tcp_port_ = 0;
   std::vector<std::thread> acceptors_;
-  std::vector<std::thread> workers_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  // accepted sockets awaiting a worker
+  // Event-loop shards.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> shard_threads_;
+  std::atomic<uint64_t> next_shard_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
+
+  // Bounded worker pool: connections with decoded-but-unexecuted requests.
+  std::vector<std::thread> workers_;
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::deque<Conn*> work_queue_;
   bool stopping_ = false;
   bool running_ = false;
-
-  // Sockets currently being served, so Stop can shutdown(2) them.
-  mutable std::mutex conns_mu_;
-  std::set<int> active_conns_;
 
   // Stats live in the metrics registry; recording is lock-free (per-thread
   // shards), unlike the mutex-guarded histograms this replaced.
@@ -121,6 +178,12 @@ class AtomFsServer {
   Histogram op_latency_[kWireOpMax + 1];
   Counter connections_accepted_;
   Counter protocol_errors_;
+  Counter loop_wakeups_;
+  Counter backpressure_stalls_;
+  Counter idle_timeouts_;
+  Gauge active_conns_;
+  Gauge work_queue_depth_;
+  Histogram exec_batch_size_;
 };
 
 }  // namespace atomfs

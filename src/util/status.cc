@@ -34,6 +34,10 @@ std::string_view ErrcName(Errc e) {
       return "EIO";
     case Errc::kProto:
       return "EPROTO";
+    case Errc::kTimedOut:
+      return "ETIMEDOUT";
+    case Errc::kBackpressure:
+      return "EBACKPRESSURE";
   }
   return "UNKNOWN";
 }

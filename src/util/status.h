@@ -33,9 +33,16 @@ enum class Errc : uint8_t {
   kAccess,       // EACCES (reserved; AtomFS has no permissions)
   kXDev,         // EXDEV (reserved; single mount)
   // Serving-layer codes (src/net): never produced by the in-process file
-  // systems, so they cannot perturb the checkers' history hashing.
-  kIo,           // EIO: transport failure (connection reset, short frame)
-  kProto,        // EPROTO: malformed or oversized wire frame
+  // systems, so they cannot perturb the checkers' history hashing. Every
+  // wire-level failure maps to one of these four, each with a distinct
+  // meaning — a caller can always tell a protocol violation from a timeout
+  // from an overload shed from a plain transport failure.
+  kIo,            // EIO: transport failure (connection reset, short frame)
+  kProto,         // EPROTO: malformed or oversized wire frame, or an
+                  //         unsupported protocol version in HELLO
+  kTimedOut,      // ETIMEDOUT: the server closed an idle/half-open connection
+  kBackpressure,  // EBACKPRESSURE: request shed because it overcommitted the
+                  //                negotiated inflight window
 };
 
 std::string_view ErrcName(Errc e);

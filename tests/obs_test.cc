@@ -412,5 +412,35 @@ TEST(DocsDriftTest, WireProtocolDocCoversExactlyTheImplementedOpcodes) {
   EXPECT_NE(doc.find("`METRICS`"), std::string::npos);
 }
 
+// The handshake and the pipelining error codes are protocol surface: the
+// doc must carry the negotiated version constant, the `hello` body layout,
+// and status rows matching the wire bytes the implementation emits.
+TEST(DocsDriftTest, WireProtocolDocCoversHandshakeAndPipelineStatuses) {
+  const std::string path = std::string(ATOMFS_SOURCE_DIR) + "/docs/WIRE_PROTOCOL.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  EXPECT_NE(doc.find("protocol version is **" + std::to_string(kWireProtoVersion) + "**"),
+            std::string::npos)
+      << "doc does not state kWireProtoVersion = " << kWireProtoVersion;
+  EXPECT_NE(doc.find("`hello` handshake"), std::string::npos);
+  EXPECT_NE(doc.find("u32 version | u32 desired_max_inflight"), std::string::npos);
+
+  const std::string timedout_row =
+      "| " + std::to_string(WireStatusOf(Errc::kTimedOut)) + " | `TIMEDOUT`";
+  const std::string backpressure_row =
+      "| " + std::to_string(WireStatusOf(Errc::kBackpressure)) + " | `BACKPRESSURE`";
+  EXPECT_NE(doc.find(timedout_row), std::string::npos) << "missing row: " << timedout_row;
+  EXPECT_NE(doc.find(backpressure_row), std::string::npos)
+      << "missing row: " << backpressure_row;
+
+  const std::string batch_cap = std::to_string(kWireMaxBatchRequests);
+  EXPECT_NE(doc.find("| max `msgbatch` packed requests | " + batch_cap), std::string::npos)
+      << "msgbatch cap row out of date";
+}
+
 }  // namespace
 }  // namespace atomfs

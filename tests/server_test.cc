@@ -21,6 +21,7 @@
 #include "src/client/client.h"
 #include "src/core/atom_fs.h"
 #include "src/crlh/monitor.h"
+#include "src/obs/metrics.h"
 #include "src/util/rand.h"
 #include "src/workload/filebench.h"
 
@@ -341,6 +342,263 @@ TEST_F(ServerTest, SurvivesGarbageAndStaysServiceable) {
   // ...and still shuts down cleanly (no leaked blocked connections).
   server_->Stop();
   EXPECT_FALSE(server_->running());
+}
+
+// --- protocol v2: HELLO, pipelining, windows, backpressure, timeouts ---------
+
+// Prepends the 4-byte length header, so several frames can go in one send().
+std::vector<std::byte> Framed(std::span<const std::byte> payload) {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(payload.size()));
+  std::vector<std::byte> out(w.buf().begin(), w.buf().end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<std::byte> FramedRequest(const WireRequest& req) {
+  return Framed(EncodeRequest(req));
+}
+
+void Append(std::vector<std::byte>& out, const std::vector<std::byte>& more) {
+  out.insert(out.end(), more.begin(), more.end());
+}
+
+// Reads one response frame and returns its leading wire status; kIo when the
+// peer closed instead of replying.
+Errc RecvStatus(int fd) {
+  auto response = RecvFrame(fd);
+  if (!response.ok()) {
+    return Errc::kIo;
+  }
+  WireReader r(*response);
+  uint8_t status = 0;
+  return r.U8(&status) ? ErrcOfWireStatus(status) : Errc::kIo;
+}
+
+WireRequest HelloRequest(uint32_t version, uint32_t want) {
+  WireRequest req;
+  req.op = WireOp::kHello;
+  req.proto_version = version;
+  req.max_inflight = want;
+  return req;
+}
+
+TEST_F(ServerTest, HelloNegotiatesWindowAndSurvivesUnknownVersion) {
+  AtomFs fs;
+  StartUnix(&fs);
+  const int raw = RawConnect(sock_path_);
+
+  ASSERT_TRUE(SendFrame(raw, EncodeRequest(HelloRequest(kWireProtoVersion, 4))).ok());
+  auto response = RecvFrame(raw);
+  ASSERT_TRUE(response.ok());
+  WireReader r(*response);
+  uint8_t status = 0;
+  ASSERT_TRUE(r.U8(&status));
+  EXPECT_EQ(ErrcOfWireStatus(status), Errc::kOk);
+  WireHello granted;
+  ASSERT_TRUE(ParseHello(r, &granted));
+  EXPECT_EQ(granted.version, kWireProtoVersion);
+  EXPECT_EQ(granted.max_inflight, 4u);
+
+  // An unknown version earns a clean EPROTO reply — and the connection
+  // stays open and serviceable, it is NOT dropped.
+  ASSERT_TRUE(SendFrame(raw, EncodeRequest(HelloRequest(999, 4))).ok());
+  EXPECT_EQ(RecvStatus(raw), Errc::kProto);
+  WireRequest ping;
+  ping.op = WireOp::kPing;
+  ASSERT_TRUE(SendFrame(raw, EncodeRequest(ping)).ok());
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);
+  close(raw);
+}
+
+TEST_F(ServerTest, PipelinedRepliesPreserveSubmissionOrder) {
+  AtomFs fs;
+  StartUnix(&fs);
+  {
+    auto setup = Client();
+    for (int i = 1; i <= 5; ++i) {
+      const std::string path = "/f" + std::to_string(i);
+      ASSERT_TRUE(setup->Mknod(path).ok());
+      ASSERT_TRUE(WriteString(*setup, path, std::string(static_cast<size_t>(i), 'x')).ok());
+    }
+  }
+
+  // HELLO plus five stats in a single send: the replies must come back in
+  // submission order, distinguishable by the five distinct file sizes.
+  const int raw = RawConnect(sock_path_);
+  std::vector<std::byte> burst = FramedRequest(HelloRequest(kWireProtoVersion, 8));
+  for (int i = 1; i <= 5; ++i) {
+    WireRequest stat;
+    stat.op = WireOp::kStat;
+    stat.path_a = "/f" + std::to_string(i);
+    Append(burst, FramedRequest(stat));
+  }
+  ASSERT_EQ(send(raw, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);  // HELLO
+  for (int i = 1; i <= 5; ++i) {
+    auto response = RecvFrame(raw);
+    ASSERT_TRUE(response.ok());
+    WireReader r(*response);
+    uint8_t status = 0;
+    ASSERT_TRUE(r.U8(&status));
+    ASSERT_EQ(ErrcOfWireStatus(status), Errc::kOk);
+    Attr attr;
+    ASSERT_TRUE(ParseAttr(r, &attr));
+    EXPECT_EQ(attr.size, static_cast<uint64_t>(i)) << "reply " << i << " out of order";
+  }
+  close(raw);
+}
+
+TEST_F(ServerTest, WindowEnforcementStopsReadingAndCountsStalls) {
+  AtomFs fs;
+  MetricsRegistry registry;
+  sock_path_ = UniqueSocketPath("win");
+  ServerOptions options;
+  options.unix_path = sock_path_;
+  options.metrics = &registry;
+  server_ = std::make_unique<AtomFsServer>(&fs, options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  const int raw = RawConnect(sock_path_);
+  ASSERT_TRUE(SendFrame(raw, EncodeRequest(HelloRequest(kWireProtoVersion, 2))).ok());
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);
+
+  // Ten pings in one send against a window of two: the server may only parse
+  // up to the window, must stall the rest in its read buffer, and resume as
+  // replies drain — every request still gets its reply, in order.
+  WireRequest ping;
+  ping.op = WireOp::kPing;
+  std::vector<std::byte> burst;
+  for (int i = 0; i < 10; ++i) {
+    Append(burst, FramedRequest(ping));
+  }
+  ASSERT_EQ(send(raw, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(RecvStatus(raw), Errc::kOk) << "ping " << i;
+  }
+  close(raw);
+
+  EXPECT_GE(registry.Snapshot().CounterValue("server.backpressure_stalls"), 1u);
+}
+
+TEST_F(ServerTest, IdleConnectionsAreReapedWithTimedOutFrame) {
+  AtomFs fs;
+  MetricsRegistry registry;
+  sock_path_ = UniqueSocketPath("idle");
+  ServerOptions options;
+  options.unix_path = sock_path_;
+  options.metrics = &registry;
+  options.idle_timeout_ms = 50;
+  server_ = std::make_unique<AtomFsServer>(&fs, options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  // A connection that never sends anything (half-open in spirit) gets a
+  // courtesy ETIMEDOUT frame and then EOF.
+  const int raw = RawConnect(sock_path_);
+  EXPECT_EQ(RecvStatus(raw), Errc::kTimedOut);
+  EXPECT_FALSE(RecvFrame(raw).ok());
+  close(raw);
+  EXPECT_GE(registry.Snapshot().CounterValue("server.idle_timeouts"), 1u);
+}
+
+TEST_F(ServerTest, MalformedFrameMidPipelineDrainsEarlierRepliesFirst) {
+  AtomFs fs;
+  StartUnix(&fs);
+  const int raw = RawConnect(sock_path_);
+
+  // Two good requests, then a garbage frame, then another request — all in
+  // one send. The server must answer the two good ones in order, then a
+  // clean EPROTO for the garbage, then close; the trailing request is never
+  // executed.
+  WireRequest ping;
+  ping.op = WireOp::kPing;
+  std::vector<std::byte> burst = FramedRequest(ping);
+  Append(burst, FramedRequest(ping));
+  Append(burst, Framed(std::vector<std::byte>(24, std::byte{0xee})));
+  Append(burst, FramedRequest(ping));
+  ASSERT_EQ(send(raw, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);
+  EXPECT_EQ(RecvStatus(raw), Errc::kProto);
+  EXPECT_FALSE(RecvFrame(raw).ok());  // closed after the poison reply
+  close(raw);
+}
+
+TEST_F(ServerTest, OverWindowBatchIsShedWithBackpressure) {
+  AtomFs fs;
+  StartUnix(&fs);
+  const int raw = RawConnect(sock_path_);
+  ASSERT_TRUE(SendFrame(raw, EncodeRequest(HelloRequest(kWireProtoVersion, 2))).ok());
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);
+
+  // A MSGBATCH of five against a window of two overcommits the negotiated
+  // window in one frame: every sub-request is answered EBACKPRESSURE and
+  // none executes, but the connection stays usable.
+  WireRequest batch;
+  batch.op = WireOp::kMsgBatch;
+  WireRequest sub;
+  sub.op = WireOp::kMkdir;
+  for (int i = 0; i < 5; ++i) {
+    sub.path_a = "/shed" + std::to_string(i);
+    batch.batch.push_back(sub);
+  }
+  ASSERT_TRUE(SendFrame(raw, EncodeRequest(batch)).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(RecvStatus(raw), Errc::kBackpressure) << "sub " << i;
+  }
+  WireRequest stat;
+  stat.op = WireOp::kStat;
+  stat.path_a = "/shed0";
+  ASSERT_TRUE(SendFrame(raw, EncodeRequest(stat)).ok());
+  EXPECT_EQ(RecvStatus(raw), Errc::kNoEnt);  // shed mkdir never executed
+  close(raw);
+}
+
+TEST_F(ServerTest, ClientSessionPipelinesAndResolvesFuturesInOrder) {
+  AtomFs fs;
+  StartUnix(&fs);
+  auto client = Client();
+  EXPECT_EQ(client->protocol_version(), kWireProtoVersion);
+  EXPECT_GE(client->max_inflight(), 1u);
+
+  ClientSession& session = client->session();
+  std::vector<ClientSession::Future> futures;
+  for (int i = 0; i < 6; ++i) {
+    WireRequest req;
+    req.op = WireOp::kMkdir;
+    req.path_a = "/p" + std::to_string(i);
+    futures.push_back(session.Submit(req));
+  }
+  ASSERT_TRUE(session.Flush().ok());
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    EXPECT_TRUE(f.Wait().ok());
+  }
+  // Waiting twice returns the stored result.
+  EXPECT_TRUE(futures.front().Wait().ok());
+
+  // Far more submissions than any window: Flush must interleave sends and
+  // reply reads without deadlock, and every future resolves.
+  futures.clear();
+  WireRequest stat;
+  stat.op = WireOp::kStat;
+  stat.path_a = "/p0";
+  for (int i = 0; i < 300; ++i) {
+    futures.push_back(session.Submit(stat));
+  }
+  ASSERT_TRUE(session.Flush().ok());
+  for (auto& f : futures) {
+    EXPECT_TRUE(f.Wait().ok());
+  }
+  // All of it really happened on the server.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(client->Stat("/p" + std::to_string(i)).ok());
+  }
 }
 
 // --- multi-client concurrent stress with the CRL-H monitor -------------------

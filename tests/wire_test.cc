@@ -93,6 +93,21 @@ std::vector<WireRequest> AllRequests() {
     r.fd = 15;
     r.offset = 1000;
   });
+  add(WireOp::kHello, [](WireRequest& r) {
+    r.proto_version = kWireProtoVersion;
+    r.max_inflight = 32;
+  });
+  add(WireOp::kMsgBatch, [](WireRequest& r) {
+    WireRequest a;
+    a.op = WireOp::kStat;
+    a.path_a = "/batched/a";
+    WireRequest b;
+    b.op = WireOp::kWrite;
+    b.path_a = "/batched/b";
+    b.offset = 9;
+    b.data = {std::byte{7}, std::byte{8}};
+    r.batch = {std::move(a), std::move(b)};
+  });
   return reqs;
 }
 
@@ -160,10 +175,19 @@ TEST(WireReaderTest, DeclaredLengthBeyondPayloadRejected) {
 // --- status mapping ----------------------------------------------------------
 
 TEST(WireStatusTest, EveryErrcRoundTrips) {
-  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(Errc::kProto); ++raw) {
+  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(Errc::kBackpressure); ++raw) {
     const Errc code = static_cast<Errc>(raw);
     EXPECT_EQ(ErrcOfWireStatus(WireStatusOf(code)), code) << ErrcName(code);
   }
+}
+
+TEST(WireStatusTest, NewStatusBytesAreStable) {
+  // Wire values are protocol surface (docs/WIRE_PROTOCOL.md); they must
+  // never be renumbered.
+  EXPECT_EQ(WireStatusOf(Errc::kTimedOut), 15);
+  EXPECT_EQ(WireStatusOf(Errc::kBackpressure), 16);
+  EXPECT_EQ(ErrcOfWireStatus(15), Errc::kTimedOut);
+  EXPECT_EQ(ErrcOfWireStatus(16), Errc::kBackpressure);
 }
 
 TEST(WireStatusTest, UnknownWireByteDegradesToProto) {
@@ -186,6 +210,15 @@ TEST(WireRequestTest, AllOpsRoundTrip) {
     EXPECT_EQ(parsed->flags, req.flags);
     EXPECT_EQ(parsed->fd, req.fd);
     EXPECT_EQ(parsed->data, req.data);
+    EXPECT_EQ(parsed->proto_version, req.proto_version);
+    EXPECT_EQ(parsed->max_inflight, req.max_inflight);
+    ASSERT_EQ(parsed->batch.size(), req.batch.size());
+    for (size_t i = 0; i < req.batch.size(); ++i) {
+      EXPECT_EQ(parsed->batch[i].op, req.batch[i].op);
+      EXPECT_EQ(parsed->batch[i].path_a, req.batch[i].path_a);
+      EXPECT_EQ(parsed->batch[i].offset, req.batch[i].offset);
+      EXPECT_EQ(parsed->batch[i].data, req.batch[i].data);
+    }
   }
 }
 
@@ -239,6 +272,84 @@ TEST(WireRequestTest, PathLongerThanLimitRejected) {
   w.U8(static_cast<uint8_t>(WireOp::kMkdir));
   w.Str(std::string(kMaxPathLen + 1, 'a'));
   EXPECT_FALSE(ParseRequest(Bytes(w.buf())).ok());
+}
+
+// --- HELLO handshake ---------------------------------------------------------
+
+TEST(WireHelloTest, RoundTrips) {
+  WireHello hello;
+  hello.version = kWireProtoVersion;
+  hello.max_inflight = 77;
+  WireWriter w;
+  EncodeHello(w, hello);
+  WireReader r(Bytes(w.buf()));
+  WireHello back;
+  ASSERT_TRUE(ParseHello(r, &back));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.version, hello.version);
+  EXPECT_EQ(back.max_inflight, hello.max_inflight);
+}
+
+TEST(WireHelloTest, ShortBodyRejected) {
+  for (size_t len = 0; len < 8; ++len) {
+    std::vector<std::byte> body(len, std::byte{0x11});
+    WireReader r(Bytes(body));
+    WireHello out;
+    EXPECT_FALSE(ParseHello(r, &out)) << "len " << len;
+  }
+}
+
+// --- MSGBATCH constraints ----------------------------------------------------
+
+TEST(WireBatchTest, NestedBatchRejected) {
+  WireRequest inner;
+  inner.op = WireOp::kMsgBatch;
+  WireRequest ping;
+  ping.op = WireOp::kPing;
+  inner.batch.push_back(ping);
+  WireRequest outer;
+  outer.op = WireOp::kMsgBatch;
+  outer.batch.push_back(std::move(inner));
+  auto parsed = ParseRequest(Bytes(EncodeRequest(outer)));
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), Errc::kProto);
+}
+
+TEST(WireBatchTest, PackedHelloRejected) {
+  WireRequest hello;
+  hello.op = WireOp::kHello;
+  hello.proto_version = kWireProtoVersion;
+  WireRequest batch;
+  batch.op = WireOp::kMsgBatch;
+  batch.batch.push_back(std::move(hello));
+  auto parsed = ParseRequest(Bytes(EncodeRequest(batch)));
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), Errc::kProto);
+}
+
+TEST(WireBatchTest, EmptyBatchRejected) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(WireOp::kMsgBatch));
+  w.U32(0);
+  EXPECT_FALSE(ParseRequest(Bytes(w.buf())).ok());
+}
+
+TEST(WireBatchTest, CountAtCapAcceptedOverCapRejected) {
+  WireRequest ping;
+  ping.op = WireOp::kPing;
+  WireRequest batch;
+  batch.op = WireOp::kMsgBatch;
+  for (uint32_t i = 0; i < kWireMaxBatchRequests; ++i) {
+    batch.batch.push_back(ping);
+  }
+  auto at_cap = ParseRequest(Bytes(EncodeRequest(batch)));
+  ASSERT_TRUE(at_cap.ok());
+  EXPECT_EQ(at_cap->batch.size(), static_cast<size_t>(kWireMaxBatchRequests));
+
+  batch.batch.push_back(ping);
+  auto over_cap = ParseRequest(Bytes(EncodeRequest(batch)));
+  EXPECT_FALSE(over_cap.ok());
+  EXPECT_EQ(over_cap.status().code(), Errc::kProto);
 }
 
 // --- fuzz: random and bit-flipped byte streams -------------------------------
@@ -300,6 +411,11 @@ TEST(WireFuzzTest, RandomBytesNeverCrashTheResponseParsers) {
       WireReader r(Bytes(payload));
       WireServerStats stats;
       ParseServerStats(r, &stats);
+    }
+    {
+      WireReader r(Bytes(payload));
+      WireHello hello;
+      ParseHello(r, &hello);
     }
   }
 }

@@ -3,7 +3,12 @@
 //   atomfsd --unix PATH            listen on a Unix-domain socket
 //           --tcp PORT             listen on 127.0.0.1:PORT (0 = ephemeral)
 //           --backend atomfs|biglock|retryfs|naive   (default atomfs)
-//           --workers N            connection worker threads (default 8)
+//           --shards N             event-loop shards (default 2)
+//           --workers N            request execution threads (default 8)
+//           --max-inflight N       largest per-connection pipeline window a
+//                                  HELLO may negotiate (default 128)
+//           --idle-timeout MS      reap idle/half-open connections after MS
+//                                  milliseconds (default 0 = never)
 //           --monitor              attach the CRL-H runtime to the served
 //                                  instance (atomfs/biglock only); the
 //                                  daemon's exit code then reflects the
@@ -74,8 +79,14 @@ int main(int argc, char** argv) {
       options.tcp_port = static_cast<uint16_t>(std::atoi(next()));
     } else if (arg("--backend")) {
       backend = next();
+    } else if (arg("--shards")) {
+      options.shards = std::atoi(next());
     } else if (arg("--workers")) {
       options.workers = std::atoi(next());
+    } else if (arg("--max-inflight")) {
+      options.max_inflight = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg("--idle-timeout")) {
+      options.idle_timeout_ms = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg("--monitor")) {
       monitor_requested = true;
     } else if (arg("--metrics-dump")) {
@@ -167,7 +178,8 @@ int main(int argc, char** argv) {
   if (options.tcp_listen) {
     std::printf(" tcp:%u", server.BoundTcpPort());
   }
-  std::printf(" workers=%d\n", options.workers);
+  std::printf(" shards=%d workers=%d max_inflight=%u\n", options.shards, options.workers,
+              options.max_inflight);
   std::fflush(stdout);
 
   while (!g_stop) {

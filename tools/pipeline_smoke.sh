@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Pipelined serving-layer smoke (wired into ctest; see tools/CMakeLists.txt):
+# start atomfsd with the CRL-H monitor attached, drive it with the load
+# generator's pipeline mode — 64 connections, 8 requests in flight each, over
+# a Unix socket — under --check, which fails on any non-OK reply or a
+# per-connection fairness ratio above 10x. Then shut the daemon down and
+# require a clean exit plus the monitor's linearizability verdict: the event
+# loop must stay verified under high-connection-count pipelined load.
+#
+# Usage: pipeline_smoke.sh /path/to/atomfsd /path/to/bench_server_throughput
+set -euo pipefail
+
+ATOMFSD=${1:?usage: pipeline_smoke.sh ATOMFSD BENCH}
+BENCH=${2:?usage: pipeline_smoke.sh ATOMFSD BENCH}
+
+WORK=$(mktemp -d)
+SOCK="$WORK/atomfsd.sock"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$ATOMFSD" --unix "$SOCK" --monitor --workers 4 --idle-timeout 10000 \
+  > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "FAIL: daemon never created $SOCK"; cat "$WORK/daemon.log"; exit 1; }
+
+if ! "$BENCH" --connect "unix:$SOCK" --connections 64 --pipeline 8 --seconds 1 \
+    --check --json "$WORK/BENCH_server.json" > "$WORK/bench.out" 2>&1; then
+  echo "FAIL: pipelined load check failed"
+  cat "$WORK/bench.out"
+  cat "$WORK/daemon.log"
+  exit 1
+fi
+cat "$WORK/bench.out"
+
+grep -q '"benchmark":"server_pipeline"' "$WORK/BENCH_server.json" || {
+  echo "FAIL: pipeline report missing from JSON"; cat "$WORK/BENCH_server.json"; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then
+  echo "FAIL: daemon exited non-zero (monitor violation or crash)"
+  cat "$WORK/daemon.log"
+  exit 1
+fi
+grep -q 'every served operation linearizable' "$WORK/daemon.log" || {
+  echo "FAIL: monitor verdict missing after pipelined load"; cat "$WORK/daemon.log"; exit 1; }
+
+echo "PASS: 64x8 pipelined load served, all replies OK, monitor verdict clean"

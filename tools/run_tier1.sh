@@ -21,3 +21,9 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "--- observability stage (obs_test + atomfsd smoke) ---"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^(obs_test|atomfsd_smoke)$'
+
+echo "--- pipelined serving stage (64 connections x 8 in flight, monitored) ---"
+# tools/pipeline_smoke.sh: bench_server_throughput --connections 64
+# --pipeline 8 --check against a monitored atomfsd on a Unix socket; fails
+# on any non-OK reply or a per-connection fairness ratio above 10x.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^pipeline_smoke$'
