@@ -100,6 +100,13 @@ Result<std::unique_ptr<ClientSession>> ClientSession::Negotiate(int sock,
 }
 
 ClientSession::~ClientSession() {
+  {
+    // Resolve whatever is still pending (submitted-but-never-flushed, or
+    // flushed with the reply never read) so Futures outliving this session
+    // hold a result instead of a dangling handle.
+    std::lock_guard<std::mutex> lock(mu_);
+    BreakLocked(broken_.ok() ? Status(Errc::kIo) : broken_);
+  }
   if (sock_ >= 0) {
     close(sock_);
   }
@@ -133,6 +140,9 @@ Result<std::vector<std::byte>> ClientSession::Future::Wait() {
   if (state_ == nullptr) {
     return Errc::kInval;
   }
+  if (state_->done.load(std::memory_order_acquire)) {
+    return state_->result;  // resolved: never touches the (possibly gone) session
+  }
   std::lock_guard<std::mutex> lock(session_->mu_);
   return session_->WaitLocked(state_);
 }
@@ -153,12 +163,17 @@ Status ClientSession::BreakLocked(Status st) {
   broken_ = st;
   for (auto& p : outstanding_) {
     p->result = st;
-    p->done = true;
+    p->done.store(true, std::memory_order_release);
   }
   outstanding_.clear();
   for (auto& op : staged_) {
-    op.pending->result = st;
-    op.pending->done = true;
+    // FlushLocked moves consumed entries into outstanding_ in place and only
+    // clears staged_ once the whole flush is packed, so a mid-flush failure
+    // sees the already-moved (null) holders here.
+    if (op.pending != nullptr) {
+      op.pending->result = st;
+      op.pending->done.store(true, std::memory_order_release);
+    }
   }
   staged_.clear();
   return st;
@@ -257,7 +272,7 @@ Status ClientSession::ReadOneReplyLocked() {
   } else {
     p->result = std::vector<std::byte>(frame->begin() + 1, frame->end());
   }
-  p->done = true;
+  p->done.store(true, std::memory_order_release);
   return Status::Ok();
 }
 

@@ -28,6 +28,7 @@
 #ifndef ATOMFS_SRC_CLIENT_CLIENT_H_
 #define ATOMFS_SRC_CLIENT_CLIENT_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -48,7 +49,10 @@ inline constexpr uint32_t kDefaultClientInflight = 64;
 class ClientSession {
  private:
   struct Pending {
-    bool done = false;
+    // Resolution is sticky: `result` is written before `done` flips, and an
+    // already-done future reads `result` without taking the session lock —
+    // which is what lets a resolved Future outlive its session.
+    std::atomic<bool> done{false};
     bool staged = true;  // not yet on the wire
     Result<std::vector<std::byte>> result{Errc::kIo};
   };
@@ -57,7 +61,10 @@ class ClientSession {
   // A handle to one submitted request's eventual reply (the response
   // payload past the status byte; error statuses surface as the Result's
   // status). Wait() drives the session's socket as needed; once resolved,
-  // further Wait() calls return the stored result.
+  // further Wait() calls return the stored result without touching the
+  // session. The session destructor resolves every still-pending request
+  // with kIo, so Wait() on a future that outlived its session is safe —
+  // only Wait() racing the destructor itself is not.
   class Future {
    public:
     Future() = default;
@@ -78,6 +85,8 @@ class ClientSession {
   // protocol version or answers HELLO malformed.
   static Result<std::unique_ptr<ClientSession>> Negotiate(int sock, uint32_t want_inflight);
 
+  // Resolves every unresolved request with kIo (so outstanding Futures
+  // never dangle), then closes the socket.
   ~ClientSession();
   ClientSession(const ClientSession&) = delete;
   ClientSession& operator=(const ClientSession&) = delete;

@@ -102,6 +102,10 @@ struct AtomFsServer::Conn {
   bool peer_eof = false;
   bool poisoned = false;  // framing broke; never read or decode again
   bool stalled = false;   // decode parked on a full window (metric edge)
+  // A parsed frame waiting for window room (kept parsed so re-admission
+  // after replies drain costs nothing); decode stalls while this is set.
+  std::unique_ptr<WireRequest> parked;
+  uint32_t parked_units = 0;
   uint32_t armed_mask = 0;
   uint64_t last_activity_ms = 0;
   size_t out_head_off = 0;  // bytes of outbox.front() already written
@@ -259,8 +263,6 @@ void AtomFsServer::Stop() {
     t.join();
   }
   workers_.clear();
-  work_queue_depth_.Sub(static_cast<int64_t>(work_queue_.size()));
-  work_queue_.clear();
   for (auto& shard : shards_) {
     shard->stop.store(true, std::memory_order_release);
     if (shard->event_fd >= 0) {
@@ -272,6 +274,15 @@ void AtomFsServer::Stop() {
     t.join();
   }
   shard_threads_.clear();
+  {
+    // Only now is the queue quiescent: shard threads were the last producers
+    // (MaybeSchedule), and they are joined. The lock still pairs with
+    // MaybeSchedule's stopping_ check for any straggler between the flag
+    // flip and the joins above.
+    std::lock_guard<std::mutex> lock(work_mu_);
+    work_queue_depth_.Sub(static_cast<int64_t>(work_queue_.size()));
+    work_queue_.clear();
+  }
   for (auto& shard : shards_) {
     for (auto& [id, c] : shard->conns) {
       close(c->fd);
@@ -492,6 +503,32 @@ bool AtomFsServer::OnReadable(Shard& shard, Conn* c) {
 
 void AtomFsServer::DecodeBuffered(Conn* c) {
   while (!c->poisoned) {
+    // Admission: a frame enters the pipeline only when its request units fit
+    // the remaining window *whole*, so admitted inflight never exceeds the
+    // negotiated window. The one exception is a frame arriving with nothing
+    // inflight — it always admits, so a msgbatch that alone exceeds the
+    // window cannot park forever; execution sheds it with BACKPRESSURE.
+    if (c->parked != nullptr) {
+      bool admitted = false;
+      {
+        std::lock_guard<std::mutex> lk(c->mu);
+        if (c->inflight == 0 || c->inflight + c->parked_units <= c->window) {
+          c->ready.push_back(ConnReadyItem{std::move(*c->parked), false});
+          c->inflight += c->parked_units;
+          admitted = true;
+        } else if (!c->stalled) {
+          // Window full: park. Reads throttle; the next reply drain
+          // re-enters this loop.
+          c->stalled = true;
+          backpressure_stalls_.Inc();
+        }
+      }
+      if (!admitted) {
+        break;
+      }
+      c->parked.reset();
+      c->stalled = false;
+    }
     const size_t avail = c->rbuf.size() - c->rpos;
     if (avail < 4) {
       break;
@@ -505,19 +542,6 @@ void AtomFsServer::DecodeBuffered(Conn* c) {
     if (avail < 4 + static_cast<size_t>(len)) {
       break;
     }
-    {
-      std::lock_guard<std::mutex> lk(c->mu);
-      if (c->inflight >= c->window) {
-        // Window full: park. The frame stays buffered; reads throttle; the
-        // next reply drain re-enters this loop.
-        if (!c->stalled) {
-          c->stalled = true;
-          backpressure_stalls_.Inc();
-        }
-        break;
-      }
-    }
-    c->stalled = false;
     auto payload = std::span<const std::byte>(c->rbuf.data() + c->rpos + 4, len);
     Result<WireRequest> req = ParseRequest(payload);
     c->rpos += 4 + static_cast<size_t>(len);
@@ -525,19 +549,19 @@ void AtomFsServer::DecodeBuffered(Conn* c) {
       PoisonConn(c);
       break;
     }
-    const uint32_t units =
+    c->parked_units =
         req->op == WireOp::kMsgBatch ? static_cast<uint32_t>(req->batch.size()) : 1;
-    std::lock_guard<std::mutex> lk(c->mu);
-    c->ready.push_back(ConnReadyItem{std::move(*req), false});
-    c->inflight += units;
+    c->parked = std::make_unique<WireRequest>(std::move(*req));
+    // Loop back to the admission step above.
   }
   if (c->rpos > 0 && (c->rpos == c->rbuf.size() || c->rpos >= kReadChunk)) {
     c->rbuf.erase(c->rbuf.begin(), c->rbuf.begin() + static_cast<ptrdiff_t>(c->rpos));
     c->rpos = 0;
   }
   // EOF with everything decodable decoded: answer what was admitted, flush,
-  // then close. A trailing partial frame is dropped with the connection.
-  if (c->peer_eof && !c->poisoned) {
+  // then close. A trailing partial frame is dropped with the connection; a
+  // parked frame (parsed or still buffered) is work still owed.
+  if (c->peer_eof && !c->poisoned && c->parked == nullptr) {
     const size_t avail = c->rbuf.size() - c->rpos;
     const bool complete_frame_parked =
         avail >= 4 && avail >= 4 + static_cast<size_t>(PeekU32(c->rbuf.data() + c->rpos));
@@ -553,6 +577,7 @@ void AtomFsServer::PoisonConn(Conn* c) {
   c->poisoned = true;
   c->rbuf.clear();
   c->rpos = 0;
+  c->parked.reset();  // decode never runs again; drop any admitted-pending frame
   std::lock_guard<std::mutex> lk(c->mu);
   c->ready.push_back(ConnReadyItem{WireRequest{}, true});
   c->inflight += 1;
@@ -629,7 +654,9 @@ bool AtomFsServer::FlushOutbox(Shard& shard, Conn* c) {
 }
 
 void AtomFsServer::UpdateReadInterest(Shard& shard, Conn* c) {
-  bool want_read = !c->poisoned && !c->peer_eof;
+  // A parked frame means the window is effectively full: reading more would
+  // only grow the buffer behind a frame that cannot be admitted yet.
+  bool want_read = !c->poisoned && !c->peer_eof && c->parked == nullptr;
   if (want_read) {
     std::lock_guard<std::mutex> lk(c->mu);
     want_read = !c->dead && !c->want_close && c->inflight < c->window &&
@@ -684,6 +711,9 @@ void AtomFsServer::MaybeSchedule(Conn* c) {
   }
   if (enqueue) {
     std::lock_guard<std::mutex> lock(work_mu_);
+    if (stopping_) {
+      return;  // Stop() tears every connection down; nothing left to execute
+    }
     work_queue_.push_back(c);
     work_queue_depth_.Add(1);
     work_cv_.notify_one();

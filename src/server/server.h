@@ -11,11 +11,15 @@
 // connection's Vfs is touched by at most one thread; the loop then flushes
 // all accumulated reply frames with a single writev(2) per readiness cycle.
 //
-// Backpressure is structural, not advisory: once a connection has
-// `max_inflight` admitted-but-unanswered request units, or its outbox grows
-// past `max_outbox_bytes`, the shard simply stops reading from that socket
-// (EPOLLIN disarmed) until replies drain — the peer's sends back up into its
-// own socket buffer. Idle and half-open connections are reaped after
+// Backpressure is structural, not advisory: a frame is admitted only when
+// its request units fit the remaining `max_inflight` window whole, so
+// admitted-but-unanswered units never exceed the window (the one exception,
+// a msgbatch that alone exceeds the window, admits only at zero inflight
+// and is shed with EBACKPRESSURE at execution). A frame that does not fit
+// is parked parsed, and the shard stops reading from that socket (EPOLLIN
+// disarmed) until replies drain — as it also does when the outbox grows
+// past `max_outbox_bytes` — so the peer's sends back up into its own socket
+// buffer. Idle and half-open connections are reaped after
 // `idle_timeout_ms` with a best-effort ETIMEDOUT reply.
 //
 // Every connection gets its own Vfs over the shared FileSystem, so
@@ -85,7 +89,9 @@ struct ServerOptions {
   // server.idle_timeouts and the queue-depth gauges) and the source of the
   // WireOp::kMetrics response. Share one registry between the server and a
   // TracingObserver on the backend to serve a unified snapshot; when null
-  // the server owns a private registry, so kMetrics always works.
+  // the server owns a private registry, so kMetrics always works. A caller-
+  // provided registry must outlive the server's threads — Stop() (or the
+  // server destructor) before destroying it.
   MetricsRegistry* metrics = nullptr;
 };
 

@@ -12,6 +12,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -482,6 +484,7 @@ TEST_F(ServerTest, WindowEnforcementStopsReadingAndCountsStalls) {
   close(raw);
 
   EXPECT_GE(registry.Snapshot().CounterValue("server.backpressure_stalls"), 1u);
+  server_->Stop();  // the local registry must outlive every server thread
 }
 
 TEST_F(ServerTest, IdleConnectionsAreReapedWithTimedOutFrame) {
@@ -502,6 +505,7 @@ TEST_F(ServerTest, IdleConnectionsAreReapedWithTimedOutFrame) {
   EXPECT_FALSE(RecvFrame(raw).ok());
   close(raw);
   EXPECT_GE(registry.Snapshot().CounterValue("server.idle_timeouts"), 1u);
+  server_->Stop();  // the local registry must outlive every server thread
 }
 
 TEST_F(ServerTest, MalformedFrameMidPipelineDrainsEarlierRepliesFirst) {
@@ -599,6 +603,132 @@ TEST_F(ServerTest, ClientSessionPipelinesAndResolvesFuturesInOrder) {
   for (int i = 0; i < 6; ++i) {
     EXPECT_TRUE(client->Stat("/p" + std::to_string(i)).ok());
   }
+}
+
+TEST_F(ServerTest, FlushFailureAcrossWindowGroupsBreaksEveryFuture) {
+  // Regression: with a window smaller than the staged backlog, Flush packs
+  // several MSGBATCH groups and drains replies between them; a transport
+  // failure in that inter-group drain used to crash on the moved-from
+  // entries still sitting in the staged queue. Every future must instead
+  // resolve with the transport error.
+  AtomFs fs;
+  sock_path_ = UniqueSocketPath("brk");
+  ServerOptions options;
+  options.unix_path = sock_path_;
+  options.max_inflight = 2;
+  options.default_inflight = 2;
+  server_ = std::make_unique<AtomFsServer>(&fs, options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  auto client = Client();
+  ASSERT_EQ(client->max_inflight(), 2u);
+  server_->Stop();  // closes the connection under the client
+
+  ClientSession& session = client->session();
+  WireRequest ping;
+  ping.op = WireOp::kPing;
+  std::vector<ClientSession::Future> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(session.Submit(ping));
+  }
+  EXPECT_FALSE(session.Flush().ok());
+  for (auto& f : futures) {
+    EXPECT_EQ(f.Wait().status().code(), Errc::kIo);
+  }
+}
+
+TEST_F(ServerTest, FuturesOutliveTheirSession) {
+  AtomFs fs;
+  StartUnix(&fs);
+  ClientSession::Future resolved;
+  ClientSession::Future unresolved;
+  {
+    auto client = Client();
+    WireRequest ping;
+    ping.op = WireOp::kPing;
+    resolved = client->session().Submit(ping);
+    ASSERT_TRUE(resolved.Wait().ok());
+    unresolved = client->session().Submit(ping);  // never flushed
+  }
+  // A resolved future returns its stored result without touching the dead
+  // session; an unresolved one was broken with kIo by the destructor.
+  EXPECT_TRUE(resolved.Wait().ok());
+  EXPECT_EQ(unresolved.Wait().status().code(), Errc::kIo);
+}
+
+TEST_F(ServerTest, BatchParksUntilItFitsTheWindowWhole) {
+  // Regression: a MSGBATCH arriving with requests already inflight used to
+  // be admitted whenever inflight < window, overcommitting the window by up
+  // to the batch size. It must park (a backpressure stall) until it fits
+  // whole, then execute normally.
+  AtomFs fs;
+  MetricsRegistry registry;
+  sock_path_ = UniqueSocketPath("park");
+  ServerOptions options;
+  options.unix_path = sock_path_;
+  options.metrics = &registry;
+  options.max_inflight = 2;
+  options.default_inflight = 2;
+  server_ = std::make_unique<AtomFsServer>(&fs, options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  const int raw = RawConnect(sock_path_);
+  WireRequest ping;
+  ping.op = WireOp::kPing;
+  WireRequest batch;
+  batch.op = WireOp::kMsgBatch;
+  WireRequest sub;
+  sub.op = WireOp::kMkdir;
+  for (int i = 0; i < 2; ++i) {
+    sub.path_a = "/park" + std::to_string(i);
+    batch.batch.push_back(sub);
+  }
+  // One send: a ping occupies the window, so the two-wide batch cannot fit
+  // whole until the ping's reply drains.
+  std::vector<std::byte> burst = FramedRequest(ping);
+  Append(burst, FramedRequest(batch));
+  ASSERT_EQ(send(raw, burst.data(), burst.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(burst.size()));
+
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);  // ping
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);  // mkdir /park0
+  EXPECT_EQ(RecvStatus(raw), Errc::kOk);  // mkdir /park1
+  close(raw);
+
+  EXPECT_GE(registry.Snapshot().CounterValue("server.backpressure_stalls"), 1u);
+  {
+    auto client = Client();
+    EXPECT_TRUE(client->Stat("/park0").ok());
+    EXPECT_TRUE(client->Stat("/park1").ok());
+  }
+  server_->Stop();  // the local registry must outlive every server thread
+}
+
+TEST_F(ServerTest, StopWhileTrafficInFlightShutsDownCleanly) {
+  AtomFs fs;
+  StartUnix(&fs);
+  std::atomic<bool> go{true};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      auto client = AtomFsClient::ConnectUnix(sock_path_);
+      if (!client.ok()) {
+        return;
+      }
+      while (go.load(std::memory_order_relaxed)) {
+        if (!(*client)->Ping().ok()) {
+          return;  // server went away mid-conversation: expected
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server_->Stop();  // races MaybeSchedule against the work-queue teardown
+  go.store(false, std::memory_order_relaxed);
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(server_->running());
 }
 
 // --- multi-client concurrent stress with the CRL-H monitor -------------------
