@@ -43,6 +43,10 @@
 //                           [--seconds S]     wall time per pass (default 2)
 //                           [--connect unix:PATH|tcp:PORT]  use a running daemon
 //                           [--check]         exit nonzero on non-OK / unfairness
+//                           [--fairness-limit X]  max per-conn max/min ratio the
+//                                             check allows (default 10; raise under
+//                                             sanitizer instrumentation, where
+//                                             scheduling skew is not meaningful)
 
 #include <unistd.h>
 
@@ -774,7 +778,7 @@ void JsonPipelinePass(JsonWriter& json, const char* key, const PipelinePass& p) 
 
 int RunPipelineMode(int connections, int pipeline, double seconds, const std::string& connect,
                     const std::string& backend, bool with_monitor, const std::string& json_path,
-                    bool check) {
+                    bool check, double fairness_limit) {
   // Either point at a running daemon or stand a server up in-process.
   std::string endpoint = connect;
   MetricsRegistry registry;
@@ -859,7 +863,7 @@ int RunPipelineMode(int connections, int pipeline, double seconds, const std::st
                    static_cast<unsigned long long>(unpipelined.non_ok + pipelined.non_ok));
       rc = 1;
     }
-    if (pipelined.fairness_ratio > 10.0 || pipelined.fairness_ratio == 0.0) {
+    if (pipelined.fairness_ratio > fairness_limit || pipelined.fairness_ratio == 0.0) {
       std::fprintf(stderr, "CHECK FAILED: fairness ratio %.2f (min=%llu max=%llu)\n",
                    pipelined.fairness_ratio,
                    static_cast<unsigned long long>(pipelined.min_conn_ops),
@@ -906,6 +910,7 @@ int main(int argc, char** argv) {
   double seconds = 2.0;
   std::string connect;
   bool check = false;
+  double fairness_limit = 10.0;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
@@ -922,6 +927,8 @@ int main(int argc, char** argv) {
       connect = next();
     } else if (arg("--check")) {
       check = true;
+    } else if (arg("--fairness-limit")) {
+      fairness_limit = std::atof(next());
     } else if (arg("--ops")) {
       ops_per_client = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg("--profile")) {
@@ -958,7 +965,7 @@ int main(int argc, char** argv) {
       pipeline = 8;
     }
     return RunPipelineMode(connections, pipeline, seconds, connect, backend, with_monitor,
-                           json_path, check);
+                           json_path, check, fairness_limit);
   }
 
   std::vector<FilebenchProfile> profiles;

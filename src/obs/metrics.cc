@@ -43,6 +43,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     CounterSnapshot c;
     c.name = name;
     for (const auto& shard : storage->shards) {
+      // Relaxed: each cell is an independent monotone word (see Counter::Inc).
       c.value += shard.value.load(std::memory_order_relaxed);
     }
     out.counters.push_back(std::move(c));
@@ -52,6 +53,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     GaugeSnapshot g;
     g.name = name;
     for (const auto& shard : storage->shards) {
+      // Relaxed: independent per-shard delta word (see Gauge::Add).
       g.value += shard.value.load(std::memory_order_relaxed);
     }
     out.gauges.push_back(std::move(g));
@@ -61,10 +63,16 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     HistogramSnapshot h;
     h.name = name;
     for (const auto& shard : storage->shards) {
-      h.sum += shard.sum.load(std::memory_order_relaxed);
+      // Buckets first, with acquire, then the sum: pairing with the release
+      // bucket update in Histogram::Record, every event this snapshot counts
+      // has its sum contribution visible by the time sum is read, so
+      // count/sum (and the mean/percentiles derived from them) are coherent.
       for (size_t i = 0; i < h.buckets.size(); ++i) {
-        h.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+        h.buckets[i] += shard.buckets[i].load(std::memory_order_acquire);
       }
+      // Relaxed is enough here: the acquire loads above already order this
+      // read after the counted events' sum updates.
+      h.sum += shard.sum.load(std::memory_order_relaxed);
     }
     // count is the bucket sum — the shards carry no separate count cell.
     for (const uint64_t b : h.buckets) {
@@ -87,15 +95,15 @@ auto FindByName(const Vec& v, std::string_view name) -> const typename Vec::valu
 
 }  // namespace
 
-const CounterSnapshot* MetricsSnapshot::FindCounter(std::string_view name) const {
+const CounterSnapshot* MetricsSnapshot::FindCounter(std::string_view name) const& {
   return FindByName(counters, name);
 }
 
-const GaugeSnapshot* MetricsSnapshot::FindGauge(std::string_view name) const {
+const GaugeSnapshot* MetricsSnapshot::FindGauge(std::string_view name) const& {
   return FindByName(gauges, name);
 }
 
-const HistogramSnapshot* MetricsSnapshot::FindHistogram(std::string_view name) const {
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(std::string_view name) const& {
   return FindByName(histograms, name);
 }
 

@@ -83,6 +83,8 @@ class Counter {
   Counter() = default;
   void Inc(uint64_t n = 1) {
     if (s_ != nullptr) {
+      // Relaxed: a counter cell is an independent word — no other data is
+      // published through it, and Snapshot only needs per-cell coherence.
       s_->shards[obs_internal::ShardOf()].value.fetch_add(n, std::memory_order_relaxed);
     }
   }
@@ -100,6 +102,8 @@ class Gauge {
   Gauge() = default;
   void Add(int64_t d) {
     if (s_ != nullptr) {
+      // Relaxed: same argument as Counter::Inc — an isolated word, no
+      // cross-thread payload rides on the gauge delta.
       s_->shards[obs_internal::ShardOf()].value.fetch_add(d, std::memory_order_relaxed);
     }
   }
@@ -121,8 +125,14 @@ class Histogram {
       return;
     }
     auto& shard = s_->shards[obs_internal::ShardOf()];
+    // The sum update (relaxed) is published by the bucket update (release):
+    // a Snapshot that reads the buckets with acquire and the sum afterwards
+    // therefore counts no event whose sum contribution it cannot see, so
+    // derived means/percentiles are never computed over a sum that is
+    // missing counted events. (The reverse skew — sum includes an event the
+    // buckets do not yet — only biases the mean up transiently.)
     shard.sum.fetch_add(value, std::memory_order_relaxed);
-    shard.buckets[LatencyBucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.buckets[LatencyBucketOf(value)].fetch_add(1, std::memory_order_release);
   }
 
  private:
@@ -162,9 +172,17 @@ struct MetricsSnapshot {
   std::vector<GaugeSnapshot> gauges;          // sorted by name
   std::vector<HistogramSnapshot> histograms;  // sorted by name
 
-  const CounterSnapshot* FindCounter(std::string_view name) const;
-  const GaugeSnapshot* FindGauge(std::string_view name) const;
-  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+  // The Find* accessors return pointers into this snapshot, so they are
+  // lvalue-only: calling them on a Snapshot() temporary dangles the moment
+  // the full expression ends (caught as a heap-use-after-free under TSan).
+  // Bind the snapshot to a local first. The value accessors copy and are
+  // safe on temporaries.
+  const CounterSnapshot* FindCounter(std::string_view name) const&;
+  const GaugeSnapshot* FindGauge(std::string_view name) const&;
+  const HistogramSnapshot* FindHistogram(std::string_view name) const&;
+  const CounterSnapshot* FindCounter(std::string_view) const&& = delete;
+  const GaugeSnapshot* FindGauge(std::string_view) const&& = delete;
+  const HistogramSnapshot* FindHistogram(std::string_view) const&& = delete;
   uint64_t CounterValue(std::string_view name) const;  // 0 if absent
   int64_t GaugeValue(std::string_view name) const;     // 0 if absent
 

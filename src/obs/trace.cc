@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 namespace atomfs {
 
@@ -53,6 +54,8 @@ TraceRing::TraceRing(size_t capacity)
       epoch_(std::chrono::steady_clock::now()) {}
 
 void TraceRing::Append(TraceEvent e) {
+  // Relaxed: the fetch_add only allocates a unique seq; publication order is
+  // carried by the slot's own seqlock below, not by head_.
   const uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
   e.seq = seq;
   e.t_ns = static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -60,9 +63,15 @@ void TraceRing::Append(TraceEvent e) {
                                      .count());
   Slot& slot = slots_[seq & mask_];
   // Mark in-flight so a concurrent Snapshot skips the slot instead of
-  // returning the old event under the new seq (or a torn mix).
+  // returning the old event under the new seq. Relaxed is enough: any reader
+  // that observes one of the release word stores below observes this store
+  // too (it is sequenced before them), so its seqlock re-check fails.
   slot.published.store(~0ULL, std::memory_order_relaxed);
-  slot.event = e;
+  uint64_t words[kEventWords];
+  std::memcpy(words, &e, sizeof e);
+  for (size_t i = 0; i < kEventWords; ++i) {
+    slot.words[i].store(words[i], std::memory_order_release);
+  }
   slot.published.store(seq, std::memory_order_release);
 }
 
@@ -76,7 +85,19 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
     if (seq == ~0ULL || seq < oldest || seq >= head) {
       continue;  // never written, overwritten meanwhile, or mid-write
     }
-    out.push_back(slot.event);
+    uint64_t words[kEventWords];
+    for (size_t i = 0; i < kEventWords; ++i) {
+      words[i] = slot.words[i].load(std::memory_order_acquire);
+    }
+    // Seqlock re-check: a writer that started overwriting the slot while we
+    // copied left published at ~0 (or a newer seq) — and the acquire loads
+    // above guarantee we see that mark if we saw any of its words.
+    if (slot.published.load(std::memory_order_acquire) != seq) {
+      continue;
+    }
+    TraceEvent e;
+    std::memcpy(&e, words, sizeof e);
+    out.push_back(e);
   }
   std::sort(out.begin(), out.end(),
             [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });

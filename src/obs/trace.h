@@ -13,10 +13,22 @@
 // last, leaving a stale slot the snapshot skips — events are never torn or
 // duplicated, but a post-quiescence snapshot may hold fewer than capacity()
 // events.
+//
+// Memory model: the slot body is a seqlock whose payload is stored as atomic
+// 64-bit words (release stores by the writer, acquire loads by the reader),
+// with the published seq re-checked after the copy. Copying the event as a
+// plain struct would be a C++ data race — the old protocol relied on the
+// seq check to discard torn copies, but the torn read itself is undefined
+// behavior and the first thing TSan reports. The acquire word loads also
+// carry the ordering argument: if the reader observes any word of a newer
+// write, the writer's earlier relaxed in-flight mark (published = ~0)
+// happens-before the reader's re-check, which therefore cannot return the
+// stale seq.
 
 #ifndef ATOMFS_SRC_OBS_TRACE_H_
 #define ATOMFS_SRC_OBS_TRACE_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -74,13 +86,22 @@ class TraceRing {
 
   size_t capacity() const { return slots_.size(); }
   // Events ever appended (>= capacity() means the ring has wrapped).
+  // Relaxed: a monotone statistic, read on its own; no payload rides on it.
   uint64_t total_appended() const { return head_.load(std::memory_order_relaxed); }
 
  private:
+  // The event payload travels through the slot as whole 64-bit words so a
+  // concurrent Snapshot copy is made of atomic loads, not a racing struct
+  // read (see the seqlock note in the header comment).
+  static constexpr size_t kEventWords = sizeof(TraceEvent) / sizeof(uint64_t);
+  static_assert(sizeof(TraceEvent) % sizeof(uint64_t) == 0,
+                "TraceEvent must pack into whole 64-bit words");
+
   struct Slot {
-    // ~0 = never written; otherwise the seq of the event the slot holds.
+    // ~0 = never written or write in flight; otherwise the seq of the event
+    // the slot holds.
     std::atomic<uint64_t> published{~0ULL};
-    TraceEvent event;
+    std::array<std::atomic<uint64_t>, kEventWords> words{};
   };
 
   std::vector<Slot> slots_;

@@ -62,6 +62,7 @@ std::string DepthName(const char* what, uint16_t depth) {
 
 uint64_t NextObserverId() {
   static std::atomic<uint64_t> next{1};
+  // Relaxed: pure unique-id allocation, nothing is published through it.
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -153,7 +153,30 @@ Status RetryFs::DeleteImpl(const Path& path, FileType type) {
       return Status(Errc::kNoEnt);
     }
     NodePtr child = it->second;
-    child->lock->Lock();  // parent -> child order
+    // Every multi-lock acquisition in RetryFs follows address order (Rename
+    // locks its sorted parent/victim set that way). Acquiring the child here
+    // while holding a higher-addressed parent was a real ABBA deadlock
+    // against a concurrent Rename holding the child's lock and waiting on
+    // the parent (found by TSan's lock-order detector). When the child
+    // cannot extend the order in place, drop the parent and reacquire both
+    // sorted, then revalidate — the same optimistic pattern Rename uses.
+    if (std::less<Node*>{}(parent.get(), child.get())) {
+      child->lock->Lock();
+    } else {
+      parent->lock->Unlock();
+      child->lock->Lock();
+      parent->lock->Lock();
+      auto it2 = parent->entries.find(path.Base());
+      if (parent->deleted || child->deleted ||
+          rename_seq_.load(std::memory_order_acquire) != seq0 ||
+          it2 == parent->entries.end() || it2->second != child) {
+        child->lock->Unlock();
+        parent->lock->Unlock();
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      it = it2;
+    }
     Errc err = Errc::kOk;
     if (type == FileType::kDir) {
       if (child->type != FileType::kDir) {

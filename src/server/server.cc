@@ -224,7 +224,7 @@ Status AtomFsServer::Start() {
   }
 
   stopping_ = false;
-  running_ = true;
+  running_.store(true, std::memory_order_release);
   for (auto& shard : shards_) {
     shard_threads_.emplace_back([this, s = shard.get()] { ShardLoop(*s); });
   }
@@ -241,7 +241,7 @@ Status AtomFsServer::Start() {
 void AtomFsServer::Stop() {
   {
     std::lock_guard<std::mutex> lock(work_mu_);
-    if (!running_ && listen_fds_.empty() && shards_.empty()) {
+    if (!running_.load(std::memory_order_acquire) && listen_fds_.empty() && shards_.empty()) {
       return;
     }
     stopping_ = true;
@@ -304,7 +304,7 @@ void AtomFsServer::Stop() {
   if (!opts_.unix_path.empty()) {
     unlink(opts_.unix_path.c_str());
   }
-  running_ = false;
+  running_.store(false, std::memory_order_release);
 }
 
 void AtomFsServer::AcceptLoop(int listen_fd) {
@@ -329,6 +329,8 @@ void AtomFsServer::AcceptLoop(int listen_fd) {
         return;
       }
     }
+    // Relaxed: the counter only round-robins placement; the socket itself is
+    // handed over under shard.mu below.
     Shard& shard =
         *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
     {
@@ -415,6 +417,8 @@ void AtomFsServer::RegisterIntake(Shard& shard) {
     SetNonBlocking(fd);
     auto conn = std::make_unique<Conn>(fs_);
     Conn* c = conn.get();
+    // Relaxed: pure unique-id allocation; the Conn is published to workers
+    // via work_mu_ (MaybeSchedule), never through this counter.
     c->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
     c->fd = fd;
     c->shard = &shard;

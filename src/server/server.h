@@ -112,7 +112,7 @@ class AtomFsServer {
   // Graceful shutdown; idempotent. Joins all threads.
   void Stop();
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
 
   // Actual TCP port after Start (useful with tcp_port = 0).
   uint16_t BoundTcpPort() const { return bound_tcp_port_; }
@@ -174,8 +174,11 @@ class AtomFsServer {
   std::mutex work_mu_;
   std::condition_variable work_cv_;
   std::deque<Conn*> work_queue_;
-  bool stopping_ = false;
-  bool running_ = false;
+  bool stopping_ = false;  // guarded by work_mu_
+  // Atomic because running() is a cross-thread observer (tests poll it while
+  // Start/Stop run elsewhere); Start/Stop themselves are externally
+  // serialized.
+  std::atomic<bool> running_{false};
 
   // Stats live in the metrics registry; recording is lock-free (per-thread
   // shards), unlike the mutex-guarded histograms this replaced.

@@ -1,0 +1,71 @@
+// Race-hunt hooks: deterministic-seed utilities for provoking the thread
+// interleavings that sanitizers need to *observe* before they can report.
+//
+// TSan only flags a race it sees happen — two unsynchronized accesses whose
+// vector clocks overlap. On a quiet machine (or a single-core CI box) the
+// OS scheduler runs stress threads largely back-to-back and whole classes
+// of orderings never occur. These hooks bend the schedule:
+//
+//   * RaceBarrier lines threads up at a start gate so the contended region
+//     begins with maximal overlap instead of a staggered ramp.
+//   * ScheduleShaker injects seeded perturbations (spin, yield, short
+//     sleeps) at caller-chosen points, which on a single core forces
+//     preemption inside critical windows and on many cores de-correlates
+//     the threads' phase. The same seed reproduces the same perturbation
+//     sequence per thread, so a sanitizer report from the stress harness is
+//     replayable (docs/SANITIZERS.md).
+//
+// Both are host-thread utilities, deliberately independent of SimExecutor:
+// the simulator serializes execution (one host thread runs at a time), which
+// is exactly what a race hunt must avoid. They live in src/sim because they
+// are schedule-control machinery, the adversarial sibling of the simulator's
+// deterministic scheduler.
+
+#ifndef ATOMFS_SRC_SIM_STRESS_H_
+#define ATOMFS_SRC_SIM_STRESS_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/rand.h"
+
+namespace atomfs {
+
+// Reusable spin barrier. Arrive() blocks (spinning, with yields) until all
+// `parties` threads arrive, then releases the whole cohort at once; the
+// barrier then resets for the next round, so it can gate every iteration of
+// a stress loop, re-aligning the threads each time.
+class RaceBarrier {
+ public:
+  explicit RaceBarrier(uint32_t parties) : parties_(parties) {}
+
+  RaceBarrier(const RaceBarrier&) = delete;
+  RaceBarrier& operator=(const RaceBarrier&) = delete;
+
+  void Arrive();
+
+ private:
+  const uint32_t parties_;
+  std::atomic<uint32_t> arrived_{0};
+  std::atomic<uint32_t> generation_{0};
+};
+
+// Seeded schedule perturbation. Each thread owns one shaker; Perturb() is
+// sprinkled between operations and, with the probabilities below, does
+// nothing / spins a few hundred cycles / yields / sleeps O(100us). The
+// mix is derived only from (seed, thread), never from wall time, so a
+// given seed replays the same perturbation sequence.
+class ScheduleShaker {
+ public:
+  ScheduleShaker(uint64_t seed, uint32_t thread_index)
+      : rng_(seed * 0x9e3779b97f4a7c15ULL + thread_index + 1) {}
+
+  void Perturb();
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_SIM_STRESS_H_

@@ -17,6 +17,7 @@ using Tid = uint32_t;
 
 inline Tid CurrentTid() {
   static std::atomic<Tid> next{1};
+  // Relaxed: pure unique-id allocation; ids carry no payload across threads.
   thread_local Tid tid = next.fetch_add(1, std::memory_order_relaxed);
   return tid;
 }

@@ -121,7 +121,12 @@ TEST(MetricsRegistryTest, PercentilesAgreeWithLatencyHistogram) {
     obs_hist.Record(nanos);
     bench_hist.Add(nanos);
   }
-  const HistogramSnapshot* h = reg.Snapshot().FindHistogram("agree");
+  // The snapshot must be bound to a local: FindHistogram returns a pointer
+  // into the snapshot, and calling it on the Snapshot() temporary dangled
+  // (TSan heap-use-after-free). The rvalue overload is deleted now, so this
+  // mistake no longer compiles.
+  const MetricsSnapshot snap = reg.Snapshot();
+  const HistogramSnapshot* h = snap.FindHistogram("agree");
   ASSERT_NE(h, nullptr);
   for (double p : {0.5, 0.9, 0.99, 0.999}) {
     EXPECT_EQ(h->Percentile(p), bench_hist.PercentileNanos(p)) << "p=" << p;

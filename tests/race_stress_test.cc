@@ -1,0 +1,443 @@
+// Race-hunt stress harness: deterministic-seed workloads shaped to provoke
+// the thread interleavings TSan/ASan need to observe (docs/SANITIZERS.md).
+//
+// Every case follows the same recipe: a RaceBarrier aligns the cohort so the
+// contended window opens with maximal overlap, and a per-thread
+// ScheduleShaker (seeded from ATOMFS_STRESS_SEED, default 1) perturbs the
+// schedule between operations — yields and short sleeps on a single core are
+// what force preemption *inside* critical windows. The same seed replays the
+// same perturbation sequence, which is how a sanitizer report from this
+// binary is reproduced deterministically.
+//
+// Targets, matching the repo's cross-thread handoffs:
+//   * AtomFS lock coupling under a rename/lookup/unlink path-interdependency
+//     mix, with the CRL-H monitor attached (ghost state is itself shared).
+//   * MetricsRegistry: snapshot readers racing sharded writers, asserting
+//     the count/sum coherence the release/acquire bucket protocol promises.
+//   * TraceRing: concurrent writers vs. snapshot readers, asserting events
+//     are never torn (the seqlock regression).
+//   * A live AtomFsServer: pipelined ClientSessions across threads, Stop()
+//     with traffic inflight, and idle-reap racing a client mid-flush.
+//
+// The sanitizer builds define ATOMFS_SANITIZE_THREAD/ATOMFS_SANITIZE_ADDRESS
+// and run 5-15x slower, so iteration counts scale down there; the assertions
+// are identical in every mode.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/core/atom_fs.h"
+#include "src/crlh/monitor.h"
+#include "src/net/wire.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/server/server.h"
+#include "src/sim/stress.h"
+#include "src/util/rand.h"
+
+namespace atomfs {
+namespace {
+
+#if defined(ATOMFS_SANITIZE_THREAD)
+constexpr int kScale = 4;  // TSan: ~5-15x slowdown, keep wall time in check
+#elif defined(ATOMFS_SANITIZE_ADDRESS)
+constexpr int kScale = 2;
+#else
+constexpr int kScale = 1;
+#endif
+
+uint64_t StressSeed() {
+  const char* env = std::getenv("ATOMFS_STRESS_SEED");
+  return env != nullptr && *env != '\0' ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+// Small namespace, heavy on renames of inner directories, so LockPaths
+// constantly cross and the helper machinery engages.
+Path RandomPath(Rng& rng, size_t max_depth = 4) {
+  static const char* kNames[] = {"a", "b", "c", "d", "e"};
+  Path p;
+  const size_t depth = rng.Between(1, max_depth);
+  for (size_t i = 0; i < depth; ++i) {
+    p.parts.emplace_back(kNames[rng.Below(5)]);
+  }
+  return p;
+}
+
+OpCall RandomCall(Rng& rng) {
+  switch (rng.Below(10)) {
+    case 0:
+    case 1:
+      return OpCall::MkdirOf(RandomPath(rng));
+    case 2:
+      return OpCall::MknodOf(RandomPath(rng));
+    case 3:
+      return OpCall::UnlinkOf(RandomPath(rng));
+    case 4:
+      return OpCall::RmdirOf(RandomPath(rng));
+    case 5:
+    case 6:
+    case 7:
+      return OpCall::RenameOf(RandomPath(rng), RandomPath(rng));
+    default:
+      return OpCall::StatOf(RandomPath(rng));
+  }
+}
+
+// --- AtomFS + CRL-H monitor --------------------------------------------------
+
+TEST(RaceStress, MonitoredPathInterdependencyMix) {
+  const uint64_t seed = StressSeed();
+  const int threads = 8;
+  const int ops = 400 / kScale;
+
+  CrlhMonitor monitor;
+  AtomFs::Options opts;
+  opts.observer = &monitor;
+  AtomFs fs(std::move(opts));
+
+  RaceBarrier barrier(threads);
+  std::vector<std::thread> cohort;
+  cohort.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    cohort.emplace_back([&, t] {
+      Rng rng(seed * 1000003 + t);
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(t));
+      barrier.Arrive();
+      // Every thread runs the same op count, so the periodic re-alignment
+      // arrives the same number of times on every thread — no straggler
+      // bookkeeping needed.
+      for (int i = 0; i < ops; ++i) {
+        RunOp(fs, RandomCall(rng));
+        shaker.Perturb();
+        if (i % 64 == 0) {
+          barrier.Arrive();  // re-align the cohort: fresh overlap window
+        }
+      }
+    });
+  }
+  for (auto& th : cohort) {
+    th.join();
+  }
+  ASSERT_TRUE(monitor.ok()) << monitor.violations()[0];
+  EXPECT_TRUE(monitor.CheckQuiescent(fs.SnapshotSpec()));
+}
+
+// --- MetricsRegistry snapshot vs. writers ------------------------------------
+
+TEST(RaceStress, MetricsSnapshotVsWriters) {
+  const uint64_t seed = StressSeed();
+  const int writers = 6;
+  const int rounds = 4000 / kScale;
+  constexpr uint64_t kValue = 1024;  // constant so sum/count coherence is exact
+
+  MetricsRegistry registry;
+  RaceBarrier barrier(writers + 1);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> cohort;
+  for (int t = 0; t < writers; ++t) {
+    cohort.emplace_back([&, t] {
+      Counter c = registry.GetCounter("stress.events");
+      Gauge g = registry.GetGauge("stress.level");
+      Histogram h = registry.GetHistogram("stress.latency");
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(t));
+      barrier.Arrive();
+      for (int i = 0; i < rounds; ++i) {
+        c.Inc();
+        g.Add(1);
+        h.Record(kValue);
+        g.Sub(1);
+        if (i % 128 == 0) {
+          shaker.Perturb();
+        }
+      }
+    });
+  }
+  std::thread reader([&] {
+    barrier.Arrive();
+    uint64_t last_count = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const MetricsSnapshot snap = registry.Snapshot();
+      const uint64_t count = snap.CounterValue("stress.events");
+      EXPECT_GE(count, last_count) << "counter went backwards";
+      last_count = count;
+      const HistogramSnapshot* h = snap.FindHistogram("stress.latency");
+      if (h != nullptr) {
+        // The release/acquire bucket protocol: every counted event's sum
+        // contribution is visible, so sum >= count * value always.
+        EXPECT_GE(h->sum, h->count * kValue) << "histogram counted an event whose sum is missing";
+        (void)snap.ToText();  // the --metrics-dump path, concurrently
+      }
+    }
+  });
+  for (auto& th : cohort) {
+    th.join();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.CounterValue("stress.events"),
+            static_cast<uint64_t>(writers) * rounds);
+  EXPECT_EQ(final_snap.GaugeValue("stress.level"), 0);
+  const HistogramSnapshot* h = final_snap.FindHistogram("stress.latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<uint64_t>(writers) * rounds);
+  EXPECT_EQ(h->sum, static_cast<uint64_t>(writers) * rounds * kValue);
+}
+
+// --- TraceRing concurrent writers vs. snapshot readers -----------------------
+
+TEST(RaceStress, TraceRingNeverTearsEvents) {
+  const uint64_t seed = StressSeed();
+  const int writers = 4;
+  const int appends = 20000 / kScale;
+
+  // Small ring: constant wrap pressure, so slot reuse races with readers.
+  TraceRing ring(256);
+  RaceBarrier barrier(writers + 1);
+  std::atomic<bool> done{false};
+
+  // Every field of a writer's event is derived from one value, so a torn
+  // copy (fields from two different writes) is detectable.
+  auto make_event = [](uint32_t tid, uint64_t i) {
+    TraceEvent e;
+    e.tid = tid;
+    e.type = TraceEventType::kLockAcquired;
+    e.ino = i * 1000 + tid;
+    e.arg = i * 1000 + tid;
+    e.depth = static_cast<uint16_t>(i % 1000);
+    return e;
+  };
+
+  std::vector<std::thread> cohort;
+  for (int t = 0; t < writers; ++t) {
+    cohort.emplace_back([&, t] {
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(t));
+      barrier.Arrive();
+      for (int i = 0; i < appends; ++i) {
+        ring.Append(make_event(static_cast<uint32_t>(t), static_cast<uint64_t>(i)));
+        if (i % 256 == 0) {
+          shaker.Perturb();
+        }
+      }
+    });
+  }
+  std::thread reader([&] {
+    barrier.Arrive();
+    while (!done.load(std::memory_order_acquire)) {
+      for (const TraceEvent& e : ring.Snapshot()) {
+        ASSERT_EQ(e.ino, e.arg) << "torn event: ino and arg written together";
+        ASSERT_EQ(e.ino % 1000, e.tid) << "torn event: ino from a different writer than tid";
+        ASSERT_EQ(e.depth, (e.ino / 1000) % 1000) << "torn event: depth from a different append";
+      }
+    }
+  });
+  for (auto& th : cohort) {
+    th.join();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(ring.total_appended(), static_cast<uint64_t>(writers) * appends);
+  // Quiesced: a final snapshot is consistent and near-capacity (concurrent
+  // wrap losers may leave a few stale slots, never torn ones).
+  const auto final_events = ring.Snapshot();
+  EXPECT_LE(final_events.size(), ring.capacity());
+  EXPECT_GE(final_events.size(), ring.capacity() / 2);
+}
+
+// --- live server: pipelining, Stop() mid-traffic, idle-reap vs. flush --------
+
+std::string StressSocketPath(const char* tag) {
+  static int counter = 0;
+  return "/tmp/atomfs_race_" + std::to_string(getpid()) + "_" + tag + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+TEST(RaceStress, ServerPipelinedTrafficWithConcurrentStop) {
+  const uint64_t seed = StressSeed();
+  const int client_threads = 4;
+  const int rounds = 60 / kScale;
+
+  AtomFs fs;
+  MetricsRegistry registry;  // outlives the server (ServerOptions::metrics rule)
+  ServerOptions options;
+  options.unix_path = StressSocketPath("stop");
+  options.shards = 2;
+  options.workers = 3;
+  options.metrics = &registry;
+  AtomFsServer server(&fs, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RaceBarrier barrier(client_threads + 1);
+  std::vector<std::thread> cohort;
+  std::atomic<int> io_failures{0};
+  for (int t = 0; t < client_threads; ++t) {
+    cohort.emplace_back([&, t] {
+      Rng rng(seed * 77 + t);
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(t));
+      barrier.Arrive();
+      auto client = AtomFsClient::ConnectUnix(options.unix_path);
+      if (!client.ok()) {
+        io_failures.fetch_add(1, std::memory_order_relaxed);
+        return;  // raced with Stop before the handshake — acceptable
+      }
+      for (int i = 0; i < rounds; ++i) {
+        // Pipelined burst on the session, then a metrics snapshot over the
+        // wire (exercises registry Snapshot vs. the server's own writers).
+        ClientSession& session = (*client)->session();
+        std::vector<ClientSession::Future> futures;
+        for (int b = 0; b < 8; ++b) {
+          WireRequest req;
+          req.op = WireOp::kMkdir;
+          req.path_a = "/t" + std::to_string(t) + "_" + std::to_string(rng.Below(32));
+          futures.push_back(session.Submit(req));
+        }
+        if (!session.Flush().ok()) {
+          io_failures.fetch_add(1, std::memory_order_relaxed);
+          break;  // server stopped underneath us: every future must still resolve
+        }
+        for (auto& f : futures) {
+          (void)f.Wait();  // must never hang or crash, whatever Stop did
+        }
+        shaker.Perturb();
+      }
+    });
+  }
+  // Let traffic build, then stop the server with requests inflight.
+  barrier.Arrive();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.Stop();
+  for (auto& th : cohort) {
+    th.join();
+  }
+  // The run is about surviving the race; clients may or may not have seen
+  // the shutdown depending on timing.
+  SUCCEED();
+}
+
+TEST(RaceStress, IdleReapRacesClientFlush) {
+  const uint64_t seed = StressSeed();
+  const int client_threads = 3;
+  const int rounds = 20 / (kScale > 2 ? 2 : 1);
+
+  AtomFs fs;
+  MetricsRegistry registry;
+  ServerOptions options;
+  options.unix_path = StressSocketPath("reap");
+  options.shards = 2;
+  options.workers = 2;
+  options.idle_timeout_ms = 5;  // aggressive: reap constantly
+  options.metrics = &registry;
+  AtomFsServer server(&fs, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  RaceBarrier barrier(client_threads);
+  std::vector<std::thread> cohort;
+  for (int t = 0; t < client_threads; ++t) {
+    cohort.emplace_back([&, t] {
+      Rng rng(seed * 13 + t);
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(t));
+      barrier.Arrive();
+      for (int i = 0; i < rounds; ++i) {
+        auto client = AtomFsClient::ConnectUnix(options.unix_path);
+        if (!client.ok()) {
+          continue;
+        }
+        ClientSession& session = (*client)->session();
+        std::vector<ClientSession::Future> futures;
+        for (int b = 0; b < 4; ++b) {
+          WireRequest req;
+          req.op = WireOp::kStat;
+          req.path_a = "/";
+          futures.push_back(session.Submit(req));
+        }
+        // Sometimes dawdle past the idle timeout with requests staged, so
+        // the server's reaper runs while we are about to flush — the
+        // ETIMEDOUT courtesy frame then races our MSGBATCH.
+        if (rng.Chance(1, 2)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(8));
+        }
+        (void)session.Flush();
+        for (auto& f : futures) {
+          const auto r = f.Wait();
+          if (!r.ok()) {
+            // Reaped mid-conversation: kTimedOut (courtesy frame landed),
+            // kIo (hard close won), or kProto are all legal; a hang or
+            // crash is the bug this test exists to catch.
+            EXPECT_TRUE(r.status().code() == Errc::kTimedOut ||
+                        r.status().code() == Errc::kIo ||
+                        r.status().code() == Errc::kProto)
+                << ErrcName(r.status().code());
+          }
+        }
+        shaker.Perturb();
+      }
+    });
+  }
+  for (auto& th : cohort) {
+    th.join();
+  }
+  server.Stop();
+}
+
+// One session shared across threads: Submit/Flush/Wait interleave under the
+// session mutex while the server pipelines — the client-side counterpart of
+// the server's loop<->worker handoff.
+TEST(RaceStress, SharedSessionConcurrentSubmitters) {
+  const uint64_t seed = StressSeed();
+  const int threads = 4;
+  const int rounds = 80 / kScale;
+
+  AtomFs fs;
+  MetricsRegistry registry;
+  ServerOptions options;
+  options.unix_path = StressSocketPath("shared");
+  options.shards = 1;
+  options.workers = 2;
+  options.metrics = &registry;
+  AtomFsServer server(&fs, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = AtomFsClient::ConnectUnix(options.unix_path);
+  ASSERT_TRUE(client.ok());
+  ClientSession& session = (*client)->session();
+
+  RaceBarrier barrier(threads);
+  std::vector<std::thread> cohort;
+  for (int t = 0; t < threads; ++t) {
+    cohort.emplace_back([&, t] {
+      Rng rng(seed * 31 + t);
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(t));
+      barrier.Arrive();
+      for (int i = 0; i < rounds; ++i) {
+        WireRequest req;
+        req.op = WireOp::kMkdir;
+        req.path_a = "/s" + std::to_string(rng.Below(64));
+        auto future = session.Submit(req);
+        if (rng.Chance(1, 3)) {
+          shaker.Perturb();  // leave it staged a while; another thread flushes
+        }
+        const auto r = future.Wait();
+        ASSERT_TRUE(r.ok() || r.status().code() == Errc::kExist ||
+                    r.status().code() == Errc::kNotDir)
+            << ErrcName(r.status().code());
+      }
+    });
+  }
+  for (auto& th : cohort) {
+    th.join();
+  }
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace atomfs

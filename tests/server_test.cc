@@ -656,6 +656,40 @@ TEST_F(ServerTest, FuturesOutliveTheirSession) {
   EXPECT_EQ(unresolved.Wait().status().code(), Errc::kIo);
 }
 
+TEST_F(ServerTest, SessionDestroyedWithStagedPendingsDuringIdleReap) {
+  // Teardown-ordering race: the server's idle sweep reaps the connection
+  // (sending a best-effort ETIMEDOUT and closing the socket) under a session
+  // that still holds staged, never-flushed pendings — and the session object
+  // is then destroyed while that reap may still be in flight. Nothing may
+  // crash, and every unflushed future must resolve with a sticky kIo from
+  // the destructor's BreakLocked, not hang or read freed session state.
+  AtomFs fs;
+  sock_path_ = UniqueSocketPath("reap");
+  ServerOptions options;
+  options.unix_path = sock_path_;
+  options.idle_timeout_ms = 5;
+  server_ = std::make_unique<AtomFsServer>(&fs, options);
+  ASSERT_TRUE(server_->Start().ok());
+
+  std::vector<ClientSession::Future> futures;
+  {
+    auto client = Client();
+    ASSERT_TRUE(client->Ping().ok());  // connection live, last_activity stamped
+    WireRequest ping;
+    ping.op = WireOp::kPing;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(client->session().Submit(ping));  // staged, never flushed
+    }
+    // Let the idle sweep (period = timeout/4) reap the connection while the
+    // staged queue is still full, then drop the session on the way out.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.Wait().status().code(), Errc::kIo);
+  }
+  server_->Stop();
+}
+
 TEST_F(ServerTest, BatchParksUntilItFitsTheWindowWhole) {
   // Regression: a MSGBATCH arriving with requests already inflight used to
   // be admitted whenever inflight < window, overcommitting the window by up

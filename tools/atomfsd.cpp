@@ -30,14 +30,17 @@
 // per-op latency stats are printed, and — with --monitor — the refinement /
 // invariant verdict decides the exit code.
 
-#include <chrono>
-#include <csignal>
+#include <poll.h>
+#include <signal.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
-#include <thread>
 
 #include "src/biglock/big_lock_fs.h"
 #include "src/core/atom_fs.h"
@@ -51,11 +54,24 @@
 
 namespace {
 
-volatile std::sig_atomic_t g_stop = 0;
-volatile std::sig_atomic_t g_dump = 0;
+// Async-signal-safety: the handlers only set a sig_atomic_t flag and poke an
+// eventfd (write(2) is on the async-signal-safe list); all formatting and
+// I/O — in particular the SIGUSR1 metrics dump, which takes the registry
+// mutex and allocates — happens on the main thread's event loop, never in
+// signal context.
+volatile sig_atomic_t g_stop = 0;
+volatile sig_atomic_t g_dump = 0;
+int g_wake_fd = -1;  // eventfd; written by handlers, drained by the loop
 
-void OnSignal(int) { g_stop = 1; }
-void OnDumpSignal(int) { g_dump = 1; }
+void WakeLoop() {
+  const uint64_t one = 1;
+  // Best-effort: if the eventfd write fails the flags are still seen on the
+  // loop's next wakeup.
+  [[maybe_unused]] ssize_t n = write(g_wake_fd, &one, sizeof one);
+}
+
+void OnSignal(int) { g_stop = 1; WakeLoop(); }
+void OnDumpSignal(int) { g_dump = 1; WakeLoop(); }
 
 }  // namespace
 
@@ -166,9 +182,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::signal(SIGINT, OnSignal);
-  std::signal(SIGTERM, OnSignal);
-  std::signal(SIGUSR1, OnDumpSignal);
+  // The wake eventfd must exist before any handler can run.
+  g_wake_fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (g_wake_fd < 0) {
+    std::fprintf(stderr, "atomfsd: eventfd: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_handler = OnSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  sa.sa_handler = OnDumpSignal;
+  sigaction(SIGUSR1, &sa, nullptr);
 
   std::printf("atomfsd: serving %s%s%s on", backend.c_str(), monitor ? " (monitored)" : "",
               tracer ? " (traced)" : "");
@@ -182,15 +209,26 @@ int main(int argc, char** argv) {
               options.max_inflight);
   std::fflush(stdout);
 
+  // Event loop: block on the wake eventfd (no sleep-polling), consume the
+  // flags the handlers set. Dumps run here, on the main thread, with a live
+  // registry — signal context never touches it.
   while (!g_stop) {
+    pollfd pfd{g_wake_fd, POLLIN, 0};
+    const int pn = poll(&pfd, 1, -1);
+    if (pn < 0 && errno != EINTR) {
+      break;
+    }
+    uint64_t junk = 0;
+    while (read(g_wake_fd, &junk, sizeof junk) > 0) {
+    }
     if (g_dump) {
       g_dump = 0;
       std::fputs(registry.Snapshot().ToText().c_str(), stdout);
       std::fflush(stdout);
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   server.Stop();
+  close(g_wake_fd);
 
   const WireServerStats stats = server.StatsSnapshot();
   std::printf("atomfsd: shut down; %llu connection(s), %llu protocol error(s)\n",

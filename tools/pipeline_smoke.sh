@@ -27,8 +27,19 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SOCK" ] || { echo "FAIL: daemon never created $SOCK"; cat "$WORK/daemon.log"; exit 1; }
 
-if ! "$BENCH" --connect "unix:$SOCK" --connections 64 --pipeline 8 --seconds 1 \
-    --check --json "$WORK/BENCH_server.json" > "$WORK/bench.out" 2>&1; then
+# Under sanitizer instrumentation (5-20x slowdown, one shadow thread pool)
+# per-connection scheduling skew says nothing about the server's fairness,
+# and 64 connections on an instrumented single core cannot all complete an
+# op per pass. The sanitizer runner (tools/run_sanitizers.sh) therefore
+# raises the ratio bound and shrinks the connection count; the correctness
+# checks — non-OK replies, starved connections at the reduced count, the
+# monitor verdict — stay at full strength.
+FAIRNESS_LIMIT=${ATOMFS_FAIRNESS_LIMIT:-10}
+CONNECTIONS=${ATOMFS_SMOKE_CONNECTIONS:-64}
+
+if ! "$BENCH" --connect "unix:$SOCK" --connections "$CONNECTIONS" --pipeline 8 --seconds 1 \
+    --check --fairness-limit "$FAIRNESS_LIMIT" \
+    --json "$WORK/BENCH_server.json" > "$WORK/bench.out" 2>&1; then
   echo "FAIL: pipelined load check failed"
   cat "$WORK/bench.out"
   cat "$WORK/daemon.log"
@@ -48,4 +59,4 @@ fi
 grep -q 'every served operation linearizable' "$WORK/daemon.log" || {
   echo "FAIL: monitor verdict missing after pipelined load"; cat "$WORK/daemon.log"; exit 1; }
 
-echo "PASS: 64x8 pipelined load served, all replies OK, monitor verdict clean"
+echo "PASS: ${CONNECTIONS}x8 pipelined load served, all replies OK, monitor verdict clean"

@@ -27,3 +27,14 @@ echo "--- pipelined serving stage (64 connections x 8 in flight, monitored) ---"
 # --pipeline 8 --check against a monitored atomfsd on a Unix socket; fails
 # on any non-OK reply or a per-connection fairness ratio above 10x.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^pipeline_smoke$'
+
+echo "--- sanitizer stage (TSan + ASan/UBSan, label 'sanitize') ---"
+# Builds build-tsan/ and build-asan/ and runs the concurrency-heavy test core
+# under each (tools/run_sanitizers.sh --quick). Any unsuppressed report fails
+# the stage. Set ATOMFS_SKIP_SANITIZERS=1 to skip on hosts where the double
+# build is too slow; CI must not skip it.
+if [[ "${ATOMFS_SKIP_SANITIZERS:-0}" == 1 ]]; then
+  echo "skipped (ATOMFS_SKIP_SANITIZERS=1)"
+else
+  "$REPO_ROOT/tools/run_sanitizers.sh" --quick
+fi
