@@ -17,7 +17,10 @@
 // untraced, one traced) take load in alternating paired slices, and the
 // median traced/untraced throughput ratio yields `tracing_overhead_pct`
 // plus the hardware-independent `tracing_overhead_ns_per_op` (suppressed
-// under --monitor, where verification — not tracing — dominates).
+// under --monitor, where verification — not tracing — dominates). The same
+// paired-slice harness then runs a second instrument — tracer-without-ring
+// vs tracer-with-ring — whose `ghost_overhead_pct`/`ghost_overhead_ns_per_op`
+// price the flight-recorder ring alone (the `flight_recorder` JSON block).
 //
 // A second mode exercises the pipelined request API: `--connections M
 // --pipeline N` runs M concurrent connections for a fixed wall-time window,
@@ -66,6 +69,7 @@
 #include "src/crlh/monitor.h"
 #include "src/naive/naive_fs.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/obs/tracer.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/server/server.h"
@@ -335,20 +339,31 @@ struct OverheadOutcome {
   int pairs = 0;
 };
 
+// Two instruments share the harness: the tracing experiment (side A bare,
+// side B carrying a TracingObserver) and the flight-recorder experiment
+// (both sides traced, side B additionally streaming every event into a
+// TraceRing), selected by `baseline_traced`/`ring`. `label_a`/`label_b`
+// name the sides in the per-pair printout.
 OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std::string& backend,
                                       const std::string& transport, int clients,
-                                      uint64_t ops_per_client) {
+                                      uint64_t ops_per_client, bool baseline_traced,
+                                      TraceRing* ring, const char* label_a,
+                                      const char* label_b) {
   constexpr int kPairs = 9;
   OverheadOutcome out;
 
-  MetricsRegistry registry_a;  // untraced server: server.op metrics only
-  MetricsRegistry registry_b;  // traced server: + the full atomtrace schema
-  TracingObserver tracer(&registry_b, /*ring=*/nullptr);
-  std::unique_ptr<FileSystem> fs_a = MakeBackend(backend, nullptr);
+  MetricsRegistry registry_a;  // baseline server
+  MetricsRegistry registry_b;  // instrumented server: + the full atomtrace schema
+  std::unique_ptr<TracingObserver> tracer_a;
+  if (baseline_traced) {
+    tracer_a = std::make_unique<TracingObserver>(&registry_a, /*ring=*/nullptr);
+  }
+  TracingObserver tracer(&registry_b, ring);
+  std::unique_ptr<FileSystem> fs_a = MakeBackend(backend, tracer_a.get());
   std::unique_ptr<FileSystem> fs_b = MakeBackend(backend, &tracer);
 
-  const std::string sock_base =
-      "/tmp/atomfs_bench_" + std::to_string(getpid()) + "_" + profile.name;
+  const std::string sock_base = "/tmp/atomfs_bench_" + std::to_string(getpid()) + "_" +
+                                profile.name + (ring != nullptr ? "_ring" : "");
 
   struct Side {
     std::unique_ptr<AtomFsServer> server;
@@ -460,8 +475,8 @@ OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std
     }
     // Equal op counts per slice, so the throughput ratio is the wall ratio.
     ratios.push_back(wall_a / wall_b);
-    std::printf("overhead pair %d: untraced %.3fs traced %.3fs (traced/untraced throughput %.3f)\n",
-                pair, wall_a, wall_b, wall_a / wall_b);
+    std::printf("overhead pair %d: %s %.3fs %s %.3fs (%s/%s throughput %.3f)\n", pair, label_a,
+                wall_a, label_b, wall_b, label_b, label_a, wall_a / wall_b);
   }
 
   std::sort(ratios.begin(), ratios.end());
@@ -560,7 +575,12 @@ void JsonHistogram(JsonWriter& json, const HistogramSnapshot& h) {
   json.Field("p999_ns", h.Percentile(0.999));
 }
 
-void JsonProfile(JsonWriter& json, const ProfileResult& r, double untraced_ops_per_sec) {
+// `ghost`, when non-null, is the flight-recorder overhead experiment's
+// outcome (tracer-without-ring vs tracer-with-ring) riding along on the
+// same profile entry.
+void JsonProfile(JsonWriter& json, const ProfileResult& r, double untraced_ops_per_sec,
+                 const OverheadOutcome* ghost = nullptr, uint64_t ghost_ring_events = 0,
+                 uint64_t ghost_ring_appended = 0) {
   json.BeginObject();
   json.Field("name", r.name);
   json.Field("traced", r.traced);
@@ -578,6 +598,20 @@ void JsonProfile(JsonWriter& json, const ProfileResult& r, double untraced_ops_p
     // per op (see the RunOverheadExperiment comment).
     json.Field("tracing_overhead_ns_per_op",
                (1.0 / r.ops_per_sec - 1.0 / untraced_ops_per_sec) * 1e9);
+  }
+  if (ghost != nullptr) {
+    // Marginal cost of the flight-recorder ring on top of an already-traced
+    // server: same paired-slice methodology, both sides carrying a
+    // TracingObserver, side B streaming every event into the ghost ring.
+    json.Key("flight_recorder").BeginObject();
+    json.Field("ring_events", ghost_ring_events);
+    json.Field("ring_events_appended", ghost_ring_appended);
+    json.Field("ops_per_sec_recorder_off", ghost->untraced_ops_per_sec);
+    json.Field("ops_per_sec_recorder_on", ghost->traced.ops_per_sec);
+    json.Field("ghost_overhead_pct", ghost->overhead_pct);
+    json.Field("ghost_overhead_ns_per_op", ghost->overhead_ns_per_op);
+    json.Field("pairs", static_cast<uint64_t>(ghost->pairs));
+    json.EndObject();
   }
   json.Field("server_connections", r.server.connections_accepted);
   json.Field("server_protocol_errors", r.server.protocol_errors);
@@ -1004,9 +1038,15 @@ int main(int argc, char** argv) {
         profile.name == "fileserver" && BackendObservable(backend) && !with_monitor;
     double untraced_ops_per_sec = 0;
     ProfileResult r;
+    bool have_ghost = false;
+    OverheadOutcome ghost;
+    constexpr size_t kGhostRingEvents = 1 << 16;
+    uint64_t ghost_appended = 0;
     if (measure_overhead) {
       OverheadOutcome outcome =
-          RunOverheadExperiment(profile, backend, transport, clients, ops_per_client);
+          RunOverheadExperiment(profile, backend, transport, clients, ops_per_client,
+                                /*baseline_traced=*/false, /*ring=*/nullptr,
+                                "untraced", "traced");
       r = std::move(outcome.traced);
       untraced_ops_per_sec = outcome.untraced_ops_per_sec;
       PrintProfile(r, clients);
@@ -1014,6 +1054,20 @@ int main(int argc, char** argv) {
           "tracing overhead: %.2f%% of single-core throughput = %.0f ns per op "
           "(median paired-slice ratio over %d pairs; untraced %.0f ops/sec)\n",
           outcome.overhead_pct, outcome.overhead_ns_per_op, outcome.pairs, untraced_ops_per_sec);
+      // Second instrument, same methodology: what does the flight-recorder
+      // ring add on top of a server that is already traced? Both sides run
+      // a TracingObserver; side B streams every event into the ghost ring.
+      TraceRing ring(kGhostRingEvents);
+      ghost = RunOverheadExperiment(profile, backend, transport, clients, ops_per_client,
+                                    /*baseline_traced=*/true, &ring, "recorder-off",
+                                    "recorder-on");
+      have_ghost = true;
+      ghost_appended = ring.total_appended();
+      std::printf(
+          "flight-recorder overhead: %.2f%% = %.0f ns per op on top of tracing "
+          "(median over %d pairs; %llu event(s) recorded into a %zu-event ring)\n",
+          ghost.overhead_pct, ghost.overhead_ns_per_op, ghost.pairs,
+          static_cast<unsigned long long>(ghost_appended), kGhostRingEvents);
     } else {
       r = RunProfile(profile, backend, transport, clients, ops_per_client,
                      /*traced=*/true, with_monitor);
@@ -1023,7 +1077,8 @@ int main(int argc, char** argv) {
             "tracing overhead: not measured under --monitor (verification cost dominates)\n");
       }
     }
-    JsonProfile(json, r, untraced_ops_per_sec);
+    JsonProfile(json, r, untraced_ops_per_sec, have_ghost ? &ghost : nullptr,
+                kGhostRingEvents, ghost_appended);
   }
 
   json.EndArray();

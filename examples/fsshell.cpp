@@ -5,6 +5,8 @@
 //   mkdir PATH | touch PATH | rm PATH | rmdir PATH | mv SRC DST | xchg A B
 //   ls PATH    | stat PATH  | cat PATH | write PATH TEXT... | tree [PATH]
 //   metrics (remote mounts only: fetch and print the atomtrace dump)
+//   trace-dump [FILE] (remote: fetch the flight-recorder ring as Perfetto JSON)
+//   prom (remote: fetch the metrics registry in Prometheus text format)
 //   help | quit
 //
 //   $ printf 'mkdir /a\nwrite /a/f hello world\ncat /a/f\ntree /\n' | ./fsshell
@@ -88,7 +90,45 @@ int main(int argc, char** argv) {
     if (cmd == "quit" || cmd == "exit") {
       break;
     } else if (cmd == "help") {
-      std::printf("mkdir touch rm rmdir mv xchg ls stat cat write tree metrics quit\n");
+      std::printf(
+          "mkdir touch rm rmdir mv xchg ls stat cat write tree metrics "
+          "trace-dump prom quit\n");
+    } else if (cmd == "trace-dump") {
+      if (remote == nullptr) {
+        std::printf("trace-dump: only available on a remote mount (--connect)\n");
+        continue;
+      }
+      auto json = remote->FetchTraceJson();
+      if (!json.ok()) {
+        std::printf("trace-dump: %s\n", ErrcName(json.status().code()).data());
+        continue;
+      }
+      if (in >> a) {
+        std::FILE* f = std::fopen(a.c_str(), "w");
+        if (f == nullptr) {
+          std::printf("trace-dump: cannot open %s\n", a.c_str());
+          continue;
+        }
+        std::fputs(json->c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("wrote %zu bytes to %s (load in ui.perfetto.dev)\n",
+                    json->size(), a.c_str());
+      } else {
+        std::fputs(json->c_str(), stdout);
+        std::fputc('\n', stdout);
+      }
+    } else if (cmd == "prom") {
+      if (remote == nullptr) {
+        std::printf("prom: only available on a remote mount (--connect)\n");
+        continue;
+      }
+      auto text = remote->FetchPrometheus();
+      if (!text.ok()) {
+        std::printf("prom: %s\n", ErrcName(text.status().code()).data());
+        continue;
+      }
+      std::fputs(text->c_str(), stdout);
     } else if (cmd == "metrics") {
       if (remote == nullptr) {
         std::printf("metrics: only available on a remote mount (--connect)\n");

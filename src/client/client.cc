@@ -631,4 +631,34 @@ Result<MetricsSnapshot> AtomFsClient::FetchMetrics() {
   return snap;
 }
 
+Result<std::string> AtomFsClient::FetchTraceJson() {
+  WireRequest req;
+  req.op = WireOp::kTraceDump;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  std::string json;
+  if (!r.Str(&json, kWireMaxFrameBytes) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return json;
+}
+
+Result<std::string> AtomFsClient::FetchPrometheus() {
+  WireRequest req;
+  req.op = WireOp::kProm;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  std::string text;
+  if (!r.Str(&text, kWireMaxFrameBytes) || !r.AtEnd()) {
+    return Errc::kProto;
+  }
+  return text;
+}
+
 }  // namespace atomfs

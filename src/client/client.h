@@ -194,6 +194,14 @@ class AtomFsClient : public FileSystem {
   // lock-coupling and helper metrics. Percentiles computed on the returned
   // snapshot equal the server's (buckets travel whole).
   Result<MetricsSnapshot> FetchMetrics();
+  // Chrome trace-event / Perfetto JSON of the server's flight-recorder ring
+  // (WireOp::kTraceDump). Valid-but-empty document when the server has no
+  // ring attached; the oldest events are dropped server-side if the full
+  // window would overflow a wire frame.
+  Result<std::string> FetchTraceJson();
+  // Prometheus text exposition of the server's metrics registry
+  // (WireOp::kProm).
+  Result<std::string> FetchPrometheus();
 
  private:
   explicit AtomFsClient(std::unique_ptr<ClientSession> session)

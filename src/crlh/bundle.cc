@@ -1,0 +1,468 @@
+#include "src/crlh/bundle.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <set>
+#include <sstream>
+
+#include "src/afs/spec_fs.h"
+#include "src/workload/trace.h"
+
+namespace atomfs {
+
+namespace {
+
+constexpr std::string_view kBundleHeader = "# atomfs-bundle v1";
+
+std::string ToHex(const void* data, size_t n) {
+  static const char kDigits[] = "0123456789abcdef";
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::string out;
+  out.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) {
+    out += kDigits[bytes[i] >> 4];
+    out += kDigits[bytes[i] & 0xF];
+  }
+  return out;
+}
+
+bool FromHex(std::string_view hex, std::vector<std::byte>& out) {
+  if (hex.size() % 2 != 0) {
+    return false;
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') {
+      return c - '0';
+    }
+    if (c >= 'a' && c <= 'f') {
+      return c - 'a' + 10;
+    }
+    return -1;
+  };
+  out.clear();
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    out.push_back(static_cast<std::byte>((hi << 4) | lo));
+  }
+  return true;
+}
+
+// Compact one-token OpResult encoding: `s:<errc>` plus optional `;`-joined
+// parts — `a:<ino>,<type>,<size>` (stat attr), `n:<nbytes>`,
+// `e:<hexname>,<type>|...` (readdir entries), `d:<hexdata>` (read payload).
+std::string EncodeResult(const OpResult& r) {
+  std::ostringstream os;
+  os << "s:" << static_cast<int>(r.status.code());
+  if (r.attr.ino != kInvalidInum) {
+    os << ";a:" << r.attr.ino << "," << static_cast<int>(r.attr.type) << "," << r.attr.size;
+  }
+  if (r.nbytes != 0) {
+    os << ";n:" << r.nbytes;
+  }
+  if (!r.entries.empty()) {
+    os << ";e:";
+    for (size_t i = 0; i < r.entries.size(); ++i) {
+      if (i != 0) {
+        os << "|";
+      }
+      os << ToHex(r.entries[i].name.data(), r.entries[i].name.size()) << ","
+         << static_cast<int>(r.entries[i].type);
+    }
+  }
+  if (!r.data.empty()) {
+    os << ";d:" << ToHex(r.data.data(), r.data.size());
+  }
+  return os.str();
+}
+
+bool ParseU64(std::string_view s, uint64_t& out) {
+  if (s.empty()) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool DecodeResult(std::string_view enc, OpResult& r) {
+  r = OpResult{};
+  size_t pos = 0;
+  while (pos < enc.size()) {
+    const size_t end = std::min(enc.find(';', pos), enc.size());
+    const std::string_view part = enc.substr(pos, end - pos);
+    pos = end + 1;
+    if (part.size() < 2 || part[1] != ':') {
+      return false;
+    }
+    const std::string_view val = part.substr(2);
+    switch (part[0]) {
+      case 's': {
+        uint64_t code = 0;
+        if (!ParseU64(val, code) || code > 255) {
+          return false;
+        }
+        r.status = Status(static_cast<Errc>(code));
+        break;
+      }
+      case 'a': {
+        const size_t c1 = val.find(',');
+        const size_t c2 = val.find(',', c1 == std::string_view::npos ? c1 : c1 + 1);
+        uint64_t ino = 0, type = 0, size = 0;
+        if (c1 == std::string_view::npos || c2 == std::string_view::npos ||
+            !ParseU64(val.substr(0, c1), ino) ||
+            !ParseU64(val.substr(c1 + 1, c2 - c1 - 1), type) ||
+            !ParseU64(val.substr(c2 + 1), size) || type > 1) {
+          return false;
+        }
+        r.attr.ino = ino;
+        r.attr.type = static_cast<FileType>(type);
+        r.attr.size = size;
+        break;
+      }
+      case 'n': {
+        if (!ParseU64(val, r.nbytes)) {
+          return false;
+        }
+        break;
+      }
+      case 'e': {
+        size_t p = 0;
+        while (p <= val.size()) {
+          const size_t bar = std::min(val.find('|', p), val.size());
+          const std::string_view item = val.substr(p, bar - p);
+          p = bar + 1;
+          const size_t comma = item.find(',');
+          uint64_t type = 0;
+          std::vector<std::byte> name;
+          if (comma == std::string_view::npos || !FromHex(item.substr(0, comma), name) ||
+              !ParseU64(item.substr(comma + 1), type) || type > 1) {
+            return false;
+          }
+          DirEntry entry;
+          entry.name.assign(reinterpret_cast<const char*>(name.data()), name.size());
+          entry.type = static_cast<FileType>(type);
+          r.entries.push_back(std::move(entry));
+          if (bar == val.size()) {
+            break;
+          }
+        }
+        break;
+      }
+      case 'd': {
+        if (!FromHex(val, r.data)) {
+          return false;
+        }
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+const char* AopStateName(AopState s) {
+  switch (s) {
+    case AopState::kPending:
+      return "pending";
+    case AopState::kHelped:
+      return "helped";
+    case AopState::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+bool ParseAopState(std::string_view s, AopState& out) {
+  if (s == "pending") {
+    out = AopState::kPending;
+  } else if (s == "helped") {
+    out = AopState::kHelped;
+  } else if (s == "done") {
+    out = AopState::kDone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Splits `line` at the first " call=": key=value tokens on the left, the
+// trace line on the right (trace lines contain spaces, so call= must close
+// the record).
+bool SplitCall(std::string_view line, std::string_view& head, std::string_view& call) {
+  const size_t pos = line.find(" call=");
+  if (pos == std::string_view::npos) {
+    return false;
+  }
+  head = line.substr(0, pos);
+  call = line.substr(pos + 6);
+  return true;
+}
+
+// Extracts `key=` from a space-separated k=v token list.
+bool TokenValue(std::string_view head, std::string_view key, std::string_view& out) {
+  size_t pos = 0;
+  while (pos < head.size()) {
+    const size_t end = std::min(head.find(' ', pos), head.size());
+    const std::string_view token = head.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.size() > key.size() && token.substr(0, key.size()) == key &&
+        token[key.size()] == '=') {
+      out = token.substr(key.size() + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TokenU64(std::string_view head, std::string_view key, uint64_t& out) {
+  std::string_view v;
+  return TokenValue(head, key, v) && ParseU64(v, out);
+}
+
+}  // namespace
+
+PostMortemBundle BuildPostMortemBundle(const CrlhMonitor::PostMortem& pm,
+                                       const std::vector<TraceEvent>& ring_events) {
+  PostMortemBundle b;
+  b.message = pm.message;
+  b.seq = pm.seq;
+  b.helplist = pm.helplist;
+
+  std::set<Tid> involved(pm.helplist.begin(), pm.helplist.end());
+  for (const auto& [tid, d] : pm.pool) {
+    BundleDescriptor bd;
+    bd.tid = tid;
+    bd.state = d.state;
+    bd.helper = d.helper;
+    bd.lp_passed = d.lp_passed;
+    std::string paths;
+    for (const LockPath* lp : d.LockPaths()) {
+      if (!paths.empty()) {
+        paths += "+";
+      }
+      paths += lp->ToString();
+    }
+    bd.lock_paths = std::move(paths);
+    bd.call = d.call;
+    b.descriptors.push_back(std::move(bd));
+    involved.insert(tid);
+    if (d.helper != 0) {
+      involved.insert(d.helper);
+    }
+  }
+
+  for (const CrlhMonitor::CompletedRecord& rec : pm.history) {
+    BundleHistoryEntry e;
+    e.tid = rec.tid;
+    e.helped = rec.helped;
+    e.helper = rec.helper;
+    e.abs_seq = rec.abs_seq;
+    e.call = rec.call;
+    e.concrete = rec.concrete;
+    b.history.push_back(std::move(e));
+    if (rec.helped) {
+      involved.insert(rec.tid);
+      involved.insert(rec.helper);
+    }
+  }
+  std::stable_sort(b.history.begin(), b.history.end(),
+                   [](const BundleHistoryEntry& x, const BundleHistoryEntry& y) {
+                     return x.abs_seq < y.abs_seq;
+                   });
+
+  // Causal slice: events of the involved threads, help edges touching them,
+  // and the thread-less global events. With nothing in flight and no helping
+  // there is no causal restriction — keep the whole window.
+  for (const TraceEvent& e : ring_events) {
+    const bool global =
+        e.type == TraceEventType::kRollback || e.type == TraceEventType::kViolation;
+    const bool help_edge = e.type == TraceEventType::kHelp && e.ino != 0 &&
+                           involved.count(static_cast<Tid>(e.ino)) != 0;
+    if (involved.empty() || global || help_edge || involved.count(e.tid) != 0) {
+      b.ghost.push_back(e);
+    }
+  }
+  return b;
+}
+
+std::string FormatBundle(const PostMortemBundle& b) {
+  std::ostringstream os;
+  os << kBundleHeader << "\n";
+  os << "seq " << b.seq << "\n";
+  os << "message " << b.message << "\n";
+  os << "helplist";
+  for (Tid t : b.helplist) {
+    os << " " << t;
+  }
+  os << "\n";
+  for (const BundleDescriptor& d : b.descriptors) {
+    os << "desc tid=" << d.tid << " state=" << AopStateName(d.state) << " helper=" << d.helper
+       << " lp=" << (d.lp_passed ? 1 : 0)
+       << " paths=" << (d.lock_paths.empty() ? "()" : d.lock_paths)
+       << " call=" << FormatTraceLine(d.call) << "\n";
+  }
+  for (const BundleHistoryEntry& h : b.history) {
+    os << "hist tid=" << h.tid << " helped=" << (h.helped ? 1 : 0) << " helper=" << h.helper
+       << " abs_seq=" << h.abs_seq << " result=" << EncodeResult(h.concrete)
+       << " call=" << FormatTraceLine(h.call) << "\n";
+  }
+  for (const TraceEvent& e : b.ghost) {
+    os << "ghost " << e.seq << " " << e.t_ns << " " << e.tid << " "
+       << static_cast<unsigned>(e.type) << " " << static_cast<unsigned>(e.op) << " "
+       << static_cast<unsigned>(e.role) << " " << static_cast<unsigned>(e.flags) << " "
+       << e.depth << " " << e.ino << " " << e.arg << " " << e.aux << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Result<PostMortemBundle> ParseBundle(std::istream& in) {
+  PostMortemBundle b;
+  std::string line;
+  if (!std::getline(in, line) || line != kBundleHeader) {
+    return Errc::kInval;
+  }
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    const size_t sp = line.find(' ');
+    const std::string_view keyword = std::string_view(line).substr(0, sp);
+    const std::string_view rest =
+        sp == std::string::npos ? std::string_view{} : std::string_view(line).substr(sp + 1);
+    if (keyword == "seq") {
+      if (!ParseU64(rest, b.seq)) {
+        return Errc::kInval;
+      }
+    } else if (keyword == "message") {
+      b.message = std::string(rest);
+    } else if (keyword == "helplist") {
+      size_t pos = 0;
+      while (pos < rest.size()) {
+        const size_t end = std::min(rest.find(' ', pos), rest.size());
+        uint64_t tid = 0;
+        if (!ParseU64(rest.substr(pos, end - pos), tid)) {
+          return Errc::kInval;
+        }
+        b.helplist.push_back(static_cast<Tid>(tid));
+        pos = end + 1;
+      }
+    } else if (keyword == "desc") {
+      std::string_view head, call;
+      if (!SplitCall(rest, head, call)) {
+        return Errc::kInval;
+      }
+      BundleDescriptor d;
+      uint64_t tid = 0, helper = 0, lp = 0;
+      std::string_view state, paths;
+      if (!TokenU64(head, "tid", tid) || !TokenValue(head, "state", state) ||
+          !TokenU64(head, "helper", helper) || !TokenU64(head, "lp", lp) ||
+          !TokenValue(head, "paths", paths) || !ParseAopState(state, d.state)) {
+        return Errc::kInval;
+      }
+      d.tid = static_cast<Tid>(tid);
+      d.helper = static_cast<Tid>(helper);
+      d.lp_passed = lp != 0;
+      d.lock_paths = std::string(paths);
+      auto parsed = ParseTraceLine(call);
+      if (!parsed.ok()) {
+        return parsed.status();
+      }
+      d.call = std::move(*parsed);
+      b.descriptors.push_back(std::move(d));
+    } else if (keyword == "hist") {
+      std::string_view head, call;
+      if (!SplitCall(rest, head, call)) {
+        return Errc::kInval;
+      }
+      BundleHistoryEntry h;
+      uint64_t tid = 0, helped = 0, helper = 0;
+      std::string_view result;
+      if (!TokenU64(head, "tid", tid) || !TokenU64(head, "helped", helped) ||
+          !TokenU64(head, "helper", helper) || !TokenU64(head, "abs_seq", h.abs_seq) ||
+          !TokenValue(head, "result", result) || !DecodeResult(result, h.concrete)) {
+        return Errc::kInval;
+      }
+      h.tid = static_cast<Tid>(tid);
+      h.helped = helped != 0;
+      h.helper = static_cast<Tid>(helper);
+      auto parsed = ParseTraceLine(call);
+      if (!parsed.ok()) {
+        return parsed.status();
+      }
+      h.call = std::move(*parsed);
+      b.history.push_back(std::move(h));
+    } else if (keyword == "ghost") {
+      unsigned long long seq = 0, t_ns = 0, tid = 0, type = 0, op = 0, role = 0, flags = 0,
+                         depth = 0, ino = 0, arg = 0, aux = 0;
+      if (std::sscanf(std::string(rest).c_str(), "%llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu",
+                      &seq, &t_ns, &tid, &type, &op, &role, &flags, &depth, &ino, &arg,
+                      &aux) != 11) {
+        return Errc::kInval;
+      }
+      TraceEvent e;
+      e.seq = seq;
+      e.t_ns = t_ns;
+      e.tid = static_cast<Tid>(tid);
+      e.type = static_cast<TraceEventType>(type);
+      e.op = static_cast<uint8_t>(op);
+      e.role = static_cast<uint8_t>(role);
+      e.flags = static_cast<uint8_t>(flags);
+      e.depth = static_cast<uint16_t>(depth);
+      e.ino = ino;
+      e.arg = arg;
+      e.aux = aux;
+      b.ghost.push_back(e);
+    } else {
+      return Errc::kInval;
+    }
+  }
+  if (!saw_end) {
+    return Errc::kInval;
+  }
+  return b;
+}
+
+BundleReplay ReplayBundle(const PostMortemBundle& b) {
+  BundleReplay r;
+  SpecFs spec;
+  for (size_t i = 0; i < b.history.size(); ++i) {
+    const BundleHistoryEntry& h = b.history[i];
+    const OpResult replayed = RunOp(spec, h.call);
+    ++r.ops_replayed;
+    if (!ResultsEquivalent(h.call.kind, h.concrete, replayed)) {
+      r.reproduced = true;
+      r.divergence_index = i;
+      std::ostringstream os;
+      os << "REFINEMENT violation reproduced at history index " << i << ": "
+         << h.call.ToString() << " of thread " << h.tid << " recorded "
+         << h.concrete.ToString(h.call.kind) << " but sequential replay returned "
+         << replayed.ToString(h.call.kind);
+      r.verdict = os.str();
+      return r;
+    }
+  }
+  r.verdict = "replay clean: " + std::to_string(r.ops_replayed) +
+              " ops reproduce their recorded results in the recorded abstract order";
+  return r;
+}
+
+}  // namespace atomfs

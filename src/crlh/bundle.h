@@ -1,0 +1,94 @@
+// Post-mortem violation bundles (the flight recorder's crash dump).
+//
+// When the CRL-H monitor records a violation, the surrounding harness
+// (atomfsd --monitor, tests, exploration drivers) can harvest a
+// CrlhMonitor::PostMortem plus a TraceRing snapshot and turn them into a
+// *bundle*: a self-contained, line-oriented text document holding
+//
+//   * the first violation's message and ghost time,
+//   * the Helplist and every in-flight Descriptor at harvest time,
+//   * the completed op history in abstract (linearization) order, each op
+//     with its recorded concrete result — the minimal history sufficient to
+//     replay the claimed linearization through the SpecFs oracle, and
+//   * the causal slice of ghost events for the involved threads.
+//
+// `atomfs_verify --bundle FILE` parses a bundle and replays its history:
+// running the ops in recorded abstract order against a fresh SpecFs must
+// reproduce each recorded concrete result (under ResultsEquivalent); a
+// divergence reproduces the refinement verdict offline, away from the
+// concurrent schedule that produced it.
+
+#ifndef ATOMFS_SRC_CRLH_BUNDLE_H_
+#define ATOMFS_SRC_CRLH_BUNDLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/crlh/monitor.h"
+#include "src/obs/trace.h"
+#include "src/util/status.h"
+
+namespace atomfs {
+
+// One completed operation in the bundle's history, in abstract order.
+struct BundleHistoryEntry {
+  Tid tid = 0;
+  bool helped = false;
+  Tid helper = 0;
+  uint64_t abs_seq = 0;
+  OpCall call;
+  OpResult concrete;
+};
+
+// A snapshot of one in-flight Descriptor (formatting only; replay does not
+// need it, humans debugging the schedule do).
+struct BundleDescriptor {
+  Tid tid = 0;
+  AopState state = AopState::kPending;
+  Tid helper = 0;
+  bool lp_passed = false;
+  std::string lock_paths;  // formatted LockPath(s)
+  OpCall call;
+};
+
+struct PostMortemBundle {
+  std::string message;
+  uint64_t seq = 0;
+  std::vector<Tid> helplist;
+  std::vector<BundleDescriptor> descriptors;
+  std::vector<BundleHistoryEntry> history;  // sorted by abs_seq
+  std::vector<TraceEvent> ghost;            // causal slice, oldest first
+};
+
+// Assembles a bundle from a harvested post-mortem and a ring snapshot. The
+// ghost slice keeps events of the involved threads (in-flight descriptors,
+// Helplist members, helpers, and helped history entries) plus the global
+// events (roll-backs, violations); pass an empty vector when no ring was
+// attached.
+PostMortemBundle BuildPostMortemBundle(const CrlhMonitor::PostMortem& pm,
+                                       const std::vector<TraceEvent>& ring_events);
+
+// The versioned text form ("# atomfs-bundle v1"). Round-trips through
+// ParseBundle.
+std::string FormatBundle(const PostMortemBundle& bundle);
+
+// Parses a bundle document; kInval on malformed input.
+Result<PostMortemBundle> ParseBundle(std::istream& in);
+
+struct BundleReplay {
+  // True when the replay diverged — the bundle reproduces the refinement
+  // violation offline.
+  bool reproduced = false;
+  size_t ops_replayed = 0;
+  size_t divergence_index = 0;  // into PostMortemBundle::history, when reproduced
+  std::string verdict;          // human-readable outcome
+};
+
+// Replays the bundle's history in recorded abstract order against a fresh
+// SpecFs, comparing each recorded concrete result via ResultsEquivalent.
+BundleReplay ReplayBundle(const PostMortemBundle& bundle);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_CRLH_BUNDLE_H_

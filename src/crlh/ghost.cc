@@ -68,7 +68,11 @@ bool LinearizeBefore(const Descriptor& before, const Descriptor& after) {
 }
 
 std::optional<std::vector<Tid>> ComputeHelpOrder(Tid renamer,
-                                                 const std::map<Tid, Descriptor>& pool) {
+                                                 const std::map<Tid, Descriptor>& pool,
+                                                 std::map<Tid, HelpReason>* reasons) {
+  if (reasons != nullptr) {
+    reasons->clear();
+  }
   auto renamer_it = pool.find(renamer);
   ATOMFS_CHECK(renamer_it != pool.end());
   const Descriptor& rd = renamer_it->second;
@@ -97,6 +101,9 @@ std::optional<std::vector<Tid>> ComputeHelpOrder(Tid renamer,
     }
     if (dependent) {
       help_set.insert(kv.first);
+      if (reasons != nullptr) {
+        (*reasons)[kv.first] = HelpReason::kSrcPrefix;
+      }
     }
   }
 
@@ -113,6 +120,9 @@ std::optional<std::vector<Tid>> ComputeHelpOrder(Tid renamer,
         }
         if (LinearizeBefore(kv.second, md)) {
           help_set.insert(kv.first);
+          if (reasons != nullptr) {
+            (*reasons)[kv.first] = HelpReason::kLockPathPrefix;
+          }
           changed = true;
         }
       }

@@ -31,6 +31,7 @@
 
 #include "src/afs/op.h"
 #include "src/crlh/effects.h"
+#include "src/obs/sink.h"
 #include "src/util/tid.h"
 #include "src/vfs/filesystem.h"
 
@@ -120,8 +121,13 @@ bool LinearizeBefore(const Descriptor& before, const Descriptor& after);
 // The helping set and order for `renamer` (must be a pending rename in
 // `pool`). Only pending (unhelped, pre-LP) threads other than the renamer
 // are candidates. Returns std::nullopt on a cyclic constraint graph.
+// When `reasons` is non-null it receives, for every member of the helping
+// set, whether it joined in Step-1 (HelpReason::kSrcPrefix — the helper's
+// breaking path is a prefix of its LockPath) or in the Step-2 closure
+// (HelpReason::kLockPathPrefix).
 std::optional<std::vector<Tid>> ComputeHelpOrder(Tid renamer,
-                                                 const std::map<Tid, Descriptor>& pool);
+                                                 const std::map<Tid, Descriptor>& pool,
+                                                 std::map<Tid, HelpReason>* reasons = nullptr);
 
 }  // namespace atomfs
 

@@ -24,7 +24,19 @@ CrlhMonitor::CrlhMonitor(Options options) : opts_(options) {
 }
 
 void CrlhMonitor::Violation(std::string message) {
+  if (violations_.empty()) {
+    first_violation_seq_ = seq_;
+  }
+  if (opts_.obs != nullptr) {
+    opts_.obs->OnViolation(message, seq_);
+  }
   violations_.push_back(std::move(message));
+}
+
+void CrlhMonitor::ReportInvariantLocked(InvariantKind kind, Tid tid, bool passed) {
+  if (opts_.obs != nullptr) {
+    opts_.obs->OnInvariantCheck(kind, tid, passed);
+  }
 }
 
 bool CrlhMonitor::ok() const {
@@ -50,6 +62,21 @@ uint64_t CrlhMonitor::helped_ops() const {
 std::vector<CrlhMonitor::CompletedRecord> CrlhMonitor::Completed() const {
   std::lock_guard<std::mutex> lk(mu_);
   return completed_;
+}
+
+std::optional<CrlhMonitor::PostMortem> CrlhMonitor::PostMortemState() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (violations_.empty()) {
+    return std::nullopt;
+  }
+  PostMortem pm;
+  pm.message = violations_.front();
+  pm.seq = first_violation_seq_;
+  pm.helplist = helplist_;
+  pm.pool = pool_;
+  pm.history = completed_;
+  pm.abstract = aspec_;
+  return pm;
 }
 
 std::vector<Tid> CrlhMonitor::Helplist() const {
@@ -119,7 +146,9 @@ void CrlhMonitor::OnLockAcquired(Tid tid, Inum ino, LockPathRole role) {
   // Future-lockpath-validness for this thread: a helped operation must
   // acquire exactly the locks predicted when it was helped.
   if (d.state == AopState::kHelped && d.fut_tracked) {
-    if (d.fut_lock_path.empty() || d.fut_lock_path.front() != ino) {
+    const bool predicted = !d.fut_lock_path.empty() && d.fut_lock_path.front() == ino;
+    ReportInvariantLocked(InvariantKind::kFutureLockpathValidness, tid, predicted);
+    if (!predicted) {
       std::ostringstream os;
       os << "Future-lockpath-validness violated: thread " << tid << " locked " << ino
          << " but FutLockPath predicts "
@@ -135,15 +164,19 @@ void CrlhMonitor::OnLockAcquired(Tid tid, Inum ino, LockPathRole role) {
   // helped operation is still predicted to lock — that would mean the helped
   // op is being bypassed and could compute a result inconsistent with its
   // already-published abstract outcome.
+  bool bypass_applicable = false;  // some other helped op's FutLockPath is live
+  bool bypass_failed = false;
   for (const auto& [otid, od] : pool_) {
     if (otid == tid || od.state != AopState::kHelped || !od.fut_tracked) {
       continue;
     }
+    bypass_applicable = true;
     if (std::find(od.fut_lock_path.begin(), od.fut_lock_path.end(), ino) ==
         od.fut_lock_path.end()) {
       continue;
     }
     if (d.state == AopState::kPending) {
+      bypass_failed = true;
       std::ostringstream os;
       os << "Unhelped-non-bypassable violated: unhelped thread " << tid << " locked inode "
          << ino << " in FutLockPath of helped thread " << otid;
@@ -152,12 +185,19 @@ void CrlhMonitor::OnLockAcquired(Tid tid, Inum ino, LockPathRole role) {
       const auto self_pos = std::find(helplist_.begin(), helplist_.end(), tid);
       const auto other_pos = std::find(helplist_.begin(), helplist_.end(), otid);
       if (self_pos > other_pos) {
+        bypass_failed = true;
         std::ostringstream os;
         os << "Helped-non-bypassable violated: thread " << tid
            << " (helped later) locked inode " << ino << " in FutLockPath of thread " << otid;
         Violation(os.str());
       }
     }
+  }
+  if (bypass_applicable && d.state != AopState::kDone) {
+    ReportInvariantLocked(d.state == AopState::kPending
+                              ? InvariantKind::kUnhelpedNonBypassable
+                              : InvariantKind::kHelpedNonBypassable,
+                          tid, !bypass_failed);
   }
 }
 
@@ -180,14 +220,17 @@ void CrlhMonitor::OnLockReleased(Tid tid, Inum ino) {
   if (opts_.check_invariants && !d.lp_passed) {
     // Last-locked-lockpath: before its LP, a thread never releases the last
     // inode of a LockPath (lock coupling acquires the next lock first).
+    bool released_tip = false;
     for (const LockPath* lp : d.LockPaths()) {
       if (!lp->inos.empty() && lp->inos.back() == ino) {
+        released_tip = true;
         std::ostringstream os;
         os << "Last-locked-lockpath violated: thread " << tid
            << " released the tip of its LockPath " << lp->ToString() << " before its LP";
         Violation(os.str());
       }
     }
+    ReportInvariantLocked(InvariantKind::kLastLockedLockpath, tid, !released_tip);
   }
 }
 
@@ -201,7 +244,12 @@ void CrlhMonitor::ApplyAopLocked(Tid tid, Descriptor& d, Inum forced_ino, bool r
 }
 
 void CrlhMonitor::CheckGoodAfsLocked(const char* where) {
-  if (opts_.check_invariants && !aspec_.WellFormed()) {
+  if (!opts_.check_invariants) {
+    return;
+  }
+  const bool well_formed = aspec_.WellFormed();
+  ReportInvariantLocked(InvariantKind::kGoodAfs, 0, well_formed);
+  if (!well_formed) {
     Violation(std::string("GoodAFS violated ") + where);
   }
 }
@@ -265,7 +313,7 @@ void CrlhMonitor::ComputeFutLockPathLocked(Descriptor& d) {
   d.fut_tracked = true;
 }
 
-void CrlhMonitor::HelpThreadLocked(Tid helper, Tid target) {
+void CrlhMonitor::HelpThreadLocked(Tid helper, Tid target, HelpReason reason) {
   Descriptor& td = pool_.at(target);
   ATOMFS_CHECK(td.state == AopState::kPending);
   Inum forced = kInvalidInum;
@@ -283,7 +331,7 @@ void CrlhMonitor::HelpThreadLocked(Tid helper, Tid target) {
   helplist_.push_back(target);
   ++helped_ops_;
   if (opts_.obs != nullptr) {
-    opts_.obs->OnHelpedLinearized(helper, target, helplist_.size());
+    opts_.obs->OnHelpedLinearized(helper, target, reason, helplist_.size(), helplist_.size());
   }
 }
 
@@ -322,13 +370,18 @@ void CrlhMonitor::OnLp(Tid tid, Inum created_ino) {
       RemapPlaceholderLocked(d.placeholder, created_ino);
       d.placeholder = kInvalidInum;
     }
-    if (opts_.check_invariants && d.fut_tracked && !d.fut_lock_path.empty()) {
-      std::ostringstream os;
-      os << "Future-lockpath-validness violated: thread " << tid
-         << " reached its LP with unacquired predicted locks";
-      Violation(os.str());
+    if (opts_.check_invariants && d.fut_tracked) {
+      ReportInvariantLocked(InvariantKind::kFutureLockpathValidness, tid,
+                            d.fut_lock_path.empty());
+      if (!d.fut_lock_path.empty()) {
+        std::ostringstream os;
+        os << "Future-lockpath-validness violated: thread " << tid
+           << " reached its LP with unacquired predicted locks";
+        Violation(os.str());
+      }
     }
     auto pos = std::find(helplist_.begin(), helplist_.end(), tid);
+    ReportInvariantLocked(InvariantKind::kHelplistConsistency, tid, pos != helplist_.end());
     if (pos == helplist_.end()) {
       Violation("Helplist-consistency violated: helped thread " + std::to_string(tid) +
                 " missing from Helplist");
@@ -343,15 +396,21 @@ void CrlhMonitor::OnLp(Tid tid, Inum created_ino) {
     return;
   }
 
-  if (opts_.check_invariants && std::count(helplist_.begin(), helplist_.end(), tid) != 0) {
-    Violation("Helplist-consistency violated: pending thread " + std::to_string(tid) +
-              " present in Helplist");
+  if (opts_.check_invariants) {
+    const bool absent = std::count(helplist_.begin(), helplist_.end(), tid) == 0;
+    ReportInvariantLocked(InvariantKind::kHelplistConsistency, tid, absent);
+    if (!absent) {
+      Violation("Helplist-consistency violated: pending thread " + std::to_string(tid) +
+                " present in Helplist");
+    }
   }
 
   if (IsHelperOp(d.call.kind) && !opts_.fixed_lp_mode) {
     // linothers: find the helping set and order, linearize each helped
     // thread's Aop, then the rename's own (paper Fig. 5).
-    auto order = ComputeHelpOrder(tid, pool_);
+    std::map<Tid, HelpReason> reasons;
+    auto order = ComputeHelpOrder(tid, pool_, &reasons);
+    ReportInvariantLocked(InvariantKind::kLockpathWellformed, tid, order.has_value());
     if (!order.has_value()) {
       Violation("Lockpath-wellformed violated: linearize-before relation is cyclic at "
                 "rename LP of thread " +
@@ -364,7 +423,9 @@ void CrlhMonitor::OnLp(Tid tid, Inum created_ino) {
         }
       }
       for (Tid target : *order) {
-        HelpThreadLocked(tid, target);
+        auto rit = reasons.find(target);
+        HelpThreadLocked(tid, target,
+                         rit != reasons.end() ? rit->second : HelpReason::kSrcPrefix);
         pool_.at(target).abs_seq = seq_;
       }
     }
@@ -384,15 +445,20 @@ void CrlhMonitor::OnOpEnd(Tid tid, const OpResult& result) {
   }
   Descriptor& d = it->second;
   if (!d.lp_passed || !d.has_abs_result) {
+    ReportInvariantLocked(InvariantKind::kRefinement, tid, false);
     Violation("op " + d.call.ToString() + " of thread " + std::to_string(tid) +
               " returned without linearizing");
-  } else if (!ResultsEquivalent(d.call.kind, result, d.abs_result)) {
-    std::ostringstream os;
-    os << "REFINEMENT violated: " << d.call.ToString() << " of thread " << tid
-       << " returned " << result.ToString(d.call.kind) << " but its abstract operation "
-       << (d.helper != 0 ? "(helped) " : "") << "returned "
-       << d.abs_result.ToString(d.call.kind);
-    Violation(os.str());
+  } else {
+    const bool equivalent = ResultsEquivalent(d.call.kind, result, d.abs_result);
+    ReportInvariantLocked(InvariantKind::kRefinement, tid, equivalent);
+    if (!equivalent) {
+      std::ostringstream os;
+      os << "REFINEMENT violated: " << d.call.ToString() << " of thread " << tid
+         << " returned " << result.ToString(d.call.kind) << " but its abstract operation "
+         << (d.helper != 0 ? "(helped) " : "") << "returned "
+         << d.abs_result.ToString(d.call.kind);
+      Violation(os.str());
+    }
   }
   if (opts_.check_invariants && !d.held.empty()) {
     Violation("thread " + std::to_string(tid) + " finished an op still holding locks");
@@ -423,11 +489,14 @@ bool CrlhMonitor::CheckQuiescent(const SpecFs& concrete_snapshot) {
     Violation("CheckQuiescent called with operations in flight");
     good = false;
   }
+  ReportInvariantLocked(InvariantKind::kHelplistConsistency, 0, helplist_.empty());
   if (!helplist_.empty()) {
     Violation("Helplist-consistency violated: non-empty Helplist at quiescence");
     good = false;
   }
-  if (!StructurallyEqual(aspec_, concrete_snapshot)) {
+  const bool equal = StructurallyEqual(aspec_, concrete_snapshot);
+  ReportInvariantLocked(InvariantKind::kAbstractConcrete, 0, equal);
+  if (!equal) {
     Violation("Abstract-concrete-relation violated: trees differ at quiescence");
     good = false;
   }
@@ -481,6 +550,7 @@ bool CrlhMonitor::CheckAbstractConcreteRelation(const SpecFs& concrete_snapshot)
   for (auto it = helplist_.rbegin(); it != helplist_.rend(); ++it) {
     auto pit = pool_.find(*it);
     if (pit == pool_.end()) {
+      ReportInvariantLocked(InvariantKind::kHelplistConsistency, *it, false);
       Violation("Helplist-consistency violated: Helplist names a finished thread");
       return false;
     }
@@ -490,7 +560,9 @@ bool CrlhMonitor::CheckAbstractConcreteRelation(const SpecFs& concrete_snapshot)
   for (const auto& [tid, d] : pool_) {
     locked.insert(d.held.begin(), d.held.end());
   }
-  if (!RelaxedEqualAt(rolled, kRootInum, concrete_snapshot, kRootInum, locked)) {
+  const bool equal = RelaxedEqualAt(rolled, kRootInum, concrete_snapshot, kRootInum, locked);
+  ReportInvariantLocked(InvariantKind::kAbstractConcrete, 0, equal);
+  if (!equal) {
     Violation("Abstract-concrete-relation violated: roll-back of helped effects does not "
               "match the concrete tree");
     return false;

@@ -68,6 +68,19 @@ class CrlhMonitor : public FsObserver {
     Tid helper = 0;
   };
 
+  // Post-mortem snapshot harvested after a violation: the first violation's
+  // message and ghost time, plus the ghost state (Descriptor pool, Helplist,
+  // abstract tree) and the completed history as of harvest time — everything
+  // src/crlh/bundle.h needs to format a replayable bundle.
+  struct PostMortem {
+    std::string message;  // first violation recorded
+    uint64_t seq = 0;     // ghost time of the first violation
+    std::vector<Tid> helplist;
+    std::map<Tid, Descriptor> pool;
+    std::vector<CompletedRecord> history;
+    SpecFs abstract;
+  };
+
   CrlhMonitor();
   explicit CrlhMonitor(Options options);
 
@@ -86,6 +99,11 @@ class CrlhMonitor : public FsObserver {
   uint64_t helped_ops() const;    // operations linearized by a helper
 
   std::vector<CompletedRecord> Completed() const;
+
+  // Nullopt while no violation has been recorded; otherwise the first
+  // violation plus the ghost state at call time. Harvest after the offending
+  // schedule has quiesced so the history includes the violating op.
+  std::optional<PostMortem> PostMortemState() const;
 
   // --- state checks ----------------------------------------------------------
 
@@ -109,8 +127,9 @@ class CrlhMonitor : public FsObserver {
  private:
   // All private helpers require mu_ held.
   void Violation(std::string message);
+  void ReportInvariantLocked(InvariantKind kind, Tid tid, bool passed);
   void ApplyAopLocked(Tid tid, Descriptor& d, Inum forced_ino, bool record_effects);
-  void HelpThreadLocked(Tid helper, Tid target);
+  void HelpThreadLocked(Tid helper, Tid target, HelpReason reason);
   void ComputeFutLockPathLocked(Descriptor& d);
   void CheckGoodAfsLocked(const char* where);
   void RemapPlaceholderLocked(Inum from, Inum to);
@@ -125,6 +144,7 @@ class CrlhMonitor : public FsObserver {
   uint64_t seq_ = 0;
 
   std::vector<std::string> violations_;
+  uint64_t first_violation_seq_ = 0;
   std::vector<CompletedRecord> completed_;
   uint64_t help_events_ = 0;
   uint64_t helped_ops_ = 0;

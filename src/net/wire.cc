@@ -63,6 +63,10 @@ std::string_view WireOpName(WireOp op) {
       return "hello";
     case WireOp::kMsgBatch:
       return "msgbatch";
+    case WireOp::kTraceDump:
+      return "trace";
+    case WireOp::kProm:
+      return "prom";
   }
   return "unknown";
 }
@@ -267,6 +271,8 @@ std::vector<std::byte> EncodeRequest(const WireRequest& req) {
     case WireOp::kPing:
     case WireOp::kStats:
     case WireOp::kMetrics:
+    case WireOp::kTraceDump:
+    case WireOp::kProm:
       break;
     case WireOp::kMkdir:
     case WireOp::kMknod:
@@ -356,6 +362,8 @@ Result<WireRequest> ParseRequestImpl(std::span<const std::byte> payload, bool al
     case WireOp::kPing:
     case WireOp::kStats:
     case WireOp::kMetrics:
+    case WireOp::kTraceDump:
+    case WireOp::kProm:
       break;
     case WireOp::kMkdir:
     case WireOp::kMknod:

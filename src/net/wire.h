@@ -95,10 +95,14 @@ enum class WireOp : uint8_t {
   // Session control (protocol v2).
   kHello = 25,     // version + inflight-window negotiation
   kMsgBatch = 26,  // several requests packed into one frame
+  // Flight-recorder admin ops (still protocol v2: unknown ops on old
+  // servers answer EPROTO, which the client surfaces cleanly).
+  kTraceDump = 27,  // Chrome trace-event JSON of the server's TraceRing
+  kProm = 28,       // Prometheus text exposition of the metrics registry
 };
 
 inline constexpr uint8_t kWireOpMin = 1;
-inline constexpr uint8_t kWireOpMax = 26;
+inline constexpr uint8_t kWireOpMax = 28;
 
 inline bool WireOpKnown(uint8_t raw) { return raw >= kWireOpMin && raw <= kWireOpMax; }
 std::string_view WireOpName(WireOp op);

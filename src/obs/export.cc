@@ -1,0 +1,272 @@
+#include "src/obs/export.h"
+
+#include <cctype>
+#include <cstdio>
+#include <unordered_map>
+
+#include "src/afs/op.h"
+#include "src/obs/sink.h"
+#include "src/util/json.h"
+
+namespace atomfs {
+
+namespace {
+
+double TsMicros(const TraceEvent& e) { return static_cast<double>(e.t_ns) / 1000.0; }
+
+const char* RoleName(uint8_t role) {
+  switch (role) {
+    case 0:
+      return "single";
+    case 1:
+      return "rename_common";
+    case 2:
+      return "rename_src";
+    case 3:
+      return "rename_dst";
+  }
+  return "unknown";
+}
+
+std::string_view HelpReasonFlagName(uint8_t flags) {
+  if (flags == kTraceHelpReasonSrcPrefix) {
+    return "src_prefix";
+  }
+  if (flags == kTraceHelpReasonLockPathPrefix) {
+    return "lockpath_prefix";
+  }
+  return "unknown";
+}
+
+// Common fields of every trace-event record.
+void Preamble(JsonWriter& w, const TraceEvent& e, const char* ph, std::string_view name,
+              const char* cat) {
+  w.BeginObject();
+  w.Field("ph", ph);
+  if (!name.empty()) {
+    w.Field("name", name);
+  }
+  w.Field("cat", cat);
+  w.Field("pid", 1);
+  w.Field("tid", static_cast<uint64_t>(e.tid));
+  w.Field("ts", TsMicros(e));
+}
+
+std::string EmitChromeTrace(const std::vector<TraceEvent>& events, size_t first) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Tracks which threads have an open "B" span, so a ring slice that starts
+  // mid-operation never emits an unmatched "E" (which trips trace viewers).
+  std::unordered_map<Tid, bool> open;
+  for (size_t i = first; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    switch (e.type) {
+      case TraceEventType::kOpBegin: {
+        Preamble(w, e, "B", OpKindName(static_cast<OpKind>(e.op)), "fs");
+        w.EndObject();
+        open[e.tid] = true;
+        break;
+      }
+      case TraceEventType::kOpEnd: {
+        auto it = open.find(e.tid);
+        if (it == open.end() || !it->second) {
+          break;  // span began before the retained window
+        }
+        it->second = false;
+        Preamble(w, e, "E", {}, "fs");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("errc", e.arg);
+        w.Field("lock_path_depth", e.depth);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kLockAcquired: {
+        Preamble(w, e, "i", "lock_acquired", "lock");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("ino", e.ino);
+        w.Field("depth", e.depth);
+        w.Field("role", RoleName(e.role));
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kLockReleased: {
+        Preamble(w, e, "i", "lock_released", "lock");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("ino", e.ino);
+        w.Field("hold_ns", e.arg);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kLp: {
+        Preamble(w, e, "i", "LP", "crlh");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("ino", e.ino);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kHelp: {
+        if (e.ino == 0) {
+          // Per-run event: this rename's linothers helped arg threads.
+          Preamble(w, e, "i", "linothers", "crlh");
+          w.Field("s", "t");
+          w.Key("args");
+          w.BeginObject();
+          w.Field("help_set_size", e.arg);
+          w.EndObject();
+          w.EndObject();
+          break;
+        }
+        // Per-target event: a flow arrow helper -> target, plus an instant
+        // carrying the edge metadata on the helper's track.
+        Preamble(w, e, "i", "help", "crlh");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("target_tid", e.ino);
+        w.Field("reason", HelpReasonFlagName(e.flags));
+        w.Field("helplist_pos", e.depth);
+        w.Field("helplist_len", e.aux);
+        w.EndObject();
+        w.EndObject();
+        Preamble(w, e, "s", "help", "crlh");
+        w.Field("id", e.seq);
+        w.EndObject();
+        w.BeginObject();
+        w.Field("ph", "f");
+        w.Field("bp", "e");
+        w.Field("name", "help");
+        w.Field("cat", "crlh");
+        w.Field("pid", 1);
+        w.Field("tid", e.ino);  // the helped thread's track
+        w.Field("ts", TsMicros(e) + 0.001);
+        w.Field("id", e.seq);
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kHelpedRetired: {
+        Preamble(w, e, "i", "helped_LP", "crlh");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("helplist_len", e.aux);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kInvariant: {
+        Preamble(w, e, "i", InvariantKindName(static_cast<InvariantKind>(e.op)), "invariant");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("passed", e.arg == 0);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kRollback: {
+        Preamble(w, e, "i", "rollback", "crlh");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("rolled_back", e.arg);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kViolation: {
+        Preamble(w, e, "i", "VIOLATION", "crlh");
+        w.Field("s", "g");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("ghost_seq", e.aux);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+    }
+  }
+  w.EndArray();
+  w.Field("displayTimeUnit", "ms");
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events, size_t max_bytes) {
+  size_t first = 0;
+  std::string out = EmitChromeTrace(events, first);
+  while (max_bytes != 0 && out.size() > max_bytes && first < events.size()) {
+    // Flight-recorder truncation: keep the newest half of what remains.
+    first += (events.size() - first + 1) / 2;
+    out = EmitChromeTrace(events, first);
+  }
+  return out;
+}
+
+namespace {
+
+std::string PromName(std::string_view name) {
+  std::string out = "atomfs_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendLine(std::string& out, const std::string& name, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, " %llu\n", static_cast<unsigned long long>(v));
+  out += name;
+  out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const CounterSnapshot& c : snap.counters) {
+    const std::string name = PromName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    AppendLine(out, name, c.value);
+  }
+  for (const GaugeSnapshot& g : snap.gauges) {
+    const std::string name = PromName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string name = PromName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      char le[32];
+      std::snprintf(le, sizeof le, "%llu",
+                    static_cast<unsigned long long>(LatencyBucketBound(i)));
+      AppendLine(out, name + "_bucket{le=\"" + le + "\"}", cumulative);
+    }
+    AppendLine(out, name + "_bucket{le=\"+Inf\"}", h.count);
+    AppendLine(out, name + "_sum", h.sum);
+    AppendLine(out, name + "_count", h.count);
+  }
+  return out;
+}
+
+}  // namespace atomfs

@@ -1,0 +1,40 @@
+// Export surfaces for the verification flight recorder (docs/OBSERVABILITY.md
+// §"Ghost events & flight recorder"):
+//
+//   * ExportChromeTrace: a TraceRing snapshot rendered as Chrome
+//     trace-event / Perfetto JSON — one track per thread, op spans (B/E),
+//     instants for lock transitions, LPs, invariant checks, roll-backs and
+//     violations, and flow arrows (s/f pairs) for each helper -> helpee edge,
+//     so `linothers` helping is visible as an arrow in the Perfetto UI.
+//   * PrometheusText: a MetricsSnapshot rendered in the Prometheus text
+//     exposition format (version 0.0.4) — counters and gauges verbatim,
+//     histograms with cumulative `_bucket{le="..."}` series on the shared
+//     power-of-two bounds plus `_sum` and `_count`.
+//
+// Both are pure functions over snapshots; neither blocks writers.
+
+#ifndef ATOMFS_SRC_OBS_EXPORT_H_
+#define ATOMFS_SRC_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace atomfs {
+
+// Renders `events` (a TraceRing::Snapshot, oldest first) as a Chrome
+// trace-event JSON document. When `max_bytes` is nonzero and the full export
+// would exceed it, the oldest events are dropped (in halves) until the
+// document fits — the flight-recorder semantics carried through to the wire.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events, size_t max_bytes = 0);
+
+// Renders `snap` in the Prometheus text exposition format. Metric names are
+// prefixed "atomfs_" and sanitized (every character outside [a-zA-Z0-9_:]
+// becomes '_').
+std::string PrometheusText(const MetricsSnapshot& snap);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_OBS_EXPORT_H_

@@ -1,6 +1,7 @@
 // CrlhObsSink: the narrow interface through which the CRL-H monitor reports
 // ghost-machinery activity (helper linearizations, Helplist movement,
-// roll-back checks) to the observability layer without depending on it.
+// invariant-check outcomes, roll-back checks, violations) to the
+// observability layer without depending on it.
 //
 // Every callback is invoked with the monitor's ghost mutex held, so
 // implementations must be non-blocking and must never call back into the
@@ -11,10 +12,72 @@
 #define ATOMFS_SRC_OBS_SINK_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string_view>
 
 #include "src/util/tid.h"
 
 namespace atomfs {
+
+// Why a thread joined the helping set at a rename/exchange LP (paper Fig. 5):
+// Step-1 Init (the helper's breaking path is a prefix of the thread's
+// LockPath — direct path inter-dependency) or Step-2 recursive closure under
+// the linearize-before relation (Fig. 4(c)).
+enum class HelpReason : uint8_t {
+  kSrcPrefix = 0,
+  kLockPathPrefix = 1,
+};
+
+inline std::string_view HelpReasonName(HelpReason reason) {
+  switch (reason) {
+    case HelpReason::kSrcPrefix:
+      return "src_prefix";
+    case HelpReason::kLockPathPrefix:
+      return "lockpath_prefix";
+  }
+  return "unknown";
+}
+
+// The continuously-checked Table-1 invariants plus the two offline relation
+// checks, identified so the flight recorder can record every check outcome.
+// Append-only: raw values appear in exported traces.
+enum class InvariantKind : uint8_t {
+  kLastLockedLockpath = 0,
+  kFutureLockpathValidness = 1,
+  kUnhelpedNonBypassable = 2,
+  kHelpedNonBypassable = 3,
+  kHelplistConsistency = 4,
+  kLockpathWellformed = 5,
+  kGoodAfs = 6,
+  kRefinement = 7,
+  kAbstractConcrete = 8,
+};
+
+inline constexpr size_t kInvariantKindCount = 9;
+
+inline std::string_view InvariantKindName(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kLastLockedLockpath:
+      return "last_locked_lockpath";
+    case InvariantKind::kFutureLockpathValidness:
+      return "future_lockpath_validness";
+    case InvariantKind::kUnhelpedNonBypassable:
+      return "unhelped_non_bypassable";
+    case InvariantKind::kHelpedNonBypassable:
+      return "helped_non_bypassable";
+    case InvariantKind::kHelplistConsistency:
+      return "helplist_consistency";
+    case InvariantKind::kLockpathWellformed:
+      return "lockpath_wellformed";
+    case InvariantKind::kGoodAfs:
+      return "good_afs";
+    case InvariantKind::kRefinement:
+      return "refinement";
+    case InvariantKind::kAbstractConcrete:
+      return "abstract_concrete";
+  }
+  return "unknown";
+}
 
 class CrlhObsSink {
  public:
@@ -27,11 +90,15 @@ class CrlhObsSink {
     (void)help_set_size;
   }
 
-  // `helper` linearized `target`'s abstract op; the Helplist now holds
-  // `helplist_len` entries.
-  virtual void OnHelpedLinearized(Tid helper, Tid target, size_t helplist_len) {
+  // `helper` linearized `target`'s abstract op for `reason`; the target sits
+  // at 1-based `helplist_pos` of the Helplist, which now holds `helplist_len`
+  // entries.
+  virtual void OnHelpedLinearized(Tid helper, Tid target, HelpReason reason,
+                                  size_t helplist_pos, size_t helplist_len) {
     (void)helper;
     (void)target;
+    (void)reason;
+    (void)helplist_pos;
     (void)helplist_len;
   }
 
@@ -41,9 +108,24 @@ class CrlhObsSink {
     (void)helplist_len;
   }
 
+  // One invariant check ran for `tid` (0 when the check is not per-thread)
+  // and passed or failed.
+  virtual void OnInvariantCheck(InvariantKind kind, Tid tid, bool passed) {
+    (void)kind;
+    (void)tid;
+    (void)passed;
+  }
+
   // The abstract-concrete relation check rolled back `rolled_back` helped
   // ops (the §4.4 roll-back mechanism ran).
   virtual void OnRollback(size_t rolled_back) { (void)rolled_back; }
+
+  // The monitor recorded a violation at ghost time `seq`. `message` is only
+  // valid for the duration of the call.
+  virtual void OnViolation(std::string_view message, uint64_t seq) {
+    (void)message;
+    (void)seq;
+  }
 };
 
 }  // namespace atomfs

@@ -22,17 +22,25 @@ std::string_view TraceEventTypeName(TraceEventType type) {
       return "help";
     case TraceEventType::kRollback:
       return "rollback";
+    case TraceEventType::kHelpedRetired:
+      return "helped_retired";
+    case TraceEventType::kInvariant:
+      return "invariant";
+    case TraceEventType::kViolation:
+      return "violation";
   }
   return "unknown";
 }
 
 std::string TraceEvent::ToString() const {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "[%llu +%lluns tid=%u] %s op=%u role=%u depth=%u ino=%llu arg=%llu",
-                static_cast<unsigned long long>(seq), static_cast<unsigned long long>(t_ns), tid,
-                TraceEventTypeName(type).data(), op, role, depth,
-                static_cast<unsigned long long>(ino), static_cast<unsigned long long>(arg));
+  char buf[192];
+  std::snprintf(
+      buf, sizeof buf,
+      "[%llu +%lluns tid=%u] %s op=%u role=%u flags=%u depth=%u ino=%llu arg=%llu aux=%llu",
+      static_cast<unsigned long long>(seq), static_cast<unsigned long long>(t_ns), tid,
+      TraceEventTypeName(type).data(), op, role, flags, depth,
+      static_cast<unsigned long long>(ino), static_cast<unsigned long long>(arg),
+      static_cast<unsigned long long>(aux));
   return buf;
 }
 

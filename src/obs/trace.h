@@ -47,24 +47,38 @@ enum class TraceEventType : uint8_t {
   kLp = 5,        // linearization point (concrete)
   kHelp = 6,      // a rename/exchange LP linearized another thread (linothers)
   kRollback = 7,  // roll-back relation check walked the Helplist backwards
+  // Ghost events appended for the verification flight recorder (append-only:
+  // exporters and dumps key on these raw values).
+  kHelpedRetired = 8,  // a helped op passed its own concrete LP (helped LP)
+  kInvariant = 9,      // a Table-1 invariant check ran (op = InvariantKind)
+  kViolation = 10,     // the monitor recorded a violation
 };
 
 std::string_view TraceEventTypeName(TraceEventType type);
 
-// One 48-byte event. Field meaning varies by type; see docs/OBSERVABILITY.md
+// TraceEvent.flags bits for kHelp per-target events: why the target joined
+// the helping set (paper Fig. 5 Step-1 vs Step-2; see src/obs/sink.h).
+inline constexpr uint8_t kTraceHelpReasonSrcPrefix = 1;
+inline constexpr uint8_t kTraceHelpReasonLockPathPrefix = 2;
+
+// One 56-byte event. Field meaning varies by type; see docs/OBSERVABILITY.md
 // for the normative schema.
 struct TraceEvent {
   uint64_t seq = 0;   // global append order (filled by TraceRing)
   uint64_t t_ns = 0;  // nanoseconds since ring creation (filled by TraceRing)
   Tid tid = 0;        // emitting thread (the helper, for kHelp)
   TraceEventType type = TraceEventType::kOpBegin;
-  uint8_t op = 0;     // OpKind for kOpBegin/kOpEnd
+  uint8_t op = 0;     // OpKind for kOpBegin/kOpEnd; InvariantKind for kInvariant
   uint8_t role = 0;   // LockPathRole for kLockAcquired
-  uint8_t pad = 0;
-  uint16_t depth = 0;  // 1-based LockPath depth at lock events; final depth at kOpEnd
+  uint8_t flags = 0;  // help reason (kTraceHelpReason*) for kHelp per-target
+  uint16_t depth = 0;  // 1-based LockPath depth at lock events; final depth at
+                       // kOpEnd; 1-based Helplist position for kHelp per-target
   uint64_t ino = 0;    // inode for lock events; helped tid for kHelp
   uint64_t arg = 0;    // hold_ns (kLockReleased), errc (kOpEnd), help-set size
-                       // (kHelp), rolled-back op count (kRollback)
+                       // (kHelp per-run), rolled-back op count (kRollback),
+                       // 0 pass / 1 fail (kInvariant)
+  uint64_t aux = 0;    // Helplist length after the event (kHelp per-target,
+                       // kHelpedRetired); ghost seq of the violation (kViolation)
 
   std::string ToString() const;
 };

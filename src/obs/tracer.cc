@@ -89,6 +89,13 @@ TracingObserver::TracingObserver(MetricsRegistry* registry, TraceRing* ring)
   rolled_back_ops_ = registry->GetCounter("crlh.rolled_back_ops");
   help_set_size_ = registry->GetHistogram("crlh.help_set_size");
   helplist_len_ = registry->GetGauge("crlh.helplist_len");
+  for (size_t k = 0; k < kInvariantKindCount; ++k) {
+    const std::string base =
+        "crlh.invariant." + std::string(InvariantKindName(static_cast<InvariantKind>(k)));
+    invariant_checks_[k] = registry->GetCounter(base + ".checks");
+    invariant_failures_[k] = registry->GetCounter(base + ".failures");
+  }
+  violations_ = registry->GetCounter("crlh.violations");
 }
 
 TracingObserver::ThreadState& TracingObserver::StateFor(Tid tid) {
@@ -236,23 +243,48 @@ void TracingObserver::OnHelpEvent(Tid helper, size_t help_set_size) {
   Emit(e);
 }
 
-void TracingObserver::OnHelpedLinearized(Tid helper, Tid target, size_t helplist_len) {
+void TracingObserver::OnHelpedLinearized(Tid helper, Tid target, HelpReason reason,
+                                         size_t helplist_pos, size_t helplist_len) {
   helped_ops_.Inc();
   helplist_len_.Add(1);
-  (void)helplist_len;
 
   TraceEvent e;
   e.tid = helper;
   e.type = TraceEventType::kHelp;
+  e.flags = reason == HelpReason::kSrcPrefix ? kTraceHelpReasonSrcPrefix
+                                             : kTraceHelpReasonLockPathPrefix;
+  e.depth = static_cast<uint16_t>(std::min<size_t>(helplist_pos, UINT16_MAX));
   e.ino = target;
   e.arg = 0;  // distinguishes the per-target event from the per-run one
+  e.aux = helplist_len;
   Emit(e);
 }
 
 void TracingObserver::OnHelpedRetired(Tid tid, size_t helplist_len) {
   helplist_len_.Sub(1);
-  (void)tid;
-  (void)helplist_len;
+
+  TraceEvent e;
+  e.tid = tid;
+  e.type = TraceEventType::kHelpedRetired;
+  e.aux = helplist_len;
+  Emit(e);
+}
+
+void TracingObserver::OnInvariantCheck(InvariantKind kind, Tid tid, bool passed) {
+  const size_t k = static_cast<size_t>(kind);
+  if (k < invariant_checks_.size()) {
+    invariant_checks_[k].Inc();
+    if (!passed) {
+      invariant_failures_[k].Inc();
+    }
+  }
+
+  TraceEvent e;
+  e.tid = tid;
+  e.type = TraceEventType::kInvariant;
+  e.op = static_cast<uint8_t>(kind);
+  e.arg = passed ? 0 : 1;
+  Emit(e);
 }
 
 void TracingObserver::OnRollback(size_t rolled_back) {
@@ -262,6 +294,16 @@ void TracingObserver::OnRollback(size_t rolled_back) {
   TraceEvent e;
   e.type = TraceEventType::kRollback;
   e.arg = rolled_back;
+  Emit(e);
+}
+
+void TracingObserver::OnViolation(std::string_view message, uint64_t seq) {
+  (void)message;  // the monitor keeps the full text; the ring stores the seq
+  violations_.Inc();
+
+  TraceEvent e;
+  e.type = TraceEventType::kViolation;
+  e.aux = seq;
   Emit(e);
 }
 

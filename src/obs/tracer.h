@@ -19,6 +19,9 @@
 //   crlh.rollback_checks, crlh.rolled_back_ops   counters
 //   crlh.help_set_size                    histogram
 //   crlh.helplist_len                     gauge (current occupancy)
+//   crlh.invariant.<name>.checks,
+//   crlh.invariant.<name>.failures        counters, per InvariantKind
+//   crlh.violations                       counter
 //
 // Depths deeper than kMaxTrackedDepth all land in the kMaxTrackedDepth
 // histograms (the label is a floor, not a bound).
@@ -67,9 +70,12 @@ class TracingObserver : public FsObserver, public CrlhObsSink {
 
   // CrlhObsSink (called by CrlhMonitor with the ghost mutex held).
   void OnHelpEvent(Tid helper, size_t help_set_size) override;
-  void OnHelpedLinearized(Tid helper, Tid target, size_t helplist_len) override;
+  void OnHelpedLinearized(Tid helper, Tid target, HelpReason reason, size_t helplist_pos,
+                          size_t helplist_len) override;
   void OnHelpedRetired(Tid tid, size_t helplist_len) override;
+  void OnInvariantCheck(InvariantKind kind, Tid tid, bool passed) override;
   void OnRollback(size_t rolled_back) override;
+  void OnViolation(std::string_view message, uint64_t seq) override;
 
  private:
   // Timestamps are raw ticks from a fast monotonic source (TSC on x86-64,
@@ -124,6 +130,9 @@ class TracingObserver : public FsObserver, public CrlhObsSink {
   Counter rolled_back_ops_;
   Histogram help_set_size_;
   Gauge helplist_len_;
+  std::array<Counter, kInvariantKindCount> invariant_checks_;
+  std::array<Counter, kInvariantKindCount> invariant_failures_;
+  Counter violations_;
 
   // Sharded thread-state table. unordered_map references are stable across
   // inserts, so StateFor can hand out a reference used lock-free by its

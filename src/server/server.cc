@@ -15,6 +15,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "src/obs/export.h"
 #include "src/vfs/vfs.h"
 
 namespace atomfs {
@@ -983,6 +984,24 @@ std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& 
     case WireOp::kMetrics: {
       WireWriter body;
       EncodeMetricsSnapshot(body, metrics_->Snapshot());
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kTraceDump: {
+      // Export capped below the frame limit; ExportChromeTrace drops the
+      // oldest events if the full window would not fit (flight-recorder
+      // semantics carried through to the wire).
+      const size_t cap = opts_.max_frame_bytes > 256 ? opts_.max_frame_bytes - 256 : 256;
+      const std::string json =
+          opts_.trace_ring != nullptr
+              ? ExportChromeTrace(opts_.trace_ring->Snapshot(), cap)
+              : ExportChromeTrace({});
+      WireWriter body;
+      body.Str(json);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kProm: {
+      WireWriter body;
+      body.Str(PrometheusText(metrics_->Snapshot()));
       return OkResponse(std::move(body));
     }
     case WireOp::kHello: {

@@ -53,6 +53,7 @@
 
 #include "src/net/wire.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/stats.h"
 #include "src/util/status.h"
 #include "src/vfs/filesystem.h"
@@ -93,6 +94,11 @@ struct ServerOptions {
   // provided registry must outlive the server's threads — Stop() (or the
   // server destructor) before destroying it.
   MetricsRegistry* metrics = nullptr;
+  // Flight-recorder ring served by WireOp::kTraceDump (usually the ring the
+  // backend's TracingObserver writes into). Optional: when null, kTraceDump
+  // answers with an empty (but valid) Chrome trace document. Same lifetime
+  // rule as `metrics`.
+  TraceRing* trace_ring = nullptr;
 };
 
 class AtomFsServer {

@@ -133,6 +133,25 @@ TEST(ComputeHelpOrder, OrderRespectsAllConstraints) {
   EXPECT_EQ((*order)[2], 2u);
 }
 
+TEST(ComputeHelpOrder, ReportsWhyEachThreadIsHelped) {
+  // Same pool as RecursiveDependencyFig4c: t2 is picked up in Step-1 (its
+  // LockPath extends the renamer's SrcPath), t3 only via the Step-2 closure
+  // (it extends t2's SrcPath, not t1's).
+  std::map<Tid, Descriptor> pool;
+  pool[1] = RenameOp(LP({1, 3, 4}), LP({1, 3}));
+  pool[2] = RenameOp(LP({1, 2, 6}), LP({1, 3, 4, 5}));
+  pool[3] = SingleOp(OpKind::kStat, LP({1, 2, 6, 7}));
+
+  std::map<Tid, HelpReason> reasons;
+  reasons[99] = HelpReason::kSrcPrefix;  // stale entry: must be cleared
+  auto order = ComputeHelpOrder(1, pool, &reasons);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 2u);
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons.at(2), HelpReason::kSrcPrefix);
+  EXPECT_EQ(reasons.at(3), HelpReason::kLockPathPrefix);
+}
+
 TEST(ComputeHelpOrder, DeterministicTieBreak) {
   // Two incomparable helped threads: smallest tid first.
   std::map<Tid, Descriptor> pool;

@@ -22,6 +22,8 @@
 #include "src/core/atom_fs.h"
 #include "src/crlh/monitor.h"
 #include "src/net/wire.h"
+#include "src/obs/export.h"
+#include "src/obs/sink.h"
 #include "src/obs/trace.h"
 #include "src/obs/tracer.h"
 #include "src/server/server.h"
@@ -296,6 +298,163 @@ TEST(TracingObserverTest, CountsHelperActivityViaMonitorSink) {
   EXPECT_EQ(g->value, 0);
 }
 
+// --- export surfaces: Perfetto JSON and Prometheus text ----------------------
+
+// Tiny structural JSON validator: braces/brackets balance outside strings,
+// string escapes honored. Not a parser — enough to catch truncation and
+// unescaped quotes in the exporter's output.
+bool JsonBalanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_str = false;
+  bool esc = false;
+  for (char c : s) {
+    if (in_str) {
+      if (esc) {
+        esc = false;
+      } else if (c == '\\') {
+        esc = true;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_str = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_str && stack.empty();
+}
+
+TEST(ExportTest, PrometheusTextExposesCountersGaugesAndCumulativeBuckets) {
+  MetricsRegistry reg;
+  reg.GetCounter("fs.ops").Inc(7);
+  reg.GetGauge("crlh.helplist_len").Add(3);
+  Histogram h = reg.GetHistogram("fs.op.mkdir.latency_ns");
+  h.Record(1);
+  h.Record(700);        // bucket bound 1024
+  h.Record(1u << 20);   // bucket bound 2^20
+  const std::string text = PrometheusText(reg.Snapshot());
+
+  // Names are sanitized ('.' -> '_') and namespaced under atomfs_.
+  EXPECT_NE(text.find("# TYPE atomfs_fs_ops counter\natomfs_fs_ops 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE atomfs_crlh_helplist_len gauge\natomfs_crlh_helplist_len 3\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative over the registry's power-of-two bounds.
+  EXPECT_NE(text.find("# TYPE atomfs_fs_op_mkdir_latency_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("atomfs_fs_op_mkdir_latency_ns_bucket{le=\"2\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("atomfs_fs_op_mkdir_latency_ns_bucket{le=\"1024\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("atomfs_fs_op_mkdir_latency_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("atomfs_fs_op_mkdir_latency_ns_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("atomfs_fs_op_mkdir_latency_ns_sum"), std::string::npos);
+}
+
+// A forced helping schedule (the monitor_test HelperLifecycleByHand shape,
+// driven through a TeeObserver exactly as atomfsd wires it): thread 1's
+// rename reaches its LP while thread 2's mkdir is pending under the rename
+// source, so thread 1 linearizes thread 2 (linothers). The Perfetto export
+// must carry the help edge as a flow-event pair (ph "s" on the helper's
+// track, ph "f" binding to the helped thread) plus the helped LP instant.
+TEST(ExportTest, ForcedHelpSchedulePutsFlowArrowsInThePerfettoExport) {
+  MetricsRegistry reg;
+  TraceRing ring(1 << 10);
+  TracingObserver tracer(&reg, &ring);
+  CrlhMonitor::Options mopts;
+  mopts.obs = &tracer;
+  CrlhMonitor monitor(mopts);
+  TeeObserver tee(&monitor, &tracer);
+
+  // Ghost setup: /a exists with inum 5.
+  tee.OnOpBegin(3, OpCall::MkdirOf(*ParsePath("/a")));
+  tee.OnLockAcquired(3, kRootInum, LockPathRole::kSingle);
+  tee.OnLp(3, 5);
+  tee.OnLockReleased(3, kRootInum);
+  tee.OnOpEnd(3, OpResult{});
+
+  // Thread 2: mkdir(/a/b) in flight, holding (root, a).
+  tee.OnOpBegin(2, OpCall::MkdirOf(*ParsePath("/a/b")));
+  tee.OnLockAcquired(2, kRootInum, LockPathRole::kSingle);
+  tee.OnLockAcquired(2, 5, LockPathRole::kSingle);
+  tee.OnLockReleased(2, kRootInum);
+
+  // Thread 1: rename(/a, /c) reaches its LP and must help thread 2.
+  tee.OnOpBegin(1, OpCall::RenameOf(*ParsePath("/a"), *ParsePath("/c")));
+  tee.OnLockAcquired(1, kRootInum, LockPathRole::kRenameCommon);
+  tee.OnLockAcquired(1, 5, LockPathRole::kRenameSrc);
+  tee.OnLp(1, kInvalidInum);
+  ASSERT_EQ(monitor.helped_ops(), 1u);
+  tee.OnLockReleased(1, 5);
+  tee.OnLockReleased(1, kRootInum);
+  tee.OnOpEnd(1, OpResult{});
+
+  // Thread 2 finishes: its own LP is a no-op (already linearized by helper).
+  tee.OnLp(2, 9);
+  tee.OnLockReleased(2, 5);
+  tee.OnOpEnd(2, OpResult{});
+  ASSERT_TRUE(monitor.ok()) << monitor.violations()[0];
+
+  const std::string json = ExportChromeTrace(ring.Snapshot());
+  ASSERT_TRUE(JsonBalanced(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Op spans for all three threads.
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  // The help edge: instant with metadata + a flow arrow pair.
+  EXPECT_NE(json.find("\"name\":\"help\""), std::string::npos);
+  EXPECT_NE(json.find("\"target_tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"src_prefix\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // The helped thread's own LP arrives as helped_LP, and the linothers run
+  // event carries the help-set size.
+  EXPECT_NE(json.find("\"name\":\"helped_LP\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"linothers\""), std::string::npos);
+  // Invariant outcomes ride along on their own category.
+  EXPECT_NE(json.find("\"cat\":\"invariant\""), std::string::npos);
+  EXPECT_NE(json.find("\"passed\":true"), std::string::npos);
+}
+
+TEST(ExportTest, TruncationDropsOldestEventsUntilTheBudgetFits) {
+  std::vector<TraceEvent> events;
+  for (uint64_t i = 0; i < 512; ++i) {
+    TraceEvent e;
+    e.seq = i;
+    e.tid = 1;
+    e.type = TraceEventType::kLp;
+    e.ino = i;
+    events.push_back(e);
+  }
+  const std::string full = ExportChromeTrace(events);
+  const std::string capped = ExportChromeTrace(events, full.size() / 4);
+  EXPECT_LE(capped.size(), full.size() / 4);
+  ASSERT_TRUE(JsonBalanced(capped));
+  // The newest event survives truncation; the oldest does not.
+  EXPECT_NE(capped.find("\"ino\":511"), std::string::npos);
+  EXPECT_EQ(capped.find("\"ino\":0,"), std::string::npos);
+}
+
 // --- METRICS over the wire ---------------------------------------------------
 
 TEST(MetricsWireTest, SnapshotRoundTripsExactly) {
@@ -329,10 +488,12 @@ TEST(MetricsWireTest, SnapshotRoundTripsExactly) {
   EXPECT_EQ(hs->Percentile(0.99), snap.FindHistogram("c.hist")->Percentile(0.99));
 }
 
-// Drives a served AtomFS and fetches METRICS over a real socket.
+// Drives a served AtomFS and fetches METRICS, TRACE, and PROM over a real
+// socket — the three admin surfaces sharing the observability spine.
 void ExerciseMetricsOver(const std::string& transport) {
   MetricsRegistry reg;
-  TracingObserver tracer(&reg, nullptr);
+  TraceRing ring(1 << 10);
+  TracingObserver tracer(&reg, &ring);
   AtomFs::Options fo;
   fo.observer = &tracer;
   AtomFs fs(std::move(fo));
@@ -340,6 +501,7 @@ void ExerciseMetricsOver(const std::string& transport) {
   ServerOptions options;
   options.workers = 2;
   options.metrics = &reg;
+  options.trace_ring = &ring;
   std::string sock_path;
   if (transport == "tcp") {
     options.tcp_listen = true;
@@ -380,6 +542,43 @@ void ExerciseMetricsOver(const std::string& transport) {
     }
   }
   EXPECT_TRUE(found);
+
+  // TRACE: the flight-recorder ring rendered as Chrome trace-event JSON,
+  // carrying the spans the client's own ops just wrote into it.
+  auto trace_or = client.FetchTraceJson();
+  ASSERT_TRUE(trace_or.ok());
+  EXPECT_TRUE(JsonBalanced(*trace_or));
+  EXPECT_NE(trace_or->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_or->find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(trace_or->find("\"name\":\"mkdir\""), std::string::npos);
+
+  // PROM: the same registry the METRICS snapshot serves, in text exposition.
+  auto prom_or = client.FetchPrometheus();
+  ASSERT_TRUE(prom_or.ok());
+  EXPECT_NE(prom_or->find("# TYPE atomfs_fs_ops counter\natomfs_fs_ops 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom_or->find("atomfs_server_op_mkdir_latency_ns_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  server.Stop();
+}
+
+// A server with no ring attached must still answer TRACE with a valid,
+// empty trace document (the option is nullable by contract).
+TEST(MetricsWireTest, TraceDumpWithoutRingAnswersEmptyDocument) {
+  AtomFs fs;
+  ServerOptions options;
+  options.workers = 1;
+  const std::string sock_path =
+      "/tmp/atomfs_obs_noring_" + std::to_string(getpid()) + ".sock";
+  options.unix_path = sock_path;
+  AtomFsServer server(&fs, options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client_or = AtomFsClient::ConnectUnix(sock_path);
+  ASSERT_TRUE(client_or.ok());
+  auto trace_or = (*client_or)->FetchTraceJson();
+  ASSERT_TRUE(trace_or.ok());
+  EXPECT_TRUE(JsonBalanced(*trace_or));
+  EXPECT_NE(trace_or->find("\"traceEvents\":[]"), std::string::npos);
   server.Stop();
 }
 

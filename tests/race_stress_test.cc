@@ -37,7 +37,9 @@
 #include "src/core/atom_fs.h"
 #include "src/crlh/monitor.h"
 #include "src/net/wire.h"
+#include "src/obs/export.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sink.h"
 #include "src/obs/trace.h"
 #include "src/server/server.h"
 #include "src/sim/stress.h"
@@ -252,6 +254,90 @@ TEST(RaceStress, TraceRingNeverTearsEvents) {
   const auto final_events = ring.Snapshot();
   EXPECT_LE(final_events.size(), ring.capacity());
   EXPECT_GE(final_events.size(), ring.capacity() / 2);
+}
+
+// Flight-recorder hot loop: writers hammer the ring with the ghost-event
+// types the CrlhMonitor instrumentation emits (kHelp carrying flags/aux,
+// kHelpedRetired, kInvariant) while readers concurrently Snapshot and render
+// the slice through ExportChromeTrace — the exact reader the TRACE wire op
+// and `atomfsd --trace-out` run against a live ring. Exercises the seqlock
+// protocol over the full 56-byte event (the `aux` word is the newest field)
+// and the exporter's tolerance for slices that start mid-operation.
+TEST(RaceStress, GhostEventRingExportUnderWriteLoad) {
+  const uint64_t seed = StressSeed();
+  const int writers = 4;
+  const int readers = 2;
+  const int appends = 12000 / kScale;
+
+  TraceRing ring(512);  // wrap pressure: exporters always see a torn window
+  RaceBarrier barrier(writers + readers);
+  std::atomic<bool> done{false};
+
+  // Every field derives from (tid, i) so readers can detect torn copies.
+  auto make_event = [](uint32_t tid, uint64_t i) {
+    TraceEvent e;
+    e.tid = tid;
+    switch (i % 3) {
+      case 0:
+        e.type = TraceEventType::kHelp;
+        e.flags = i % 2 == 0 ? kTraceHelpReasonSrcPrefix : kTraceHelpReasonLockPathPrefix;
+        e.depth = static_cast<uint16_t>(i % 7 + 1);
+        break;
+      case 1:
+        e.type = TraceEventType::kHelpedRetired;
+        break;
+      default:
+        e.type = TraceEventType::kInvariant;
+        e.op = static_cast<uint8_t>(i % kInvariantKindCount);
+        break;
+    }
+    e.ino = i * 1000 + tid;
+    e.arg = i * 1000 + tid;
+    e.aux = i * 1000 + tid;
+    return e;
+  };
+
+  std::vector<std::thread> cohort;
+  for (int t = 0; t < writers; ++t) {
+    cohort.emplace_back([&, t] {
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(t));
+      barrier.Arrive();
+      for (int i = 0; i < appends; ++i) {
+        ring.Append(make_event(static_cast<uint32_t>(t), static_cast<uint64_t>(i)));
+        if (i % 256 == 0) {
+          shaker.Perturb();
+        }
+      }
+    });
+  }
+  std::vector<std::thread> exporters;
+  for (int r = 0; r < readers; ++r) {
+    exporters.emplace_back([&, r] {
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(100 + r));
+      barrier.Arrive();
+      while (!done.load(std::memory_order_acquire)) {
+        const auto events = ring.Snapshot();
+        for (const TraceEvent& e : events) {
+          ASSERT_EQ(e.ino, e.arg) << "torn event: ino and arg written together";
+          ASSERT_EQ(e.ino, e.aux) << "torn event: aux from a different append";
+          ASSERT_EQ(e.ino % 1000, e.tid) << "torn event: ino from a different writer than tid";
+        }
+        const std::string json = ExportChromeTrace(events);
+        ASSERT_FALSE(json.empty());
+        ASSERT_EQ(json.front(), '{');
+        ASSERT_EQ(json.back(), '}');
+        shaker.Perturb();
+      }
+    });
+  }
+  for (auto& th : cohort) {
+    th.join();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : exporters) {
+    th.join();
+  }
+  EXPECT_EQ(ring.total_appended(), static_cast<uint64_t>(writers) * appends);
 }
 
 // --- live server: pipelining, Stop() mid-traffic, idle-reap vs. flush --------

@@ -3,6 +3,10 @@
 // Modes:
 //   --trace FILE            Replay a sequential trace against AtomFS and the
 //                           abstract spec, reporting any divergence.
+//   --bundle FILE           Replay a post-mortem violation bundle (written by
+//                           atomfsd --bundle-out or harvested from a
+//                           CrlhMonitor) through the abstract spec and report
+//                           whether the recorded verdict reproduces.
 //   --random                Generate a random concurrent program and explore
 //                           schedules (default mode).
 //
@@ -32,6 +36,7 @@
 #include "src/afs/spec_fs.h"
 #include "src/biglock/big_lock_fs.h"
 #include "src/core/atom_fs.h"
+#include "src/crlh/bundle.h"
 #include "src/crlh/explore.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/util/rand.h"
@@ -82,6 +87,26 @@ int VerifyTrace(const char* file) {
   return 0;
 }
 
+int VerifyBundle(const char* file) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", file);
+    return 1;
+  }
+  auto bundle = ParseBundle(in);
+  if (!bundle.ok()) {
+    std::fprintf(stderr, "malformed bundle: %s\n", ErrcName(bundle.status().code()).data());
+    return 1;
+  }
+  std::printf("bundle: seq=%llu, %zu history op(s), %zu descriptor(s), %zu ghost event(s)\n",
+              static_cast<unsigned long long>(bundle->seq), bundle->history.size(),
+              bundle->descriptors.size(), bundle->ghost.size());
+  std::printf("recorded violation: %s\n", bundle->message.c_str());
+  const BundleReplay replay = ReplayBundle(*bundle);
+  std::printf("replay: %s\n", replay.verdict.c_str());
+  return replay.reproduced ? 1 : 0;
+}
+
 }  // namespace
 }  // namespace atomfs
 
@@ -89,6 +114,7 @@ int main(int argc, char** argv) {
   using namespace atomfs;
 
   const char* trace_file = nullptr;
+  const char* bundle_file = nullptr;
   int threads = 3;
   int ops = 6;
   uint32_t rename_pct = 30;
@@ -105,6 +131,8 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
     if (arg("--trace")) {
       trace_file = next();
+    } else if (arg("--bundle")) {
+      bundle_file = next();
     } else if (arg("--threads")) {
       threads = std::atoi(next());
     } else if (arg("--ops")) {
@@ -135,6 +163,9 @@ int main(int argc, char** argv) {
 
   if (trace_file != nullptr) {
     return VerifyTrace(trace_file);
+  }
+  if (bundle_file != nullptr) {
+    return VerifyBundle(bundle_file);
   }
 
   // Random concurrent program.

@@ -17,13 +17,23 @@
 //                                  form of the METRICS op) at shutdown
 //           --trace-ring N         trace ring capacity in events (default
 //                                  65536; 0 disables the ring)
+//           --trace-out FILE       write the flight-recorder ring as Chrome
+//                                  trace-event / Perfetto JSON at shutdown
+//                                  (and on SIGUSR2)
+//           --prom-dump            print the metrics registry in Prometheus
+//                                  text format at shutdown
+//           --bundle-out FILE      with --monitor: if a violation is found,
+//                                  write a post-mortem bundle replayable by
+//                                  `atomfs_verify --bundle FILE`
 //
 // Observability: the daemon always carries an atomtrace metrics registry —
 // the wire METRICS op serves its full snapshot — and, for observer-capable
 // backends (atomfs/biglock), a TracingObserver feeding per-op latency,
 // lock-coupling hold/step histograms, and (with --monitor) helper/Helplist
 // counters into it. SIGUSR1 prints the current dump to stdout at any time;
-// --metrics-dump prints it once more at shutdown.
+// SIGUSR2 prints a Prometheus scrape to stdout and refreshes --trace-out;
+// --metrics-dump prints the dump once more at shutdown. The flight-recorder
+// ring is also served live over the wire (TRACE and PROM admin ops).
 //
 // At least one of --unix/--tcp is required. SIGINT/SIGTERM trigger a
 // graceful shutdown: listeners close, in-flight connections are drained,
@@ -44,7 +54,9 @@
 
 #include "src/biglock/big_lock_fs.h"
 #include "src/core/atom_fs.h"
+#include "src/crlh/bundle.h"
 #include "src/crlh/monitor.h"
+#include "src/obs/export.h"
 #include "src/naive/naive_fs.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -61,6 +73,7 @@ namespace {
 // signal context.
 volatile sig_atomic_t g_stop = 0;
 volatile sig_atomic_t g_dump = 0;
+volatile sig_atomic_t g_dump2 = 0;  // SIGUSR2: Prometheus + trace refresh
 int g_wake_fd = -1;  // eventfd; written by handlers, drained by the loop
 
 void WakeLoop() {
@@ -72,6 +85,22 @@ void WakeLoop() {
 
 void OnSignal(int) { g_stop = 1; WakeLoop(); }
 void OnDumpSignal(int) { g_dump = 1; WakeLoop(); }
+void OnDump2Signal(int) { g_dump2 = 1; WakeLoop(); }
+
+// Writes the flight-recorder ring to `path` as Chrome trace-event JSON.
+// Main-thread only (allocates, takes no locks the ring cares about).
+void WriteTraceFile(const atomfs::TraceRing& ring, const std::string& path) {
+  const std::string json = atomfs::ExportChromeTrace(ring.Snapshot());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "atomfsd: cannot open %s: %s\n", path.c_str(), std::strerror(errno));
+    return;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("atomfsd: wrote %zu trace byte(s) to %s\n", json.size(), path.c_str());
+}
 
 }  // namespace
 
@@ -84,6 +113,9 @@ int main(int argc, char** argv) {
   bool monitor_requested = false;
   bool metrics_dump = false;
   size_t trace_ring_events = 1 << 16;
+  std::string trace_out;
+  bool prom_dump = false;
+  std::string bundle_out;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
@@ -109,6 +141,12 @@ int main(int argc, char** argv) {
       metrics_dump = true;
     } else if (arg("--trace-ring")) {
       trace_ring_events = static_cast<size_t>(std::atoll(next()));
+    } else if (arg("--trace-out")) {
+      trace_out = next();
+    } else if (arg("--prom-dump")) {
+      prom_dump = true;
+    } else if (arg("--bundle-out")) {
+      bundle_out = next();
     } else {
       std::fprintf(stderr, "unknown option %s (see header comment for usage)\n", argv[i]);
       return 2;
@@ -176,6 +214,7 @@ int main(int argc, char** argv) {
   }
 
   options.metrics = &registry;
+  options.trace_ring = ring.get();
   AtomFsServer server(fs.get(), options);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "atomfsd: failed to start: %s\n", ErrcName(st.code()).data());
@@ -196,6 +235,15 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &sa, nullptr);
   sa.sa_handler = OnDumpSignal;
   sigaction(SIGUSR1, &sa, nullptr);
+  sa.sa_handler = OnDump2Signal;
+  sigaction(SIGUSR2, &sa, nullptr);
+
+  if (!trace_out.empty() && ring == nullptr) {
+    std::fprintf(stderr, "atomfsd: --trace-out needs a trace ring (--trace-ring > 0)\n");
+  }
+  if (!bundle_out.empty() && monitor == nullptr) {
+    std::fprintf(stderr, "atomfsd: --bundle-out has no effect without --monitor\n");
+  }
 
   std::printf("atomfsd: serving %s%s%s on", backend.c_str(), monitor ? " (monitored)" : "",
               tracer ? " (traced)" : "");
@@ -226,6 +274,14 @@ int main(int argc, char** argv) {
       std::fputs(registry.Snapshot().ToText().c_str(), stdout);
       std::fflush(stdout);
     }
+    if (g_dump2) {
+      g_dump2 = 0;
+      std::fputs(PrometheusText(registry.Snapshot()).c_str(), stdout);
+      std::fflush(stdout);
+      if (!trace_out.empty() && ring != nullptr) {
+        WriteTraceFile(*ring, trace_out);
+      }
+    }
   }
   server.Stop();
   close(g_wake_fd);
@@ -246,9 +302,15 @@ int main(int argc, char** argv) {
   if (metrics_dump) {
     std::fputs(registry.Snapshot().ToText().c_str(), stdout);
   }
+  if (prom_dump) {
+    std::fputs(PrometheusText(registry.Snapshot()).c_str(), stdout);
+  }
   if (ring != nullptr) {
     std::printf("atomfsd: trace ring retained %zu of %llu event(s)\n", ring->Snapshot().size(),
                 static_cast<unsigned long long>(ring->total_appended()));
+    if (!trace_out.empty()) {
+      WriteTraceFile(*ring, trace_out);
+    }
   }
 
   if (monitor) {
@@ -259,6 +321,23 @@ int main(int argc, char** argv) {
       std::printf("atomfsd: CRL-H VIOLATIONS:\n");
       for (const auto& v : monitor->violations()) {
         std::printf("  %s\n", v.c_str());
+      }
+      if (!bundle_out.empty()) {
+        if (auto pm = monitor->PostMortemState(); pm.has_value()) {
+          const PostMortemBundle bundle = BuildPostMortemBundle(
+              *pm, ring != nullptr ? ring->Snapshot() : std::vector<TraceEvent>{});
+          const std::string text = FormatBundle(bundle);
+          if (std::FILE* f = std::fopen(bundle_out.c_str(), "w"); f != nullptr) {
+            std::fputs(text.c_str(), f);
+            std::fclose(f);
+            std::printf("atomfsd: wrote post-mortem bundle to %s "
+                        "(replay: atomfs_verify --bundle %s)\n",
+                        bundle_out.c_str(), bundle_out.c_str());
+          } else {
+            std::fprintf(stderr, "atomfsd: cannot open %s: %s\n", bundle_out.c_str(),
+                         std::strerror(errno));
+          }
+        }
       }
       return 1;
     }

@@ -58,7 +58,17 @@ fi
 run_tree() {
   local name=$1 build_dir=$2 mode=$3
   echo "=== [$name] configure + build ($build_dir, ATOMFS_SANITIZE=$mode) ==="
-  cmake -B "$build_dir" -S "$REPO_ROOT" -DATOMFS_SANITIZE="$mode" >/dev/null
+  # Cache the instrumented tree across runs: reconfigure only when the tree
+  # is fresh or was configured for a different sanitizer mode (the cached
+  # ATOMFS_SANITIZE value is authoritative — a stale mismatch would silently
+  # run uninstrumented tests). CMake re-runs itself from the build rule when
+  # CMakeLists.txt changes, so skipping the explicit configure is safe.
+  if [[ ! -f "$build_dir/CMakeCache.txt" ]] ||
+     ! grep -q "^ATOMFS_SANITIZE:[^=]*=$mode\$" "$build_dir/CMakeCache.txt"; then
+    cmake -B "$build_dir" -S "$REPO_ROOT" -DATOMFS_SANITIZE="$mode" >/dev/null
+  else
+    echo "=== [$name] reusing cached configure ==="
+  fi
   cmake --build "$build_dir" -j "$JOBS"
   echo "=== [$name] ctest ${CTEST_ARGS[*]} ==="
   ctest --test-dir "$build_dir" "${CTEST_ARGS[@]}"

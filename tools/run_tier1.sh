@@ -15,7 +15,12 @@ set -euo pipefail
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD_DIR=${1:-"$REPO_ROOT/build"}
 
-cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+# Reuse an existing build tree: re-running cmake on a populated cache is
+# cheap but not free (generator re-runs touch every subdirectory), and the
+# incremental build below picks up source changes either way.
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT"
+fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
