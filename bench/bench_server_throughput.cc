@@ -34,6 +34,12 @@
 // smoke). `--connect ENDPOINT` points both passes at an already-running
 // atomfsd instead of an in-process server.
 //
+// The profile run also emits a top-level `txn` block: transaction commit
+// throughput over the wire against a journaled TxnManager (TXBEGIN / writes /
+// TXCOMMIT per connection, with a shared-file slice to exercise the
+// conflict/retry path), then recovery time replaying 25% / 50% / 100%
+// prefixes of the journal that load produced.
+//
 //   bench_server_throughput [--clients N]     concurrent clients (default 4)
 //                           [--ops N]         filebench ops per client (default 800)
 //                           [--profile fileserver|webproxy|both]   (default both)
@@ -58,6 +64,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -67,12 +74,14 @@
 #include "src/client/client.h"
 #include "src/core/atom_fs.h"
 #include "src/crlh/monitor.h"
+#include "src/journal/wal.h"
 #include "src/naive/naive_fs.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/obs/tracer.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/server/server.h"
+#include "src/txn/txn.h"
 #include "src/util/json.h"
 #include "src/util/stats.h"
 #include "src/workload/filebench.h"
@@ -677,6 +686,186 @@ void JsonProfile(JsonWriter& json, const ProfileResult& r, double untraced_ops_p
   json.EndObject();
 }
 
+// --- transaction mode --------------------------------------------------------
+
+// The txn block of BENCH_server.json: commit throughput through a journaled
+// TxnManager over the real wire, then recovery time as a function of journal
+// length, replayed from prefixes of the very journal the load produced.
+struct TxnConnStats {
+  uint64_t commits = 0;
+  uint64_t conflicts = 0;
+  uint64_t ops = 0;  // path ops committed inside transactions
+  uint64_t failures = 0;
+  bool connect_failed = false;
+};
+
+TxnConnStats RunTxnConn(const std::string& endpoint, int conn_index,
+                        std::chrono::steady_clock::time_point deadline) {
+  TxnConnStats st;
+  auto client = AtomFsClient::Connect(endpoint);
+  if (!client.ok()) {
+    st.connect_failed = true;
+    return st;
+  }
+  AtomFsClient& c = **client;
+  const std::string dir = "/txbench_c" + std::to_string(conn_index);
+  if (!c.Mkdir(dir).ok()) {
+    ++st.failures;
+    return st;
+  }
+  uint64_t round = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!c.TxBegin().ok()) {
+      ++st.failures;
+      break;
+    }
+    // Four private writes per transaction; every eighth transaction also
+    // touches a shared file so the run exercises (and prices) the
+    // conflict/retry path instead of only the embarrassingly parallel one.
+    bool ok = true;
+    uint64_t ops = 0;
+    for (int k = 0; k < 4 && ok; ++k, ++ops) {
+      ok = WriteString(c, dir + "/f" + std::to_string(k), "txn payload " +
+                       std::to_string(round)).ok();
+    }
+    if (ok && round % 8 == 0) {
+      ok = WriteString(c, "/txbench_shared", "round " + std::to_string(round)).ok();
+      ++ops;
+    }
+    if (!ok) {
+      ++st.failures;
+      (void)c.TxAbort();
+      continue;
+    }
+    const Status commit = c.TxCommit();
+    if (commit.ok()) {
+      ++st.commits;
+      st.ops += ops;
+    } else if (commit.code() == Errc::kTxConflict) {
+      ++st.conflicts;  // whole-transaction retry is the contract; just loop
+    } else {
+      ++st.failures;
+    }
+    ++round;
+  }
+  return st;
+}
+
+void RunTxnExperiment(JsonWriter& json, int connections, double seconds) {
+  const std::string journal =
+      "/tmp/atomfs_bench_txn_" + std::to_string(getpid()) + ".wal";
+  std::remove(journal.c_str());
+
+  AtomFs fs;
+  TxnManager::Options topt;
+  topt.inner = &fs;
+  topt.wal_path = journal;
+  TxnManager txn(topt);
+  const std::string sock_path =
+      "/tmp/atomfs_bench_txn_" + std::to_string(getpid()) + ".sock";
+  ServerOptions options;
+  options.workers = connections;
+  options.unix_path = sock_path;
+  options.txn = &txn;
+  AtomFsServer server(&txn, options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "cannot start txn-mode server\n");
+    std::exit(1);
+  }
+  const std::string endpoint = "unix:" + sock_path;
+
+  std::vector<TxnConnStats> stats(static_cast<size_t>(connections));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000.0));
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back(
+        [&, c] { stats[static_cast<size_t>(c)] = RunTxnConn(endpoint, c, deadline); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const double wall_seconds = wall.ElapsedSeconds();
+  server.Stop();
+
+  TxnConnStats total;
+  for (const TxnConnStats& s : stats) {
+    total.commits += s.commits;
+    total.conflicts += s.conflicts;
+    total.ops += s.ops;
+    total.failures += s.failures;
+    total.connect_failed = total.connect_failed || s.connect_failed;
+  }
+  if (total.connect_failed || total.failures > 0 || total.commits == 0) {
+    std::fprintf(stderr, "txn experiment failed (%llu failure(s), %llu commit(s))\n",
+                 static_cast<unsigned long long>(total.failures),
+                 static_cast<unsigned long long>(total.commits));
+    std::exit(1);
+  }
+  const double commits_per_sec = static_cast<double>(total.commits) / wall_seconds;
+  std::printf("\n=== txn: %d connection(s), %.1fs => %.0f commits/sec "
+              "(%llu commits, %llu conflicts, %llu committed ops) ===\n",
+              connections, wall_seconds, commits_per_sec,
+              static_cast<unsigned long long>(total.commits),
+              static_cast<unsigned long long>(total.conflicts),
+              static_cast<unsigned long long>(total.ops));
+
+  // Recovery cost vs journal length, from the journal this very load wrote:
+  // replay the longest prefix ending at 25% / 50% / 100% of its records.
+  std::string bytes;
+  {
+    std::ifstream in(journal, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>{});
+  }
+  const WalScan scan = ScanWalBytes(bytes);
+  if (scan.records.empty()) {
+    std::fprintf(stderr, "txn experiment produced an empty journal\n");
+    std::exit(1);
+  }
+
+  json.Key("txn").BeginObject();
+  json.Field("connections", static_cast<uint64_t>(connections));
+  json.Field("wall_seconds", wall_seconds);
+  json.Field("commits", total.commits);
+  json.Field("conflicts", total.conflicts);
+  json.Field("committed_ops", total.ops);
+  json.Field("commits_per_sec", commits_per_sec);
+  json.Field("committed_ops_per_sec", static_cast<double>(total.ops) / wall_seconds);
+  json.Field("conflict_pct",
+             static_cast<double>(total.conflicts) /
+                 static_cast<double>(total.commits + total.conflicts) * 100.0);
+  json.Field("journal_bytes", static_cast<uint64_t>(bytes.size()));
+  json.Field("journal_records", static_cast<uint64_t>(scan.records.size()));
+  json.Key("recovery").BeginArray();
+  for (const double frac : {0.25, 0.5, 1.0}) {
+    const size_t idx =
+        std::min(scan.records.size() - 1,
+                 static_cast<size_t>(static_cast<double>(scan.records.size()) * frac) == 0
+                     ? 0
+                     : static_cast<size_t>(static_cast<double>(scan.records.size()) * frac) - 1);
+    const std::string_view prefix(bytes.data(), scan.records[idx].end_offset);
+    AtomFs replay;
+    WallTimer timer;
+    const WalRecoveryStats rstats = RecoverWalBytes(prefix, replay);
+    const double ms = static_cast<double>(timer.ElapsedNanos()) / 1e6;
+    std::printf("recovery %3.0f%%: %8llu bytes, %6llu unit(s), %6llu op(s) in %.2f ms\n",
+                frac * 100.0, static_cast<unsigned long long>(prefix.size()),
+                static_cast<unsigned long long>(rstats.committed),
+                static_cast<unsigned long long>(rstats.applied_ops), ms);
+    json.BeginObject();
+    json.Field("journal_fraction", frac);
+    json.Field("bytes", static_cast<uint64_t>(prefix.size()));
+    json.Field("committed_units", rstats.committed);
+    json.Field("replayed_ops", rstats.applied_ops);
+    json.Field("recover_ms", ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::remove(journal.c_str());
+}
+
 // --- pipeline mode -----------------------------------------------------------
 
 struct PipeConnStats {
@@ -1082,6 +1271,11 @@ int main(int argc, char** argv) {
   }
 
   json.EndArray();
+
+  // The txn block: commit throughput through a journaled TxnManager over the
+  // wire, plus recovery time vs journal length (see RunTxnExperiment).
+  RunTxnExperiment(json, clients, /*seconds=*/1.0);
+
   json.EndObject();
   if (!json.WriteFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

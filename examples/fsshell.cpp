@@ -4,6 +4,9 @@
 //
 //   mkdir PATH | touch PATH | rm PATH | rmdir PATH | mv SRC DST | xchg A B
 //   ls PATH    | stat PATH  | cat PATH | write PATH TEXT... | tree [PATH]
+//   txbegin | txcommit | txabort (remote mounts served with --journal: open /
+//   commit / roll back an atomic multi-op transaction; every path command in
+//   between executes inside it)
 //   metrics (remote mounts only: fetch and print the atomtrace dump)
 //   trace-dump [FILE] (remote: fetch the flight-recorder ring as Perfetto JSON)
 //   prom (remote: fetch the metrics registry in Prometheus text format)
@@ -91,8 +94,31 @@ int main(int argc, char** argv) {
       break;
     } else if (cmd == "help") {
       std::printf(
-          "mkdir touch rm rmdir mv xchg ls stat cat write tree metrics "
-          "trace-dump prom quit\n");
+          "mkdir touch rm rmdir mv xchg ls stat cat write tree txbegin "
+          "txcommit txabort metrics trace-dump prom quit\n");
+    } else if (cmd == "txbegin") {
+      if (remote == nullptr) {
+        std::printf("txbegin: only available on a remote mount (--connect)\n");
+        continue;
+      }
+      auto txid = remote->TxBegin();
+      if (!txid.ok()) {
+        std::printf("txbegin: %s\n", ErrcName(txid.status().code()).data());
+        continue;
+      }
+      std::printf("txn %llu open\n", static_cast<unsigned long long>(*txid));
+    } else if (cmd == "txcommit") {
+      if (remote == nullptr) {
+        std::printf("txcommit: only available on a remote mount (--connect)\n");
+        continue;
+      }
+      PrintStatus("txcommit", remote->TxCommit());
+    } else if (cmd == "txabort") {
+      if (remote == nullptr) {
+        std::printf("txabort: only available on a remote mount (--connect)\n");
+        continue;
+      }
+      PrintStatus("txabort", remote->TxAbort());
     } else if (cmd == "trace-dump") {
       if (remote == nullptr) {
         std::printf("trace-dump: only available on a remote mount (--connect)\n");

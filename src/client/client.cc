@@ -601,6 +601,37 @@ Status AtomFsClient::Ping() {
   return CallStatusOnly(req);
 }
 
+// --- transactions ------------------------------------------------------------
+
+Result<uint64_t> AtomFsClient::TxBegin() {
+  WireRequest req;
+  req.op = WireOp::kTxBegin;
+  auto body = Call(req);
+  if (!body.ok()) {
+    return body.status();
+  }
+  WireReader r(*body);
+  uint64_t txid = 0;
+  if (!r.U64(&txid) || !r.AtEnd() || txid == 0) {
+    return Errc::kProto;
+  }
+  return txid;
+}
+
+Status AtomFsClient::TxCommit(uint64_t txid) {
+  WireRequest req;
+  req.op = WireOp::kTxCommit;
+  req.txid = txid;
+  return CallStatusOnly(req);
+}
+
+Status AtomFsClient::TxAbort(uint64_t txid) {
+  WireRequest req;
+  req.op = WireOp::kTxAbort;
+  req.txid = txid;
+  return CallStatusOnly(req);
+}
+
 Result<WireServerStats> AtomFsClient::FetchStats() {
   WireRequest req;
   req.op = WireOp::kStats;

@@ -186,6 +186,20 @@ class AtomFsClient : public FileSystem {
   Status Ftruncate(Fd fd, uint64_t size);
   Result<uint64_t> Seek(Fd fd, uint64_t offset);
 
+  // Transactions. TxBegin opens a transaction on this connection (at most
+  // one open at a time; the server answers EBUSY otherwise) and returns its
+  // id. While open, every path-based op on this client executes inside it:
+  // buffered against a private snapshot, invisible to other connections,
+  // rolled back wholesale on TxAbort or on connection loss. TxCommit makes
+  // the buffered sequence durable and visible atomically — or fails with
+  // kTxConflict (retryable: begin again and replay) if a concurrent commit
+  // touched the transaction's footprint first. txid 0 means "the
+  // connection's current transaction". Descriptor ops are refused (EBUSY)
+  // while a transaction is open.
+  Result<uint64_t> TxBegin();
+  Status TxCommit(uint64_t txid = 0);
+  Status TxAbort(uint64_t txid = 0);
+
   // Admin.
   Status Ping();
   Result<WireServerStats> FetchStats();

@@ -1,15 +1,13 @@
 #include "src/journal/journal_fs.h"
 
-#include <sstream>
-
 #include "src/util/check.h"
 
 namespace atomfs {
 
 JournalFs::JournalFs(FileSystem* inner, const std::string& log_path)
-    : inner_(inner), log_(log_path, std::ios::app) {
+    : inner_(inner), wal_(log_path) {
   ATOMFS_CHECK(inner != nullptr);
-  ATOMFS_CHECK(log_.good() && "cannot open journal log for append");
+  ATOMFS_CHECK(wal_.ok() && "cannot open journal log for append");
 }
 
 JournalFs::~JournalFs() = default;
@@ -26,8 +24,8 @@ Status JournalFs::Logged(const OpCall& call) {
   std::lock_guard<std::mutex> lk(mu_);
   OpResult result = RunOp(*inner_, call);
   if (result.status.ok()) {
-    log_ << FormatTraceLine(call) << '\n';
-    log_.flush();
+    wal_.Append(WalRecordType::kOp, /*txid=*/0, FormatTraceLine(call));
+    wal_.Flush();
     ++logged_ops_;
   }
   return result.status;
@@ -55,10 +53,10 @@ Result<size_t> JournalFs::Write(const Path& path, uint64_t offset,
   std::lock_guard<std::mutex> lk(mu_);
   auto written = inner_->Write(path, offset, data);
   if (written.ok()) {
-    log_ << FormatTraceLine(OpCall::WriteOf(
-                path, offset, std::vector<std::byte>(data.begin(), data.end())))
-         << '\n';
-    log_.flush();
+    wal_.Append(WalRecordType::kOp, /*txid=*/0,
+                FormatTraceLine(OpCall::WriteOf(
+                    path, offset, std::vector<std::byte>(data.begin(), data.end()))));
+    wal_.Flush();
     ++logged_ops_;
   }
   return written;
@@ -76,41 +74,11 @@ Result<size_t> JournalFs::Read(const Path& path, uint64_t offset, std::span<std:
 }
 
 Result<uint64_t> JournalFs::Recover(const std::string& log_path, FileSystem& fs) {
-  std::ifstream in(log_path, std::ios::binary);
-  if (!in) {
-    return Errc::kNoEnt;
+  auto stats = RecoverWal(log_path, fs);
+  if (!stats.ok()) {
+    return stats.status();
   }
-  std::string contents(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>{});
-  // A record is durable only once its newline hit the log: a torn final
-  // line (crash mid-append) could otherwise parse as a VALID but shorter
-  // operation (e.g. a write whose hex payload lost its tail), silently
-  // corrupting recovery. Drop any unterminated tail.
-  if (!contents.empty() && contents.back() != '\n') {
-    const size_t last_newline = contents.find_last_of('\n');
-    contents.resize(last_newline == std::string::npos ? 0 : last_newline + 1);
-  }
-  std::istringstream stream(contents);
-  uint64_t recovered = 0;
-  std::string line;
-  while (std::getline(stream, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') {
-      continue;
-    }
-    auto call = ParseTraceLine(line);
-    if (!call.ok()) {
-      // Torn or corrupt line: recovery stops at the last good prefix.
-      break;
-    }
-    OpResult result = RunOp(fs, *call);
-    if (!result.status.ok()) {
-      // A logged op must re-apply cleanly on the recovered prefix; if not,
-      // the log itself is inconsistent — stop rather than diverge.
-      break;
-    }
-    ++recovered;
-  }
-  return recovered;
+  return stats->applied_ops;
 }
 
 }  // namespace atomfs

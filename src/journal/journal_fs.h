@@ -6,13 +6,16 @@
 // the on-disk file system ... We follow the same design strategies." This
 // decorator is that decoupling: the in-memory FS stays the verified
 // linearizable artifact, while JournalFs appends every *successful mutating
-// operation* to an append-only log (one trace line per op, flushed per
-// line). Recovery replays the log's longest well-formed prefix onto a fresh
-// file system — a torn tail line (the crash case) is detected and dropped.
+// operation* to the record-oriented WAL (src/journal/wal.h) as an
+// auto-committed op record (txid 0), checksummed and flushed per op.
+// Recovery replays the log's longest well-formed record prefix onto a fresh
+// file system — a torn tail record (the crash case) is detected by length or
+// checksum and dropped. Multi-op atomic transactions over the same log live
+// one layer up, in src/txn.
 //
 // Guarantees (and honest non-guarantees):
-//   + Every operation whose log line was durably flushed before a crash is
-//     recovered, in order; a torn final line loses exactly that operation.
+//   + Every operation whose log record was durably flushed before a crash is
+//     recovered, in order; a torn final record loses exactly that operation.
 //   + Recovery is prefix-consistent: the recovered state equals replaying
 //     some prefix of the logged history.
 //   - The log serializes mutations (one mutex around log append + op), so
@@ -24,11 +27,11 @@
 #ifndef ATOMFS_SRC_JOURNAL_JOURNAL_FS_H_
 #define ATOMFS_SRC_JOURNAL_JOURNAL_FS_H_
 
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "src/journal/wal.h"
 #include "src/vfs/filesystem.h"
 #include "src/workload/trace.h"
 
@@ -41,8 +44,10 @@ class JournalFs : public FileSystem {
   ~JournalFs() override;
 
   // Replays the longest well-formed prefix of the log at `log_path` onto
-  // `fs`. Returns the number of operations recovered (a trailing torn line
-  // is dropped silently; a malformed line mid-log stops recovery there).
+  // `fs`: auto-committed ops in order, plus any committed transactions a
+  // TxnManager wrote to the same log. Returns the number of operations
+  // recovered (a trailing torn record is dropped silently; a malformed
+  // record mid-log stops recovery there).
   static Result<uint64_t> Recover(const std::string& log_path, FileSystem& fs);
 
   Status Mkdir(const Path& path) override;
@@ -72,12 +77,12 @@ class JournalFs : public FileSystem {
   uint64_t logged_ops() const;
 
  private:
-  // Runs the mutation under the log lock and appends its line on success.
+  // Runs the mutation under the log lock and appends its record on success.
   Status Logged(const OpCall& call);
 
   FileSystem* inner_;
   mutable std::mutex mu_;
-  std::ofstream log_;
+  WalWriter wal_;
   uint64_t logged_ops_ = 0;
 };
 

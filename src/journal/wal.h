@@ -1,0 +1,131 @@
+// Record-oriented write-ahead log shared by JournalFs (auto-committed single
+// ops) and TxnManager (multi-op transactions, src/txn).
+//
+// On-disk format — a flat sequence of checksummed binary records:
+//
+//   record  := u8 magic (0xA7) | u8 type | u64 txid | u32 payload_len
+//            | u32 checksum | payload_len bytes
+//   type    := 1 begin | 2 op | 3 commit | 4 abort
+//
+// All integers are little-endian. The checksum is FNV-1a/32 over
+// (type, txid, payload); `payload_len` is implicitly covered because a
+// length mismatch either truncates the payload (checksum fails) or reads
+// past the next record's magic byte (checksum fails). An op record's payload
+// is one trace line (src/workload/trace.h FormatTraceLine); begin / commit /
+// abort records carry no payload.
+//
+// txid 0 is reserved for auto-committed standalone operations: an op record
+// with txid 0 is durable (and replayed at recovery) on its own, with no
+// begin/commit bracket — exactly the JournalFs durability contract. Records
+// with txid > 0 belong to a transaction and become visible atomically at
+// their commit record, in log order; a begin without a commit (the crash
+// case) and an aborted group are discarded whole.
+//
+// Recovery is prefix-exact: ScanWal parses records until the first torn,
+// truncated, or checksum-failed record and ignores everything from there on.
+// Cutting the log at ANY byte offset therefore yields a clean prefix of
+// complete records — the property tests/crash_injection_test.cc sweeps.
+
+#ifndef ATOMFS_SRC_JOURNAL_WAL_H_
+#define ATOMFS_SRC_JOURNAL_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+inline constexpr uint8_t kWalMagic = 0xA7;
+// Fixed bytes before the payload: magic, type, txid, payload_len, checksum.
+inline constexpr size_t kWalHeaderBytes = 1 + 1 + 8 + 4 + 4;
+// Parse-time sanity cap on one record's payload; anything larger is treated
+// as corruption (the largest legal op payload is one wire write, 4 MiB, plus
+// its hex encoding and line framing).
+inline constexpr uint32_t kWalMaxPayloadBytes = 16u << 20;
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kOp = 2,
+  kCommit = 3,
+  kAbort = 4,
+};
+
+std::string_view WalRecordTypeName(WalRecordType t);
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kOp;
+  uint64_t txid = 0;
+  std::string payload;
+  // Byte offset one past this record in the log — i.e. the record boundary
+  // the crash harness truncates at.
+  uint64_t end_offset = 0;
+};
+
+// Append-side handle. Append() buffers; Flush() pushes to the OS — the
+// durability point every caller treats as its commit point. Not internally
+// synchronized: callers (JournalFs, TxnManager) already serialize appends
+// under their own mutex.
+class WalWriter {
+ public:
+  // Opens `path` for append, creating it if missing.
+  explicit WalWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+  void Append(WalRecordType type, uint64_t txid, std::string_view payload);
+  void Flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+// Encodes one record (header + payload) — exposed for tests that build
+// hand-crafted or deliberately corrupted logs.
+std::string EncodeWalRecord(WalRecordType type, uint64_t txid, std::string_view payload);
+
+struct WalScan {
+  std::vector<WalRecord> records;
+  // Length of the longest well-formed prefix; bytes past it were torn or
+  // corrupt and are ignored.
+  uint64_t clean_bytes = 0;
+  bool torn_tail = false;
+};
+
+// Parses the log at `path`. kNoEnt if the file does not exist; an empty file
+// scans to an empty record list. Never fails on corrupt bytes — they just
+// end the clean prefix.
+Result<WalScan> ScanWal(const std::string& path);
+// Same, over in-memory bytes (the crash harness scans truncated copies).
+WalScan ScanWalBytes(std::string_view bytes);
+
+struct WalRecoveryStats {
+  uint64_t applied_ops = 0;  // op records actually replayed onto `fs`
+  uint64_t committed = 0;    // atomic units applied: txn commits + auto ops
+  uint64_t aborted = 0;      // transactions with an abort record
+  uint64_t discarded = 0;    // open transactions dropped at the torn tail
+  uint64_t clean_bytes = 0;
+  bool torn_tail = false;
+  // Largest transaction id seen anywhere in the clean prefix, including
+  // dangling begins. A writer reopening this log MUST allocate ids above it
+  // (TxnManager::Options::first_txid): reusing the id of a discarded
+  // transaction would make the reused begin look like a duplicate bracket on
+  // the next recovery, which stops the replay at that record.
+  uint64_t max_txid = 0;
+};
+
+// Replays the log at `path` onto `fs`: auto-committed ops in log order,
+// transactions atomically at their commit record's position. A logged op
+// that fails to re-apply, or a transactional record sequence that is
+// internally inconsistent (an op or commit with no begin), ends recovery at
+// the last good unit — the log can no longer be trusted past that point.
+Result<WalRecoveryStats> RecoverWal(const std::string& path, FileSystem& fs);
+// Same, over in-memory bytes.
+WalRecoveryStats RecoverWalBytes(std::string_view bytes, FileSystem& fs);
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_JOURNAL_WAL_H_

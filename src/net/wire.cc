@@ -67,6 +67,12 @@ std::string_view WireOpName(WireOp op) {
       return "trace";
     case WireOp::kProm:
       return "prom";
+    case WireOp::kTxBegin:
+      return "txbegin";
+    case WireOp::kTxCommit:
+      return "txcommit";
+    case WireOp::kTxAbort:
+      return "txabort";
   }
   return "unknown";
 }
@@ -109,6 +115,8 @@ uint8_t WireStatusOf(Errc code) {
       return 15;
     case Errc::kBackpressure:
       return 16;
+    case Errc::kTxConflict:
+      return 17;
   }
   return 13;  // unmapped codes degrade to EIO
 }
@@ -149,6 +157,8 @@ Errc ErrcOfWireStatus(uint8_t wire) {
       return Errc::kTimedOut;
     case 16:
       return Errc::kBackpressure;
+    case 17:
+      return Errc::kTxConflict;
     default:
       return Errc::kProto;
   }
@@ -273,6 +283,11 @@ std::vector<std::byte> EncodeRequest(const WireRequest& req) {
     case WireOp::kMetrics:
     case WireOp::kTraceDump:
     case WireOp::kProm:
+    case WireOp::kTxBegin:
+      break;
+    case WireOp::kTxCommit:
+    case WireOp::kTxAbort:
+      w.U64(req.txid);
       break;
     case WireOp::kMkdir:
     case WireOp::kMknod:
@@ -364,6 +379,11 @@ Result<WireRequest> ParseRequestImpl(std::span<const std::byte> payload, bool al
     case WireOp::kMetrics:
     case WireOp::kTraceDump:
     case WireOp::kProm:
+    case WireOp::kTxBegin:
+      break;
+    case WireOp::kTxCommit:
+    case WireOp::kTxAbort:
+      good = r.U64(&req.txid);
       break;
     case WireOp::kMkdir:
     case WireOp::kMknod:

@@ -99,10 +99,18 @@ enum class WireOp : uint8_t {
   // servers answer EPROTO, which the client surfaces cleanly).
   kTraceDump = 27,  // Chrome trace-event JSON of the server's TraceRing
   kProm = 28,       // Prometheus text exposition of the metrics registry
+  // Transactions (still protocol v2; a server without a transaction layer
+  // answers EINVAL, an old server EPROTO — both fail soft). A connection
+  // holds at most one open transaction; while it is open, path-based
+  // FileSystem ops on the connection execute inside it, and MSGBATCH lets a
+  // whole begin/ops/commit sequence ship in one frame.
+  kTxBegin = 29,   // — | reply u64 txid
+  kTxCommit = 30,  // u64 txid (0 = the connection's open txn) | —
+  kTxAbort = 31,   // u64 txid (0 = the connection's open txn) | —
 };
 
 inline constexpr uint8_t kWireOpMin = 1;
-inline constexpr uint8_t kWireOpMax = 28;
+inline constexpr uint8_t kWireOpMax = 31;
 
 inline bool WireOpKnown(uint8_t raw) { return raw >= kWireOpMin && raw <= kWireOpMax; }
 std::string_view WireOpName(WireOp op);
@@ -176,6 +184,9 @@ struct WireRequest {
   // HELLO: protocol version and desired inflight window (0 = server default).
   uint32_t proto_version = 0;
   uint32_t max_inflight = 0;
+  // TXCOMMIT / TXABORT: the transaction to finish (0 = the connection's
+  // currently open transaction).
+  uint64_t txid = 0;
   // MSGBATCH: the packed sub-requests. Nested MSGBATCH and packed HELLO are
   // protocol errors (a window change mid-batch would be ambiguous).
   std::vector<WireRequest> batch;

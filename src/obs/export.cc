@@ -196,6 +196,39 @@ std::string EmitChromeTrace(const std::vector<TraceEvent>& events, size_t first)
         w.EndObject();
         break;
       }
+      case TraceEventType::kTxnBegin: {
+        Preamble(w, e, "i", "txn_begin", "txn");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("txid", e.ino);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kTxnCommit: {
+        Preamble(w, e, "i", "txn_commit", "txn");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("txid", e.ino);
+        w.Field("ops", e.arg);
+        w.Field("commit_seq", e.aux);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kTxnAbort: {
+        Preamble(w, e, "i", "txn_abort", "txn");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("txid", e.ino);
+        w.Field("conflict", e.arg);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
     }
   }
   w.EndArray();

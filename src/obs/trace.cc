@@ -28,6 +28,12 @@ std::string_view TraceEventTypeName(TraceEventType type) {
       return "invariant";
     case TraceEventType::kViolation:
       return "violation";
+    case TraceEventType::kTxnBegin:
+      return "txn_begin";
+    case TraceEventType::kTxnCommit:
+      return "txn_commit";
+    case TraceEventType::kTxnAbort:
+      return "txn_abort";
   }
   return "unknown";
 }

@@ -52,6 +52,13 @@ enum class TraceEventType : uint8_t {
   kHelpedRetired = 8,  // a helped op passed its own concrete LP (helped LP)
   kInvariant = 9,      // a Table-1 invariant check ran (op = InvariantKind)
   kViolation = 10,     // the monitor recorded a violation
+  // Transaction ghost events (src/txn): the commit descriptor's lifecycle,
+  // folded into the same flight recorder as the monitor's ghost steps.
+  // ino = txid; arg = op count (kTxnCommit) or 1 if the abort was a commit
+  // validation conflict (kTxnAbort); aux = commit sequence number.
+  kTxnBegin = 11,
+  kTxnCommit = 12,
+  kTxnAbort = 13,
 };
 
 std::string_view TraceEventTypeName(TraceEventType type);

@@ -96,6 +96,10 @@ struct AtomFsServer::Conn {
   int fd = -1;
   Shard* shard = nullptr;
   Vfs vfs;  // per-connection descriptor table; touched by one worker at a time
+  // Open transaction id (0 = none). Same ownership as `vfs`: requests for
+  // one connection execute on one worker at a time, and teardown reads it
+  // only after the worker handoff (exec_scheduled) has quiesced.
+  uint64_t active_txn = 0;
 
   // Loop-owned.
   std::vector<std::byte> rbuf;
@@ -286,6 +290,9 @@ void AtomFsServer::Stop() {
   }
   for (auto& shard : shards_) {
     for (auto& [id, c] : shard->conns) {
+      if (opts_.txn != nullptr && c->active_txn != 0) {
+        opts_.txn->TxAbort(c->active_txn);  // never leave a txn half-open
+      }
       close(c->fd);
       active_conns_.Sub(1);
     }
@@ -746,6 +753,12 @@ bool AtomFsServer::MaybeClose(Shard& shard, Conn* c) {
 }
 
 void AtomFsServer::DestroyConn(Shard& shard, Conn* c) {
+  if (opts_.txn != nullptr && c->active_txn != 0) {
+    // Dropping the connection rolls its open transaction back — its ops
+    // were buffered in the txn's private view and are never visible.
+    opts_.txn->TxAbort(c->active_txn);
+    c->active_txn = 0;
+  }
   epoll_ctl(shard.epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
   close(c->fd);
   active_conns_.Sub(1);
@@ -843,6 +856,13 @@ void AtomFsServer::ExecuteConn(Conn* c) {
 // --- dispatch ----------------------------------------------------------------
 
 std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& req) {
+  if (conn.active_txn != 0 && opts_.txn != nullptr) {
+    std::vector<std::byte> routed = DispatchInTxn(conn, req);
+    if (!routed.empty()) {
+      return routed;  // the op executed inside (or was refused by) the txn
+    }
+    // Empty: an admin/session/txn-control op; normal dispatch below.
+  }
   Vfs& vfs = conn.vfs;
   switch (req.op) {
     case WireOp::kPing:
@@ -1023,12 +1043,143 @@ std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& 
       EncodeHello(body, WireHello{kWireProtoVersion, granted});
       return OkResponse(std::move(body));
     }
+    case WireOp::kTxBegin: {
+      if (opts_.txn == nullptr) {
+        return StatusResponse(Status(Errc::kInval));
+      }
+      if (conn.active_txn != 0) {
+        // One open transaction per connection: finish it first.
+        return StatusResponse(Status(Errc::kBusy));
+      }
+      auto id = opts_.txn->TxBegin();
+      if (!id.ok()) {
+        return StatusResponse(id.status());
+      }
+      conn.active_txn = *id;
+      WireWriter body;
+      body.U64(*id);
+      return OkResponse(std::move(body));
+    }
+    case WireOp::kTxCommit:
+    case WireOp::kTxAbort: {
+      if (opts_.txn == nullptr) {
+        return StatusResponse(Status(Errc::kInval));
+      }
+      const uint64_t target = req.txid != 0 ? req.txid : conn.active_txn;
+      if (target == 0 || target != conn.active_txn) {
+        return StatusResponse(Status(Errc::kInval));
+      }
+      // The transaction is finished either way — a commit that loses the
+      // conflict race rolls back and reports kTxConflict, it does not stay
+      // open for a retry under the same id.
+      conn.active_txn = 0;
+      return StatusResponse(req.op == WireOp::kTxCommit ? opts_.txn->TxCommit(target)
+                                                        : opts_.txn->TxAbort(target));
+    }
     case WireOp::kMsgBatch:
       // Batches are unpacked in ExecuteConn and nesting is rejected at
       // parse; reaching here means a logic error upstream.
       return StatusResponse(Status(Errc::kProto));
   }
   return StatusResponse(Status(Errc::kProto));
+}
+
+std::vector<std::byte> AtomFsServer::DispatchInTxn(Conn& conn, const WireRequest& req) {
+  OpCall call;
+  bool two_paths = false;
+  switch (req.op) {
+    case WireOp::kMkdir:
+      call.kind = OpKind::kMkdir;
+      break;
+    case WireOp::kMknod:
+      call.kind = OpKind::kMknod;
+      break;
+    case WireOp::kRmdir:
+      call.kind = OpKind::kRmdir;
+      break;
+    case WireOp::kUnlink:
+      call.kind = OpKind::kUnlink;
+      break;
+    case WireOp::kRename:
+      call.kind = OpKind::kRename;
+      two_paths = true;
+      break;
+    case WireOp::kExchange:
+      call.kind = OpKind::kExchange;
+      two_paths = true;
+      break;
+    case WireOp::kTruncate:
+      call.kind = OpKind::kTruncate;
+      call.offset = req.offset;
+      break;
+    case WireOp::kStat:
+      call.kind = OpKind::kStat;
+      break;
+    case WireOp::kReadDir:
+      call.kind = OpKind::kReadDir;
+      break;
+    case WireOp::kRead:
+      call.kind = OpKind::kRead;
+      call.offset = req.offset;
+      call.len = req.count;
+      break;
+    case WireOp::kWrite:
+      call.kind = OpKind::kWrite;
+      call.offset = req.offset;
+      call.data = req.data;
+      break;
+    case WireOp::kOpen:
+    case WireOp::kClose:
+    case WireOp::kFdRead:
+    case WireOp::kFdWrite:
+    case WireOp::kFdPread:
+    case WireOp::kFdPwrite:
+    case WireOp::kFstat:
+    case WireOp::kFdReadDir:
+    case WireOp::kFtruncate:
+    case WireOp::kSeek:
+      // Descriptor ops run against the shared backend directly, so inside a
+      // transaction they would bypass its snapshot (reads) and its write
+      // buffer (writes). Refuse them rather than leak uncommitted state.
+      return StatusResponse(Status(Errc::kBusy));
+    default:
+      return {};  // not a FileSystem op: fall through to normal dispatch
+  }
+  auto a = ParsePath(req.path_a);
+  if (!a.ok()) {
+    return StatusResponse(a.status());
+  }
+  call.a = *a;
+  if (two_paths) {
+    auto b = ParsePath(req.path_b);
+    if (!b.ok()) {
+      return StatusResponse(b.status());
+    }
+    call.b = *b;
+  }
+  const OpKind kind = call.kind;
+  const OpResult r = opts_.txn->TxApply(conn.active_txn, call);
+  if (!r.status.ok()) {
+    return StatusResponse(r.status);
+  }
+  WireWriter body;
+  switch (kind) {
+    case OpKind::kStat:
+      EncodeAttr(body, r.attr);
+      break;
+    case OpKind::kReadDir:
+      EncodeDirEntries(body, r.entries);
+      break;
+    case OpKind::kRead:
+      body.Blob(std::span<const std::byte>(r.data.data(), r.data.size()));
+      break;
+    case OpKind::kWrite:
+      body.U64(r.nbytes);
+      break;
+    default:
+      break;  // status-only reply
+  }
+  return OkResponse(std::move(body));
 }
 
 void AtomFsServer::RecordLatency(WireOp op, uint64_t nanos) {

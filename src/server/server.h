@@ -54,6 +54,7 @@
 #include "src/net/wire.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/server/txn_host.h"
 #include "src/util/stats.h"
 #include "src/util/status.h"
 #include "src/vfs/filesystem.h"
@@ -99,6 +100,12 @@ struct ServerOptions {
   // answers with an empty (but valid) Chrome trace document. Same lifetime
   // rule as `metrics`.
   TraceRing* trace_ring = nullptr;
+  // Transaction host driving TXBEGIN / TXCOMMIT / TXABORT (usually the
+  // TxnManager wrapping the backend — in which case `fs` should be that same
+  // TxnManager, so direct mutations are journaled and conflict-tracked too).
+  // Optional: when null the transaction opcodes answer EINVAL. Same lifetime
+  // rule as `metrics`.
+  TxnHost* txn = nullptr;
 };
 
 class AtomFsServer {
@@ -159,6 +166,10 @@ class AtomFsServer {
   // Handles one parsed non-batch request; returns the response payload.
   // Needs the connection for its Vfs and for HELLO's window update.
   std::vector<std::byte> DispatchOne(Conn& conn, const WireRequest& req);
+  // Routes one request into the connection's open transaction. Returns an
+  // empty vector for requests that bypass the transaction (admin/session
+  // ops), which then fall through to the normal dispatch.
+  std::vector<std::byte> DispatchInTxn(Conn& conn, const WireRequest& req);
   void RecordLatency(WireOp op, uint64_t nanos);
   void NoteProtocolError();
 

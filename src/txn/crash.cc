@@ -1,0 +1,233 @@
+#include "src/txn/crash.h"
+
+#include <algorithm>
+
+#include "src/core/atom_fs.h"
+#include "src/util/check.h"
+#include "src/util/rand.h"
+#include "src/vfs/path.h"
+
+namespace atomfs {
+
+namespace {
+
+Path MustParse(const std::string& s) {
+  auto p = ParsePath(s);
+  ATOMFS_CHECK(p.ok());
+  return *p;
+}
+
+std::vector<std::byte> BytesOf(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<std::byte>(s[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CrashMix> BuildCrashMix(const std::string& wal_path, const CrashMixOptions& options) {
+  AtomFs fs;
+  TxnManager::Options topt;
+  topt.inner = &fs;
+  topt.wal_path = wal_path;
+  topt.record_commit_log = true;
+  TxnManager txn(topt);
+  Rng rng(options.seed);
+
+  // Base directories, as auto-committed direct ops (they are part of the
+  // golden commit order too).
+  const int kDirs = 3;
+  for (int i = 0; i < kDirs; ++i) {
+    if (!txn.Mkdir(MustParse("/d" + std::to_string(i))).ok()) {
+      return Errc::kIo;
+    }
+  }
+
+  int name_counter = 0;
+  auto fresh_file = [&] {
+    return "/d" + std::to_string(rng.Below(kDirs)) + "/f" + std::to_string(name_counter++);
+  };
+  std::vector<std::string> committed_files;
+  int direct_budget = options.direct_ops;
+
+  for (int t = 0; t < options.txns; ++t) {
+    // Sprinkle direct ops between transactions so the log interleaves
+    // txid-0 records with transactional brackets.
+    if (direct_budget > 0 && rng.Chance(1, 2)) {
+      --direct_budget;
+      if (!committed_files.empty() && rng.Chance(1, 2)) {
+        const std::string& f = committed_files[rng.Below(committed_files.size())];
+        (void)txn.Write(MustParse(f), 0, BytesOf("direct:" + std::to_string(t)));
+      } else {
+        const std::string f = fresh_file();
+        if (txn.Mknod(MustParse(f)).ok()) {
+          committed_files.push_back(f);
+        }
+      }
+    }
+
+    const TxnId id = *txn.Begin();
+    // Track the file set this transaction would leave behind, so later ops
+    // in the mix mostly succeed; adopted only if the commit lands.
+    std::vector<std::string> local_files = committed_files;
+    for (int o = 0; o < options.ops_per_txn; ++o) {
+      const uint64_t pick = rng.Below(10);
+      if (pick < 4 || local_files.empty()) {
+        const std::string f = fresh_file();
+        if (txn.Apply(id, OpCall::MknodOf(MustParse(f))).status.ok()) {
+          local_files.push_back(f);
+        }
+      } else if (pick < 7) {
+        const std::string& f = local_files[rng.Below(local_files.size())];
+        (void)txn.Apply(id, OpCall::WriteOf(MustParse(f), 0,
+                                            BytesOf("txn" + std::to_string(id) + ":" +
+                                                    std::to_string(o))));
+      } else if (pick < 9) {
+        const size_t idx = rng.Below(local_files.size());
+        const std::string dst = fresh_file();
+        if (txn.Apply(id, OpCall::RenameOf(MustParse(local_files[idx]), MustParse(dst)))
+                .status.ok()) {
+          local_files[idx] = dst;
+        }
+      } else {
+        const size_t idx = rng.Below(local_files.size());
+        if (txn.Apply(id, OpCall::UnlinkOf(MustParse(local_files[idx]))).status.ok()) {
+          local_files.erase(local_files.begin() + static_cast<ptrdiff_t>(idx));
+        }
+      }
+    }
+    if (static_cast<int>(rng.Below(100)) < options.abort_percent) {
+      if (!txn.Abort(id).ok()) {
+        return Errc::kIo;
+      }
+    } else {
+      if (!txn.Commit(id).ok()) {
+        // Sequential mix: commits must not conflict.
+        return Errc::kIo;
+      }
+      committed_files = std::move(local_files);
+    }
+  }
+
+  CrashMix mix;
+  mix.commit_log = txn.commit_log();
+  std::ifstream in(wal_path, std::ios::binary);
+  if (!in) {
+    return Errc::kNoEnt;
+  }
+  mix.wal_bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>{});
+  return mix;
+}
+
+SpecFs PrefixState(const std::vector<CommitDescriptor>& commit_log, uint64_t count) {
+  SpecFs state;
+  for (uint64_t i = 0; i < count && i < commit_log.size(); ++i) {
+    for (const OpCall& call : commit_log[i].ops) {
+      const Status st = RunOp(state, call).status;
+      ATOMFS_CHECK(st.ok() && "golden commit log must replay cleanly on SpecFs");
+    }
+  }
+  return state;
+}
+
+namespace {
+
+// One recovery + comparison. Returns true when the recovered state equals
+// the golden prefix of the length recovery itself reports.
+bool CheckOneCase(std::string_view bytes, const std::vector<SpecFs>& prefix_states,
+                  const char* kind, uint64_t detail, CrashVerdict& verdict) {
+  AtomFs recovered;
+  const WalRecoveryStats stats = RecoverWalBytes(bytes, recovered);
+  ++verdict.crash_points;
+  verdict.max_committed = std::max(verdict.max_committed, stats.committed);
+  bool ok = stats.committed < prefix_states.size();
+  if (ok) {
+    ok = StructurallyEqual(recovered.SnapshotSpec(), prefix_states[stats.committed]);
+  }
+  if (!ok) {
+    ++verdict.divergences;
+    if (verdict.failures.size() < 32) {
+      verdict.failures.push_back(std::string(kind) + " case at " + std::to_string(detail) +
+                                 ": recovered state does not match golden prefix of " +
+                                 std::to_string(stats.committed) + " committed units");
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+CrashVerdict VerifyCrashConsistency(std::string_view wal_bytes,
+                                    const std::vector<CommitDescriptor>& commit_log,
+                                    const CrashSweepOptions& options) {
+  CrashVerdict verdict;
+  // Golden prefix states, incrementally: states[k] = first k committed units.
+  std::vector<SpecFs> prefix_states;
+  prefix_states.reserve(commit_log.size() + 1);
+  prefix_states.emplace_back();
+  for (const CommitDescriptor& unit : commit_log) {
+    SpecFs next = prefix_states.back();
+    for (const OpCall& call : unit.ops) {
+      const Status st = RunOp(next, call).status;
+      ATOMFS_CHECK(st.ok() && "golden commit log must replay cleanly on SpecFs");
+    }
+    prefix_states.push_back(std::move(next));
+  }
+
+  const WalScan scan = ScanWalBytes(wal_bytes);
+
+  // Truncation points: the empty log, every record boundary, and (optional)
+  // cuts inside each record — one tearing the header, one tearing the
+  // payload.
+  std::vector<uint64_t> cuts;
+  cuts.push_back(0);
+  uint64_t prev_end = 0;
+  for (const WalRecord& rec : scan.records) {
+    if (options.record_boundaries) {
+      cuts.push_back(rec.end_offset);
+    }
+    if (options.mid_record) {
+      cuts.push_back(prev_end + 1);                              // torn header
+      cuts.push_back(prev_end + kWalHeaderBytes +                // torn payload
+                     (rec.end_offset - prev_end - kWalHeaderBytes) / 2);
+    }
+    prev_end = rec.end_offset;
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  if (options.max_points > 0 && cuts.size() > options.max_points) {
+    std::vector<uint64_t> sampled;
+    sampled.reserve(options.max_points);
+    for (uint64_t i = 0; i < options.max_points; ++i) {
+      sampled.push_back(cuts[i * (cuts.size() - 1) / (options.max_points - 1)]);
+    }
+    sampled.erase(std::unique(sampled.begin(), sampled.end()), sampled.end());
+    cuts = std::move(sampled);
+  }
+  for (uint64_t cut : cuts) {
+    CheckOneCase(wal_bytes.substr(0, cut), prefix_states, "truncate", cut, verdict);
+  }
+
+  // Corruption points: flip one byte in the middle of each record; the
+  // checksum must cut the clean prefix at that record.
+  if (options.corruption) {
+    prev_end = 0;
+    uint64_t tested = 0;
+    for (const WalRecord& rec : scan.records) {
+      const uint64_t flip_at = prev_end + (rec.end_offset - prev_end) / 2;
+      prev_end = rec.end_offset;
+      if (options.max_points > 0 && tested >= options.max_points) {
+        break;
+      }
+      ++tested;
+      std::string corrupted(wal_bytes);
+      corrupted[flip_at] = static_cast<char>(~corrupted[flip_at]);
+      CheckOneCase(corrupted, prefix_states, "corrupt", flip_at, verdict);
+    }
+  }
+  return verdict;
+}
+
+}  // namespace atomfs

@@ -38,6 +38,8 @@ std::string_view ErrcName(Errc e) {
       return "ETIMEDOUT";
     case Errc::kBackpressure:
       return "EBACKPRESSURE";
+    case Errc::kTxConflict:
+      return "ETXCONFLICT";
   }
   return "UNKNOWN";
 }

@@ -43,6 +43,8 @@ enum class Errc : uint8_t {
   kTimedOut,      // ETIMEDOUT: the server closed an idle/half-open connection
   kBackpressure,  // EBACKPRESSURE: request shed because it overcommitted the
                   //                negotiated inflight window
+  kTxConflict,    // ETXCONFLICT: optimistic transaction lost a conflict race
+                  //              and was rolled back (src/txn); retryable
 };
 
 std::string_view ErrcName(Errc e);

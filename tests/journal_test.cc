@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "src/core/atom_fs.h"
+#include "src/journal/wal.h"
 #include "src/util/rand.h"
 
 namespace atomfs {
@@ -172,6 +173,116 @@ TEST(JournalFs, ConcurrentMutationsAllRecovered) {
   ASSERT_TRUE(count.ok());
   EXPECT_EQ(*count, 200u);
   EXPECT_TRUE(StructurallyEqual(inner.SnapshotSpec(), recovered.SnapshotSpec()));
+}
+
+TEST(JournalFs, EmptyJournalRecoversEmptyState) {
+  TempLog log("atomfs_journal_empty.log");
+  {
+    std::ofstream out(log.path(), std::ios::binary);  // zero-byte file
+  }
+  AtomFs recovered;
+  auto count = JournalFs::Recover(log.path(), recovered);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+  EXPECT_TRUE(StructurallyEqual(recovered.SnapshotSpec(), SpecFs{}));
+}
+
+TEST(JournalFs, TornRecordHeaderIsDropped) {
+  TempLog log("atomfs_journal_torn_header.log");
+  {
+    AtomFs inner;
+    JournalFs fs(&inner, log.path());
+    ASSERT_TRUE(fs.Mkdir("/a").ok());
+    ASSERT_TRUE(fs.Mkdir("/b").ok());
+  }
+  const WalScan scan = ScanWalBytes(log.Contents());
+  ASSERT_EQ(scan.records.size(), 2u);
+  // Crash mid-append of the second record's fixed header.
+  log.Truncate(scan.records[0].end_offset + kWalHeaderBytes / 2);
+  AtomFs recovered;
+  auto count = JournalFs::Recover(log.path(), recovered);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  EXPECT_TRUE(recovered.Stat("/a").ok());
+  EXPECT_EQ(recovered.Stat("/b").status().code(), Errc::kNoEnt);
+}
+
+TEST(JournalFs, TornRecordPayloadIsDropped) {
+  TempLog log("atomfs_journal_torn_payload.log");
+  {
+    AtomFs inner;
+    JournalFs fs(&inner, log.path());
+    ASSERT_TRUE(fs.Mkdir("/a").ok());
+    ASSERT_TRUE(fs.Mkdir("/b").ok());
+  }
+  const WalScan scan = ScanWalBytes(log.Contents());
+  ASSERT_EQ(scan.records.size(), 2u);
+  // Header intact, payload cut short: the length check must reject it.
+  log.Truncate(scan.records[0].end_offset + kWalHeaderBytes + 2);
+  AtomFs recovered;
+  auto count = JournalFs::Recover(log.path(), recovered);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  EXPECT_TRUE(recovered.Stat("/a").ok());
+  EXPECT_EQ(recovered.Stat("/b").status().code(), Errc::kNoEnt);
+}
+
+TEST(Wal, ChecksumRejectsBitFlip) {
+  std::string log = EncodeWalRecord(WalRecordType::kOp, 0, "mkdir /a");
+  log += EncodeWalRecord(WalRecordType::kOp, 0, "mkdir /b");
+  log[log.size() - 3] = static_cast<char>(~log[log.size() - 3]);  // rot in /b's payload
+  const WalScan scan = ScanWalBytes(log);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_TRUE(scan.torn_tail);
+  AtomFs recovered;
+  const WalRecoveryStats stats = RecoverWalBytes(log, recovered);
+  EXPECT_EQ(stats.applied_ops, 1u);
+  EXPECT_TRUE(recovered.Stat("/a").ok());
+  EXPECT_EQ(recovered.Stat("/b").status().code(), Errc::kNoEnt);
+}
+
+TEST(Wal, CommittedTxnReplaysAtomicallyAtCommitRecord) {
+  std::string log;
+  log += EncodeWalRecord(WalRecordType::kBegin, 7, "");
+  log += EncodeWalRecord(WalRecordType::kOp, 7, "mkdir /t");
+  log += EncodeWalRecord(WalRecordType::kOp, 7, "mknod /t/f");
+  log += EncodeWalRecord(WalRecordType::kCommit, 7, "");
+  AtomFs fs;
+  const WalRecoveryStats stats = RecoverWalBytes(log, fs);
+  EXPECT_EQ(stats.committed, 1u);
+  EXPECT_EQ(stats.applied_ops, 2u);
+  EXPECT_TRUE(fs.Stat("/t/f").ok());
+}
+
+TEST(Wal, UncommittedTxnIsNeverVisible) {
+  std::string log;
+  log += EncodeWalRecord(WalRecordType::kOp, 0, "mkdir /keep");
+  log += EncodeWalRecord(WalRecordType::kBegin, 9, "");
+  log += EncodeWalRecord(WalRecordType::kOp, 9, "mkdir /lost");
+  // Crash before the commit record: the whole transaction is discarded.
+  AtomFs fs;
+  const WalRecoveryStats stats = RecoverWalBytes(log, fs);
+  EXPECT_EQ(stats.committed, 1u);
+  EXPECT_EQ(stats.discarded, 1u);
+  EXPECT_TRUE(fs.Stat("/keep").ok());
+  EXPECT_EQ(fs.Stat("/lost").status().code(), Errc::kNoEnt);
+  // The dangling begin's id is reported so a reopening writer can allocate
+  // above it — reusing txid 9 would read as a duplicate bracket next time.
+  EXPECT_EQ(stats.max_txid, 9u);
+}
+
+TEST(Wal, AbortedTxnIsNeverVisible) {
+  std::string log;
+  log += EncodeWalRecord(WalRecordType::kBegin, 3, "");
+  log += EncodeWalRecord(WalRecordType::kOp, 3, "mkdir /rolled_back");
+  log += EncodeWalRecord(WalRecordType::kAbort, 3, "");
+  log += EncodeWalRecord(WalRecordType::kOp, 0, "mkdir /after");
+  AtomFs fs;
+  const WalRecoveryStats stats = RecoverWalBytes(log, fs);
+  EXPECT_EQ(stats.aborted, 1u);
+  EXPECT_EQ(stats.committed, 1u);
+  EXPECT_EQ(fs.Stat("/rolled_back").status().code(), Errc::kNoEnt);
+  EXPECT_TRUE(fs.Stat("/after").ok());
 }
 
 TEST(JournalFs, ReopenAppendsToExistingLog) {

@@ -646,5 +646,27 @@ TEST(DocsDriftTest, WireProtocolDocCoversHandshakeAndPipelineStatuses) {
       << "msgbatch cap row out of date";
 }
 
+// The transaction surface (opcodes 29-31, status TXCONFLICT) is protocol
+// surface too: the doc must carry the conflict status row matching the wire
+// byte the txn layer emits, and the transaction-semantics section.
+TEST(DocsDriftTest, WireProtocolDocCoversTransactionSurface) {
+  const std::string path = std::string(ATOMFS_SOURCE_DIR) + "/docs/WIRE_PROTOCOL.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  const std::string conflict_row =
+      "| " + std::to_string(WireStatusOf(Errc::kTxConflict)) + " | `TXCONFLICT`";
+  EXPECT_NE(doc.find(conflict_row), std::string::npos) << "missing row: " << conflict_row;
+  EXPECT_NE(doc.find("## 4a. Transactions"), std::string::npos)
+      << "doc lost the transaction-semantics section";
+  // The three tx ops must document the txid-carrying bodies exactly.
+  EXPECT_NE(doc.find("| 29 | `txbegin` | — | `u64 txid` |"), std::string::npos);
+  EXPECT_NE(doc.find("| 30 | `txcommit` | `u64 txid` | — |"), std::string::npos);
+  EXPECT_NE(doc.find("| 31 | `txabort` | `u64 txid` | — |"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace atomfs

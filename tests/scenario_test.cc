@@ -20,6 +20,7 @@
 #include "src/crlh/lin_check.h"
 #include "src/crlh/monitor.h"
 #include "src/crlh/op_thread.h"
+#include "src/txn/txn.h"
 
 namespace atomfs {
 namespace {
@@ -387,6 +388,83 @@ TEST_F(ScenarioTest, RollbackRelationHoldsMidFlight) {
   gate_.Open(mkdir_op.tid());
   mkdir_op.Join();
   EXPECT_TRUE(monitor_->Helplist().empty());
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+}
+
+// --- transaction isolation under the CRL-H monitor ---------------------------
+//
+// A TxnManager over the monitored AtomFs: only committed effects ever touch
+// the inner FS, so the monitor must see a linearizable single-op history and
+// its quiescent state must equal the concrete snapshot — i.e. conflicted and
+// aborted transactions leave no trace at either the concrete or the abstract
+// level.
+
+TEST_F(ScenarioTest, TxnWriteWriteConflictRollsBackInvisibly) {
+  Build();
+  TxnManager::Options topt;
+  topt.inner = fs_.get();
+  TxnManager txn(topt);
+  ASSERT_TRUE(txn.Mkdir("/d").ok());
+  ASSERT_TRUE(txn.Mknod("/d/f").ok());
+
+  const TxnId winner = *txn.Begin();
+  const TxnId loser = *txn.Begin();
+  std::vector<std::byte> wa{std::byte{'A'}};
+  std::vector<std::byte> wb{std::byte{'B'}};
+  EXPECT_TRUE(txn.Apply(winner, OpCall::WriteOf(*ParsePath("/d/f"), 0, wa)).status.ok());
+  EXPECT_TRUE(txn.Apply(loser, OpCall::WriteOf(*ParsePath("/d/f"), 0, wb)).status.ok());
+  ASSERT_TRUE(txn.Commit(winner).ok());
+  EXPECT_EQ(txn.Commit(loser).code(), Errc::kTxConflict);
+
+  EXPECT_EQ(ReadString(*fs_, "/d/f").value(), "A");  // loser's write never landed
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+}
+
+TEST_F(ScenarioTest, TxnWritesInvisibleUntilCommitButReadYourWrites) {
+  Build();
+  TxnManager::Options topt;
+  topt.inner = fs_.get();
+  TxnManager txn(topt);
+  ASSERT_TRUE(txn.Mkdir("/d").ok());
+
+  const TxnId id = *txn.Begin();
+  EXPECT_TRUE(txn.Apply(id, OpCall::MknodOf(*ParsePath("/d/f"))).status.ok());
+  std::vector<std::byte> payload{std::byte{'t'}, std::byte{'x'}};
+  EXPECT_TRUE(txn.Apply(id, OpCall::WriteOf(*ParsePath("/d/f"), 0, payload)).status.ok());
+  // The transaction reads its own write...
+  const OpResult own = txn.Apply(id, OpCall::ReadOf(*ParsePath("/d/f"), 0, 8));
+  ASSERT_TRUE(own.status.ok());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(own.data.data()), own.data.size()), "tx");
+  // ...while the committed state has no such file yet.
+  EXPECT_EQ(fs_->Stat("/d/f").status().code(), Errc::kNoEnt);
+
+  ASSERT_TRUE(txn.Commit(id).ok());
+  EXPECT_EQ(ReadString(*fs_, "/d/f").value(), "tx");
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+}
+
+TEST_F(ScenarioTest, TxnAbortLeavesNoTraceUnderMonitor) {
+  Build();
+  TxnManager::Options topt;
+  topt.inner = fs_.get();
+  TxnManager txn(topt);
+  ASSERT_TRUE(txn.Mkdir("/d").ok());
+  ASSERT_TRUE(txn.Mknod("/d/keep").ok());
+
+  const TxnId id = *txn.Begin();
+  EXPECT_TRUE(txn.Apply(id, OpCall::MknodOf(*ParsePath("/d/tmp"))).status.ok());
+  EXPECT_TRUE(
+      txn.Apply(id, OpCall::RenameOf(*ParsePath("/d/keep"), *ParsePath("/d/moved"))).status.ok());
+  EXPECT_TRUE(txn.Apply(id, OpCall::UnlinkOf(*ParsePath("/d/tmp"))).status.ok());
+  ASSERT_TRUE(txn.Abort(id).ok());
+
+  // The concrete tree is exactly the pre-transaction state.
+  EXPECT_TRUE(fs_->Stat("/d/keep").ok());
+  EXPECT_EQ(fs_->Stat("/d/moved").status().code(), Errc::kNoEnt);
+  EXPECT_EQ(fs_->Stat("/d/tmp").status().code(), Errc::kNoEnt);
   ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
   EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
 }

@@ -24,6 +24,7 @@
 #include "src/core/atom_fs.h"
 #include "src/crlh/monitor.h"
 #include "src/obs/metrics.h"
+#include "src/txn/txn.h"
 #include "src/util/rand.h"
 #include "src/workload/filebench.h"
 
@@ -834,6 +835,174 @@ TEST_F(ServerTest, MultiClientStressUnderMonitorHasNoViolations) {
   EXPECT_TRUE(monitor.CheckQuiescent(fs.SnapshotSpec()));
   EXPECT_TRUE(monitor.ok()) << monitor.violations().front();
   EXPECT_TRUE(monitor.violations().empty());
+}
+
+// --- transactions over the wire ----------------------------------------------
+
+class TxnServerTest : public ServerTest {
+ protected:
+  // The server's fs pointer IS the TxnManager, so direct ops (no open txn)
+  // are conflict-tracked too — the same wiring atomfsd --journal uses.
+  void StartUnixWithTxn(TxnManager* txn) {
+    sock_path_ = UniqueSocketPath("srvtx");
+    ServerOptions options;
+    options.unix_path = sock_path_;
+    options.workers = 4;
+    options.txn = txn;
+    server_ = std::make_unique<AtomFsServer>(txn, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+};
+
+TEST_F(TxnServerTest, CommitIsAtomicAcrossConnections) {
+  AtomFs fs;
+  TxnManager::Options topt;
+  topt.inner = &fs;
+  TxnManager txn(topt);
+  StartUnixWithTxn(&txn);
+  auto writer = Client();
+  auto reader = Client();
+
+  auto txid = writer->TxBegin();
+  ASSERT_TRUE(txid.ok());
+  EXPECT_GT(*txid, 0u);
+  EXPECT_TRUE(writer->Mkdir("/cfg").ok());
+  EXPECT_TRUE(writer->Mknod("/cfg/a").ok());
+  EXPECT_TRUE(WriteString(*writer, "/cfg/a", "v1").ok());
+  // Read-your-writes on the transaction's connection...
+  EXPECT_EQ(ReadString(*writer, "/cfg/a").value(), "v1");
+  // ...total invisibility on every other connection.
+  EXPECT_EQ(reader->Stat("/cfg").status().code(), Errc::kNoEnt);
+
+  ASSERT_TRUE(writer->TxCommit().ok());
+  EXPECT_TRUE(reader->Stat("/cfg/a").ok());
+  EXPECT_EQ(ReadString(*reader, "/cfg/a").value(), "v1");
+  server_->Stop();
+}
+
+TEST_F(TxnServerTest, ConflictingCommitLosesWithTxConflict) {
+  AtomFs fs;
+  TxnManager::Options topt;
+  topt.inner = &fs;
+  TxnManager txn(topt);
+  StartUnixWithTxn(&txn);
+  auto a = Client();
+  auto b = Client();
+  ASSERT_TRUE(a->Mkdir("/d").ok());  // direct, auto-committed
+
+  ASSERT_TRUE(a->TxBegin().ok());
+  ASSERT_TRUE(b->TxBegin().ok());
+  EXPECT_TRUE(a->Mknod("/d/f").ok());
+  EXPECT_TRUE(b->Mknod("/d/f").ok());
+  EXPECT_TRUE(a->TxCommit().ok());
+  EXPECT_EQ(b->TxCommit().code(), Errc::kTxConflict);
+  EXPECT_TRUE(a->Stat("/d/f").ok());
+  // The losing connection is free again: a retry commits cleanly.
+  ASSERT_TRUE(b->TxBegin().ok());
+  EXPECT_TRUE(b->Mknod("/d/g").ok());
+  EXPECT_TRUE(b->TxCommit().ok());
+  EXPECT_TRUE(a->Stat("/d/g").ok());
+  server_->Stop();
+}
+
+TEST_F(TxnServerTest, TxOpsWithoutTxnLayerAnswerInval) {
+  AtomFs fs;
+  StartUnix(&fs);
+  auto c = Client();
+  EXPECT_EQ(c->TxBegin().status().code(), Errc::kInval);
+  EXPECT_EQ(c->TxCommit(7).code(), Errc::kInval);
+  EXPECT_EQ(c->TxAbort(7).code(), Errc::kInval);
+  server_->Stop();
+}
+
+TEST_F(TxnServerTest, OneTransactionPerConnectionAndIdChecks) {
+  AtomFs fs;
+  TxnManager::Options topt;
+  topt.inner = &fs;
+  TxnManager txn(topt);
+  StartUnixWithTxn(&txn);
+  auto c = Client();
+  auto txid = c->TxBegin();
+  ASSERT_TRUE(txid.ok());
+  EXPECT_EQ(c->TxBegin().status().code(), Errc::kBusy);    // already open
+  EXPECT_EQ(c->TxCommit(*txid + 99).code(), Errc::kInval); // not this conn's txn
+  EXPECT_TRUE(c->TxAbort(*txid).ok());                     // explicit id works
+  EXPECT_EQ(c->TxCommit().code(), Errc::kInval);           // nothing open now
+  ASSERT_TRUE(c->TxBegin().ok());                          // fresh txn allowed
+  EXPECT_TRUE(c->TxAbort().ok());
+  server_->Stop();
+}
+
+TEST_F(TxnServerTest, DescriptorOpsRefusedInsideTransaction) {
+  AtomFs fs;
+  TxnManager::Options topt;
+  topt.inner = &fs;
+  TxnManager txn(topt);
+  StartUnixWithTxn(&txn);
+  auto c = Client();
+  ASSERT_TRUE(c->Mkdir("/d").ok());
+  ASSERT_TRUE(c->Mknod("/d/f").ok());
+  ASSERT_TRUE(c->TxBegin().ok());
+  EXPECT_EQ(c->Open("/d/f", OpenFlags::kRead).status().code(), Errc::kBusy);
+  EXPECT_TRUE(c->TxAbort().ok());
+  EXPECT_TRUE(c->Open("/d/f", OpenFlags::kRead).ok());
+  server_->Stop();
+}
+
+TEST_F(TxnServerTest, DroppedConnectionAbortsItsTransaction) {
+  AtomFs fs;
+  TxnManager::Options topt;
+  topt.inner = &fs;
+  TxnManager txn(topt);
+  StartUnixWithTxn(&txn);
+  {
+    auto c = Client();
+    ASSERT_TRUE(c->TxBegin().ok());
+    EXPECT_TRUE(c->Mkdir("/never").ok());
+    EXPECT_EQ(txn.open_txns(), 1u);
+  }  // connection dropped with the transaction open
+  for (int i = 0; i < 500 && txn.open_txns() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(txn.open_txns(), 0u);
+  auto c2 = Client();
+  EXPECT_EQ(c2->Stat("/never").status().code(), Errc::kNoEnt);
+  server_->Stop();
+}
+
+TEST_F(TxnServerTest, BatchedTransactionCommitsInOneFlush) {
+  AtomFs fs;
+  TxnManager::Options topt;
+  topt.inner = &fs;
+  TxnManager txn(topt);
+  StartUnixWithTxn(&txn);
+  auto c = Client();
+
+  // The whole atomic sequence staged and flushed as one MSGBATCH: TXBEGIN,
+  // ops, TXCOMMIT. Replies resolve in order; the commit's reply is the
+  // transaction's outcome.
+  ClientSession& s = c->session();
+  WireRequest begin;
+  begin.op = WireOp::kTxBegin;
+  WireRequest mk;
+  mk.op = WireOp::kMkdir;
+  mk.path_a = "/batched";
+  WireRequest mk2;
+  mk2.op = WireOp::kMknod;
+  mk2.path_a = "/batched/f";
+  WireRequest commit;
+  commit.op = WireOp::kTxCommit;
+  auto f_begin = s.Submit(begin);
+  auto f_mk = s.Submit(mk);
+  auto f_mk2 = s.Submit(mk2);
+  auto f_commit = s.Submit(commit);
+  ASSERT_TRUE(s.Flush().ok());
+  EXPECT_TRUE(f_begin.Wait().ok());
+  EXPECT_TRUE(f_mk.Wait().ok());
+  EXPECT_TRUE(f_mk2.Wait().ok());
+  EXPECT_TRUE(f_commit.Wait().ok());
+  EXPECT_TRUE(c->Stat("/batched/f").ok());
+  server_->Stop();
 }
 
 }  // namespace

@@ -97,6 +97,9 @@ std::vector<WireRequest> AllRequests() {
     r.proto_version = kWireProtoVersion;
     r.max_inflight = 32;
   });
+  add(WireOp::kTxBegin, [](WireRequest&) {});
+  add(WireOp::kTxCommit, [](WireRequest& r) { r.txid = 0x1122334455667788ULL; });
+  add(WireOp::kTxAbort, [](WireRequest& r) { r.txid = 42; });
   add(WireOp::kMsgBatch, [](WireRequest& r) {
     WireRequest a;
     a.op = WireOp::kStat;
@@ -175,7 +178,7 @@ TEST(WireReaderTest, DeclaredLengthBeyondPayloadRejected) {
 // --- status mapping ----------------------------------------------------------
 
 TEST(WireStatusTest, EveryErrcRoundTrips) {
-  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(Errc::kBackpressure); ++raw) {
+  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(Errc::kTxConflict); ++raw) {
     const Errc code = static_cast<Errc>(raw);
     EXPECT_EQ(ErrcOfWireStatus(WireStatusOf(code)), code) << ErrcName(code);
   }
@@ -186,8 +189,10 @@ TEST(WireStatusTest, NewStatusBytesAreStable) {
   // never be renumbered.
   EXPECT_EQ(WireStatusOf(Errc::kTimedOut), 15);
   EXPECT_EQ(WireStatusOf(Errc::kBackpressure), 16);
+  EXPECT_EQ(WireStatusOf(Errc::kTxConflict), 17);
   EXPECT_EQ(ErrcOfWireStatus(15), Errc::kTimedOut);
   EXPECT_EQ(ErrcOfWireStatus(16), Errc::kBackpressure);
+  EXPECT_EQ(ErrcOfWireStatus(17), Errc::kTxConflict);
 }
 
 TEST(WireStatusTest, UnknownWireByteDegradesToProto) {
@@ -212,6 +217,7 @@ TEST(WireRequestTest, AllOpsRoundTrip) {
     EXPECT_EQ(parsed->data, req.data);
     EXPECT_EQ(parsed->proto_version, req.proto_version);
     EXPECT_EQ(parsed->max_inflight, req.max_inflight);
+    EXPECT_EQ(parsed->txid, req.txid);
     ASSERT_EQ(parsed->batch.size(), req.batch.size());
     for (size_t i = 0; i < req.batch.size(); ++i) {
       EXPECT_EQ(parsed->batch[i].op, req.batch[i].op);
@@ -300,6 +306,27 @@ TEST(WireHelloTest, ShortBodyRejected) {
 }
 
 // --- MSGBATCH constraints ----------------------------------------------------
+
+TEST(WireBatchTest, TransactionSequencePacksIntoOneBatch) {
+  // The intended one-round-trip shape: TXBEGIN, the whole op sequence, and
+  // TXCOMMIT packed into a single MSGBATCH frame.
+  WireRequest batch;
+  batch.op = WireOp::kMsgBatch;
+  WireRequest begin;
+  begin.op = WireOp::kTxBegin;
+  WireRequest op;
+  op.op = WireOp::kMkdir;
+  op.path_a = "/t";
+  WireRequest commit;
+  commit.op = WireOp::kTxCommit;
+  batch.batch = {begin, op, commit};
+  auto parsed = ParseRequest(Bytes(EncodeRequest(batch)));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->batch.size(), 3u);
+  EXPECT_EQ(parsed->batch[0].op, WireOp::kTxBegin);
+  EXPECT_EQ(parsed->batch[1].op, WireOp::kMkdir);
+  EXPECT_EQ(parsed->batch[2].op, WireOp::kTxCommit);
+}
 
 TEST(WireBatchTest, NestedBatchRejected) {
   WireRequest inner;

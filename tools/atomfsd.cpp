@@ -25,6 +25,11 @@
 //           --bundle-out FILE      with --monitor: if a violation is found,
 //                                  write a post-mortem bundle replayable by
 //                                  `atomfs_verify --bundle FILE`
+//           --journal FILE         write-ahead journal (atomfs backend only):
+//                                  committed history is recovered from FILE
+//                                  before serving, every mutation is logged
+//                                  through a TxnManager, and the wire ops
+//                                  TXBEGIN/TXCOMMIT/TXABORT become available
 //
 // Observability: the daemon always carries an atomtrace metrics registry —
 // the wire METRICS op serves its full snapshot — and, for observer-capable
@@ -63,6 +68,7 @@
 #include "src/obs/tracer.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/server/server.h"
+#include "src/txn/txn.h"
 
 namespace {
 
@@ -116,6 +122,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   bool prom_dump = false;
   std::string bundle_out;
+  std::string journal_path;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
@@ -147,6 +154,8 @@ int main(int argc, char** argv) {
       prom_dump = true;
     } else if (arg("--bundle-out")) {
       bundle_out = next();
+    } else if (arg("--journal")) {
+      journal_path = next();
     } else {
       std::fprintf(stderr, "unknown option %s (see header comment for usage)\n", argv[i]);
       return 2;
@@ -213,9 +222,43 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Transactions + durability: recover committed history from the journal
+  // into the backend, then serve through a TxnManager so every mutation —
+  // direct or transactional — is write-ahead logged and conflict-tracked.
+  std::unique_ptr<TxnManager> txn;
+  if (!journal_path.empty()) {
+    if (atom_fs == nullptr) {
+      std::fprintf(stderr, "atomfsd: --journal requires --backend atomfs\n");
+      return 2;
+    }
+    auto recovered = RecoverWal(journal_path, *atom_fs);
+    if (!recovered.ok() && recovered.status().code() != Errc::kNoEnt) {
+      std::fprintf(stderr, "atomfsd: journal recovery from %s failed: %s\n",
+                   journal_path.c_str(), ErrcName(recovered.status().code()).data());
+      return 1;
+    }
+    if (recovered.ok()) {
+      std::printf("atomfsd: recovered %llu op(s) in %llu committed unit(s) from %s%s\n",
+                  static_cast<unsigned long long>(recovered->applied_ops),
+                  static_cast<unsigned long long>(recovered->committed), journal_path.c_str(),
+                  recovered->torn_tail ? " (torn tail discarded)" : "");
+    }
+    TxnManager::Options topt;
+    topt.inner = fs.get();
+    topt.wal_path = journal_path;
+    topt.metrics = &registry;
+    topt.trace_ring = ring.get();
+    topt.initial = atom_fs->SnapshotSpec();
+    if (recovered.ok()) {
+      topt.first_txid = recovered->max_txid + 1;
+    }
+    txn = std::make_unique<TxnManager>(std::move(topt));
+  }
+
   options.metrics = &registry;
   options.trace_ring = ring.get();
-  AtomFsServer server(fs.get(), options);
+  options.txn = txn.get();
+  AtomFsServer server(txn != nullptr ? static_cast<FileSystem*>(txn.get()) : fs.get(), options);
   if (Status st = server.Start(); !st.ok()) {
     std::fprintf(stderr, "atomfsd: failed to start: %s\n", ErrcName(st.code()).data());
     return 1;
@@ -245,8 +288,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "atomfsd: --bundle-out has no effect without --monitor\n");
   }
 
-  std::printf("atomfsd: serving %s%s%s on", backend.c_str(), monitor ? " (monitored)" : "",
-              tracer ? " (traced)" : "");
+  std::printf("atomfsd: serving %s%s%s%s on", backend.c_str(), monitor ? " (monitored)" : "",
+              tracer ? " (traced)" : "", txn ? " (journaled)" : "");
   if (!options.unix_path.empty()) {
     std::printf(" unix:%s", options.unix_path.c_str());
   }

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Crash-injection smoke (wired into ctest; see tools/CMakeLists.txt) in two
+# stages:
+#
+#   1. A bounded run of the durability refinement sweep: crash_injection_test
+#      with a small transaction mix (ATOMFS_CRASH_TXNS) and a sampled crash
+#      surface (ATOMFS_CRASH_MAX_POINTS), so every record-boundary, torn-write,
+#      and bit-flip crash point it does visit must recover to an exact prefix
+#      of the committed history — fast enough for tier-1, same zero-divergence
+#      bar as the full sweep.
+#
+#   2. An end-to-end kill -9 of a journaled atomfsd: commit a transaction over
+#      the wire, leave a second transaction open, SIGKILL the daemon, restart
+#      it on the same journal, and require the committed data back and the
+#      uncommitted transaction invisible.
+#
+# Usage: crash_smoke.sh /path/to/crash_injection_test /path/to/atomfsd /path/to/fsshell
+set -euo pipefail
+
+CRASH_TEST=${1:?usage: crash_smoke.sh CRASH_INJECTION_TEST ATOMFSD FSSHELL}
+ATOMFSD=${2:?usage: crash_smoke.sh CRASH_INJECTION_TEST ATOMFSD FSSHELL}
+FSSHELL=${3:?usage: crash_smoke.sh CRASH_INJECTION_TEST ATOMFSD FSSHELL}
+
+WORK=$(mktemp -d)
+DAEMON_PID=
+trap 'kill -9 "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+echo "--- stage 1: bounded durability refinement sweep ---"
+ATOMFS_CRASH_TXNS=6 ATOMFS_CRASH_MAX_POINTS=64 \
+  "$CRASH_TEST" --gtest_brief=1 || {
+    echo "FAIL: bounded crash-injection sweep found a divergence"; exit 1; }
+
+echo "--- stage 2: kill -9 a journaled atomfsd, recover, verify ---"
+JOURNAL="$WORK/atomfs.wal"
+SOCK1="$WORK/gen1.sock"
+
+"$ATOMFSD" --unix "$SOCK1" --journal "$JOURNAL" --workers 2 \
+  > "$WORK/gen1.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK1" ] && break; sleep 0.1; done
+[ -S "$SOCK1" ] || { echo "FAIL: gen1 daemon never created $SOCK1"; cat "$WORK/gen1.log"; exit 1; }
+
+# One committed transaction: both ops must survive the crash together.
+printf 'txbegin\nmkdir /cfg\nwrite /cfg/a committed-v1\ntxcommit\ncat /cfg/a\n' \
+  | "$FSSHELL" --connect "unix:$SOCK1" > "$WORK/commit.out"
+grep -q 'committed-v1' "$WORK/commit.out" || {
+  echo "FAIL: committed transaction not readable pre-crash"; cat "$WORK/commit.out"; exit 1; }
+
+# One transaction left open when its connection drops: nothing may survive.
+printf 'txbegin\nmkdir /lost\nwrite /lost/f never\n' \
+  | "$FSSHELL" --connect "unix:$SOCK1" > "$WORK/open.out"
+
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+
+SOCK2="$WORK/gen2.sock"
+"$ATOMFSD" --unix "$SOCK2" --journal "$JOURNAL" --workers 2 \
+  > "$WORK/gen2.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK2" ] && break; sleep 0.1; done
+[ -S "$SOCK2" ] || { echo "FAIL: gen2 daemon never created $SOCK2"; cat "$WORK/gen2.log"; exit 1; }
+
+grep -q 'recovered' "$WORK/gen2.log" || {
+  echo "FAIL: restart printed no recovery banner"; cat "$WORK/gen2.log"; exit 1; }
+
+printf 'cat /cfg/a\nstat /lost\nls /\n' \
+  | "$FSSHELL" --connect "unix:$SOCK2" > "$WORK/recovered.out"
+grep -q 'committed-v1' "$WORK/recovered.out" || {
+  echo "FAIL: committed transaction lost across kill -9"
+  cat "$WORK/recovered.out"; cat "$WORK/gen2.log"; exit 1; }
+grep -q 'stat: ENOENT' "$WORK/recovered.out" || {
+  echo "FAIL: uncommitted transaction leaked across kill -9"
+  cat "$WORK/recovered.out"; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || {
+  echo "FAIL: gen2 daemon exited non-zero"; cat "$WORK/gen2.log"; exit 1; }
+
+echo "PASS: crash smoke (bounded sweep clean; committed txn survived kill -9, open txn invisible)"

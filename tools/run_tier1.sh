@@ -33,6 +33,13 @@ echo "--- pipelined serving stage (64 connections x 8 in flight, monitored) ---"
 # on any non-OK reply or a per-connection fairness ratio above 10x.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^pipeline_smoke$'
 
+echo "--- crash-consistency stage (bounded sweep + kill -9 recovery) ---"
+# tools/crash_smoke.sh: the durability refinement check at a small record
+# bound (6 txns, <=64 sampled crash points per sweep), then a journaled
+# atomfsd killed with SIGKILL mid-serving and restarted on the same journal —
+# committed transactions must survive, open ones must vanish.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^crash_smoke$'
+
 echo "--- sanitizer stage (TSan + ASan/UBSan, label 'sanitize') ---"
 # Builds build-tsan/ and build-asan/ and runs the concurrency-heavy test core
 # under each (tools/run_sanitizers.sh --quick). Any unsuppressed report fails
