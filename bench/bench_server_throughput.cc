@@ -40,6 +40,14 @@
 // conflict/retry path), then recovery time replaying 25% / 50% / 100%
 // prefixes of the journal that load produced.
 //
+// A top-level `rcu_walk` block prices the optimistic read path (atomfs
+// backend, no --monitor): the same paired-slice harness drives a
+// lock-coupled AtomFs against one with `enable_rcu_walk`, reporting the
+// median throughput ratio as `speedup` plus the core.rcuwalk.* counters and
+// the derived `fallback_rate`. `--rcu-smoke` runs a short version as a gate
+// instead: exit nonzero unless the optimistic path engaged (attempts > 0)
+// with zero unvalidated reads (run_tier1.sh's rcu-walk smoke stage).
+//
 //   bench_server_throughput [--clients N]     concurrent clients (default 4)
 //                           [--ops N]         filebench ops per client (default 800)
 //                           [--profile fileserver|webproxy|both]   (default both)
@@ -47,6 +55,7 @@
 //                           [--transport unix|tcp]                 (default unix)
 //                           [--monitor]       attach the CRL-H monitor too
 //                           [--json PATH]     output file (default BENCH_server.json)
+//                           [--rcu-smoke]     short rcu-walk gate; no JSON
 //   pipeline mode:          [--connections M] concurrent connections
 //                           [--pipeline N]    requests in flight per connection
 //                           [--seconds S]     wall time per pass (default 2)
@@ -348,31 +357,30 @@ struct OverheadOutcome {
   int pairs = 0;
 };
 
-// Two instruments share the harness: the tracing experiment (side A bare,
-// side B carrying a TracingObserver) and the flight-recorder experiment
-// (both sides traced, side B additionally streaming every event into a
-// TraceRing), selected by `baseline_traced`/`ring`. `label_a`/`label_b`
-// name the sides in the per-pair printout.
-OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std::string& backend,
-                                      const std::string& transport, int clients,
-                                      uint64_t ops_per_client, bool baseline_traced,
-                                      TraceRing* ring, const char* label_a,
-                                      const char* label_b) {
-  constexpr int kPairs = 9;
+// The generic side of the harness: callers build the two FileSystem
+// instances (with whatever observers/options the comparison is about) plus
+// their server registries, and this drives the paired slices. Three
+// instruments share it: the tracing experiment (side A bare, side B carrying
+// a TracingObserver), the flight-recorder experiment (both sides traced,
+// side B additionally streaming every event into a TraceRing) and the
+// rcu-walk experiment (both sides traced AtomFs, side B resolving read-only
+// ops optimistically). `label_a`/`label_b` name the sides in the per-pair
+// printout; `sock_tag` keeps concurrent experiments' sockets distinct.
+OverheadOutcome RunPairedSliceExperiment(FileSystem* fs_a_raw, FileSystem* fs_b_raw,
+                                         MetricsRegistry* registry_a_ptr,
+                                         MetricsRegistry* registry_b_ptr,
+                                         const char* sock_tag, const FilebenchProfile& profile,
+                                         const std::string& transport, int clients,
+                                         uint64_t ops_per_client, int pairs, const char* label_a,
+                                         const char* label_b) {
+  const int kPairs = pairs;
   OverheadOutcome out;
 
-  MetricsRegistry registry_a;  // baseline server
-  MetricsRegistry registry_b;  // instrumented server: + the full atomtrace schema
-  std::unique_ptr<TracingObserver> tracer_a;
-  if (baseline_traced) {
-    tracer_a = std::make_unique<TracingObserver>(&registry_a, /*ring=*/nullptr);
-  }
-  TracingObserver tracer(&registry_b, ring);
-  std::unique_ptr<FileSystem> fs_a = MakeBackend(backend, tracer_a.get());
-  std::unique_ptr<FileSystem> fs_b = MakeBackend(backend, &tracer);
+  MetricsRegistry& registry_a = *registry_a_ptr;  // baseline server
+  MetricsRegistry& registry_b = *registry_b_ptr;  // instrumented server
 
-  const std::string sock_base = "/tmp/atomfs_bench_" + std::to_string(getpid()) + "_" +
-                                profile.name + (ring != nullptr ? "_ring" : "");
+  const std::string sock_base =
+      "/tmp/atomfs_bench_" + std::to_string(getpid()) + "_" + profile.name + sock_tag;
 
   struct Side {
     std::unique_ptr<AtomFsServer> server;
@@ -417,8 +425,8 @@ OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std
           std::make_unique<LatencyRecordingFs>(side.conns.back().get(), &side.client_registry));
     }
   };
-  start_side(side_a, fs_a.get(), &registry_a, "_a");
-  start_side(side_b, fs_b.get(), &registry_b, "_b");
+  start_side(side_a, fs_a_raw, &registry_a, "_a");
+  start_side(side_b, fs_b_raw, &registry_b, "_b");
 
   // One slice = every client running the profile once against one side. The
   // same seeds drive both sides of a pair, so the two datasets stay
@@ -531,6 +539,139 @@ OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std
   side_a.server->Stop();
   side_b.server->Stop();
   return out;
+}
+
+// The tracing / flight-recorder instruments: side A optionally traced
+// (`baseline_traced`), side B always traced and optionally streaming into
+// `ring`. Backends come from MakeBackend, so this covers atomfs and biglock.
+OverheadOutcome RunOverheadExperiment(const FilebenchProfile& profile, const std::string& backend,
+                                      const std::string& transport, int clients,
+                                      uint64_t ops_per_client, bool baseline_traced,
+                                      TraceRing* ring, const char* label_a,
+                                      const char* label_b) {
+  MetricsRegistry registry_a;
+  MetricsRegistry registry_b;
+  std::unique_ptr<TracingObserver> tracer_a;
+  if (baseline_traced) {
+    tracer_a = std::make_unique<TracingObserver>(&registry_a, /*ring=*/nullptr);
+  }
+  TracingObserver tracer(&registry_b, ring);
+  std::unique_ptr<FileSystem> fs_a = MakeBackend(backend, tracer_a.get());
+  std::unique_ptr<FileSystem> fs_b = MakeBackend(backend, &tracer);
+  return RunPairedSliceExperiment(fs_a.get(), fs_b.get(), &registry_a, &registry_b,
+                                  ring != nullptr ? "_ring" : "", profile, transport, clients,
+                                  ops_per_client, /*pairs=*/9, label_a, label_b);
+}
+
+// --- rcu-walk experiment -----------------------------------------------------
+
+// The optimistic-walk experiment: what does the RCU-style read path buy over
+// lock-coupled resolution, and how often does validation send it back? Same
+// paired-slice methodology — side A is an AtomFs running the lock-coupled
+// walk for every op, side B an AtomFs with `enable_rcu_walk` resolving
+// read-only ops (stat/readdir/read) optimistically. Both sides carry a
+// TracingObserver so instrumentation cost cancels, and side B's registry —
+// fetched over the wire like any METRICS reply — supplies the
+// core.rcuwalk.* counters the fallback rate is computed from.
+struct RcuWalkOutcome {
+  double speedup = 0;        // median paired-slice rcu/locked throughput ratio
+  double fallback_rate = 0;  // fallbacks / optimistically-attempted ops
+  double locked_ops_per_sec = 0;
+  double rcu_ops_per_sec = 0;
+  uint64_t attempts = 0;  // OptimisticAttempt calls, retries included
+  uint64_t validation_failures = 0;
+  uint64_t fallbacks = 0;
+  uint64_t unvalidated_reads = 0;  // must be 0: the unsafe hook is test-only
+  uint64_t worker_failures = 0;
+  int pairs = 0;
+};
+
+RcuWalkOutcome RunRcuWalkExperiment(const FilebenchProfile& profile, const std::string& transport,
+                                    int clients, uint64_t ops_per_client, int pairs) {
+  MetricsRegistry registry_a;
+  MetricsRegistry registry_b;
+  TracingObserver tracer_a(&registry_a, /*ring=*/nullptr);
+  TracingObserver tracer_b(&registry_b, /*ring=*/nullptr);
+  AtomFs::Options locked;
+  locked.observer = &tracer_a;
+  AtomFs::Options rcu;
+  rcu.observer = &tracer_b;
+  rcu.enable_rcu_walk = true;
+  auto fs_a = std::make_unique<AtomFs>(std::move(locked));
+  auto fs_b = std::make_unique<AtomFs>(std::move(rcu));
+  OverheadOutcome out =
+      RunPairedSliceExperiment(fs_a.get(), fs_b.get(), &registry_a, &registry_b, "_rcu", profile,
+                               transport, clients, ops_per_client, pairs, "locked", "rcu");
+
+  RcuWalkOutcome rw;
+  rw.pairs = out.pairs;
+  rw.locked_ops_per_sec = out.untraced_ops_per_sec;
+  rw.rcu_ops_per_sec = out.traced.ops_per_sec;
+  rw.speedup =
+      rw.locked_ops_per_sec > 0 ? rw.rcu_ops_per_sec / rw.locked_ops_per_sec : 0;
+  rw.worker_failures = out.traced.worker_failures;
+  const MetricsSnapshot& remote = out.traced.remote;
+  rw.attempts = remote.CounterValue("core.rcuwalk.attempts");
+  rw.validation_failures = remote.CounterValue("core.rcuwalk.validation_failures");
+  rw.fallbacks = remote.CounterValue("core.rcuwalk.fallbacks");
+  rw.unvalidated_reads = remote.CounterValue("core.rcuwalk.unvalidated_reads");
+  // Every optimistically-attempted op ends in exactly one validation pass
+  // (or skip) or one fallback; failed attempts that were retried are
+  // interior steps. So ops = attempts - validation_failures + fallbacks.
+  const uint64_t optimistic_ops = rw.attempts - rw.validation_failures + rw.fallbacks;
+  rw.fallback_rate = optimistic_ops > 0
+                         ? static_cast<double>(rw.fallbacks) / static_cast<double>(optimistic_ops)
+                         : 0.0;
+  return rw;
+}
+
+void PrintRcuWalk(const RcuWalkOutcome& rw) {
+  std::printf(
+      "rcu walk: %.3fx locked throughput (%.0f vs %.0f ops/sec, median over %d pairs); "
+      "%llu attempt(s), %llu validation failure(s), %llu fallback(s) "
+      "(fallback rate %.4f), %llu unvalidated read(s)\n",
+      rw.speedup, rw.rcu_ops_per_sec, rw.locked_ops_per_sec, rw.pairs,
+      static_cast<unsigned long long>(rw.attempts),
+      static_cast<unsigned long long>(rw.validation_failures),
+      static_cast<unsigned long long>(rw.fallbacks), rw.fallback_rate,
+      static_cast<unsigned long long>(rw.unvalidated_reads));
+}
+
+void JsonRcuWalk(JsonWriter& json, const RcuWalkOutcome& rw) {
+  json.Key("rcu_walk").BeginObject();
+  json.Field("speedup", rw.speedup);
+  json.Field("fallback_rate", rw.fallback_rate);
+  json.Field("ops_per_sec_locked", rw.locked_ops_per_sec);
+  json.Field("ops_per_sec_rcu", rw.rcu_ops_per_sec);
+  json.Field("attempts", rw.attempts);
+  json.Field("validation_failures", rw.validation_failures);
+  json.Field("fallbacks", rw.fallbacks);
+  json.Field("unvalidated_reads", rw.unvalidated_reads);
+  json.Field("worker_failures", rw.worker_failures);
+  json.Field("pairs", static_cast<uint64_t>(rw.pairs));
+  json.EndObject();
+}
+
+// The --rcu-smoke gate (run_tier1.sh): a short paired-slice run must show
+// the optimistic path actually engaging and never bypassing validation.
+int RcuSmokeGate(const RcuWalkOutcome& rw) {
+  int rc = 0;
+  if (rw.attempts == 0) {
+    std::fprintf(stderr, "RCU SMOKE FAILED: no optimistic walk attempts recorded\n");
+    rc = 1;
+  }
+  if (rw.unvalidated_reads != 0) {
+    std::fprintf(stderr,
+                 "RCU SMOKE FAILED: %llu unvalidated optimistic read(s) — the unsafe "
+                 "skip-validation hook must never be live outside tests\n",
+                 static_cast<unsigned long long>(rw.unvalidated_reads));
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("rcu smoke: ok (%llu attempts, 0 unvalidated reads)\n",
+                static_cast<unsigned long long>(rw.attempts));
+  }
+  return rc;
 }
 
 void PrintProfile(const ProfileResult& r, int clients) {
@@ -1133,6 +1274,7 @@ int main(int argc, char** argv) {
   double seconds = 2.0;
   std::string connect;
   bool check = false;
+  bool rcu_smoke = false;
   double fairness_limit = 10.0;
 
   for (int i = 1; i < argc; ++i) {
@@ -1150,6 +1292,8 @@ int main(int argc, char** argv) {
       connect = next();
     } else if (arg("--check")) {
       check = true;
+    } else if (arg("--rcu-smoke")) {
+      rcu_smoke = true;
     } else if (arg("--fairness-limit")) {
       fairness_limit = std::atof(next());
     } else if (arg("--ops")) {
@@ -1176,6 +1320,16 @@ int main(int argc, char** argv) {
   if (MakeBackend(backend, nullptr) == nullptr) {
     std::fprintf(stderr, "unknown backend %s\n", backend.c_str());
     return 2;
+  }
+
+  // --rcu-smoke: the tier-1 gate. A short rcu-walk paired-slice run; exits
+  // nonzero unless the optimistic path engaged and every optimistic read was
+  // validated. No JSON output — this mode is a check, not a measurement.
+  if (rcu_smoke) {
+    const RcuWalkOutcome rw = RunRcuWalkExperiment(FilebenchProfile::Fileserver(), transport,
+                                                   clients, ops_per_client, /*pairs=*/3);
+    PrintRcuWalk(rw);
+    return RcuSmokeGate(rw);
   }
 
   // --connections / --pipeline select the pipelined-serving mode; the
@@ -1271,6 +1425,18 @@ int main(int argc, char** argv) {
   }
 
   json.EndArray();
+
+  // The rcu_walk block: optimistic-vs-locked read-path throughput on the
+  // fileserver profile (see RunRcuWalkExperiment). Like the tracing
+  // experiment it needs both sides identical but for the variable under
+  // test, so --monitor suppresses it; it is also atomfs-specific.
+  if (backend == "atomfs" && !with_monitor &&
+      (profile_arg == "fileserver" || profile_arg == "both")) {
+    const RcuWalkOutcome rw = RunRcuWalkExperiment(FilebenchProfile::Fileserver(), transport,
+                                                   clients, ops_per_client, /*pairs=*/9);
+    PrintRcuWalk(rw);
+    JsonRcuWalk(json, rw);
+  }
 
   // The txn block: commit throughput through a journaled TxnManager over the
   // wire, plus recovery time vs journal length (see RunTxnExperiment).

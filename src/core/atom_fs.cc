@@ -24,8 +24,11 @@ AtomFs::AtomFs() : AtomFs(Options{}) {}
 
 AtomFs::AtomFs(Options options) : opts_(std::move(options)) {
   ATOMFS_CHECK(opts_.executor != nullptr);
+  // The optimistic walk validates under the *target's* lock; with inode
+  // locks compiled out (BigLockFs) there is nothing to validate under.
+  ATOMFS_CHECK(!(opts_.enable_rcu_walk && opts_.disable_inode_locks));
   root_ = std::make_unique<Inode>(kRootInum, FileType::kDir, opts_.executor->CreateLock(),
-                                  opts_.dir_buckets);
+                                  opts_.dir_buckets, opts_.enable_rcu_walk);
 }
 
 AtomFs::~AtomFs() {
@@ -125,16 +128,18 @@ std::unique_ptr<Inode> AtomFs::NewInode(FileType type) {
   opts_.executor->Work(opts_.costs.inode_alloc_ns);
   inode_count_.fetch_add(1, std::memory_order_relaxed);
   return std::make_unique<Inode>(next_inum_.fetch_add(1, std::memory_order_relaxed), type,
-                                 opts_.executor->CreateLock(), opts_.dir_buckets);
+                                 opts_.executor->CreateLock(), opts_.dir_buckets,
+                                 opts_.enable_rcu_walk);
 }
 
 void AtomFs::DisposeInode(std::unique_ptr<Inode> node) {
   opts_.executor->Work(opts_.costs.inode_free_ns);
   inode_count_.fetch_sub(1, std::memory_order_relaxed);
-  if (opts_.unsafe_release_before_lock) {
+  if (opts_.unsafe_release_before_lock || opts_.enable_rcu_walk) {
     // A bypassing traversal may still hold a raw pointer; park the inode so
-    // the (deliberately provoked) linearizability violation stays
-    // memory-safe.
+    // the violation (unsafe mode) or the about-to-fail-validation optimistic
+    // reader (rcu mode) stays memory-safe. Deferred reclamation is the RCU
+    // grace period, degenerately stretched to the filesystem's lifetime.
     std::lock_guard<std::mutex> lk(graveyard_mu_);
     graveyard_.push_back(std::move(node));
     return;
@@ -205,6 +210,119 @@ Result<Inode*> AtomFs::ResolveTargetLocked(const Path& path) {
   return child;
 }
 
+// --- optimistic (RCU) walk ---------------------------------------------------
+//
+// The normative protocol lives in docs/CONCURRENCY.md §3-5. Summary: a
+// namespace writer flips every affected node's seqlock version odd (relaxed
+// store, sequenced before its release-published chain mutations) while
+// holding that node's lock, mutates, then release-stores the new even value.
+// The optimistic reader records (node, version) pairs on the way down with
+// acquire loads, locks ONLY the target, and revalidates the whole chain.
+// Because versions are written exclusively under the owning node's lock, any
+// mutation that could make the resolution stale either (a) completed before
+// the reader locked the target — then the lock acquisition's happens-before
+// edge makes the bumped version visible and validation fails — or (b) has
+// not yet locked the nodes it will mutate, in which case the read is still
+// live and linearizes at the validation instant.
+
+void AtomFs::VersionBumpOpen(Inode* node) {
+  // Relaxed is enough: this store is sequenced before the release stores
+  // that publish the chain mutation, so a reader that acquires a mutated
+  // chain pointer also observes the odd version.
+  node->version.store(node->version.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+}
+
+void AtomFs::VersionBumpClose(Inode* node) {
+  node->version.store(node->version.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_release);
+}
+
+void AtomFs::VersionTick(Inode* node) {
+  node->version.fetch_add(2, std::memory_order_release);
+}
+
+Inode* AtomFs::OptimisticAttempt(const Path& path) {
+  if (opts_.observer != nullptr) {
+    opts_.observer->OnOptWalkStart(CurrentTid());
+  }
+  struct Rec {
+    Inode* node;
+    uint64_t version;
+  };
+  std::vector<Rec> chain;
+  chain.reserve(path.parts.size() + 1);
+  auto fail = [&]() -> Inode* {
+    if (opts_.observer != nullptr) {
+      opts_.observer->OnOptWalkValidate(CurrentTid(), OptValidation::kFail,
+                                        static_cast<uint32_t>(chain.size()));
+    }
+    return nullptr;
+  };
+  Inode* cur = root_.get();
+  for (const std::string& part : path.parts) {
+    const uint64_t v = cur->version.load(std::memory_order_acquire);
+    if ((v & 1) != 0) {
+      return fail();  // mutation in flight on this node
+    }
+    chain.push_back({cur, v});
+    if (cur->type != FileType::kDir) {
+      // Only the locked walk may decide ENOTDIR/ENOENT: what we saw may be a
+      // transient state of a concurrent mutation.
+      return fail();
+    }
+    Inode* child = cur->dir.FindOptimistic(part);
+    opts_.executor->Work(opts_.costs.lookup_ns);
+    if (child == nullptr) {
+      return fail();
+    }
+    cur = child;
+  }
+  const uint64_t tv = cur->version.load(std::memory_order_acquire);
+  if ((tv & 1) != 0) {
+    return fail();
+  }
+  chain.push_back({cur, tv});
+  // The only lock of the whole walk: the target's. Taken before validation
+  // so the target's version is stable while we check (versions are written
+  // only under the owning node's lock) and the subsequent data access is as
+  // race-free as in the lock-coupled walk.
+  LockInode(cur, LockPathRole::kOptTarget);
+  if (opts_.unsafe_skip_opt_validation) {
+    if (opts_.observer != nullptr) {
+      opts_.observer->OnOptWalkValidate(CurrentTid(), OptValidation::kSkipped,
+                                        static_cast<uint32_t>(chain.size()));
+    }
+    return cur;
+  }
+  for (const Rec& r : chain) {
+    if (r.node->version.load(std::memory_order_acquire) != r.version) {
+      Inode* const locked = cur;
+      Inode* const result = fail();
+      UnlockInode(locked);
+      return result;
+    }
+  }
+  if (opts_.observer != nullptr) {
+    opts_.observer->OnOptWalkValidate(CurrentTid(), OptValidation::kPass,
+                                      static_cast<uint32_t>(chain.size()));
+  }
+  return cur;
+}
+
+Inode* AtomFs::TryOptimisticResolve(const Path& path) {
+  // Initial attempt plus rcu_walk_max_retries retries.
+  for (uint32_t attempt = 0; attempt < 1 + opts_.rcu_walk_max_retries; ++attempt) {
+    if (Inode* node = OptimisticAttempt(path); node != nullptr) {
+      return node;
+    }
+  }
+  if (opts_.observer != nullptr) {
+    opts_.observer->OnOptWalkFallback(CurrentTid());
+  }
+  return nullptr;
+}
+
 // --- ins / del --------------------------------------------------------------
 
 Status AtomFs::Mkdir(const Path& path) { return Insert(path, FileType::kDir); }
@@ -247,7 +365,9 @@ Status AtomFs::Insert(const Path& path, FileType type) {
   std::unique_ptr<Inode> node = NewInode(type);
   const Inum created = node->ino;
   opts_.executor->Work(opts_.costs.dir_insert_ns);
+  VersionBumpOpen(dir);
   ATOMFS_CHECK(dir->dir.Insert(path.Base(), std::move(node)));
+  VersionBumpClose(dir);
   ObserveLp(created);
   UnlockInode(dir);
   return finish(Status::Ok());
@@ -301,8 +421,14 @@ Status AtomFs::Delete(const Path& path, FileType type) {
     return finish(Status(err));
   }
   opts_.executor->Work(opts_.costs.dir_remove_ns);
+  VersionBumpOpen(dir);
   std::unique_ptr<Inode> owned = dir->dir.Remove(path.Base());
+  VersionBumpClose(dir);
   ATOMFS_CHECK(owned != nullptr);
+  // Belt and braces: the removed node's own version also moves, so a reader
+  // that somehow still reaches it (through a retired chain shell) cannot
+  // validate against a pre-removal recording.
+  VersionTick(child);
   ObserveLp();
   UnlockInode(child);
   UnlockInode(dir);
@@ -437,6 +563,12 @@ Status AtomFs::Rename(const Path& src, const Path& dst) {
   LockInode(snode, LockPathRole::kRenameSrc);
   held.push_back(snode);
 
+  // Seqlock open on each distinct parent exactly once (two opens on the same
+  // node would close back to an odd value).
+  VersionBumpOpen(sdir);
+  if (ddir != sdir) {
+    VersionBumpOpen(ddir);
+  }
   std::unique_ptr<Inode> displaced;
   if (dnode != nullptr) {
     opts_.executor->Work(opts_.costs.dir_remove_ns);
@@ -448,6 +580,14 @@ Status AtomFs::Rename(const Path& src, const Path& dst) {
   ATOMFS_CHECK(moving != nullptr);
   opts_.executor->Work(opts_.costs.dir_insert_ns);
   ATOMFS_CHECK(ddir->dir.Insert(dst.Base(), std::move(moving)));
+  VersionTick(snode);  // the moved node's identity-path changed (lock held)
+  if (dnode != nullptr) {
+    VersionTick(dnode);  // the displaced node left the namespace (lock held)
+  }
+  if (ddir != sdir) {
+    VersionBumpClose(ddir);
+  }
+  VersionBumpClose(sdir);
 
   // The rename LP: the CRL-H helper (linothers) runs inside this event, then
   // the rename's own abstract operation executes.
@@ -564,11 +704,21 @@ Status AtomFs::Exchange(const Path& a, const Path& b) {
   held.push_back(bnode);
 
   opts_.executor->Work(2 * (opts_.costs.dir_remove_ns + opts_.costs.dir_insert_ns));
+  VersionBumpOpen(adir);
+  if (bdir != adir) {
+    VersionBumpOpen(bdir);
+  }
   std::unique_ptr<Inode> owned_a = adir->dir.Remove(a.Base());
   std::unique_ptr<Inode> owned_b = bdir->dir.Remove(b.Base());
   ATOMFS_CHECK(owned_a != nullptr && owned_b != nullptr);
   ATOMFS_CHECK(adir->dir.Insert(a.Base(), std::move(owned_b)));
   ATOMFS_CHECK(bdir->dir.Insert(b.Base(), std::move(owned_a)));
+  VersionTick(anode);  // both swapped nodes sit on new identity-paths
+  VersionTick(bnode);
+  if (bdir != adir) {
+    VersionBumpClose(bdir);
+  }
+  VersionBumpClose(adir);
 
   // The exchange LP: like rename, the helper runs here first.
   ObserveLp();
@@ -580,14 +730,17 @@ Status AtomFs::Exchange(const Path& a, const Path& b) {
 
 Result<Attr> AtomFs::Stat(const Path& path) {
   ObserveBegin(OpCall::StatOf(path));
-  auto target = ResolveTargetLocked(path);
-  if (!target.ok()) {
-    OpResult r;
-    r.status = target.status();
-    ObserveEnd(r);
-    return target.status();
+  Inode* node = opts_.enable_rcu_walk ? TryOptimisticResolve(path) : nullptr;
+  if (node == nullptr) {
+    auto target = ResolveTargetLocked(path);
+    if (!target.ok()) {
+      OpResult r;
+      r.status = target.status();
+      ObserveEnd(r);
+      return target.status();
+    }
+    node = *target;
   }
-  Inode* node = *target;
   opts_.executor->Work(opts_.costs.stat_ns);
   Attr attr;
   attr.ino = node->ino;
@@ -603,14 +756,17 @@ Result<Attr> AtomFs::Stat(const Path& path) {
 
 Result<std::vector<DirEntry>> AtomFs::ReadDir(const Path& path) {
   ObserveBegin(OpCall::ReadDirOf(path));
-  auto target = ResolveTargetLocked(path);
-  if (!target.ok()) {
-    OpResult r;
-    r.status = target.status();
-    ObserveEnd(r);
-    return target.status();
+  Inode* node = opts_.enable_rcu_walk ? TryOptimisticResolve(path) : nullptr;
+  if (node == nullptr) {
+    auto target = ResolveTargetLocked(path);
+    if (!target.ok()) {
+      OpResult r;
+      r.status = target.status();
+      ObserveEnd(r);
+      return target.status();
+    }
+    node = *target;
   }
-  Inode* node = *target;
   if (node->type != FileType::kDir) {
     ObserveLp();
     UnlockInode(node);
@@ -637,14 +793,17 @@ Result<std::vector<DirEntry>> AtomFs::ReadDir(const Path& path) {
 
 Result<size_t> AtomFs::Read(const Path& path, uint64_t offset, std::span<std::byte> out) {
   ObserveBegin(OpCall::ReadOf(path, offset, out.size()));
-  auto target = ResolveTargetLocked(path);
-  if (!target.ok()) {
-    OpResult r;
-    r.status = target.status();
-    ObserveEnd(r);
-    return target.status();
+  Inode* node = opts_.enable_rcu_walk ? TryOptimisticResolve(path) : nullptr;
+  if (node == nullptr) {
+    auto target = ResolveTargetLocked(path);
+    if (!target.ok()) {
+      OpResult r;
+      r.status = target.status();
+      ObserveEnd(r);
+      return target.status();
+    }
+    node = *target;
   }
-  Inode* node = *target;
   if (node->type != FileType::kFile) {
     ObserveLp();
     UnlockInode(node);

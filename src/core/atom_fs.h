@@ -65,6 +65,24 @@ class AtomFs : public FileSystem {
     // inner tree then needs no fine-grained synchronization.
     bool disable_inode_locks = false;
 
+    // Optimistic (RCU-style) path walk for read-only ops (stat/readdir/
+    // read): traverse without locking, lock only the target, then validate
+    // the recorded per-component version chain before trusting the data
+    // (docs/CONCURRENCY.md §4-5). Falls back to the lock-coupled walk on any
+    // validation failure or after `rcu_walk_max_retries` attempts. Deleted
+    // inodes are parked until destruction in this mode so a reader that
+    // locks a just-unlinked target stays memory-safe (it then fails
+    // validation). Incompatible with disable_inode_locks.
+    bool enable_rcu_walk = false;
+    uint32_t rcu_walk_max_retries = 2;
+
+    // VALIDATION ONLY: skip the version-chain validation at the end of an
+    // optimistic walk and report the (possibly stale) read as-is, emitting
+    // OptValidation::kSkipped. Exists so tests can demonstrate that the
+    // CRL-H monitor catches the resulting stale reads as refinement
+    // divergences — the optimistic analogue of unsafe_release_before_lock.
+    bool unsafe_skip_opt_validation = false;
+
     // Fault injection: when set and returning true, the next inode
     // allocation fails and the creating operation returns ENOSPC after
     // cleanly releasing its locks. Exercises failure paths that normal
@@ -131,6 +149,29 @@ class AtomFs : public FileSystem {
 
   // Directory lookup with chain-length-proportional cost accounting.
   Inode* LookupCharged(Inode* dir, const std::string& name);
+
+  // --- optimistic (RCU) walk, docs/CONCURRENCY.md §4-5 ---
+
+  // Attempts up to rcu_walk_max_retries optimistic resolutions of `path`.
+  // On success returns the target inode LOCKED (role kOptTarget) with its
+  // version chain validated (or validation skipped under the unsafe hook);
+  // returns nullptr after emitting OnOptWalkFallback when every attempt
+  // failed — the caller then runs the ordinary lock-coupled walk. Never
+  // reports errors: a lock-free miss may be transient, so only the locked
+  // walk is allowed to decide ENOENT/ENOTDIR.
+  Inode* TryOptimisticResolve(const Path& path);
+  // One attempt: lock-free traverse recording (node, version) pairs, lock
+  // the target, validate. Emits exactly one OnOptWalkValidate.
+  Inode* OptimisticAttempt(const Path& path);
+
+  // Seqlock write protocol (docs/CONCURRENCY.md §3): callers hold `node`'s
+  // lock. Open flips the version odd before the first chain mutation; Close
+  // release-publishes the new even value after the last one.
+  static void VersionBumpOpen(Inode* node);
+  static void VersionBumpClose(Inode* node);
+  // Single +2 bump for a node whose *identity* changed (moved, displaced,
+  // swapped, removed) rather than its directory contents.
+  static void VersionTick(Inode* node);
 
   void LockInode(Inode* node, LockPathRole role);
   void UnlockInode(Inode* node);

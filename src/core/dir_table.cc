@@ -18,15 +18,24 @@ uint64_t HashName(std::string_view name) {
 
 }  // namespace
 
-DirTable::DirTable(uint32_t buckets) : buckets_(buckets == 0 ? 1 : buckets, nullptr) {}
+DirTable::DirTable(uint32_t buckets, bool defer_reclaim)
+    : buckets_(buckets == 0 ? 1 : buckets), defer_reclaim_(defer_reclaim) {
+  for (auto& head : buckets_) {
+    head.store(nullptr, std::memory_order_relaxed);
+  }
+}
 
 DirTable::~DirTable() {
-  for (Entry* head : buckets_) {
-    while (head != nullptr) {
-      Entry* next = head->next;
-      delete head;
-      head = next;
+  for (auto& head : buckets_) {
+    Entry* e = head.load(std::memory_order_relaxed);
+    while (e != nullptr) {
+      Entry* next = e->next.load(std::memory_order_relaxed);
+      delete e;
+      e = next;
     }
+  }
+  for (Entry* e : retired_) {
+    delete e;
   }
 }
 
@@ -34,9 +43,22 @@ size_t DirTable::BucketOf(std::string_view name) const {
   return HashName(name) % buckets_.size();
 }
 
+void DirTable::Retire(Entry* e) {
+  if (defer_reclaim_) {
+    // Leave e->next intact: a lock-free reader parked on this shell must
+    // still be able to continue down the chain it was traversing.
+    retired_.push_back(e);
+  } else {
+    delete e;
+  }
+}
+
 Inode* DirTable::Find(std::string_view name, size_t* probes) const {
   size_t walked = 0;
-  for (Entry* e = buckets_[BucketOf(name)]; e != nullptr; e = e->next) {
+  // Under the owning inode's lock there is no concurrent writer, so relaxed
+  // chain loads suffice.
+  for (Entry* e = buckets_[BucketOf(name)].load(std::memory_order_relaxed); e != nullptr;
+       e = e->next.load(std::memory_order_relaxed)) {
     ++walked;
     if (e->name == name) {
       if (probes != nullptr) {
@@ -51,43 +73,71 @@ Inode* DirTable::Find(std::string_view name, size_t* probes) const {
   return nullptr;
 }
 
+Inode* DirTable::FindOptimistic(std::string_view name) const {
+  // Acquire on the chain pointers pairs with Insert's release head-store, so
+  // the entry's immutable fields (name) are visible. Acquire on `pub` pairs
+  // with Remove's release nullptr-store: a reader either gets the live inode
+  // or a miss. Either way the caller revalidates versions before believing
+  // anything (docs/CONCURRENCY.md §5).
+  for (const Entry* e = buckets_[BucketOf(name)].load(std::memory_order_acquire);
+       e != nullptr; e = e->next.load(std::memory_order_acquire)) {
+    if (e->name == name) {
+      return e->pub.load(std::memory_order_acquire);
+    }
+  }
+  return nullptr;
+}
+
 bool DirTable::Insert(std::string_view name, std::unique_ptr<Inode> child) {
-  const size_t b = BucketOf(name);
-  for (Entry* e = buckets_[b]; e != nullptr; e = e->next) {
+  auto& head = buckets_[BucketOf(name)];
+  for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
+       e = e->next.load(std::memory_order_relaxed)) {
     if (e->name == name) {
       return false;
     }
   }
   auto* entry = new Entry;
   entry->name = std::string(name);
+  entry->pub.store(child.get(), std::memory_order_relaxed);
   entry->child = std::move(child);
-  entry->next = buckets_[b];
-  buckets_[b] = entry;
+  entry->next.store(head.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  // Publish: everything above is sequenced before this release store, so an
+  // acquire reader that sees the new head sees a fully built entry.
+  head.store(entry, std::memory_order_release);
   ++size_;
   return true;
 }
 
 std::unique_ptr<Inode> DirTable::Remove(std::string_view name) {
-  const size_t b = BucketOf(name);
-  Entry** link = &buckets_[b];
-  while (*link != nullptr) {
-    Entry* e = *link;
+  auto& head = buckets_[BucketOf(name)];
+  std::atomic<Entry*>* link = &head;
+  while (true) {
+    Entry* e = link->load(std::memory_order_relaxed);
+    if (e == nullptr) {
+      return nullptr;
+    }
     if (e->name == name) {
+      // Unpublish before touching the unique_ptr: after this store a
+      // lock-free reader can no longer observe the child through this entry,
+      // so moving the unique_ptr below cannot race with FindOptimistic.
+      e->pub.store(nullptr, std::memory_order_release);
       std::unique_ptr<Inode> child = std::move(e->child);
-      *link = e->next;
-      delete e;
+      // RCU-unlink: splice e out but keep e->next so in-flight readers on e
+      // still reach the chain's tail.
+      link->store(e->next.load(std::memory_order_relaxed), std::memory_order_release);
+      Retire(e);
       ATOMFS_CHECK(size_ > 0);
       --size_;
       return child;
     }
     link = &e->next;
   }
-  return nullptr;
 }
 
 void DirTable::ForEach(const std::function<void(const std::string&, const Inode*)>& fn) const {
-  for (Entry* head : buckets_) {
-    for (Entry* e = head; e != nullptr; e = e->next) {
+  for (const auto& head : buckets_) {
+    for (Entry* e = head.load(std::memory_order_relaxed); e != nullptr;
+         e = e->next.load(std::memory_order_relaxed)) {
       fn(e->name, e->child.get());
     }
   }
@@ -96,12 +146,14 @@ void DirTable::ForEach(const std::function<void(const std::string&, const Inode*
 std::vector<std::unique_ptr<Inode>> DirTable::TakeAll() {
   std::vector<std::unique_ptr<Inode>> out;
   out.reserve(size_);
-  for (Entry*& head : buckets_) {
-    while (head != nullptr) {
-      Entry* next = head->next;
-      out.push_back(std::move(head->child));
-      delete head;
-      head = next;
+  for (auto& head : buckets_) {
+    Entry* e = head.load(std::memory_order_relaxed);
+    head.store(nullptr, std::memory_order_relaxed);
+    while (e != nullptr) {
+      Entry* next = e->next.load(std::memory_order_relaxed);
+      out.push_back(std::move(e->child));
+      delete e;
+      e = next;
     }
   }
   size_ = 0;

@@ -2,14 +2,35 @@
 // buckets, matching the paper's prototype ("a hash table followed by linked
 // lists for directory lookups").
 //
-// A DirTable is always accessed under its owning inode's lock, so it needs
-// no internal synchronization. Entries own their child inodes: the
-// directory tree is the ownership tree, and rename moves ownership between
-// tables.
+// All mutation happens under the owning inode's lock. Lookups come in two
+// flavors: Find() is the classic locked lookup, and FindOptimistic() is the
+// RCU-walk read path (docs/CONCURRENCY.md §4) that runs with NO locks held.
+// To make the latter sound the chains are published with release/acquire
+// atomics:
+//
+//  - bucket heads and Entry::next are std::atomic<Entry*>; Insert fully
+//    constructs an entry, then release-stores it as the new head, so an
+//    acquire load of the pointer sees the entry's name and child.
+//  - each Entry carries a separate published child pointer
+//    (std::atomic<Inode*> pub) alongside the owning unique_ptr. Remove
+//    release-stores nullptr into `pub` *before* moving the unique_ptr out,
+//    so a lock-free reader either sees the live inode or nullptr — never a
+//    torn unique_ptr.
+//  - Remove unlinks the entry but leaves its `next` pointer intact, so a
+//    reader standing on the removed entry still reaches the rest of the
+//    chain (the Linux dcache RCU-unlink rule). When `defer_reclaim` is set
+//    the Entry shell is retired instead of deleted and freed only in the
+//    destructor; a stale traversal therefore never touches freed memory.
+//    (The child inode's lifetime is handled separately by the owner — see
+//    AtomFs::DisposeInode's graveyard.)
+//
+// Entries own their child inodes: the directory tree is the ownership tree,
+// and rename moves ownership between tables.
 
 #ifndef ATOMFS_SRC_CORE_DIR_TABLE_H_
 #define ATOMFS_SRC_CORE_DIR_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,7 +44,10 @@ struct Inode;
 
 class DirTable {
  public:
-  explicit DirTable(uint32_t buckets = 64);
+  // `defer_reclaim` keeps removed entry shells alive until destruction so
+  // lock-free readers (FindOptimistic) never chase a dangling next pointer.
+  // Leave it false when no reader ever walks the table without the lock.
+  explicit DirTable(uint32_t buckets = 64, bool defer_reclaim = false);
   ~DirTable();
 
   DirTable(const DirTable&) = delete;
@@ -35,6 +59,13 @@ class DirTable {
   // the number of chain links inspected (for chain-length-aware cost
   // accounting).
   Inode* Find(std::string_view name, size_t* probes = nullptr) const;
+
+  // Lock-free lookup for the optimistic walk: acquire-loads the chain and
+  // the published child pointer. May return a child that is concurrently
+  // being removed — the caller MUST validate version counters before
+  // trusting anything it read (docs/CONCURRENCY.md §5). Returns nullptr on
+  // a miss or when racing a removal.
+  Inode* FindOptimistic(std::string_view name) const;
 
   // Inserts; returns false (and keeps ownership untouched) if `name` exists.
   bool Insert(std::string_view name, std::unique_ptr<Inode> child);
@@ -55,14 +86,18 @@ class DirTable {
  private:
   struct Entry {
     std::string name;
-    std::unique_ptr<Inode> child;
-    Entry* next = nullptr;
+    std::unique_ptr<Inode> child;      // ownership; moved out by Remove
+    std::atomic<Inode*> pub{nullptr};  // what lock-free readers may see
+    std::atomic<Entry*> next{nullptr};
   };
 
   size_t BucketOf(std::string_view name) const;
+  void Retire(Entry* e);
 
-  std::vector<Entry*> buckets_;
+  std::vector<std::atomic<Entry*>> buckets_;
+  std::vector<Entry*> retired_;  // unlinked shells, freed in ~DirTable
   size_t size_ = 0;
+  const bool defer_reclaim_;
 };
 
 }  // namespace atomfs

@@ -1,10 +1,14 @@
 // The concrete in-memory inode. Each inode carries its own lock (the paper's
 // per-inode, fine-grained locking); `ino` and `type` are immutable after
-// creation and may be read without the lock, everything else requires it.
+// creation and may be read without the lock, everything else requires it —
+// except `version`, the seqlock-style counter the optimistic walk reads
+// lock-free (docs/CONCURRENCY.md §3).
 
 #ifndef ATOMFS_SRC_CORE_INODE_H_
 #define ATOMFS_SRC_CORE_INODE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "src/core/dir_table.h"
@@ -16,12 +20,21 @@ namespace atomfs {
 
 struct Inode {
   Inode(Inum ino_arg, FileType type_arg, std::unique_ptr<Lockable> lock_arg,
-        uint32_t dir_buckets)
-      : ino(ino_arg), type(type_arg), lock(std::move(lock_arg)), dir(dir_buckets) {}
+        uint32_t dir_buckets, bool rcu_dir = false)
+      : ino(ino_arg), type(type_arg), lock(std::move(lock_arg)),
+        dir(dir_buckets, rcu_dir) {}
 
   const Inum ino;
   const FileType type;
   const std::unique_ptr<Lockable> lock;
+
+  // Seqlock version (docs/CONCURRENCY.md §3). Written ONLY while this
+  // inode's lock is held: odd while a namespace mutation that affects this
+  // node is in flight, even when quiescent. Optimistic readers acquire-load
+  // it before and after traversing through the node; an odd value or a
+  // changed value invalidates the attempt. Structural no-op for file data
+  // writes (those are covered by the target lock the reader also takes).
+  std::atomic<uint64_t> version{0};
 
   DirTable dir;    // valid when type == kDir
   FileData data;   // valid when type == kFile

@@ -26,6 +26,16 @@ enum class LockPathRole : uint8_t {
   kRenameCommon,  // shared prefix up to the last common inode (extends both)
   kRenameSrc,     // source-branch lock (extends SrcPath)
   kRenameDst,     // destination-branch lock (extends DestPath)
+  kOptTarget,     // target locked by an optimistic (RCU) walk, pre-validation
+};
+
+// Outcome of one optimistic-walk validation attempt (docs/CONCURRENCY.md §5).
+// Exactly one OnOptWalkValidate fires per OnOptWalkStart, so per thread
+// attempts == passes + fails + skips.
+enum class OptValidation : uint8_t {
+  kPass,     // every recorded (node, version) pair still current: read is live
+  kFail,     // a component changed mid-walk (or the walk aborted): retry/fall back
+  kSkipped,  // validation bypassed (unsafe_skip_opt_validation test hook)
 };
 
 class FsObserver {
@@ -64,6 +74,20 @@ class FsObserver {
     (void)tid;
     (void)created_ino;
   }
+
+  // Optimistic (RCU-style) walk lifecycle. One OnOptWalkStart per traversal
+  // attempt, answered by exactly one OnOptWalkValidate with the attempt's
+  // outcome (`depth` = number of (node, version) pairs in the validated
+  // chain). OnOptWalkFallback fires once when the op abandons the optimistic
+  // path for the lock-coupled walk. Emitted while holding only the target
+  // inode's lock (validate) or no lock at all (start/fallback).
+  virtual void OnOptWalkStart(Tid tid) { (void)tid; }
+  virtual void OnOptWalkValidate(Tid tid, OptValidation outcome, uint32_t depth) {
+    (void)tid;
+    (void)outcome;
+    (void)depth;
+  }
+  virtual void OnOptWalkFallback(Tid tid) { (void)tid; }
 };
 
 // Fans an event stream out to several observers (e.g. the CRL-H monitor plus
@@ -91,6 +115,18 @@ class TeeObserver : public FsObserver {
   void OnLp(Tid tid, Inum created_ino) override {
     first_->OnLp(tid, created_ino);
     second_->OnLp(tid, created_ino);
+  }
+  void OnOptWalkStart(Tid tid) override {
+    first_->OnOptWalkStart(tid);
+    second_->OnOptWalkStart(tid);
+  }
+  void OnOptWalkValidate(Tid tid, OptValidation outcome, uint32_t depth) override {
+    first_->OnOptWalkValidate(tid, outcome, depth);
+    second_->OnOptWalkValidate(tid, outcome, depth);
+  }
+  void OnOptWalkFallback(Tid tid) override {
+    first_->OnOptWalkFallback(tid);
+    second_->OnOptWalkFallback(tid);
   }
 
  private:

@@ -78,9 +78,13 @@ std::optional<std::vector<Tid>> ComputeHelpOrder(Tid renamer,
   const Descriptor& rd = renamer_it->second;
   ATOMFS_CHECK(IsHelperOp(rd.call.kind));
 
-  // Candidates: pending threads other than the renamer.
+  // Candidates: pending threads other than the renamer. Optimistic readers
+  // are excluded: they hold no coupled LockPath for the helper to preserve —
+  // their correctness comes from version-chain validation, which a
+  // concurrent rename simply causes to fail (retry/fallback).
   auto is_candidate = [&](const std::pair<const Tid, Descriptor>& kv) {
-    return kv.first != renamer && kv.second.state == AopState::kPending;
+    return kv.first != renamer && kv.second.state == AopState::kPending &&
+           !kv.second.optimistic;
   };
 
   // Step-1 (Init): direct path inter-dependency — a breaking path of the

@@ -93,6 +93,15 @@ struct Descriptor {
   // the relaxed consistency mapping).
   std::vector<Inum> held;
 
+  // Optimistic (RCU-walk) readers: `optimistic` marks a thread currently on
+  // the lock-free read path (it legitimately bypasses lock coupling, so the
+  // non-bypassable and Last-locked-lockpath invariants do not apply and it
+  // is never a helping candidate — validation, not helping, covers it);
+  // `opt_validated` records that its version-chain validation passed, which
+  // the Opt-validation invariant requires at the LP.
+  bool optimistic = false;
+  bool opt_validated = false;
+
   bool lp_passed = false;
   bool has_abs_result = false;
   uint64_t begin_seq = 0;

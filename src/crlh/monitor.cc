@@ -136,10 +136,21 @@ void CrlhMonitor::OnLockAcquired(Tid tid, Inum ino, LockPathRole role) {
     case LockPathRole::kRenameDst:
       d.dst_path.inos.push_back(ino);
       break;
+    case LockPathRole::kOptTarget:
+      d.path.inos.push_back(ino);
+      break;
   }
   d.held.push_back(ino);
 
   if (!opts_.check_invariants) {
+    return;
+  }
+
+  // An optimistic reader bypasses lock coupling by design: it holds no
+  // coupled LockPath for a helped op to depend on, so the non-bypassable
+  // invariants do not apply to its single target acquisition. Its
+  // correctness obligation is the Opt-validation invariant at the LP.
+  if (d.optimistic) {
     return;
   }
 
@@ -217,9 +228,11 @@ void CrlhMonitor::OnLockReleased(Tid tid, Inum ino) {
   } else {
     d.held.erase(held_it);
   }
-  if (opts_.check_invariants && !d.lp_passed) {
+  if (opts_.check_invariants && !d.lp_passed && !d.optimistic) {
     // Last-locked-lockpath: before its LP, a thread never releases the last
     // inode of a LockPath (lock coupling acquires the next lock first).
+    // Exempt for optimistic readers: a failed validation releases the target
+    // (its LockPath tip) and retries — that is the protocol, not a bug.
     bool released_tip = false;
     for (const LockPath* lp : d.LockPaths()) {
       if (!lp->inos.empty() && lp->inos.back() == ino) {
@@ -232,6 +245,62 @@ void CrlhMonitor::OnLockReleased(Tid tid, Inum ino) {
     }
     ReportInvariantLocked(InvariantKind::kLastLockedLockpath, tid, !released_tip);
   }
+}
+
+void CrlhMonitor::OnOptWalkStart(Tid tid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++seq_;
+  auto it = pool_.find(tid);
+  if (it == pool_.end()) {
+    Violation("optimistic walk started by thread " + std::to_string(tid) +
+              " with no op in flight");
+    return;
+  }
+  Descriptor& d = it->second;
+  d.optimistic = true;
+  d.opt_validated = false;
+  // A fresh attempt abandons whatever target a previous attempt recorded
+  // (its lock was released on the failed validation).
+  d.path.inos.clear();
+}
+
+void CrlhMonitor::OnOptWalkValidate(Tid tid, OptValidation outcome, uint32_t depth) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++seq_;
+  (void)depth;
+  auto it = pool_.find(tid);
+  if (it == pool_.end()) {
+    Violation("optimistic validation by thread " + std::to_string(tid) +
+              " with no op in flight");
+    return;
+  }
+  Descriptor& d = it->second;
+  if (!d.optimistic) {
+    Violation("optimistic validation by thread " + std::to_string(tid) +
+              " outside an optimistic walk");
+    return;
+  }
+  // kFail is the protocol working (retry/fallback follows), not a violation;
+  // kSkipped leaves opt_validated false so the Opt-validation invariant
+  // fires if the op goes on to linearize anyway.
+  d.opt_validated = outcome == OptValidation::kPass;
+}
+
+void CrlhMonitor::OnOptWalkFallback(Tid tid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++seq_;
+  auto it = pool_.find(tid);
+  if (it == pool_.end()) {
+    Violation("optimistic fallback by thread " + std::to_string(tid) +
+              " with no op in flight");
+    return;
+  }
+  Descriptor& d = it->second;
+  d.optimistic = false;
+  d.opt_validated = false;
+  // The lock-coupled walk that follows rebuilds the LockPath from the root;
+  // the optimistic attempts' recordings must not prefix it.
+  d.path.inos.clear();
 }
 
 void CrlhMonitor::ApplyAopLocked(Tid tid, Descriptor& d, Inum forced_ino, bool record_effects) {
@@ -402,6 +471,18 @@ void CrlhMonitor::OnLp(Tid tid, Inum created_ino) {
     if (!absent) {
       Violation("Helplist-consistency violated: pending thread " + std::to_string(tid) +
                 " present in Helplist");
+    }
+  }
+
+  // Opt-validation: a reader that bypassed lock coupling may only linearize
+  // after a passed version-chain validation. A skipped validation (the
+  // unsafe_skip_opt_validation hook) fails here even before the possibly
+  // stale result reaches the refinement check at OnOpEnd.
+  if (opts_.check_invariants && d.optimistic) {
+    ReportInvariantLocked(InvariantKind::kOptValidation, tid, d.opt_validated);
+    if (!d.opt_validated) {
+      Violation("Opt-validation violated: optimistic thread " + std::to_string(tid) +
+                " reached its LP without a passed version-chain validation");
     }
   }
 

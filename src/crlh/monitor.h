@@ -90,6 +90,13 @@ class CrlhMonitor : public FsObserver {
   void OnLockAcquired(Tid tid, Inum ino, LockPathRole role) override;
   void OnLockReleased(Tid tid, Inum ino) override;
   void OnLp(Tid tid, Inum created_ino) override;
+  // Optimistic (RCU-walk) readers bypass lock coupling; these events toggle
+  // the descriptor's optimistic/opt_validated flags so the lock-coupling
+  // invariants are exempted and the Opt-validation invariant (a bypassing
+  // reader must have a passed validation by its LP) can be checked instead.
+  void OnOptWalkStart(Tid tid) override;
+  void OnOptWalkValidate(Tid tid, OptValidation outcome, uint32_t depth) override;
+  void OnOptWalkFallback(Tid tid) override;
 
   // --- verdicts --------------------------------------------------------------
   bool ok() const;

@@ -24,6 +24,8 @@ const char* RoleName(uint8_t role) {
       return "rename_src";
     case 3:
       return "rename_dst";
+    case 4:
+      return "opt_target";
   }
   return "unknown";
 }
@@ -226,6 +228,31 @@ std::string EmitChromeTrace(const std::vector<TraceEvent>& events, size_t first)
         w.Field("txid", e.ino);
         w.Field("conflict", e.arg);
         w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kOptWalkStart: {
+        Preamble(w, e, "i", "opt_walk_start", "rcuwalk");
+        w.Field("s", "t");
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kOptWalkValidate: {
+        Preamble(w, e, "i", "opt_walk_validate", "rcuwalk");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("outcome", e.arg == 0   ? "pass"
+                           : e.arg == 1 ? "fail"
+                                        : "skipped");
+        w.Field("depth", e.depth);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kOptWalkFallback: {
+        Preamble(w, e, "i", "opt_walk_fallback", "rcuwalk");
+        w.Field("s", "t");
         w.EndObject();
         break;
       }

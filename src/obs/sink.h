@@ -51,9 +51,12 @@ enum class InvariantKind : uint8_t {
   kGoodAfs = 6,
   kRefinement = 7,
   kAbstractConcrete = 8,
+  // An optimistic (RCU-walk) reader reached its LP: its version-chain
+  // validation must have passed (docs/CONCURRENCY.md §6).
+  kOptValidation = 9,
 };
 
-inline constexpr size_t kInvariantKindCount = 9;
+inline constexpr size_t kInvariantKindCount = 10;
 
 inline std::string_view InvariantKindName(InvariantKind kind) {
   switch (kind) {
@@ -75,6 +78,8 @@ inline std::string_view InvariantKindName(InvariantKind kind) {
       return "refinement";
     case InvariantKind::kAbstractConcrete:
       return "abstract_concrete";
+    case InvariantKind::kOptValidation:
+      return "opt_validation";
   }
   return "unknown";
 }

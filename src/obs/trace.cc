@@ -34,6 +34,12 @@ std::string_view TraceEventTypeName(TraceEventType type) {
       return "txn_commit";
     case TraceEventType::kTxnAbort:
       return "txn_abort";
+    case TraceEventType::kOptWalkStart:
+      return "opt_walk_start";
+    case TraceEventType::kOptWalkValidate:
+      return "opt_walk_validate";
+    case TraceEventType::kOptWalkFallback:
+      return "opt_walk_fallback";
   }
   return "unknown";
 }

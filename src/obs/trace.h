@@ -59,6 +59,12 @@ enum class TraceEventType : uint8_t {
   kTxnBegin = 11,
   kTxnCommit = 12,
   kTxnAbort = 13,
+  // Optimistic (RCU-walk) read-path events (src/core rcu walk). For
+  // kOptWalkValidate: arg = OptValidation outcome (0 pass / 1 fail /
+  // 2 skipped), depth = validated-chain length.
+  kOptWalkStart = 14,
+  kOptWalkValidate = 15,
+  kOptWalkFallback = 16,
 };
 
 std::string_view TraceEventTypeName(TraceEventType type);

@@ -96,6 +96,10 @@ TracingObserver::TracingObserver(MetricsRegistry* registry, TraceRing* ring)
     invariant_failures_[k] = registry->GetCounter(base + ".failures");
   }
   violations_ = registry->GetCounter("crlh.violations");
+  rcu_attempts_ = registry->GetCounter("core.rcuwalk.attempts");
+  rcu_validation_failures_ = registry->GetCounter("core.rcuwalk.validation_failures");
+  rcu_fallbacks_ = registry->GetCounter("core.rcuwalk.fallbacks");
+  rcu_unvalidated_ = registry->GetCounter("core.rcuwalk.unvalidated_reads");
 }
 
 TracingObserver::ThreadState& TracingObserver::StateFor(Tid tid) {
@@ -229,6 +233,45 @@ void TracingObserver::OnLp(Tid tid, Inum created_ino) {
   e.op = s.op_kind;
   e.depth = s.acquires;
   e.ino = created_ino;
+  Emit(e);
+}
+
+void TracingObserver::OnOptWalkStart(Tid tid) {
+  rcu_attempts_.Inc();
+  if (ring_ == nullptr) {
+    return;
+  }
+  TraceEvent e;
+  e.tid = tid;
+  e.type = TraceEventType::kOptWalkStart;
+  Emit(e);
+}
+
+void TracingObserver::OnOptWalkValidate(Tid tid, OptValidation outcome, uint32_t depth) {
+  if (outcome == OptValidation::kFail) {
+    rcu_validation_failures_.Inc();
+  } else if (outcome == OptValidation::kSkipped) {
+    rcu_unvalidated_.Inc();
+  }
+  if (ring_ == nullptr) {
+    return;
+  }
+  TraceEvent e;
+  e.tid = tid;
+  e.type = TraceEventType::kOptWalkValidate;
+  e.arg = static_cast<uint64_t>(outcome);
+  e.depth = static_cast<uint16_t>(std::min<uint32_t>(depth, UINT16_MAX));
+  Emit(e);
+}
+
+void TracingObserver::OnOptWalkFallback(Tid tid) {
+  rcu_fallbacks_.Inc();
+  if (ring_ == nullptr) {
+    return;
+  }
+  TraceEvent e;
+  e.tid = tid;
+  e.type = TraceEventType::kOptWalkFallback;
   Emit(e);
 }
 

@@ -22,6 +22,13 @@
 //   crlh.invariant.<name>.checks,
 //   crlh.invariant.<name>.failures        counters, per InvariantKind
 //   crlh.violations                       counter
+//   core.rcuwalk.attempts                 counter, optimistic walk attempts
+//   core.rcuwalk.validation_failures      counter, failed chain validations
+//   core.rcuwalk.fallbacks                counter, ops that fell back to the
+//                                         lock-coupled walk
+//   core.rcuwalk.unvalidated_reads        counter, validations skipped by the
+//                                         unsafe hook (must be 0 in any
+//                                         correct configuration)
 //
 // Depths deeper than kMaxTrackedDepth all land in the kMaxTrackedDepth
 // histograms (the label is a floor, not a bound).
@@ -67,6 +74,9 @@ class TracingObserver : public FsObserver, public CrlhObsSink {
   void OnLockAcquired(Tid tid, Inum ino, LockPathRole role) override;
   void OnLockReleased(Tid tid, Inum ino) override;
   void OnLp(Tid tid, Inum created_ino) override;
+  void OnOptWalkStart(Tid tid) override;
+  void OnOptWalkValidate(Tid tid, OptValidation outcome, uint32_t depth) override;
+  void OnOptWalkFallback(Tid tid) override;
 
   // CrlhObsSink (called by CrlhMonitor with the ghost mutex held).
   void OnHelpEvent(Tid helper, size_t help_set_size) override;
@@ -133,6 +143,10 @@ class TracingObserver : public FsObserver, public CrlhObsSink {
   std::array<Counter, kInvariantKindCount> invariant_checks_;
   std::array<Counter, kInvariantKindCount> invariant_failures_;
   Counter violations_;
+  Counter rcu_attempts_;
+  Counter rcu_validation_failures_;
+  Counter rcu_fallbacks_;
+  Counter rcu_unvalidated_;
 
   // Sharded thread-state table. unordered_map references are stable across
   // inserts, so StateFor can hand out a reference used lock-free by its

@@ -8,6 +8,8 @@
 
 #include "src/afs/op.h"
 #include "src/afs/spec_fs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/util/rand.h"
 
 namespace atomfs {
@@ -190,6 +192,76 @@ TEST_P(DifferentialTest, AtomFsRefinesSpecSequentially) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
                                            16));
+
+// The optimistic (RCU) walk must be semantically invisible: the same
+// differential sweep with enable_rcu_walk set. Sequentially every optimistic
+// read either validates on the first attempt (nothing mutates concurrently)
+// or misses a nonexistent path and falls back — both must produce exactly
+// the spec's results.
+class RcuDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RcuDifferentialTest, RcuWalkRefinesSpecSequentially) {
+  Rng rng(GetParam());
+  AtomFs::Options opts;
+  opts.enable_rcu_walk = true;
+  AtomFs fs(std::move(opts));
+  SpecFs spec;
+  for (int i = 0; i < 400; ++i) {
+    OpCall call = RandomCall(rng);
+    OpResult concrete = RunOp(fs, call);
+    OpResult abstract = RunOp(spec, call);
+    ASSERT_TRUE(ResultsEquivalent(call.kind, concrete, abstract))
+        << call.ToString() << ": concrete=" << concrete.ToString(call.kind)
+        << " abstract=" << abstract.ToString(call.kind) << " (step " << i << ")";
+  }
+  EXPECT_TRUE(StructurallyEqual(fs.SnapshotSpec(), spec));
+  EXPECT_TRUE(spec.WellFormed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RcuDifferentialTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Regression test for the version-counter close discipline. Every writer
+// opens a directory's version to odd and must close it back to even —
+// including the same-parent rename and same-directory exchange paths, where
+// source and destination directory are one node and a naive double
+// open/close would leave the version odd forever. A leftover odd version is
+// observable without exposing the counter: every later optimistic read of
+// that directory would fail validation and fall back, so after a quiesced
+// mutation storm a stat sweep must produce zero validation failures.
+TEST(AtomFsRcuVersions, QuiescedVersionsStayEven) {
+  MetricsRegistry registry;
+  TracingObserver tracer(&registry);
+  AtomFs::Options opts;
+  opts.enable_rcu_walk = true;
+  opts.observer = &tracer;
+  AtomFs fs(std::move(opts));
+
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Mkdir("/e").ok());
+  ASSERT_TRUE(fs.Mknod("/d/f").ok());
+  ASSERT_TRUE(fs.Mknod("/d/g").ok());
+  ASSERT_TRUE(fs.Mknod("/e/h").ok());
+  ASSERT_TRUE(fs.Rename("/d/f", "/d/f2").ok());   // same-parent rename
+  ASSERT_TRUE(fs.Rename("/d/g", "/e/g2").ok());   // cross-parent rename
+  ASSERT_TRUE(fs.Exchange("/d/f2", "/e/h").ok()); // cross-directory exchange
+  ASSERT_TRUE(fs.Mknod("/e/i").ok());
+  ASSERT_TRUE(fs.Exchange("/e/g2", "/e/i").ok()); // same-directory exchange
+  ASSERT_TRUE(fs.Unlink("/e/i").ok());
+
+  const uint64_t failures_before =
+      registry.Snapshot().CounterValue("core.rcuwalk.validation_failures");
+  const char* kPaths[] = {"/d", "/e", "/d/f2", "/e/h", "/e/g2"};
+  for (const char* p : kPaths) {
+    EXPECT_TRUE(fs.Stat(p).ok()) << p;
+  }
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.validation_failures"), failures_before)
+      << "a writer left a directory version odd: quiesced optimistic reads "
+         "must validate on the first attempt";
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.fallbacks"), 0u);
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.unvalidated_reads"), 0u);
+}
 
 }  // namespace
 }  // namespace atomfs

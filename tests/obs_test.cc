@@ -2,9 +2,10 @@
 // totals under concurrent hammering, shared-bucket percentile agreement with
 // LatencyHistogram, trace-ring wraparound and publication, the
 // TracingObserver's lock-coupling bookkeeping on a live AtomFS, the METRICS
-// wire round-trip over both socket families, and a docs-drift check that
-// fails whenever an opcode exists in src/net but not in
-// docs/WIRE_PROTOCOL.md (or vice versa).
+// wire round-trip over both socket families, and docs-drift checks that
+// fail whenever an opcode exists in src/net but not in
+// docs/WIRE_PROTOCOL.md (or vice versa), or when docs/CONCURRENCY.md's
+// rcu-walk vocabulary diverges from the source constants.
 
 #include "src/obs/metrics.h"
 
@@ -666,6 +667,63 @@ TEST(DocsDriftTest, WireProtocolDocCoversTransactionSurface) {
   EXPECT_NE(doc.find("| 29 | `txbegin` | — | `u64 txid` |"), std::string::npos);
   EXPECT_NE(doc.find("| 30 | `txcommit` | `u64 txid` | — |"), std::string::npos);
   EXPECT_NE(doc.find("| 31 | `txabort` | `u64 txid` | — |"), std::string::npos);
+}
+
+// docs/CONCURRENCY.md is the normative locking/validation protocol. The names
+// it uses for the rcu-walk verification surface — the invariant, the ghost
+// events, the four counters, the retry default, the accounting identity, and
+// the memory-order table's atomics — must match the source constants. Renaming
+// any of them without updating the doc fails here.
+TEST(DocsDriftTest, ConcurrencyDocMatchesRcuWalkConstantsAndAtomics) {
+  const std::string path = std::string(ATOMFS_SOURCE_DIR) + "/docs/CONCURRENCY.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  // The invariant the monitor checks at an optimistic op's LP.
+  const std::string inv =
+      "Invariant `" + std::string(InvariantKindName(InvariantKind::kOptValidation)) + "`";
+  EXPECT_NE(doc.find(inv), std::string::npos) << "missing anchor: " << inv;
+
+  // The three ghost events, by their wire/trace names.
+  for (TraceEventType t : {TraceEventType::kOptWalkStart, TraceEventType::kOptWalkValidate,
+                           TraceEventType::kOptWalkFallback}) {
+    const std::string name = "`" + std::string(TraceEventTypeName(t)) + "`";
+    EXPECT_NE(doc.find(name), std::string::npos) << "missing ghost event: " << name;
+  }
+
+  // The four counters and the accounting identity the race-stress test
+  // asserts exactly.
+  for (const char* counter :
+       {"`core.rcuwalk.attempts`", "`core.rcuwalk.validation_failures`",
+        "`core.rcuwalk.fallbacks`", "`core.rcuwalk.unvalidated_reads`"}) {
+    EXPECT_NE(doc.find(counter), std::string::npos) << "missing counter: " << counter;
+  }
+  EXPECT_NE(doc.find("`attempts - validation_failures + fallbacks`"), std::string::npos)
+      << "doc lost the fallback accounting identity";
+
+  // The retry budget must state the compiled-in default.
+  const AtomFs::Options defaults;
+  const std::string retries = "`1 + rcu_walk_max_retries` attempts (default retries: " +
+                              std::to_string(defaults.rcu_walk_max_retries) + ")";
+  EXPECT_NE(doc.find(retries), std::string::npos) << "missing anchor: " << retries;
+
+  // Every atomic in the walk must have memory-order table rows.
+  for (const char* atomic_name :
+       {"| `Inode::version` |", "| bucket head `buckets_[i]` |", "| `Entry::next` |",
+        "| `Entry::pub` |"}) {
+    EXPECT_NE(doc.find(atomic_name), std::string::npos)
+        << "memory-order table lost rows for " << atomic_name;
+  }
+  // Spot-check the two orders the protocol's correctness hinges on.
+  EXPECT_NE(doc.find("store even (`VersionBumpClose`, under lock) | `release`"),
+            std::string::npos)
+      << "close-bump release row out of date";
+  EXPECT_NE(doc.find("record + revalidate loads (`OptimisticAttempt`) | `acquire`"),
+            std::string::npos)
+      << "reader acquire row out of date";
 }
 
 }  // namespace

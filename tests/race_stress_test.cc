@@ -41,6 +41,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/sink.h"
 #include "src/obs/trace.h"
+#include "src/obs/tracer.h"
 #include "src/server/server.h"
 #include "src/sim/stress.h"
 #include "src/util/rand.h"
@@ -130,6 +131,101 @@ TEST(RaceStress, MonitoredPathInterdependencyMix) {
   }
   ASSERT_TRUE(monitor.ok()) << monitor.violations()[0];
   EXPECT_TRUE(monitor.CheckQuiescent(fs.SnapshotSpec()));
+}
+
+// The optimistic (RCU) walk's hot loop: readers resolve stat/readdir/read
+// lock-free while mutators rename, unlink, and recreate the very directories
+// under them. Version-chain validation is the only thing standing between a
+// reader and a stale result, so the monitored run must stay violation-free,
+// and the core.rcuwalk.* counters must balance exactly: every reader op ends
+// in either one passing validation or one fallback, with failed attempts as
+// interior steps (attempts - validation_failures + fallbacks == reader ops).
+TEST(RaceStress, RcuWalkReadersVsRenameUnlinkChurn) {
+  const uint64_t seed = StressSeed();
+  const int mutators = 4;
+  const int readers = 4;
+  const int ops = 400 / kScale;
+
+  CrlhMonitor monitor;
+  MetricsRegistry registry;
+  TracingObserver tracer(&registry);
+  TeeObserver tee(&monitor, &tracer);
+  AtomFs::Options opts;
+  opts.observer = &tee;
+  opts.enable_rcu_walk = true;
+  AtomFs fs(std::move(opts));
+
+  RaceBarrier barrier(mutators + readers);
+  std::vector<std::thread> cohort;
+  cohort.reserve(static_cast<size_t>(mutators + readers));
+  for (int t = 0; t < mutators; ++t) {
+    cohort.emplace_back([&, t] {
+      Rng rng(seed * 1000003 + t);
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(t));
+      barrier.Arrive();
+      for (int i = 0; i < ops; ++i) {
+        switch (rng.Below(6)) {
+          case 0:
+            RunOp(fs, OpCall::MkdirOf(RandomPath(rng)));
+            break;
+          case 1:
+            RunOp(fs, OpCall::MknodOf(RandomPath(rng)));
+            break;
+          case 2:
+            RunOp(fs, OpCall::UnlinkOf(RandomPath(rng)));
+            break;
+          default:
+            RunOp(fs, OpCall::RenameOf(RandomPath(rng), RandomPath(rng)));
+            break;
+        }
+        shaker.Perturb();
+        if (i % 64 == 0) {
+          barrier.Arrive();
+        }
+      }
+    });
+  }
+  for (int r = 0; r < readers; ++r) {
+    cohort.emplace_back([&, r] {
+      Rng rng(seed * 7777 + r);
+      ScheduleShaker shaker(seed, static_cast<uint32_t>(mutators + r));
+      barrier.Arrive();
+      for (int i = 0; i < ops; ++i) {
+        switch (rng.Below(3)) {
+          case 0:
+            RunOp(fs, OpCall::StatOf(RandomPath(rng)));
+            break;
+          case 1:
+            RunOp(fs, OpCall::ReadDirOf(RandomPath(rng)));
+            break;
+          default:
+            RunOp(fs, OpCall::ReadOf(RandomPath(rng), 0, 16));
+            break;
+        }
+        shaker.Perturb();
+        if (i % 64 == 0) {
+          barrier.Arrive();
+        }
+      }
+    });
+  }
+  for (auto& th : cohort) {
+    th.join();
+  }
+
+  ASSERT_TRUE(monitor.ok()) << monitor.violations()[0];
+  EXPECT_TRUE(monitor.CheckQuiescent(fs.SnapshotSpec()));
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  const uint64_t attempts = snap.CounterValue("core.rcuwalk.attempts");
+  const uint64_t failures = snap.CounterValue("core.rcuwalk.validation_failures");
+  const uint64_t fallbacks = snap.CounterValue("core.rcuwalk.fallbacks");
+  EXPECT_GT(attempts, 0u) << "the optimistic path never engaged";
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.unvalidated_reads"), 0u);
+  EXPECT_EQ(attempts - failures + fallbacks,
+            static_cast<uint64_t>(readers) * static_cast<uint64_t>(ops))
+      << "event accounting broke: attempts=" << attempts << " failures=" << failures
+      << " fallbacks=" << fallbacks;
 }
 
 // --- MetricsRegistry snapshot vs. writers ------------------------------------

@@ -14,12 +14,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/afs/op.h"
 #include "src/core/atom_fs.h"
+#include "src/crlh/bundle.h"
 #include "src/crlh/gate.h"
 #include "src/crlh/lin_check.h"
 #include "src/crlh/monitor.h"
 #include "src/crlh/op_thread.h"
+#include "src/obs/metrics.h"
+#include "src/obs/tracer.h"
 #include "src/txn/txn.h"
 
 namespace atomfs {
@@ -33,6 +38,25 @@ class ScenarioTest : public ::testing::Test {
     tee_ = std::make_unique<TeeObserver>(monitor_.get(), &gate_);
     AtomFs::Options opts;
     opts.observer = tee_.get();
+    fs_ = std::make_unique<AtomFs>(std::move(opts));
+  }
+
+  // Like Build, but with the optimistic (RCU) walk enabled and a tracer in
+  // the chain, so tests can assert the core.rcuwalk.* counters and harvest a
+  // flight-recorder slice for a post-mortem bundle. `skip_validation` wires
+  // the test-only unsafe hook that turns a concurrent mutation into a stale
+  // read the monitor must catch.
+  void BuildRcu(bool skip_validation, CrlhMonitor::Options mon_opts = {}) {
+    monitor_ = std::make_unique<CrlhMonitor>(mon_opts);
+    ring_ = std::make_unique<TraceRing>(4096);
+    registry_ = std::make_unique<MetricsRegistry>();
+    tracer_ = std::make_unique<TracingObserver>(registry_.get(), ring_.get());
+    inner_tee_ = std::make_unique<TeeObserver>(tracer_.get(), &gate_);
+    tee_ = std::make_unique<TeeObserver>(monitor_.get(), inner_tee_.get());
+    AtomFs::Options opts;
+    opts.observer = tee_.get();
+    opts.enable_rcu_walk = true;
+    opts.unsafe_skip_opt_validation = skip_validation;
     fs_ = std::make_unique<AtomFs>(std::move(opts));
   }
 
@@ -61,6 +85,10 @@ class ScenarioTest : public ::testing::Test {
 
   GateObserver gate_;
   std::unique_ptr<CrlhMonitor> monitor_;
+  std::unique_ptr<TraceRing> ring_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<TracingObserver> tracer_;
+  std::unique_ptr<TeeObserver> inner_tee_;
   std::unique_ptr<TeeObserver> tee_;
   std::unique_ptr<AtomFs> fs_;
 };
@@ -390,6 +418,100 @@ TEST_F(ScenarioTest, RollbackRelationHoldsMidFlight) {
   EXPECT_TRUE(monitor_->Helplist().empty());
   ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
   EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+}
+
+// --- optimistic (RCU) walk under the CRL-H monitor ---------------------------
+//
+// The optimistic read path bypasses lock coupling, so its correctness rests
+// entirely on the version-chain validation. These scenarios force the
+// dangerous interleaving — a rename completing while an optimistic stat sits
+// between resolution and validation — once with validation disabled (the
+// monitor must flag the stale read) and once with it enabled (the walk must
+// fall back and return the post-rename truth).
+
+// A monitored stale read: the unsafe skip-validation hook lets the
+// optimistic stat return the pre-rename attributes even though its LP lands
+// after the rename. The monitor must report both the Opt-validation
+// invariant violation (bypassing reader reached its LP unvalidated) and the
+// refinement divergence (concrete success vs abstract ENOENT), and the
+// post-mortem bundle must reproduce the divergence offline.
+TEST_F(ScenarioTest, RcuStaleReadIsDetectedAndBundleReplays) {
+  BuildRcu(/*skip_validation=*/true);
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+
+  OpThread reader([&] {
+    // Resolved before the rename, validation skipped: the stat observes the
+    // moved directory as if it were still at /a/b.
+    EXPECT_TRUE(fs_->Stat("/a/b").ok());
+  });
+  // The optimistic walk's only lock acquisition is the target lock, taken
+  // after lock-free resolution and right before validation would run — the
+  // wildcard gate parks the reader exactly inside the validation window.
+  gate_.Arm(reader.tid(), GateObserver::Point::kLockAcquired);
+  reader.Go();
+  gate_.WaitParked(reader.tid());
+
+  // The rename only needs the root and /a — the reader can keep holding /a/b.
+  EXPECT_TRUE(fs_->Rename("/a", "/z").ok());
+
+  gate_.Open(reader.tid());
+  reader.Join();
+
+  EXPECT_FALSE(monitor_->ok());
+  bool opt_violation = false;
+  bool refinement = false;
+  for (const auto& v : monitor_->violations()) {
+    opt_violation = opt_violation || v.find("Opt-validation") != std::string::npos;
+    refinement = refinement || v.find("REFINEMENT") != std::string::npos;
+  }
+  EXPECT_TRUE(opt_violation);
+  EXPECT_TRUE(refinement);
+  const MetricsSnapshot snap = registry_->Snapshot();
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.unvalidated_reads"), 1u);
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.attempts"), 1u);
+
+  // The divergence is replayable away from the schedule: bundle the
+  // post-mortem state, round-trip it through the text form, and replay the
+  // recorded abstract order — the stale stat's concrete result must diverge
+  // from the oracle.
+  auto pm = monitor_->PostMortemState();
+  ASSERT_TRUE(pm.has_value());
+  const PostMortemBundle bundle = BuildPostMortemBundle(*pm, ring_->Snapshot());
+  std::istringstream in(FormatBundle(bundle));
+  auto parsed = ParseBundle(in);
+  ASSERT_TRUE(parsed.ok());
+  const BundleReplay replay = ReplayBundle(*parsed);
+  EXPECT_TRUE(replay.reproduced) << replay.verdict;
+}
+
+// The same interleaving with validation on: the reader's recorded version
+// chain is invalidated by the rename, every retry misses the renamed /a, and
+// the locked fallback walk returns the correct post-rename ENOENT. The
+// monitor must stay clean.
+TEST_F(ScenarioTest, RcuValidationFailureFallsBackToLockedWalk) {
+  BuildRcu(/*skip_validation=*/false);
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+
+  OpThread reader([&] { EXPECT_EQ(fs_->Stat("/a/b").status().code(), Errc::kNoEnt); });
+  gate_.Arm(reader.tid(), GateObserver::Point::kLockAcquired);
+  reader.Go();
+  gate_.WaitParked(reader.tid());
+  EXPECT_TRUE(fs_->Rename("/a", "/z").ok());
+  gate_.Open(reader.tid());
+  reader.Join();
+
+  ASSERT_TRUE(monitor_->ok()) << monitor_->violations()[0];
+  EXPECT_TRUE(monitor_->CheckQuiescent(fs_->SnapshotSpec()));
+  // Attempt 0 fails validation (the root's version moved); both retries fail
+  // resolution (/a is gone); then the op falls back. 1 + rcu_walk_max_retries
+  // attempts, all failed, one fallback, nothing unvalidated.
+  const MetricsSnapshot snap = registry_->Snapshot();
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.attempts"), 3u);
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.validation_failures"), 3u);
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.fallbacks"), 1u);
+  EXPECT_EQ(snap.CounterValue("core.rcuwalk.unvalidated_reads"), 0u);
 }
 
 // --- transaction isolation under the CRL-H monitor ---------------------------

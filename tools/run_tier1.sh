@@ -33,6 +33,14 @@ echo "--- pipelined serving stage (64 connections x 8 in flight, monitored) ---"
 # on any non-OK reply or a per-connection fairness ratio above 10x.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^pipeline_smoke$'
 
+echo "--- rcu-walk smoke stage (optimistic read path, validation gate) ---"
+# bench_server_throughput --rcu-smoke: a short paired-slice run of the
+# lock-coupled walk against the optimistic (RCU) walk over the real wire.
+# Fails unless the optimistic path actually engaged (attempts > 0) and every
+# optimistic read was version-validated (core.rcuwalk.unvalidated_reads == 0
+# — the unsafe skip-validation hook must never be live outside tests).
+"$BUILD_DIR/bench/bench_server_throughput" --rcu-smoke --clients 2 --ops 150
+
 echo "--- crash-consistency stage (bounded sweep + kill -9 recovery) ---"
 # tools/crash_smoke.sh: the durability refinement check at a small record
 # bound (6 txns, <=64 sampled crash points per sweep), then a journaled
