@@ -74,6 +74,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -90,8 +91,10 @@
 #include "src/obs/tracer.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/server/server.h"
+#include "src/shard/sharded_fs.h"
 #include "src/txn/txn.h"
 #include "src/util/json.h"
+#include "src/util/rand.h"
 #include "src/util/stats.h"
 #include "src/workload/filebench.h"
 
@@ -359,20 +362,29 @@ struct OverheadOutcome {
 
 // The generic side of the harness: callers build the two FileSystem
 // instances (with whatever observers/options the comparison is about) plus
-// their server registries, and this drives the paired slices. Three
+// their server registries, and this drives the paired slices. Four
 // instruments share it: the tracing experiment (side A bare, side B carrying
 // a TracingObserver), the flight-recorder experiment (both sides traced,
-// side B additionally streaming every event into a TraceRing) and the
-// rcu-walk experiment (both sides traced AtomFs, side B resolving read-only
-// ops optimistically). `label_a`/`label_b` name the sides in the per-pair
+// side B additionally streaming every event into a TraceRing), the rcu-walk
+// experiment (both sides traced AtomFs, side B resolving read-only ops
+// optimistically) and the sharding experiment (side A a 1-shard ShardedFs,
+// side B an N-shard one). `label_a`/`label_b` name the sides in the per-pair
 // printout; `sock_tag` keeps concurrent experiments' sockets distinct.
+// `setup`, when set, replaces the single-tree FilebenchSetup (the sharding
+// experiment populates one tenant tree per client); `worker`, when set,
+// replaces the plain FilebenchWorker slice body — it must be deterministic
+// in (client, seed) so both sides' datasets stay byte-for-byte comparable.
+using SliceWorker = std::function<WorkerStats(FileSystem& fs, int client, uint64_t seed)>;
+
 OverheadOutcome RunPairedSliceExperiment(FileSystem* fs_a_raw, FileSystem* fs_b_raw,
                                          MetricsRegistry* registry_a_ptr,
                                          MetricsRegistry* registry_b_ptr,
                                          const char* sock_tag, const FilebenchProfile& profile,
                                          const std::string& transport, int clients,
                                          uint64_t ops_per_client, int pairs, const char* label_a,
-                                         const char* label_b) {
+                                         const char* label_b,
+                                         const std::function<void(FileSystem&)>& setup = {},
+                                         const SliceWorker& worker = {}) {
   const int kPairs = pairs;
   OverheadOutcome out;
 
@@ -412,7 +424,11 @@ OverheadOutcome RunPairedSliceExperiment(FileSystem* fs_a_raw, FileSystem* fs_b_
       std::fprintf(stderr, "cannot start overhead server for %s\n", profile.name.c_str());
       std::exit(1);
     }
-    FilebenchSetup(*fs, profile, /*seed=*/7);
+    if (setup) {
+      setup(*fs);
+    } else {
+      FilebenchSetup(*fs, profile, /*seed=*/7);
+    }
     for (int c = 0; c < clients; ++c) {
       auto conn = transport == "tcp" ? AtomFsClient::ConnectTcp(side.server->BoundTcpPort())
                                      : AtomFsClient::ConnectUnix(side.sock_path);
@@ -437,9 +453,10 @@ OverheadOutcome RunPairedSliceExperiment(FileSystem* fs_a_raw, FileSystem* fs_b_
     std::vector<std::thread> threads;
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
+        FileSystem& rec = *side.recorders[static_cast<size_t>(c)];
+        const uint64_t seed = seed_base + static_cast<uint64_t>(c);
         stats[static_cast<size_t>(c)] =
-            FilebenchWorker(*side.recorders[static_cast<size_t>(c)], profile,
-                            seed_base + static_cast<uint64_t>(c), ops_per_client);
+            worker ? worker(rec, c, seed) : FilebenchWorker(rec, profile, seed, ops_per_client);
       });
     }
     for (auto& t : threads) {
@@ -466,8 +483,13 @@ OverheadOutcome RunPairedSliceExperiment(FileSystem* fs_a_raw, FileSystem* fs_b_
     std::vector<std::thread> threads;
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
-        FilebenchWorker(*side.conns[static_cast<size_t>(c)], profile,
-                        500 + static_cast<uint64_t>(c), ops_per_client);
+        FileSystem& conn = *side.conns[static_cast<size_t>(c)];
+        const uint64_t seed = 500 + static_cast<uint64_t>(c);
+        if (worker) {
+          worker(conn, c, seed);
+        } else {
+          FilebenchWorker(conn, profile, seed, ops_per_client);
+        }
       });
     }
     for (auto& t : threads) {
@@ -672,6 +694,178 @@ int RcuSmokeGate(const RcuWalkOutcome& rw) {
                 static_cast<unsigned long long>(rw.attempts));
   }
   return rc;
+}
+
+// --- sharding experiment -----------------------------------------------------
+
+// Namespace-scaling: the same multi-tenant fileserver load — one tenant tree
+// per client, tenant roots spread round-robin over the shards, plus a <5%
+// cross-shard rename mix — drives a 1-shard ShardedFs (side A: every tenant
+// serialized through one AtomFs) against an N-shard one (side B). The
+// paired-slice median ratio is the scaling factor at N; side B's migration
+// counters show how much of the load ran the two-shard commit protocol.
+struct ShardingPoint {
+  uint32_t shards = 1;
+  double ops_per_sec = 0;
+  double speedup = 0;  // vs the 1-shard side of the same experiment
+  uint64_t migrations_completed = 0;
+  uint64_t migrations_aborted = 0;
+  uint64_t cross_shard_help_edges = 0;
+  uint64_t stale_route_retries = 0;
+  uint64_t worker_failures = 0;
+  int pairs = 0;
+};
+
+struct ShardingOutcome {
+  std::vector<ShardingPoint> points;  // shards = 1, then each requested N
+  double cross_shard_mix_pct = 0;
+};
+
+ShardingOutcome RunShardingExperiment(const std::string& transport, int clients,
+                                      uint64_t ops_per_client,
+                                      const std::vector<uint32_t>& shard_counts, int pairs) {
+  ShardingOutcome out;
+
+  // One scaled-down fileserver tree per client: the worker mix is the
+  // fileserver personality, the sizes shrink so per-side setup stays a small
+  // fraction of the measured slices.
+  FilebenchProfile base = FilebenchProfile::Fileserver();
+  base.dirs = 32;
+  base.files = 1000;
+
+  // Per slice each client runs `ops_per_client` filebench ops on its own
+  // tenant, then `cross_pairs` rename round-trips into the next client's
+  // tenant — 2*cross_pairs/(ops+2*cross_pairs) of the slice, kept under 5%.
+  const uint64_t cross_pairs = std::max<uint64_t>(1, ops_per_client / 64);
+  out.cross_shard_mix_pct = 100.0 * static_cast<double>(2 * cross_pairs) /
+                            static_cast<double>(ops_per_client + 2 * cross_pairs);
+
+  for (const uint32_t n : shard_counts) {
+    // Tenant roots chosen so client c's tenant homes on shard c % n (the
+    // router hash is stable, so scanning candidate names terminates fast).
+    ShardRouter router(n);
+    std::vector<std::string> roots;
+    int candidate = 0;
+    for (int c = 0; c < clients; ++c) {
+      const uint32_t want = static_cast<uint32_t>(c) % n;
+      for (;; ++candidate) {
+        const std::string name = "t" + std::to_string(candidate);
+        if (router.Route(name) == want) {
+          roots.push_back("/" + name);
+          ++candidate;
+          break;
+        }
+      }
+    }
+    std::vector<FilebenchProfile> tenants;
+    for (int c = 0; c < clients; ++c) {
+      FilebenchProfile p = base;
+      p.root = roots[static_cast<size_t>(c)];
+      tenants.push_back(std::move(p));
+    }
+
+    auto setup = [&](FileSystem& fs) {
+      for (int c = 0; c < clients; ++c) {
+        FilebenchSetup(fs, tenants[static_cast<size_t>(c)], /*seed=*/7);
+      }
+    };
+    // Deterministic in (client, seed) so both sides' datasets stay
+    // comparable: a file already deleted by this client's own filebench
+    // pass fails its rename identically on both sides.
+    auto worker = [&](FileSystem& fs, int c, uint64_t seed) {
+      WorkerStats st = FilebenchWorker(fs, tenants[static_cast<size_t>(c)], seed, ops_per_client);
+      const std::string& src_root = roots[static_cast<size_t>(c)];
+      const std::string& dst_root = roots[static_cast<size_t>((c + 1) % clients)];
+      Rng rng(seed * 0x9e3779b9ULL + static_cast<uint64_t>(c));
+      for (uint64_t k = 0; k < cross_pairs; ++k) {
+        const uint32_t idx = static_cast<uint32_t>(rng.Below(base.files));
+        const std::string src = src_root + "/d" + std::to_string(idx % base.dirs) + "/f" +
+                                std::to_string(idx);
+        const std::string parked =
+            dst_root + "/x" + std::to_string(c) + "_" + std::to_string(k);
+        ++st.ops;
+        if (!fs.Rename(src, parked).ok()) {
+          ++st.failures;
+          continue;
+        }
+        ++st.ops;
+        if (!fs.Rename(parked, src).ok()) {
+          ++st.failures;
+        }
+      }
+      return st;
+    };
+
+    MetricsRegistry registry_a;
+    MetricsRegistry registry_b;
+    ShardedFs::Options oa;
+    oa.shards = 1;
+    oa.record_history = false;  // throughput run; nothing replays this
+    ShardedFs::Options ob;
+    ob.shards = n;
+    ob.record_history = false;
+    ob.metrics = &registry_b;
+    auto fs_a = std::make_unique<ShardedFs>(std::move(oa));
+    auto fs_b = std::make_unique<ShardedFs>(std::move(ob));
+    const std::string tag = "_shard" + std::to_string(n);
+    const std::string label_b = std::to_string(n) + "-shard";
+    const OverheadOutcome res = RunPairedSliceExperiment(
+        fs_a.get(), fs_b.get(), &registry_a, &registry_b, tag.c_str(), base, transport, clients,
+        ops_per_client, pairs, "1-shard", label_b.c_str(), setup, worker);
+
+    if (out.points.empty()) {
+      ShardingPoint p1;
+      p1.shards = 1;
+      p1.ops_per_sec = res.untraced_ops_per_sec;
+      p1.speedup = 1.0;
+      p1.pairs = res.pairs;
+      out.points.push_back(p1);
+    }
+    ShardingPoint p;
+    p.shards = n;
+    p.ops_per_sec = res.traced.ops_per_sec;
+    p.speedup =
+        res.untraced_ops_per_sec > 0 ? res.traced.ops_per_sec / res.untraced_ops_per_sec : 0;
+    p.migrations_completed = fs_b->migrations_completed();
+    p.migrations_aborted = fs_b->migrations_aborted();
+    p.cross_shard_help_edges = fs_b->cross_shard_help_edges();
+    p.stale_route_retries = fs_b->stale_route_retries();
+    p.worker_failures = res.traced.worker_failures;
+    p.pairs = res.pairs;
+    out.points.push_back(p);
+    std::printf(
+        "sharding %u: %.2fx 1-shard throughput (%.0f vs %.0f ops/sec, median over %d pairs); "
+        "%llu migration(s), %llu aborted, %llu cross-shard help edge(s), %llu stale retrie(s)\n",
+        n, p.speedup, p.ops_per_sec, res.untraced_ops_per_sec, p.pairs,
+        static_cast<unsigned long long>(p.migrations_completed),
+        static_cast<unsigned long long>(p.migrations_aborted),
+        static_cast<unsigned long long>(p.cross_shard_help_edges),
+        static_cast<unsigned long long>(p.stale_route_retries));
+  }
+  return out;
+}
+
+void JsonSharding(JsonWriter& json, const ShardingOutcome& sh, int clients) {
+  json.Key("sharding").BeginObject();
+  json.Field("profile", "fileserver");
+  json.Field("tenants", static_cast<uint64_t>(clients));
+  json.Field("cross_shard_mix_pct", sh.cross_shard_mix_pct);
+  json.Key("points").BeginArray();
+  for (const ShardingPoint& p : sh.points) {
+    json.BeginObject();
+    json.Field("shards", static_cast<uint64_t>(p.shards));
+    json.Field("ops_per_sec", p.ops_per_sec);
+    json.Field("speedup", p.speedup);
+    json.Field("migrations_completed", p.migrations_completed);
+    json.Field("migrations_aborted", p.migrations_aborted);
+    json.Field("cross_shard_help_edges", p.cross_shard_help_edges);
+    json.Field("stale_route_retries", p.stale_route_retries);
+    json.Field("worker_failures", p.worker_failures);
+    json.Field("pairs", static_cast<uint64_t>(p.pairs));
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
 }
 
 void PrintProfile(const ProfileResult& r, int clients) {
@@ -1436,6 +1630,17 @@ int main(int argc, char** argv) {
                                                    clients, ops_per_client, /*pairs=*/9);
     PrintRcuWalk(rw);
     JsonRcuWalk(json, rw);
+  }
+
+  // The sharding block: multi-tenant fileserver scaling on ShardedFs at
+  // shard counts 1/2/4 with a <5% cross-shard rename mix (see
+  // RunShardingExperiment). Unmonitored by construction — the monitored
+  // cross-shard protocol is covered by shard_test and tools/shard_smoke.sh.
+  if (backend == "atomfs" && !with_monitor &&
+      (profile_arg == "fileserver" || profile_arg == "both")) {
+    const ShardingOutcome sh =
+        RunShardingExperiment(transport, clients, ops_per_client, {2, 4}, /*pairs=*/5);
+    JsonSharding(json, sh, clients);
   }
 
   // The txn block: commit throughput through a journaled TxnManager over the

@@ -68,8 +68,9 @@ int main(int argc, char** argv) {
       }
       remote = client->get();
       // Status lines go to stderr so piped stdout stays script-clean.
-      std::fprintf(stderr, "fsshell: connected, protocol v%u, max_inflight=%u\n",
-                   remote->protocol_version(), remote->max_inflight());
+      std::fprintf(stderr, "fsshell: connected, protocol v%u, max_inflight=%u, caps=%s\n",
+                   remote->protocol_version(), remote->max_inflight(),
+                   FsCapsToString(remote->Capabilities()).c_str());
       owned = std::move(*client);
     } else {
       std::fprintf(stderr, "usage: fsshell [--connect unix:PATH|tcp:PORT]\n");

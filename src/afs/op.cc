@@ -7,34 +7,6 @@
 
 namespace atomfs {
 
-std::string_view OpKindName(OpKind kind) {
-  switch (kind) {
-    case OpKind::kMkdir:
-      return "mkdir";
-    case OpKind::kMknod:
-      return "mknod";
-    case OpKind::kRmdir:
-      return "rmdir";
-    case OpKind::kUnlink:
-      return "unlink";
-    case OpKind::kRename:
-      return "rename";
-    case OpKind::kExchange:
-      return "exchange";
-    case OpKind::kStat:
-      return "stat";
-    case OpKind::kReadDir:
-      return "readdir";
-    case OpKind::kRead:
-      return "read";
-    case OpKind::kWrite:
-      return "write";
-    case OpKind::kTruncate:
-      return "truncate";
-  }
-  return "?";
-}
-
 bool IsPathBased(OpKind kind) {
   (void)kind;
   return true;  // see header: AtomFS path-resolves every interface
@@ -186,67 +158,31 @@ std::string OpResult::ToString(OpKind kind) const {
   return os.str();
 }
 
+OpCall OpCall::FromFsOp(const FsOp& op) {
+  OpCall c;
+  c.kind = op.kind;
+  c.a = op.a;
+  c.b = op.b;
+  c.offset = op.offset;
+  c.len = op.len;
+  c.data.assign(op.payload.begin(), op.payload.end());
+  return c;
+}
+
+FsOp OpCall::AsFsOp() const {
+  FsOp op;
+  op.kind = kind;
+  op.a = a;
+  op.b = b;
+  op.offset = offset;
+  op.len = len;
+  op.payload = std::span<const std::byte>(data);
+  return op;
+}
+
 OpResult RunOp(FileSystem& fs, const OpCall& call) {
   OpResult r;
-  switch (call.kind) {
-    case OpKind::kMkdir:
-      r.status = fs.Mkdir(call.a);
-      break;
-    case OpKind::kMknod:
-      r.status = fs.Mknod(call.a);
-      break;
-    case OpKind::kRmdir:
-      r.status = fs.Rmdir(call.a);
-      break;
-    case OpKind::kUnlink:
-      r.status = fs.Unlink(call.a);
-      break;
-    case OpKind::kRename:
-      r.status = fs.Rename(call.a, call.b);
-      break;
-    case OpKind::kExchange:
-      r.status = fs.Exchange(call.a, call.b);
-      break;
-    case OpKind::kStat: {
-      auto attr = fs.Stat(call.a);
-      r.status = attr.status();
-      if (attr.ok()) {
-        r.attr = *attr;
-      }
-      break;
-    }
-    case OpKind::kReadDir: {
-      auto entries = fs.ReadDir(call.a);
-      r.status = entries.status();
-      if (entries.ok()) {
-        r.entries = std::move(*entries);
-      }
-      break;
-    }
-    case OpKind::kRead: {
-      r.data.resize(call.len);
-      auto n = fs.Read(call.a, call.offset, std::span<std::byte>(r.data));
-      r.status = n.status();
-      if (n.ok()) {
-        r.nbytes = *n;
-        r.data.resize(*n);
-      } else {
-        r.data.clear();
-      }
-      break;
-    }
-    case OpKind::kWrite: {
-      auto n = fs.Write(call.a, call.offset, std::span<const std::byte>(call.data));
-      r.status = n.status();
-      if (n.ok()) {
-        r.nbytes = *n;
-      }
-      break;
-    }
-    case OpKind::kTruncate:
-      r.status = fs.Truncate(call.a, call.offset);
-      break;
-  }
+  static_cast<FsOpResult&>(r) = fs.Dispatch(call.AsFsOp());
   return r;
 }
 

@@ -17,21 +17,9 @@
 
 namespace atomfs {
 
-enum class OpKind : uint8_t {
-  kMkdir,
-  kMknod,
-  kRmdir,
-  kUnlink,
-  kRename,
-  kExchange,
-  kStat,
-  kReadDir,
-  kRead,
-  kWrite,
-  kTruncate,
-};
-
-std::string_view OpKindName(OpKind kind);
+// OpKind and OpKindName live with the routable FsOp descriptor in
+// src/vfs/filesystem.h; OpCall adds the owned-argument form the history
+// checkers record.
 
 // True for the operations whose first step is a lock-coupled path traversal
 // (the paper's "path-based operations", which the non-bypassable criterion
@@ -63,17 +51,20 @@ struct OpCall {
   static OpCall WriteOf(Path p, uint64_t offset, std::vector<std::byte> payload);
   static OpCall TruncateOf(Path p, uint64_t size);
 
+  // The view-typed routable descriptor for this call: paths copied, the
+  // write payload viewed (valid while this OpCall lives).
+  FsOp AsFsOp() const;
+
+  // The owned-argument form of a routable descriptor (payload copied), for
+  // recording into histories and transaction logs.
+  static OpCall FromFsOp(const FsOp& op);
+
   std::string ToString() const;
 };
 
-// The observable outcome of an operation.
-struct OpResult {
-  Status status;
-  Attr attr;                      // stat
-  std::vector<DirEntry> entries;  // readdir
-  uint64_t nbytes = 0;            // read/write byte count
-  std::vector<std::byte> data;    // read payload
-
+// The observable outcome of an operation: FsOpResult plus the formatting the
+// history checkers use.
+struct OpResult : FsOpResult {
   std::string ToString(OpKind kind) const;
 };
 

@@ -96,6 +96,7 @@ Result<std::unique_ptr<ClientSession>> ClientSession::Negotiate(int sock,
   }
   session->server_version_ = granted.version;
   session->window_ = std::max<uint32_t>(1, granted.max_inflight);
+  session->server_caps_ = granted.caps;
   return session;
 }
 

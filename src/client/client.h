@@ -105,6 +105,8 @@ class ClientSession {
   // Negotiated session parameters.
   uint32_t max_inflight() const { return window_; }
   uint32_t server_version() const { return server_version_; }
+  // Capability bitmask (kFsCap*) from the v3 HELLO reply; 0 from a v2 server.
+  uint32_t server_caps() const { return server_caps_; }
 
  private:
   explicit ClientSession(int sock) : sock_(sock) {}
@@ -124,6 +126,7 @@ class ClientSession {
   int sock_ = -1;
   uint32_t window_ = 1;  // 1 until HELLO's grant arrives
   uint32_t server_version_ = 0;
+  uint32_t server_caps_ = 0;
   Status broken_ = Status::Ok();
   std::vector<StagedOp> staged_;
   std::deque<std::shared_ptr<Pending>> outstanding_;  // on the wire, FIFO
@@ -148,6 +151,9 @@ class AtomFsClient : public FileSystem {
   ClientSession& session() { return *session_; }
   uint32_t protocol_version() const { return session_->server_version(); }
   uint32_t max_inflight() const { return session_->max_inflight(); }
+
+  // What the server advertised in HELLO — discovery without EINVAL-probing.
+  uint32_t Capabilities() const override { return session_->server_caps(); }
 
   // FileSystem interface (remote).
   Status Mkdir(const Path& path) override;

@@ -124,6 +124,13 @@ class AtomFs : public FileSystem {
   using FileSystem::Unlink;
   using FileSystem::Write;
 
+  // kFsCapRcuWalk when the optimistic read path is enabled; sharding and
+  // transactions are layered above AtomFs, so their bits are OR'd in by the
+  // wrapping ShardedFs / server.
+  uint32_t Capabilities() const override {
+    return opts_.enable_rcu_walk ? kFsCapRcuWalk : 0;
+  }
+
   // Deep snapshot of the whole tree as a SpecFs (concrete inums preserved).
   // Only valid while no operation is in flight; used by the CRL-H
   // abstract-concrete relation checker and by tests.

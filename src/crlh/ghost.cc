@@ -54,6 +54,14 @@ std::vector<const LockPath*> BreakingPaths(const Descriptor& d) {
 }
 
 bool LinearizeBefore(const Descriptor& before, const Descriptor& after) {
+  if (before.shard != after.shard) {
+    // Disjoint inum spaces: prefix containment is meaningless across
+    // shards. The only cross-shard edge runs through a shared migration —
+    // an op caught in migration M's footprint precedes the helper op
+    // driving M.
+    return before.migration_id != 0 && before.migration_id == after.migration_id &&
+           IsHelperOp(after.call.kind) && !IsHelperOp(before.call.kind);
+  }
   for (const LockPath* lp_after : after.LockPaths()) {
     if (lp_after->empty()) {
       continue;
@@ -94,6 +102,20 @@ std::optional<std::vector<Tid>> ComputeHelpOrder(Tid renamer,
   for (const auto& kv : pool) {
     if (!is_candidate(kv)) {
       continue;
+    }
+    // Cross-shard Init: a thread routed into the renamer's in-flight
+    // migration footprint joins regardless of which shard it sits on — the
+    // migration's detach is what breaks its route, the cross-shard analogue
+    // of a broken LockPath.
+    if (rd.migration_id != 0 && kv.second.migration_id == rd.migration_id) {
+      help_set.insert(kv.first);
+      if (reasons != nullptr) {
+        (*reasons)[kv.first] = HelpReason::kCrossShard;
+      }
+      continue;
+    }
+    if (kv.second.shard != rd.shard) {
+      continue;  // disjoint inum spaces: no path inter-dependency possible
     }
     bool dependent = false;
     for (const LockPath* breaking : BreakingPaths(rd)) {

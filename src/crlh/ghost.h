@@ -102,6 +102,15 @@ struct Descriptor {
   bool optimistic = false;
   bool opt_validated = false;
 
+  // Sharded namespace (docs/SHARDING.md): which shard's inum space the
+  // LockPaths above live in, and — when nonzero — the cross-shard migration
+  // this thread is participating in (driving it, or routed into its
+  // footprint and therefore obliged to help complete it). LockPath prefix
+  // containment is only meaningful between descriptors of the same shard;
+  // a shared migration_id is the one cross-shard linearize-before edge.
+  uint32_t shard = 0;
+  uint64_t migration_id = 0;
+
   bool lp_passed = false;
   bool has_abs_result = false;
   uint64_t begin_seq = 0;
@@ -124,7 +133,11 @@ std::vector<const LockPath*> BreakingPaths(const Descriptor& d);
 // linearize-before: `before` must precede `after` in any legal sequential
 // history, because some LockPath of `after` is a strict prefix of some
 // LockPath of `before` (the deeper thread already traversed through the
-// point the shallower one will mutate).
+// point the shallower one will mutate). Descriptors of different shards
+// have disjoint inum spaces, so the prefix relation is only evaluated
+// within a shard; across shards the single edge is a shared migration: an
+// op routed into cross-shard migration M's footprint linearizes before the
+// helper op driving M (its route is what M's detach breaks).
 bool LinearizeBefore(const Descriptor& before, const Descriptor& after);
 
 // The helping set and order for `renamer` (must be a pending rename in
@@ -132,8 +145,10 @@ bool LinearizeBefore(const Descriptor& before, const Descriptor& after);
 // are candidates. Returns std::nullopt on a cyclic constraint graph.
 // When `reasons` is non-null it receives, for every member of the helping
 // set, whether it joined in Step-1 (HelpReason::kSrcPrefix — the helper's
-// breaking path is a prefix of its LockPath) or in the Step-2 closure
-// (HelpReason::kLockPathPrefix).
+// breaking path is a prefix of its LockPath), in the Step-2 closure
+// (HelpReason::kLockPathPrefix), or because it shares the renamer's
+// nonzero migration_id (HelpReason::kCrossShard — it was routed into the
+// cross-shard migration's footprint, possibly on a different shard).
 std::optional<std::vector<Tid>> ComputeHelpOrder(Tid renamer,
                                                  const std::map<Tid, Descriptor>& pool,
                                                  std::map<Tid, HelpReason>* reasons = nullptr);

@@ -109,6 +109,7 @@ void CrlhMonitor::OnOpBegin(Tid tid, const OpCall& call) {
   }
   Descriptor d;
   d.call = call;
+  d.shard = opts_.shard_id;
   d.begin_seq = seq_;
   pool_.emplace(tid, std::move(d));
 }

@@ -47,6 +47,9 @@ class CrlhMonitor : public FsObserver {
     bool record_history = true;
     // Disable the helper mechanism (fixed-LP verification, §3.1).
     bool fixed_lp_mode = false;
+    // Which shard of a sharded namespace this monitor watches (stamped on
+    // every descriptor; see Descriptor::shard). 0 for an unsharded system.
+    uint32_t shard_id = 0;
     // Optional observability sink notified of helper linearizations,
     // Helplist movement, and roll-back checks. Called with the ghost mutex
     // held; must be non-blocking and must not call back into the monitor.

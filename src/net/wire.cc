@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/util/status_table.h"
 #include "src/vfs/path.h"
 
 namespace atomfs {
@@ -79,86 +80,28 @@ std::string_view WireOpName(WireOp op) {
 
 // --- status mapping ----------------------------------------------------------
 
+// Both directions are generated from the one normative X-macro table
+// (src/util/status_table.h); the docs-drift test pins that table against the
+// status table in docs/WIRE_PROTOCOL.md.
+
 uint8_t WireStatusOf(Errc code) {
   switch (code) {
-    case Errc::kOk:
-      return 0;
-    case Errc::kExist:
-      return 1;
-    case Errc::kNoEnt:
-      return 2;
-    case Errc::kNotDir:
-      return 3;
-    case Errc::kIsDir:
-      return 4;
-    case Errc::kNotEmpty:
-      return 5;
-    case Errc::kInval:
-      return 6;
-    case Errc::kBadFd:
-      return 7;
-    case Errc::kNameTooLong:
-      return 8;
-    case Errc::kNoSpace:
-      return 9;
-    case Errc::kBusy:
-      return 10;
-    case Errc::kAccess:
-      return 11;
-    case Errc::kXDev:
-      return 12;
-    case Errc::kIo:
-      return 13;
-    case Errc::kProto:
-      return 14;
-    case Errc::kTimedOut:
-      return 15;
-    case Errc::kBackpressure:
-      return 16;
-    case Errc::kTxConflict:
-      return 17;
+#define ATOMFS_WIRE_STATUS_OF_CASE(errc, wire_byte, errc_name, wire_name) \
+  case Errc::errc:                                                        \
+    return wire_byte;
+    ATOMFS_WIRE_STATUS_TABLE(ATOMFS_WIRE_STATUS_OF_CASE)
+#undef ATOMFS_WIRE_STATUS_OF_CASE
   }
   return 13;  // unmapped codes degrade to EIO
 }
 
 Errc ErrcOfWireStatus(uint8_t wire) {
   switch (wire) {
-    case 0:
-      return Errc::kOk;
-    case 1:
-      return Errc::kExist;
-    case 2:
-      return Errc::kNoEnt;
-    case 3:
-      return Errc::kNotDir;
-    case 4:
-      return Errc::kIsDir;
-    case 5:
-      return Errc::kNotEmpty;
-    case 6:
-      return Errc::kInval;
-    case 7:
-      return Errc::kBadFd;
-    case 8:
-      return Errc::kNameTooLong;
-    case 9:
-      return Errc::kNoSpace;
-    case 10:
-      return Errc::kBusy;
-    case 11:
-      return Errc::kAccess;
-    case 12:
-      return Errc::kXDev;
-    case 13:
-      return Errc::kIo;
-    case 14:
-      return Errc::kProto;
-    case 15:
-      return Errc::kTimedOut;
-    case 16:
-      return Errc::kBackpressure;
-    case 17:
-      return Errc::kTxConflict;
+#define ATOMFS_ERRC_OF_WIRE_CASE(errc, wire_byte, errc_name, wire_name) \
+  case wire_byte:                                                       \
+    return Errc::errc;
+    ATOMFS_WIRE_STATUS_TABLE(ATOMFS_ERRC_OF_WIRE_CASE)
+#undef ATOMFS_ERRC_OF_WIRE_CASE
     default:
       return Errc::kProto;
   }
@@ -478,10 +421,19 @@ Result<WireRequest> ParseRequest(std::span<const std::byte> payload) {
 void EncodeHello(WireWriter& w, const WireHello& hello) {
   w.U32(hello.version);
   w.U32(hello.max_inflight);
+  if (hello.version >= 3) {
+    w.U32(hello.caps);
+  }
 }
 
 bool ParseHello(WireReader& r, WireHello* out) {
-  return r.U32(&out->version) && r.U32(&out->max_inflight);
+  if (!r.U32(&out->version) || !r.U32(&out->max_inflight)) {
+    return false;
+  }
+  // The capability bitmask exists only in the v3 body; a v2 peer's reply
+  // ends after the granted window (caps stays 0 = nothing advertised).
+  out->caps = 0;
+  return out->version < 3 || r.U32(&out->caps);
 }
 
 // --- response payload pieces -------------------------------------------------

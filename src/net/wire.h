@@ -58,8 +58,11 @@ namespace atomfs {
 inline constexpr uint32_t kWireMaxFrameBytes = 4u << 20;
 
 // Protocol version spoken by this build. v1 was PR 1's unversioned
-// synchronous protocol; v2 adds HELLO, MSGBATCH and pipelining.
-inline constexpr uint32_t kWireProtoVersion = 2;
+// synchronous protocol; v2 adds HELLO, MSGBATCH and pipelining; v3 adds the
+// server capability bitmask to the HELLO reply. The server still accepts v2
+// clients (kWireProtoVersionMin) and answers them with the v2-shaped reply.
+inline constexpr uint32_t kWireProtoVersion = 3;
+inline constexpr uint32_t kWireProtoVersionMin = 2;
 
 // Hard cap on sub-requests inside one MSGBATCH frame.
 inline constexpr uint32_t kWireMaxBatchRequests = 256;
@@ -198,12 +201,16 @@ Result<WireRequest> ParseRequest(std::span<const std::byte> payload);
 // --- HELLO negotiation -------------------------------------------------------
 // Request body:  u32 version | u32 desired max_inflight (0 = server default)
 // Success reply: u32 version | u32 granted max_inflight (>= 1)
+//                | u32 caps (v3 replies only: FileSystem capability bitmask,
+//                  kFsCap* in src/vfs/filesystem.h — how clients discover
+//                  txn/rcu_walk/sharding support instead of EINVAL-probing)
 // An unsupported version is answered with wire status EPROTO and the
-// connection stays open.
+// connection stays open. A v2 client gets the v2-shaped reply (no caps).
 
 struct WireHello {
   uint32_t version = 0;
   uint32_t max_inflight = 0;
+  uint32_t caps = 0;
 };
 
 void EncodeHello(WireWriter& w, const WireHello& hello);

@@ -37,6 +37,9 @@ std::string_view HelpReasonFlagName(uint8_t flags) {
   if (flags == kTraceHelpReasonLockPathPrefix) {
     return "lockpath_prefix";
   }
+  if (flags == kTraceHelpReasonCrossShard) {
+    return "crossshard";
+  }
   return "unknown";
 }
 

@@ -21,11 +21,14 @@ namespace atomfs {
 
 // Why a thread joined the helping set at a rename/exchange LP (paper Fig. 5):
 // Step-1 Init (the helper's breaking path is a prefix of the thread's
-// LockPath — direct path inter-dependency) or Step-2 recursive closure under
-// the linearize-before relation (Fig. 4(c)).
+// LockPath — direct path inter-dependency), Step-2 recursive closure under
+// the linearize-before relation (Fig. 4(c)), or — in the sharded namespace —
+// an op routed into an in-flight cross-shard migration's footprint that
+// completed the migration before running (docs/SHARDING.md).
 enum class HelpReason : uint8_t {
   kSrcPrefix = 0,
   kLockPathPrefix = 1,
+  kCrossShard = 2,
 };
 
 inline std::string_view HelpReasonName(HelpReason reason) {
@@ -34,6 +37,8 @@ inline std::string_view HelpReasonName(HelpReason reason) {
       return "src_prefix";
     case HelpReason::kLockPathPrefix:
       return "lockpath_prefix";
+    case HelpReason::kCrossShard:
+      return "crossshard";
   }
   return "unknown";
 }

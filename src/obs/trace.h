@@ -73,6 +73,7 @@ std::string_view TraceEventTypeName(TraceEventType type);
 // the helping set (paper Fig. 5 Step-1 vs Step-2; see src/obs/sink.h).
 inline constexpr uint8_t kTraceHelpReasonSrcPrefix = 1;
 inline constexpr uint8_t kTraceHelpReasonLockPathPrefix = 2;
+inline constexpr uint8_t kTraceHelpReasonCrossShard = 4;
 
 // One 56-byte event. Field meaning varies by type; see docs/OBSERVABILITY.md
 // for the normative schema.

@@ -294,8 +294,9 @@ void TracingObserver::OnHelpedLinearized(Tid helper, Tid target, HelpReason reas
   TraceEvent e;
   e.tid = helper;
   e.type = TraceEventType::kHelp;
-  e.flags = reason == HelpReason::kSrcPrefix ? kTraceHelpReasonSrcPrefix
-                                             : kTraceHelpReasonLockPathPrefix;
+  e.flags = reason == HelpReason::kSrcPrefix      ? kTraceHelpReasonSrcPrefix
+            : reason == HelpReason::kCrossShard   ? kTraceHelpReasonCrossShard
+                                                  : kTraceHelpReasonLockPathPrefix;
   e.depth = static_cast<uint16_t>(std::min<size_t>(helplist_pos, UINT16_MAX));
   e.ino = target;
   e.arg = 0;  // distinguishes the per-target event from the per-run one

@@ -13,6 +13,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <unordered_map>
 
 #include "src/obs/export.h"
@@ -48,6 +49,88 @@ std::vector<std::byte> StatusResponse(Status st) {
   WireWriter w;
   w.U8(WireStatusOf(st.code()));
   return w.Take();
+}
+
+// --- routable-op mapping -----------------------------------------------------
+// The protocol's path-based FileSystem surface maps onto the one FsOp
+// descriptor (src/vfs/filesystem.h): normal dispatch, transactional dispatch
+// and the response encoding share this mapping instead of keeping a switch
+// statement each.
+
+std::optional<OpKind> PathOpKindOf(WireOp op) {
+  switch (op) {
+    case WireOp::kMkdir:
+      return OpKind::kMkdir;
+    case WireOp::kMknod:
+      return OpKind::kMknod;
+    case WireOp::kRmdir:
+      return OpKind::kRmdir;
+    case WireOp::kUnlink:
+      return OpKind::kUnlink;
+    case WireOp::kRename:
+      return OpKind::kRename;
+    case WireOp::kExchange:
+      return OpKind::kExchange;
+    case WireOp::kStat:
+      return OpKind::kStat;
+    case WireOp::kReadDir:
+      return OpKind::kReadDir;
+    case WireOp::kRead:
+      return OpKind::kRead;
+    case WireOp::kWrite:
+      return OpKind::kWrite;
+    case WireOp::kTruncate:
+      return OpKind::kTruncate;
+    default:
+      return std::nullopt;
+  }
+}
+
+// Parses the request's paths into the descriptor. The write payload stays a
+// view into the request, valid for the duration of the dispatch.
+Result<FsOp> FsOpOfRequest(OpKind kind, const WireRequest& req) {
+  FsOp op;
+  op.kind = kind;
+  auto a = ParsePath(req.path_a);
+  if (!a.ok()) {
+    return a.status();
+  }
+  op.a = std::move(*a);
+  if (kind == OpKind::kRename || kind == OpKind::kExchange) {
+    auto b = ParsePath(req.path_b);
+    if (!b.ok()) {
+      return b.status();
+    }
+    op.b = std::move(*b);
+  }
+  op.offset = req.offset;
+  op.len = req.count;
+  op.payload = std::span<const std::byte>(req.data);
+  return op;
+}
+
+std::vector<std::byte> FsOpResponse(OpKind kind, const FsOpResult& r) {
+  if (!r.status.ok()) {
+    return StatusResponse(r.status);
+  }
+  WireWriter body;
+  switch (kind) {
+    case OpKind::kStat:
+      EncodeAttr(body, r.attr);
+      break;
+    case OpKind::kReadDir:
+      EncodeDirEntries(body, r.entries);
+      break;
+    case OpKind::kRead:
+      body.Blob(std::span<const std::byte>(r.data.data(), r.data.size()));
+      break;
+    case OpKind::kWrite:
+      body.U64(r.nbytes);
+      break;
+    default:
+      break;  // status-only reply
+  }
+  return OkResponse(std::move(body));
 }
 
 // Prepends the u32 length header: a ready-to-send frame.
@@ -868,55 +951,22 @@ std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& 
     case WireOp::kPing:
       return OkResponse(WireWriter());
     case WireOp::kMkdir:
-      return StatusResponse(fs_->Mkdir(req.path_a));
     case WireOp::kMknod:
-      return StatusResponse(fs_->Mknod(req.path_a));
     case WireOp::kRmdir:
-      return StatusResponse(fs_->Rmdir(req.path_a));
     case WireOp::kUnlink:
-      return StatusResponse(fs_->Unlink(req.path_a));
     case WireOp::kRename:
-      return StatusResponse(fs_->Rename(req.path_a, req.path_b));
     case WireOp::kExchange:
-      return StatusResponse(fs_->Exchange(req.path_a, req.path_b));
     case WireOp::kTruncate:
-      return StatusResponse(fs_->Truncate(req.path_a, req.offset));
-    case WireOp::kStat: {
-      auto attr = fs_->Stat(req.path_a);
-      if (!attr.ok()) {
-        return StatusResponse(attr.status());
-      }
-      WireWriter body;
-      EncodeAttr(body, *attr);
-      return OkResponse(std::move(body));
-    }
-    case WireOp::kReadDir: {
-      auto entries = fs_->ReadDir(req.path_a);
-      if (!entries.ok()) {
-        return StatusResponse(entries.status());
-      }
-      WireWriter body;
-      EncodeDirEntries(body, *entries);
-      return OkResponse(std::move(body));
-    }
-    case WireOp::kRead: {
-      std::vector<std::byte> buf(req.count);
-      auto n = fs_->Read(req.path_a, req.offset, buf);
-      if (!n.ok()) {
-        return StatusResponse(n.status());
-      }
-      WireWriter body;
-      body.Blob(std::span<const std::byte>(buf.data(), *n));
-      return OkResponse(std::move(body));
-    }
+    case WireOp::kStat:
+    case WireOp::kReadDir:
+    case WireOp::kRead:
     case WireOp::kWrite: {
-      auto n = fs_->Write(req.path_a, req.offset, req.data);
-      if (!n.ok()) {
-        return StatusResponse(n.status());
+      const OpKind kind = *PathOpKindOf(req.op);
+      auto op = FsOpOfRequest(kind, req);
+      if (!op.ok()) {
+        return StatusResponse(op.status());
       }
-      WireWriter body;
-      body.U64(*n);
-      return OkResponse(std::move(body));
+      return FsOpResponse(kind, fs_->Dispatch(*op));
     }
     case WireOp::kOpen: {
       auto fd = vfs.Open(req.path_a, req.flags);
@@ -1025,7 +1075,7 @@ std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& 
       return OkResponse(std::move(body));
     }
     case WireOp::kHello: {
-      if (req.proto_version != kWireProtoVersion) {
+      if (req.proto_version < kWireProtoVersionMin || req.proto_version > kWireProtoVersion) {
         // Unknown version: a clean error reply, not a dropped connection.
         // The peer may retry with a version we speak.
         return StatusResponse(Status(Errc::kProto));
@@ -1039,8 +1089,15 @@ std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& 
         std::lock_guard<std::mutex> lk(conn.mu);
         conn.window = granted;
       }
+      // Reply in the client's version: a v2 peer gets the v2-shaped body, a
+      // v3 peer additionally gets the capability bitmask (rule 3 of the
+      // versioning contract — bodies are frozen per opcode *per version*).
+      WireHello reply;
+      reply.version = req.proto_version;
+      reply.max_inflight = granted;
+      reply.caps = fs_->Capabilities() | (opts_.txn != nullptr ? kFsCapTxn : 0);
       WireWriter body;
-      EncodeHello(body, WireHello{kWireProtoVersion, granted});
+      EncodeHello(body, reply);
       return OkResponse(std::move(body));
     }
     case WireOp::kTxBegin: {
@@ -1085,101 +1142,32 @@ std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& 
 }
 
 std::vector<std::byte> AtomFsServer::DispatchInTxn(Conn& conn, const WireRequest& req) {
-  OpCall call;
-  bool two_paths = false;
-  switch (req.op) {
-    case WireOp::kMkdir:
-      call.kind = OpKind::kMkdir;
-      break;
-    case WireOp::kMknod:
-      call.kind = OpKind::kMknod;
-      break;
-    case WireOp::kRmdir:
-      call.kind = OpKind::kRmdir;
-      break;
-    case WireOp::kUnlink:
-      call.kind = OpKind::kUnlink;
-      break;
-    case WireOp::kRename:
-      call.kind = OpKind::kRename;
-      two_paths = true;
-      break;
-    case WireOp::kExchange:
-      call.kind = OpKind::kExchange;
-      two_paths = true;
-      break;
-    case WireOp::kTruncate:
-      call.kind = OpKind::kTruncate;
-      call.offset = req.offset;
-      break;
-    case WireOp::kStat:
-      call.kind = OpKind::kStat;
-      break;
-    case WireOp::kReadDir:
-      call.kind = OpKind::kReadDir;
-      break;
-    case WireOp::kRead:
-      call.kind = OpKind::kRead;
-      call.offset = req.offset;
-      call.len = req.count;
-      break;
-    case WireOp::kWrite:
-      call.kind = OpKind::kWrite;
-      call.offset = req.offset;
-      call.data = req.data;
-      break;
-    case WireOp::kOpen:
-    case WireOp::kClose:
-    case WireOp::kFdRead:
-    case WireOp::kFdWrite:
-    case WireOp::kFdPread:
-    case WireOp::kFdPwrite:
-    case WireOp::kFstat:
-    case WireOp::kFdReadDir:
-    case WireOp::kFtruncate:
-    case WireOp::kSeek:
-      // Descriptor ops run against the shared backend directly, so inside a
-      // transaction they would bypass its snapshot (reads) and its write
-      // buffer (writes). Refuse them rather than leak uncommitted state.
-      return StatusResponse(Status(Errc::kBusy));
-    default:
-      return {};  // not a FileSystem op: fall through to normal dispatch
-  }
-  auto a = ParsePath(req.path_a);
-  if (!a.ok()) {
-    return StatusResponse(a.status());
-  }
-  call.a = *a;
-  if (two_paths) {
-    auto b = ParsePath(req.path_b);
-    if (!b.ok()) {
-      return StatusResponse(b.status());
+  const std::optional<OpKind> kind = PathOpKindOf(req.op);
+  if (!kind.has_value()) {
+    switch (req.op) {
+      case WireOp::kOpen:
+      case WireOp::kClose:
+      case WireOp::kFdRead:
+      case WireOp::kFdWrite:
+      case WireOp::kFdPread:
+      case WireOp::kFdPwrite:
+      case WireOp::kFstat:
+      case WireOp::kFdReadDir:
+      case WireOp::kFtruncate:
+      case WireOp::kSeek:
+        // Descriptor ops run against the shared backend directly, so inside a
+        // transaction they would bypass its snapshot (reads) and its write
+        // buffer (writes). Refuse them rather than leak uncommitted state.
+        return StatusResponse(Status(Errc::kBusy));
+      default:
+        return {};  // not a FileSystem op: fall through to normal dispatch
     }
-    call.b = *b;
   }
-  const OpKind kind = call.kind;
-  const OpResult r = opts_.txn->TxApply(conn.active_txn, call);
-  if (!r.status.ok()) {
-    return StatusResponse(r.status);
+  auto op = FsOpOfRequest(*kind, req);
+  if (!op.ok()) {
+    return StatusResponse(op.status());
   }
-  WireWriter body;
-  switch (kind) {
-    case OpKind::kStat:
-      EncodeAttr(body, r.attr);
-      break;
-    case OpKind::kReadDir:
-      EncodeDirEntries(body, r.entries);
-      break;
-    case OpKind::kRead:
-      body.Blob(std::span<const std::byte>(r.data.data(), r.data.size()));
-      break;
-    case OpKind::kWrite:
-      body.U64(r.nbytes);
-      break;
-    default:
-      break;  // status-only reply
-  }
-  return OkResponse(std::move(body));
+  return FsOpResponse(*kind, opts_.txn->TxApply(conn.active_txn, OpCall::FromFsOp(*op)));
 }
 
 void AtomFsServer::RecordLatency(WireOp op, uint64_t nanos) {

@@ -1,0 +1,51 @@
+#include "src/shard/router.h"
+
+#include "src/util/check.h"
+
+namespace atomfs {
+
+ShardRouter::ShardRouter(uint32_t shard_count) : shard_count_(shard_count) {
+  ATOMFS_CHECK(shard_count >= 1);
+}
+
+uint32_t ShardRouter::HashRoute(const std::string& name) const {
+  // FNV-1a, 64-bit: stable across runs so tests and remote clients can
+  // predict placement.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<uint32_t>(h % shard_count_);
+}
+
+uint32_t ShardRouter::Route(const std::string& name) const {
+  auto it = table_.find(name);
+  if (it != table_.end()) {
+    return it->second.shard;
+  }
+  return HashRoute(name);
+}
+
+uint32_t ShardRouter::Assign(const std::string& name) {
+  auto [it, inserted] = table_.try_emplace(name);
+  if (inserted) {
+    it->second.shard = HashRoute(name);
+  }
+  return it->second.shard;
+}
+
+uint64_t ShardRouter::Epoch(const std::string& name) const {
+  auto it = table_.find(name);
+  return it == table_.end() ? 0 : it->second.epoch;
+}
+
+void ShardRouter::BumpEpoch(const std::string& name) {
+  auto [it, inserted] = table_.try_emplace(name);
+  if (inserted) {
+    it->second.shard = HashRoute(name);
+  }
+  ++it->second.epoch;
+}
+
+}  // namespace atomfs

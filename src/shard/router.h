@@ -1,0 +1,64 @@
+// ShardRouter: the prefix → shard map of the sharded namespace.
+//
+// Routing is by *first path component*: every root-level name (and the whole
+// subtree under it) lives on exactly one shard. A name's home shard is its
+// stable hash unless a sticky table entry says otherwise; entries are pinned
+// lazily when a root-level name is created, and each entry carries an epoch
+// that cross-shard migrations bump at publish and at commit/abort. An op
+// that routed before a publish and lands after it observes the epoch change
+// — the stale-route signal (Errc::kShardMoved) that the router's retry loop
+// absorbs (docs/SHARDING.md).
+//
+// The router itself is unsynchronized; ShardedFs guards it with its
+// namespace mutex.
+
+#ifndef ATOMFS_SRC_SHARD_ROUTER_H_
+#define ATOMFS_SRC_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace atomfs {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(uint32_t shard_count);
+
+  uint32_t shard_count() const { return shard_count_; }
+
+  // Home shard of root-level name: the sticky entry if pinned, else the
+  // stable hash. Deterministic across processes (FNV-1a).
+  uint32_t Route(const std::string& name) const;
+
+  // Pins `name`'s current route into the table (idempotent) and returns it.
+  // Called when a root-level name is created, so later epoch bumps have an
+  // entry to land on.
+  uint32_t Assign(const std::string& name);
+
+  // Route epoch of `name`; 0 until the first bump. An op that saw epoch E at
+  // routing time and E' != E at completion raced a migration's publish.
+  uint64_t Epoch(const std::string& name) const;
+
+  // Advances `name`'s epoch (pinning the entry if needed). Migrations bump
+  // the epochs of every root-level name in their footprint at publish and
+  // again at commit/abort.
+  void BumpEpoch(const std::string& name);
+
+  size_t table_size() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    uint32_t shard = 0;
+    uint64_t epoch = 0;
+  };
+
+  uint32_t HashRoute(const std::string& name) const;
+
+  uint32_t shard_count_;
+  std::map<std::string, Entry> table_;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_SHARD_ROUTER_H_

@@ -1,0 +1,279 @@
+// ShardedFs: a sharded namespace over N independent AtomFs instances.
+//
+// Every root-level name (and the subtree under it) lives on exactly one
+// shard, chosen by the ShardRouter; ops route by first path component and
+// run on their home shard with that shard's full lock-coupling / CRL-H
+// machinery. The root directory itself is virtual: ReadDir("/") merges the
+// shard roots (hiding migration staging entries), Stat("/") sums them.
+//
+// Cross-shard Rename/Exchange — the two paths' first components route to
+// different shards — runs as a *two-shard commit* driven by a published
+// operation descriptor (ShardMigration):
+//
+//   publish   the descriptor enters the migration table under the namespace
+//             mutex and bumps the footprint's route epochs; from here every
+//             op routed into the footprint sees it
+//   detach    the source subtree atomically renames to a hidden root-level
+//             staging entry (/.m<id>) on its shard — the migration's
+//             linearization point: the subtree disappears from its old name
+//   copy      the staged subtree is copied into the destination shard's
+//             staging entry
+//   attach    one atomic rename puts the copy at the destination path (this
+//             is where dst-exists semantics — ENOTEMPTY and friends —
+//             resolve; failure rolls the detach back and aborts)
+//   cleanup   the source staging entry is deleted; the descriptor retires
+//
+// The window between detach and attach is unobservable because of *helping*:
+// an op routed into a published migration's footprint must complete the
+// migration's remaining phases (racing the driver for per-phase claims)
+// before it runs. Blocked-side lock holders therefore help exactly as the
+// paper's linothers does for in-shard renames; at commit the helping set is
+// computed with the extended ComputeHelpOrder (HelpReason::kCrossShard) and
+// reported through CrlhObsSink, so the Helplist, ghost trace, and Perfetto
+// flow arrows show the cross-shard protocol end-to-end.
+//
+// Two VALIDATION-ONLY hooks break the protocol so tests can demonstrate
+// that the checkers catch it: `unsafe_stale_route` skips the migration gate
+// (an op can observe the detach window; if its route epoch moved underneath
+// it the op reports Errc::kShardMoved, which safe mode never leaks), and
+// `unsafe_abandon_migration` retires the descriptor right after detach,
+// leaving the namespace half-applied. Both surface as refinement
+// divergences with a replayable post-mortem bundle (src/crlh/bundle.h).
+
+#ifndef ATOMFS_SRC_SHARD_SHARDED_FS_H_
+#define ATOMFS_SRC_SHARD_SHARDED_FS_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/atom_fs.h"
+#include "src/core/observer.h"
+#include "src/crlh/monitor.h"
+#include "src/obs/metrics.h"
+#include "src/obs/sink.h"
+#include "src/shard/router.h"
+#include "src/vfs/filesystem.h"
+
+namespace atomfs {
+
+// Root-level staging entries are named kShardStagePrefix + migration id
+// (+ "b" for an exchange's second move); ReadDir("/") and SnapshotSpec()
+// hide them, and CheckQuiescent flags any leftover as an abandoned
+// migration.
+inline constexpr const char* kShardStagePrefix = ".m";
+
+class ShardedFs : public FileSystem {
+ public:
+  struct Options {
+    uint32_t shards = 2;
+
+    // Attach a CrlhMonitor per shard (Options::monitor as the template; its
+    // shard_id is overwritten with the shard index). The monitors check each
+    // shard's lock-coupling execution exactly as in the unsharded system.
+    bool monitored = false;
+    CrlhMonitor::Options monitor;
+
+    // Extra FsObserver tee'd into every shard (e.g. a TracingObserver, so
+    // the flight recorder sees the constituent shard ops of a migration).
+    FsObserver* extra_observer = nullptr;
+
+    // Namespace-level sink for cross-shard help events and violations
+    // (HelpReason::kCrossShard); typically the same TracingObserver.
+    CrlhObsSink* obs = nullptr;
+
+    MetricsRegistry* metrics = nullptr;  // shard.* counters/gauges when set
+
+    // Base options for every shard's AtomFs (observer is overwritten).
+    AtomFs::Options fs;
+
+    // Record the namespace-level history of completed ops (needed for
+    // refinement checking and post-mortem bundles).
+    bool record_history = true;
+
+    // Replay the namespace history against a fresh SpecFs in CheckQuiescent.
+    // Sound only for deterministic (single-threaded or externally
+    // serialized) harnesses: the history is recorded in completion order,
+    // which concurrent same-shard ops may legally deviate from. Concurrent
+    // runs rely on the per-shard monitors plus the structural checks.
+    bool check_refinement = false;
+
+    // VALIDATION ONLY: ops skip the migration gate and route-pinning, racing
+    // straight to their hashed shard — they can observe the detach window.
+    // Cross-shard rename/exchange are exempt (they *are* the migrations the
+    // stale ops race into).
+    bool unsafe_stale_route = false;
+
+    // VALIDATION ONLY: the driver retires the migration right after detach,
+    // reporting success with the subtree stranded in staging.
+    bool unsafe_abandon_migration = false;
+
+    // Test hook: called (outside the namespace mutex) after the detach phase
+    // commits, so tests can park the driver inside the migration window.
+    std::function<void()> test_pause_after_detach;
+  };
+
+  ShardedFs();
+  explicit ShardedFs(Options options);
+  ~ShardedFs() override;
+
+  ShardedFs(const ShardedFs&) = delete;
+  ShardedFs& operator=(const ShardedFs&) = delete;
+
+  uint32_t Capabilities() const override;
+
+  // The routing entry point: every FileSystem virtual below wraps itself
+  // into an FsOp and lands here.
+  FsOpResult Dispatch(const FsOp& op) override;
+
+  Status Mkdir(const Path& path) override;
+  Status Mknod(const Path& path) override;
+  Status Rmdir(const Path& path) override;
+  Status Unlink(const Path& path) override;
+  Status Rename(const Path& src, const Path& dst) override;
+  Status Exchange(const Path& a, const Path& b) override;
+  Result<Attr> Stat(const Path& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const Path& path) override;
+  Result<size_t> Read(const Path& path, uint64_t offset, std::span<std::byte> out) override;
+  Result<size_t> Write(const Path& path, uint64_t offset,
+                       std::span<const std::byte> data) override;
+  Status Truncate(const Path& path, uint64_t size) override;
+  using FileSystem::Mkdir;
+  using FileSystem::Mknod;
+  using FileSystem::Read;
+  using FileSystem::ReadDir;
+  using FileSystem::Exchange;
+  using FileSystem::Rename;
+  using FileSystem::Rmdir;
+  using FileSystem::Stat;
+  using FileSystem::Truncate;
+  using FileSystem::Unlink;
+  using FileSystem::Write;
+
+  // --- introspection ---------------------------------------------------------
+  uint32_t shard_count() const { return static_cast<uint32_t>(shards_.size()); }
+  AtomFs& shard(uint32_t i) { return *shards_[i]; }
+  CrlhMonitor* monitor(uint32_t i) { return monitors_.empty() ? nullptr : monitors_[i].get(); }
+
+  uint64_t migrations_completed() const;
+  uint64_t migrations_aborted() const;
+  // OnHelpedLinearized(kCrossShard) edges emitted at migration commits.
+  uint64_t cross_shard_help_edges() const;
+  // Dispatch retries forced by an in-flight migration on the op's footprint.
+  uint64_t stale_route_retries() const;
+
+  // Namespace-level verdicts: ns violations plus every shard monitor's.
+  bool ok() const;
+  std::vector<std::string> violations() const;
+
+  std::vector<Tid> Helplist() const;
+  std::vector<CrlhMonitor::CompletedRecord> Completed() const;
+
+  // Quiescent-only. Checks, in order: no leftover staging entries on any
+  // shard root; each shard monitor's CheckQuiescent against its concrete
+  // snapshot (when monitored); and, under Options::check_refinement, the
+  // namespace history replayed against a fresh SpecFs (result equivalence
+  // per op + structural equality of the final states). Appends violations
+  // and returns false on any failure.
+  bool CheckQuiescent();
+
+  // First violation (namespace-level or any shard's) with the namespace
+  // ghost state and history, in the exact shape src/crlh/bundle.h formats
+  // into a replayable bundle. Nullopt while everything holds.
+  std::optional<CrlhMonitor::PostMortem> PostMortemState() const;
+
+  // Merged quiescent snapshot: every shard's tree grafted under one root
+  // (staging entries hidden, inums renumbered).
+  SpecFs SnapshotSpec() const;
+
+ private:
+  struct Move {
+    uint32_t src_shard = 0;
+    uint32_t dst_shard = 0;
+    Path src;
+    Path dst;
+    Path src_stage;  // /.m<id>[b] on src_shard
+    Path dst_stage;  // /.m<id>[b] on dst_shard
+  };
+
+  // A published cross-shard operation descriptor. Guarded by ns_mu_ except
+  // for the shard ops a claimant executes with the mutex released.
+  struct ShardMigration {
+    uint64_t id = 0;
+    Tid driver = 0;
+    OpCall call;
+    enum class Phase : uint8_t { kPublished, kDetached, kCopied, kAttached, kDone, kAborted };
+    Phase phase = Phase::kPublished;
+    bool claimed = false;  // a thread is executing the current phase
+    std::vector<std::string> comps;  // root-level footprint
+    std::vector<Move> moves;         // 1 (rename) or 2 (exchange)
+    size_t detached = 0;             // moves successfully detached so far
+    Status result = Status::Ok();
+    std::set<Tid> helpers;           // non-driver threads that ran a phase
+  };
+
+  FsOpResult DispatchRooted(Tid tid, const FsOp& op);
+  FsOpResult DispatchGlobal(Tid tid, const FsOp& op);
+  // Publishes the operation descriptor and drives the two-shard commit.
+  // Requires lk held (no migration may be touching op's footprint).
+  FsOpResult RunMigration(std::unique_lock<std::mutex>& lk, Tid tid, const FsOp& op,
+                          const std::vector<std::string>& comps);
+
+  // Claim-execute-advance loop shared by the driver and helpers; returns
+  // when the migration is done or aborted. Requires lk held; releases it
+  // around shard ops.
+  void DriveMigrationLocked(std::unique_lock<std::mutex>& lk, Tid tid,
+                            std::shared_ptr<ShardMigration> m);
+  // Executes one phase's shard ops. Called WITHOUT ns_mu_; returns the next
+  // phase (kAborted on failure, with m->result set).
+  ShardMigration::Phase ExecutePhase(ShardMigration& m, ShardMigration::Phase phase);
+  // At kDone/kAborted: computes the cross-shard helping set over the
+  // namespace pool and emits the help events. Requires ns_mu_.
+  void EmitHelpEventsLocked(ShardMigration& m);
+
+  void PinLocked(const std::vector<std::string>& comps);
+  void UnpinLocked(const std::vector<std::string>& comps);
+  ShardMigration* FindMigrationTouchingLocked(const std::vector<std::string>& comps);
+
+  void RecordLocked(Tid tid, const FsOp& op, const FsOpResult& r);
+  void ViolationLocked(const std::string& message);
+
+  FsOpResult RunOnShard(uint32_t s, const FsOp& op);
+
+  Options opts_;
+  std::vector<std::unique_ptr<AtomFs>> shards_;
+  std::vector<std::unique_ptr<CrlhMonitor>> monitors_;
+  std::vector<std::unique_ptr<TeeObserver>> tees_;
+
+  mutable std::mutex ns_mu_;
+  std::condition_variable ns_cv_;
+  ShardRouter router_;
+  std::map<std::string, uint32_t> inflight_;  // pinned ops per root-level name
+  uint32_t inflight_global_ = 0;              // root readdir/stat in flight
+  std::map<uint64_t, std::shared_ptr<ShardMigration>> active_;
+  uint64_t next_migration_ = 1;
+  uint64_t ns_seq_ = 0;
+
+  std::map<Tid, Descriptor> ns_pool_;
+  std::vector<Tid> ns_helplist_;
+  std::vector<CrlhMonitor::CompletedRecord> ns_history_;
+  std::vector<std::string> ns_violations_;
+  uint64_t first_violation_seq_ = 0;
+  SpecFs ns_abstract_;  // filled by the refinement replay in CheckQuiescent
+
+  uint64_t migrations_completed_ = 0;
+  uint64_t migrations_aborted_ = 0;
+  uint64_t cross_help_edges_ = 0;
+  uint64_t stale_retries_ = 0;
+};
+
+}  // namespace atomfs
+
+#endif  // ATOMFS_SRC_SHARD_SHARDED_FS_H_

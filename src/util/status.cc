@@ -1,45 +1,16 @@
 #include "src/util/status.h"
 
+#include "src/util/status_table.h"
+
 namespace atomfs {
 
 std::string_view ErrcName(Errc e) {
   switch (e) {
-    case Errc::kOk:
-      return "OK";
-    case Errc::kExist:
-      return "EEXIST";
-    case Errc::kNoEnt:
-      return "ENOENT";
-    case Errc::kNotDir:
-      return "ENOTDIR";
-    case Errc::kIsDir:
-      return "EISDIR";
-    case Errc::kNotEmpty:
-      return "ENOTEMPTY";
-    case Errc::kInval:
-      return "EINVAL";
-    case Errc::kBadFd:
-      return "EBADF";
-    case Errc::kNameTooLong:
-      return "ENAMETOOLONG";
-    case Errc::kNoSpace:
-      return "ENOSPC";
-    case Errc::kBusy:
-      return "EBUSY";
-    case Errc::kAccess:
-      return "EACCES";
-    case Errc::kXDev:
-      return "EXDEV";
-    case Errc::kIo:
-      return "EIO";
-    case Errc::kProto:
-      return "EPROTO";
-    case Errc::kTimedOut:
-      return "ETIMEDOUT";
-    case Errc::kBackpressure:
-      return "EBACKPRESSURE";
-    case Errc::kTxConflict:
-      return "ETXCONFLICT";
+#define ATOMFS_ERRC_NAME_CASE(errc, wire_byte, errc_name, wire_name) \
+  case Errc::errc:                                                   \
+    return errc_name;
+    ATOMFS_WIRE_STATUS_TABLE(ATOMFS_ERRC_NAME_CASE)
+#undef ATOMFS_ERRC_NAME_CASE
   }
   return "UNKNOWN";
 }

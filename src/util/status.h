@@ -45,6 +45,12 @@ enum class Errc : uint8_t {
                   //                negotiated inflight window
   kTxConflict,    // ETXCONFLICT: optimistic transaction lost a conflict race
                   //              and was rolled back (src/txn); retryable
+  kShardMoved,    // ESHARDMOVED: the routed shard no longer owns the path's
+                  //              prefix (a rename moved it mid-flight). The
+                  //              sharded router retries with a fresh route;
+                  //              it leaks to callers only through the
+                  //              unsafe_stale_route test hook or to
+                  //              routing-aware wire clients.
 };
 
 std::string_view ErrcName(Errc e);

@@ -1,0 +1,38 @@
+// The single normative Errc <-> wire-status-byte table.
+//
+// One X-macro row per error code: X(errc, wire_byte, errc_name, wire_name).
+// Everything that used to hand-maintain a parallel switch — ErrcName
+// (src/util/status.cc), WireStatusOf / ErrcOfWireStatus (src/net/wire.cc),
+// and the status table in docs/WIRE_PROTOCOL.md — is generated from or
+// drift-tested against this list, so a new status (e.g. ESHARDMOVED) is
+// declared exactly once.
+//
+// Rules (docs/WIRE_PROTOCOL.md §5): rows are append-only and wire bytes are
+// never reused; `wire_name` is the doc's status-table spelling (no E prefix),
+// `errc_name` the errno-style name ErrcName returns.
+
+#ifndef ATOMFS_SRC_UTIL_STATUS_TABLE_H_
+#define ATOMFS_SRC_UTIL_STATUS_TABLE_H_
+
+#define ATOMFS_WIRE_STATUS_TABLE(X)                  \
+  X(kOk, 0, "OK", "OK")                              \
+  X(kExist, 1, "EEXIST", "EXIST")                    \
+  X(kNoEnt, 2, "ENOENT", "NOENT")                    \
+  X(kNotDir, 3, "ENOTDIR", "NOTDIR")                 \
+  X(kIsDir, 4, "EISDIR", "ISDIR")                    \
+  X(kNotEmpty, 5, "ENOTEMPTY", "NOTEMPTY")           \
+  X(kInval, 6, "EINVAL", "INVAL")                    \
+  X(kBadFd, 7, "EBADF", "BADFD")                     \
+  X(kNameTooLong, 8, "ENAMETOOLONG", "NAMETOOLONG")  \
+  X(kNoSpace, 9, "ENOSPC", "NOSPACE")                \
+  X(kBusy, 10, "EBUSY", "BUSY")                      \
+  X(kAccess, 11, "EACCES", "ACCESS")                 \
+  X(kXDev, 12, "EXDEV", "XDEV")                      \
+  X(kIo, 13, "EIO", "IO")                            \
+  X(kProto, 14, "EPROTO", "PROTO")                   \
+  X(kTimedOut, 15, "ETIMEDOUT", "TIMEDOUT")          \
+  X(kBackpressure, 16, "EBACKPRESSURE", "BACKPRESSURE") \
+  X(kTxConflict, 17, "ETXCONFLICT", "TXCONFLICT")    \
+  X(kShardMoved, 18, "ESHARDMOVED", "SHARDMOVED")
+
+#endif  // ATOMFS_SRC_UTIL_STATUS_TABLE_H_

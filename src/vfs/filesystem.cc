@@ -2,6 +2,118 @@
 
 namespace atomfs {
 
+std::string FsCapsToString(uint32_t caps) {
+  std::string out;
+  auto add = [&out](std::string_view name) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += name;
+  };
+  if (caps & kFsCapTxn) {
+    add("txn");
+  }
+  if (caps & kFsCapRcuWalk) {
+    add("rcu_walk");
+  }
+  if (caps & kFsCapSharding) {
+    add("sharding");
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMkdir:
+      return "mkdir";
+    case OpKind::kMknod:
+      return "mknod";
+    case OpKind::kRmdir:
+      return "rmdir";
+    case OpKind::kUnlink:
+      return "unlink";
+    case OpKind::kRename:
+      return "rename";
+    case OpKind::kExchange:
+      return "exchange";
+    case OpKind::kStat:
+      return "stat";
+    case OpKind::kReadDir:
+      return "readdir";
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kTruncate:
+      return "truncate";
+  }
+  return "?";
+}
+
+FsOpResult FileSystem::Dispatch(const FsOp& op) {
+  FsOpResult r;
+  switch (op.kind) {
+    case OpKind::kMkdir:
+      r.status = Mkdir(op.a);
+      break;
+    case OpKind::kMknod:
+      r.status = Mknod(op.a);
+      break;
+    case OpKind::kRmdir:
+      r.status = Rmdir(op.a);
+      break;
+    case OpKind::kUnlink:
+      r.status = Unlink(op.a);
+      break;
+    case OpKind::kRename:
+      r.status = Rename(op.a, op.b);
+      break;
+    case OpKind::kExchange:
+      r.status = Exchange(op.a, op.b);
+      break;
+    case OpKind::kStat: {
+      auto attr = Stat(op.a);
+      r.status = attr.status();
+      if (attr.ok()) {
+        r.attr = *attr;
+      }
+      break;
+    }
+    case OpKind::kReadDir: {
+      auto entries = ReadDir(op.a);
+      r.status = entries.status();
+      if (entries.ok()) {
+        r.entries = std::move(*entries);
+      }
+      break;
+    }
+    case OpKind::kRead: {
+      r.data.resize(op.len);
+      auto n = Read(op.a, op.offset, std::span<std::byte>(r.data));
+      r.status = n.status();
+      if (n.ok()) {
+        r.nbytes = *n;
+        r.data.resize(*n);
+      } else {
+        r.data.clear();
+      }
+      break;
+    }
+    case OpKind::kWrite: {
+      auto n = Write(op.a, op.offset, op.payload);
+      r.status = n.status();
+      if (n.ok()) {
+        r.nbytes = *n;
+      }
+      break;
+    }
+    case OpKind::kTruncate:
+      r.status = Truncate(op.a, op.offset);
+      break;
+  }
+  return r;
+}
+
 Status WriteString(FileSystem& fs, std::string_view path, std::string_view contents) {
   auto parsed = ParsePath(path);
   if (!parsed.ok()) {

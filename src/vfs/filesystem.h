@@ -53,11 +53,72 @@ struct DirEntry {
   }
 };
 
+// --- capability discovery ----------------------------------------------------
+// Feature bits a FileSystem advertises so callers (and remote clients, via
+// the HELLO handshake) discover support instead of probing with EINVAL.
+// Append-only: the bitmask travels on the wire.
+inline constexpr uint32_t kFsCapTxn = 1u << 0;       // transactional host attached
+inline constexpr uint32_t kFsCapRcuWalk = 1u << 1;   // optimistic lock-free reads
+inline constexpr uint32_t kFsCapSharding = 1u << 2;  // sharded namespace router
+
+// "txn,rcu_walk,sharding" for the set bits; "-" for none.
+std::string FsCapsToString(uint32_t caps);
+
+// --- routable op descriptor --------------------------------------------------
+// The one reified representation of a file-system operation shared by the
+// shard router, the workload replayer, and the server dispatch (previously
+// three parallel switch statements). Paths are parsed once at the boundary;
+// the write payload is a view into the caller's buffer, valid only for the
+// duration of the Dispatch call.
+
+enum class OpKind : uint8_t {
+  kMkdir,
+  kMknod,
+  kRmdir,
+  kUnlink,
+  kRename,
+  kExchange,
+  kStat,
+  kReadDir,
+  kRead,
+  kWrite,
+  kTruncate,
+};
+
+std::string_view OpKindName(OpKind kind);
+
+struct FsOp {
+  OpKind kind = OpKind::kStat;
+  Path a;                               // primary path (src for rename)
+  Path b;                               // rename/exchange second path
+  uint64_t offset = 0;                  // read/write offset; truncate size
+  uint64_t len = 0;                     // read length
+  std::span<const std::byte> payload;   // write data (view, not owned)
+};
+
+// The union of every operation's observable outcome.
+struct FsOpResult {
+  Status status;
+  Attr attr;                      // stat
+  std::vector<DirEntry> entries;  // readdir
+  uint64_t nbytes = 0;            // read/write byte count
+  std::vector<std::byte> data;    // read payload
+};
+
 // Abstract file system. Thread safety: every method may be called
 // concurrently from any number of threads.
 class FileSystem {
  public:
   virtual ~FileSystem() = default;
+
+  // Feature bits (kFsCap*) this instance supports. The server folds its own
+  // bits (e.g. kFsCapTxn when a TxnHost is attached) into the HELLO reply.
+  virtual uint32_t Capabilities() const { return 0; }
+
+  // Executes one reified operation. The default implementation is the single
+  // kind switch over the virtual methods below; routing layers (ShardedFs)
+  // override it to route the descriptor instead.
+  virtual FsOpResult Dispatch(const FsOp& op);
 
   // Directory-tree operations (the paper's six POSIX interfaces; mknod/mkdir
   // are the paper's `ins`, unlink/rmdir its `del`).

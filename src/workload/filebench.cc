@@ -39,19 +39,21 @@ FilebenchProfile FilebenchProfile::Varmail() {
 
 namespace {
 
-std::string DirPath(uint32_t dir) { return "/fb/d" + std::to_string(dir); }
+std::string DirPath(const FilebenchProfile& profile, uint32_t dir) {
+  return profile.root + "/d" + std::to_string(dir);
+}
 
 std::string FilePath(const FilebenchProfile& profile, uint32_t file_idx) {
-  return DirPath(file_idx % profile.dirs) + "/f" + std::to_string(file_idx);
+  return DirPath(profile, file_idx % profile.dirs) + "/f" + std::to_string(file_idx);
 }
 
 }  // namespace
 
 void FilebenchSetup(FileSystem& fs, const FilebenchProfile& profile, uint64_t seed) {
   Rng rng(seed);
-  ATOMFS_CHECK(fs.Mkdir("/fb").ok());
+  ATOMFS_CHECK(fs.Mkdir(profile.root).ok());
   for (uint32_t d = 0; d < profile.dirs; ++d) {
-    ATOMFS_CHECK(fs.Mkdir(DirPath(d)).ok());
+    ATOMFS_CHECK(fs.Mkdir(DirPath(profile, d)).ok());
   }
   std::vector<std::byte> buf(profile.file_bytes, std::byte{0x42});
   for (uint32_t f = 0; f < profile.files; ++f) {

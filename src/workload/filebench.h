@@ -25,6 +25,9 @@ namespace atomfs {
 
 struct FilebenchProfile {
   std::string name;
+  std::string root = "/fb";        // tree root; a sharded bench runs one
+                                   // profile per tenant root (e.g. /fb0..N)
+                                   // so each tenant homes on its own shard
   uint32_t dirs = 64;
   uint32_t files = 2000;
   uint64_t file_bytes = 8 << 10;   // mean created-file size

@@ -29,6 +29,7 @@
 #include "src/obs/tracer.h"
 #include "src/server/server.h"
 #include "src/util/stats.h"
+#include "src/util/status_table.h"
 
 namespace atomfs {
 namespace {
@@ -667,6 +668,72 @@ TEST(DocsDriftTest, WireProtocolDocCoversTransactionSurface) {
   EXPECT_NE(doc.find("| 29 | `txbegin` | — | `u64 txid` |"), std::string::npos);
   EXPECT_NE(doc.find("| 30 | `txcommit` | `u64 txid` | — |"), std::string::npos);
   EXPECT_NE(doc.find("| 31 | `txabort` | `u64 txid` | — |"), std::string::npos);
+}
+
+// src/util/status_table.h is the single normative Errc <-> wire-status
+// table; the doc's status table is generated prose over the same rows. Every
+// X-macro row must appear as "| <byte> | `<NAME>`" (and the in-process
+// mapping must agree), so declaring a new status — ESHARDMOVED being the
+// newest — in the table but not the doc (or vice versa) fails here.
+TEST(DocsDriftTest, WireProtocolStatusTableMatchesTheXMacroTable) {
+  const std::string path = std::string(ATOMFS_SOURCE_DIR) + "/docs/WIRE_PROTOCOL.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+#define ATOMFS_CHECK_STATUS_ROW(errc, wire, errc_name, wire_name)                    \
+  {                                                                                  \
+    const std::string row = "| " + std::to_string(wire) + " | `" + wire_name + "`";  \
+    EXPECT_NE(doc.find(row), std::string::npos)                                      \
+        << "docs/WIRE_PROTOCOL.md has no status row \"" << row << "\"";              \
+    EXPECT_EQ(WireStatusOf(Errc::errc), wire);                                      \
+    EXPECT_EQ(ErrcOfWireStatus(wire), Errc::errc);                                  \
+    EXPECT_EQ(ErrcName(Errc::errc), std::string_view(errc_name));                   \
+  }
+  ATOMFS_WIRE_STATUS_TABLE(ATOMFS_CHECK_STATUS_ROW)
+#undef ATOMFS_CHECK_STATUS_ROW
+}
+
+// The HELLO capability bitmask (protocol v3) is surface too: the doc's bit
+// table must carry exactly the bits src/vfs/filesystem.h defines.
+TEST(DocsDriftTest, WireProtocolDocCoversHelloCapabilityBits) {
+  const std::string path = std::string(ATOMFS_SOURCE_DIR) + "/docs/WIRE_PROTOCOL.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  static_assert(kFsCapTxn == 1u << 0);
+  static_assert(kFsCapRcuWalk == 1u << 1);
+  static_assert(kFsCapSharding == 1u << 2);
+  EXPECT_NE(doc.find("| 1 << 0 | `txn` |"), std::string::npos);
+  EXPECT_NE(doc.find("| 1 << 1 | `rcu_walk` |"), std::string::npos);
+  EXPECT_NE(doc.find("| 1 << 2 | `sharding` |"), std::string::npos);
+  EXPECT_NE(doc.find("u32 granted_max_inflight | u32 caps"), std::string::npos)
+      << "doc lost the v3 hello response shape";
+}
+
+// The sharded-namespace observability surface: every counter the shard
+// router emits must have a row in docs/OBSERVABILITY.md, and the crossshard
+// help-reason flag must be documented next to the other two.
+TEST(DocsDriftTest, ObservabilityDocCoversTheShardRouterMetrics) {
+  const std::string path = std::string(ATOMFS_SOURCE_DIR) + "/docs/OBSERVABILITY.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+
+  for (const char* metric :
+       {"`shard.ops.s<i>`", "`shard.migrations`", "`shard.migrations_completed`",
+        "`shard.migrations_aborted`", "`shard.cross_help_edges`", "`shard.stale_retries`"}) {
+    EXPECT_NE(doc.find(metric), std::string::npos) << "missing metric row: " << metric;
+  }
+  EXPECT_NE(doc.find("(`crossshard`)"), std::string::npos)
+      << "crossshard help-reason flag undocumented";
 }
 
 // docs/CONCURRENCY.md is the normative locking/validation protocol. The names

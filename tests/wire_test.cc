@@ -178,7 +178,7 @@ TEST(WireReaderTest, DeclaredLengthBeyondPayloadRejected) {
 // --- status mapping ----------------------------------------------------------
 
 TEST(WireStatusTest, EveryErrcRoundTrips) {
-  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(Errc::kTxConflict); ++raw) {
+  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(Errc::kShardMoved); ++raw) {
     const Errc code = static_cast<Errc>(raw);
     EXPECT_EQ(ErrcOfWireStatus(WireStatusOf(code)), code) << ErrcName(code);
   }
@@ -190,9 +190,11 @@ TEST(WireStatusTest, NewStatusBytesAreStable) {
   EXPECT_EQ(WireStatusOf(Errc::kTimedOut), 15);
   EXPECT_EQ(WireStatusOf(Errc::kBackpressure), 16);
   EXPECT_EQ(WireStatusOf(Errc::kTxConflict), 17);
+  EXPECT_EQ(WireStatusOf(Errc::kShardMoved), 18);
   EXPECT_EQ(ErrcOfWireStatus(15), Errc::kTimedOut);
   EXPECT_EQ(ErrcOfWireStatus(16), Errc::kBackpressure);
   EXPECT_EQ(ErrcOfWireStatus(17), Errc::kTxConflict);
+  EXPECT_EQ(ErrcOfWireStatus(18), Errc::kShardMoved);
 }
 
 TEST(WireStatusTest, UnknownWireByteDegradesToProto) {
@@ -294,6 +296,38 @@ TEST(WireHelloTest, RoundTrips) {
   EXPECT_TRUE(r.AtEnd());
   EXPECT_EQ(back.version, hello.version);
   EXPECT_EQ(back.max_inflight, hello.max_inflight);
+}
+
+TEST(WireHelloTest, V3CarriesTheCapabilityBitmask) {
+  WireHello hello;
+  hello.version = 3;
+  hello.max_inflight = 12;
+  hello.caps = kFsCapTxn | kFsCapSharding;
+  WireWriter w;
+  EncodeHello(w, hello);
+  WireReader r(Bytes(w.buf()));
+  WireHello back;
+  ASSERT_TRUE(ParseHello(r, &back));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.caps, kFsCapTxn | kFsCapSharding);
+}
+
+TEST(WireHelloTest, V2BodyStaysCapsFreeAndParsesAsZero) {
+  // A v2 peer's body must not grow the caps word (bodies are frozen per
+  // opcode per version), and parsing one leaves caps = nothing advertised.
+  WireHello hello;
+  hello.version = 2;
+  hello.max_inflight = 12;
+  hello.caps = 0xffffffff;  // must not be encoded
+  WireWriter w;
+  EncodeHello(w, hello);
+  EXPECT_EQ(w.buf().size(), 8u);
+  WireReader r(Bytes(w.buf()));
+  WireHello back;
+  back.caps = 7;  // stale garbage the parser must clear
+  ASSERT_TRUE(ParseHello(r, &back));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.caps, 0u);
 }
 
 TEST(WireHelloTest, ShortBodyRejected) {

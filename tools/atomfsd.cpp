@@ -3,6 +3,13 @@
 //   atomfsd --unix PATH            listen on a Unix-domain socket
 //           --tcp PORT             listen on 127.0.0.1:PORT (0 = ephemeral)
 //           --backend atomfs|biglock|retryfs|naive   (default atomfs)
+//           --fs-shards N          serve a sharded namespace: N independent
+//                                  AtomFs instances behind the first-component
+//                                  router (src/shard); cross-shard renames run
+//                                  the helped two-shard commit. Requires
+//                                  --backend atomfs; with --monitor every
+//                                  shard gets its own CRL-H monitor and the
+//                                  namespace-level checks gate the exit code
 //           --shards N             event-loop shards (default 2)
 //           --workers N            request execution threads (default 8)
 //           --max-inflight N       largest per-connection pipeline window a
@@ -68,6 +75,7 @@
 #include "src/obs/tracer.h"
 #include "src/retryfs/retry_fs.h"
 #include "src/server/server.h"
+#include "src/shard/sharded_fs.h"
 #include "src/txn/txn.h"
 
 namespace {
@@ -116,6 +124,7 @@ int main(int argc, char** argv) {
   ServerOptions options;
   options.workers = 8;
   std::string backend = "atomfs";
+  int fs_shards = 0;
   bool monitor_requested = false;
   bool metrics_dump = false;
   size_t trace_ring_events = 1 << 16;
@@ -134,6 +143,8 @@ int main(int argc, char** argv) {
       options.tcp_port = static_cast<uint16_t>(std::atoi(next()));
     } else if (arg("--backend")) {
       backend = next();
+    } else if (arg("--fs-shards")) {
+      fs_shards = std::atoi(next());
     } else if (arg("--shards")) {
       options.shards = std::atoi(next());
     } else if (arg("--workers")) {
@@ -165,6 +176,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "atomfsd: need --unix PATH and/or --tcp PORT\n");
     return 2;
   }
+  if (fs_shards < 0) {
+    std::fprintf(stderr, "atomfsd: --fs-shards must be >= 1\n");
+    return 2;
+  }
+  if (fs_shards > 0 && backend != "atomfs") {
+    std::fprintf(stderr, "atomfsd: --fs-shards requires --backend atomfs\n");
+    return 2;
+  }
+  if (fs_shards > 0 && !journal_path.empty()) {
+    // The WAL recovers into one AtomFs inum space; the router splits the
+    // namespace across several. Sharded durability is future work.
+    std::fprintf(stderr, "atomfsd: --fs-shards and --journal are mutually exclusive\n");
+    return 2;
+  }
 
   // The observability spine: one registry serves the METRICS op, the server
   // stats, and (when the backend supports FsObserver) the lock-coupling
@@ -186,9 +211,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "atomfsd: --monitor requires --backend atomfs or biglock\n");
       return 2;
     }
-    CrlhMonitor::Options mopts;
-    mopts.obs = tracer.get();
-    monitor = std::make_unique<CrlhMonitor>(mopts);
+    if (fs_shards == 0) {
+      // Sharded serving builds one monitor per shard inside ShardedFs instead.
+      CrlhMonitor::Options mopts;
+      mopts.obs = tracer.get();
+      monitor = std::make_unique<CrlhMonitor>(mopts);
+    }
   }
 
   // Observer chain: monitor first (it checks), tracer second (it measures).
@@ -202,8 +230,20 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<FileSystem> fs;
-  AtomFs* atom_fs = nullptr;  // for the quiescent check at shutdown
-  if (backend == "atomfs") {
+  AtomFs* atom_fs = nullptr;      // for the quiescent check at shutdown
+  ShardedFs* sharded = nullptr;   // ditto, namespace-level checks
+  if (fs_shards > 0) {
+    ShardedFs::Options o;
+    o.shards = static_cast<uint32_t>(fs_shards);
+    o.monitored = monitor_requested;
+    o.monitor.obs = tracer.get();
+    o.extra_observer = tracer.get();
+    o.obs = tracer.get();
+    o.metrics = &registry;
+    auto owned = std::make_unique<ShardedFs>(std::move(o));
+    sharded = owned.get();
+    fs = std::move(owned);
+  } else if (backend == "atomfs") {
     AtomFs::Options o;
     o.observer = observer;
     auto owned = std::make_unique<AtomFs>(std::move(o));
@@ -284,12 +324,17 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() && ring == nullptr) {
     std::fprintf(stderr, "atomfsd: --trace-out needs a trace ring (--trace-ring > 0)\n");
   }
-  if (!bundle_out.empty() && monitor == nullptr) {
+  if (!bundle_out.empty() && monitor == nullptr && !(sharded != nullptr && monitor_requested)) {
     std::fprintf(stderr, "atomfsd: --bundle-out has no effect without --monitor\n");
   }
 
-  std::printf("atomfsd: serving %s%s%s%s on", backend.c_str(), monitor ? " (monitored)" : "",
+  std::printf("atomfsd: serving %s%s%s%s on", backend.c_str(),
+              monitor != nullptr || (sharded != nullptr && monitor_requested) ? " (monitored)"
+                                                                              : "",
               tracer ? " (traced)" : "", txn ? " (journaled)" : "");
+  if (sharded != nullptr) {
+    std::printf(" [%u namespace shard(s)]", sharded->shard_count());
+  }
   if (!options.unix_path.empty()) {
     std::printf(" unix:%s", options.unix_path.c_str());
   }
@@ -353,6 +398,46 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ring->total_appended()));
     if (!trace_out.empty()) {
       WriteTraceFile(*ring, trace_out);
+    }
+  }
+
+  if (sharded != nullptr) {
+    // Namespace-level verdict: leftover staging entries, each shard monitor's
+    // quiescent check, then the cross-shard migration counters for the log.
+    sharded->CheckQuiescent();
+    std::printf(
+        "atomfsd: sharded namespace: %llu migration(s) committed, %llu aborted, "
+        "%llu cross-shard help edge(s), %llu stale-route retrie(s)\n",
+        static_cast<unsigned long long>(sharded->migrations_completed()),
+        static_cast<unsigned long long>(sharded->migrations_aborted()),
+        static_cast<unsigned long long>(sharded->cross_shard_help_edges()),
+        static_cast<unsigned long long>(sharded->stale_route_retries()));
+    if (!sharded->ok()) {
+      std::printf("atomfsd: CRL-H VIOLATIONS:\n");
+      for (const auto& v : sharded->violations()) {
+        std::printf("  %s\n", v.c_str());
+      }
+      if (!bundle_out.empty()) {
+        if (auto pm = sharded->PostMortemState(); pm.has_value()) {
+          const PostMortemBundle bundle = BuildPostMortemBundle(
+              *pm, ring != nullptr ? ring->Snapshot() : std::vector<TraceEvent>{});
+          const std::string text = FormatBundle(bundle);
+          if (std::FILE* f = std::fopen(bundle_out.c_str(), "w"); f != nullptr) {
+            std::fputs(text.c_str(), f);
+            std::fclose(f);
+            std::printf("atomfsd: wrote post-mortem bundle to %s "
+                        "(replay: atomfs_verify --bundle %s)\n",
+                        bundle_out.c_str(), bundle_out.c_str());
+          } else {
+            std::fprintf(stderr, "atomfsd: cannot open %s: %s\n", bundle_out.c_str(),
+                         std::strerror(errno));
+          }
+        }
+      }
+      return 1;
+    }
+    if (monitor_requested) {
+      std::printf("atomfsd: CRL-H monitors: every served operation linearizable on its shard\n");
     }
   }
 

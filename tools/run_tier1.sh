@@ -41,6 +41,12 @@ echo "--- rcu-walk smoke stage (optimistic read path, validation gate) ---"
 # — the unsafe skip-validation hook must never be live outside tests).
 "$BUILD_DIR/bench/bench_server_throughput" --rcu-smoke --clients 2 --ops 150
 
+echo "--- sharded-namespace stage (4 shards, cross-shard migrations, monitored) ---"
+# tools/shard_smoke.sh: a monitored atomfsd --fs-shards 4 driven with
+# cross-shard renames/exchange and a concurrent reader; requires the
+# sharding HELLO capability, 5 committed migrations, and a clean CRL-H exit.
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R '^shard_smoke$'
+
 echo "--- crash-consistency stage (bounded sweep + kill -9 recovery) ---"
 # tools/crash_smoke.sh: the durability refinement check at a small record
 # bound (6 txns, <=64 sampled crash points per sweep), then a journaled
