@@ -84,6 +84,7 @@
 #include "src/client/client.h"
 #include "src/core/atom_fs.h"
 #include "src/crlh/monitor.h"
+#include "src/journal/checkpoint.h"
 #include "src/journal/wal.h"
 #include "src/naive/naive_fs.h"
 #include "src/obs/metrics.h"
@@ -1095,6 +1096,7 @@ void RunTxnExperiment(JsonWriter& json, int connections, double seconds) {
   TxnManager::Options topt;
   topt.inner = &fs;
   topt.wal_path = journal;
+  topt.record_commit_log = true;  // the checkpointed recovery curve replays it
   TxnManager txn(topt);
   const std::string sock_path =
       "/tmp/atomfs_bench_txn_" + std::to_string(getpid()) + ".sock";
@@ -1197,6 +1199,94 @@ void RunTxnExperiment(JsonWriter& json, int connections, double seconds) {
     json.EndObject();
   }
   json.EndArray();
+
+  // The same curve under checkpointing + compaction: re-journal the first k
+  // committed units through a fresh TxnManager that checkpoints every 64 KiB
+  // of WAL, then time full journal recovery (newest checkpoint + suffix,
+  // RecoverJournal). This is the compaction claim in numbers: recovery cost
+  // tracks the checkpoint interval and the live state's size, not history
+  // length, so the 100% point stays flat against the 25% point instead of 4x.
+  const std::vector<CommitDescriptor> commit_log = txn.commit_log();
+  const std::string rec_path = journal + ".rec";
+  auto remove_rec_files = [&rec_path] {
+    for (const std::string& p : {rec_path, PrevWalPath(rec_path), CheckpointPath(rec_path),
+                                 PrevCheckpointPath(rec_path), TmpCheckpointPath(rec_path)}) {
+      std::remove(p.c_str());
+    }
+  };
+  json.Key("recovery_checkpointed").BeginArray();
+  for (const double frac : {0.25, 0.5, 1.0}) {
+    const size_t units = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(commit_log.size()) * frac));
+    remove_rec_files();
+    MetricsRegistry rec_metrics;
+    uint64_t checkpoints = 0;
+    {
+      AtomFs rec_inner;
+      TxnManager::Options ropt;
+      ropt.inner = &rec_inner;
+      ropt.wal_path = rec_path;
+      ropt.metrics = &rec_metrics;
+      ropt.checkpoint_bytes = 64 << 10;
+      TxnManager rec(ropt);
+      bool ok = true;
+      for (size_t u = 0; u < units && ok; ++u) {
+        auto id = rec.Begin();
+        ok = id.ok();
+        for (const OpCall& op : commit_log[u].ops) {
+          if (!ok) {
+            break;
+          }
+          ok = rec.Apply(*id, op).status.ok();
+        }
+        ok = ok && rec.Commit(*id).ok();
+      }
+      if (!ok) {
+        std::fprintf(stderr, "checkpointed re-journal failed\n");
+        std::exit(1);
+      }
+      checkpoints = rec.checkpoints_taken();
+    }
+    const MetricsSnapshot rsnap = rec_metrics.Snapshot();
+    const HistogramSnapshot* ckpt_ms = rsnap.FindHistogram("journal.checkpoint.ms");
+    const double checkpoint_ms_total =
+        ckpt_ms != nullptr ? ckpt_ms->Mean() * static_cast<double>(ckpt_ms->count) : 0.0;
+    uint64_t live_wal_bytes = 0;
+    {
+      std::ifstream in(rec_path, std::ios::binary | std::ios::ate);
+      live_wal_bytes = in.good() ? static_cast<uint64_t>(in.tellg()) : 0;
+    }
+    AtomFs replay;
+    WallTimer timer;
+    auto rstats = RecoverJournal(rec_path, replay);
+    const double ms = static_cast<double>(timer.ElapsedNanos()) / 1e6;
+    if (!rstats.ok()) {
+      std::fprintf(stderr, "checkpointed recovery failed\n");
+      std::exit(1);
+    }
+    std::printf("recovery+ckpt %3.0f%%: %6llu unit(s), %3llu checkpoint(s) "
+                "(%.2f ms writing them), %6llu ckpt op(s) + %6llu WAL op(s), "
+                "%8llu live WAL byte(s), recovered in %.2f ms\n",
+                frac * 100.0, static_cast<unsigned long long>(units),
+                static_cast<unsigned long long>(checkpoints), checkpoint_ms_total,
+                static_cast<unsigned long long>(rstats->checkpoint_ops),
+                static_cast<unsigned long long>(rstats->wal.applied_ops),
+                static_cast<unsigned long long>(live_wal_bytes), ms);
+    json.BeginObject();
+    json.Field("history_fraction", frac);
+    json.Field("committed_units", static_cast<uint64_t>(units));
+    json.Field("checkpoints", checkpoints);
+    json.Field("checkpoint_ms_total", checkpoint_ms_total);
+    json.Field("checkpoint_bytes",
+               rsnap.CounterValue("journal.checkpoint.bytes"));
+    json.Field("checkpoint_ops", rstats->checkpoint_ops);
+    json.Field("wal_replayed_ops", rstats->wal.applied_ops);
+    json.Field("live_wal_bytes", live_wal_bytes);
+    json.Field("recover_ms", ms);
+    json.EndObject();
+  }
+  json.EndArray();
+  remove_rec_files();
   json.EndObject();
   std::remove(journal.c_str());
 }

@@ -7,6 +7,8 @@
 //   txbegin | txcommit | txabort (remote mounts served with --journal: open /
 //   commit / roll back an atomic multi-op transaction; every path command in
 //   between executes inside it)
+//   checkpoint (remote journaled mounts: checkpoint + compact the server's
+//   journal now, bounding its recovery replay)
 //   metrics (remote mounts only: fetch and print the atomtrace dump)
 //   trace-dump [FILE] (remote: fetch the flight-recorder ring as Perfetto JSON)
 //   prom (remote: fetch the metrics registry in Prometheus text format)
@@ -96,7 +98,7 @@ int main(int argc, char** argv) {
     } else if (cmd == "help") {
       std::printf(
           "mkdir touch rm rmdir mv xchg ls stat cat write tree txbegin "
-          "txcommit txabort metrics trace-dump prom quit\n");
+          "txcommit txabort checkpoint metrics trace-dump prom quit\n");
     } else if (cmd == "txbegin") {
       if (remote == nullptr) {
         std::printf("txbegin: only available on a remote mount (--connect)\n");
@@ -120,6 +122,12 @@ int main(int argc, char** argv) {
         continue;
       }
       PrintStatus("txabort", remote->TxAbort());
+    } else if (cmd == "checkpoint") {
+      if (remote == nullptr) {
+        std::printf("checkpoint: only available on a remote mount (--connect)\n");
+        continue;
+      }
+      PrintStatus("checkpoint", remote->Checkpoint());
     } else if (cmd == "trace-dump") {
       if (remote == nullptr) {
         std::printf("trace-dump: only available on a remote mount (--connect)\n");

@@ -633,6 +633,12 @@ Status AtomFsClient::TxAbort(uint64_t txid) {
   return CallStatusOnly(req);
 }
 
+Status AtomFsClient::Checkpoint() {
+  WireRequest req;
+  req.op = WireOp::kCheckpoint;
+  return CallStatusOnly(req);
+}
+
 Result<WireServerStats> AtomFsClient::FetchStats() {
   WireRequest req;
   req.op = WireOp::kStats;

@@ -208,6 +208,11 @@ class AtomFsClient : public FileSystem {
 
   // Admin.
   Status Ping();
+  // Ask the server to checkpoint + compact its journal now
+  // (WireOp::kCheckpoint). EINVAL on a server without a journaled
+  // transaction layer; EIO if the checkpoint write or WAL rotation failed
+  // (the server's journal is then fail-stopped — see src/journal/wal.h).
+  Status Checkpoint();
   Result<WireServerStats> FetchStats();
   // Full atomtrace registry snapshot (WireOp::kMetrics): server per-op
   // latencies plus, when the server attached a TracingObserver, the

@@ -5,7 +5,10 @@
 namespace atomfs {
 
 JournalFs::JournalFs(FileSystem* inner, const std::string& log_path)
-    : inner_(inner), wal_(log_path) {
+    : JournalFs(inner, log_path, Options()) {}
+
+JournalFs::JournalFs(FileSystem* inner, const std::string& log_path, Options opts)
+    : inner_(inner), opts_(std::move(opts)), wal_(log_path, opts_.wal) {
   ATOMFS_CHECK(inner != nullptr);
   ATOMFS_CHECK(wal_.ok() && "cannot open journal log for append");
 }
@@ -17,15 +20,39 @@ uint64_t JournalFs::logged_ops() const {
   return logged_ops_;
 }
 
+bool JournalFs::failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return !wal_.ok();
+}
+
+Status JournalFs::SyncLocked() {
+  Status s = wal_.Flush();
+  if (s.ok() && opts_.fsync_ops) {
+    s = wal_.Fsync();
+  }
+  return s.ok() ? Status() : Status(Errc::kIo);
+}
+
 Status JournalFs::Logged(const OpCall& call) {
   // Append-before-release: holding the lock across (inner op, log append)
   // makes the log order a legal linearization of the mutations, at the cost
   // of serializing them (see header).
   std::lock_guard<std::mutex> lk(mu_);
+  if (!wal_.ok()) {
+    return Status(Errc::kIo);  // fail-stopped: see header
+  }
   OpResult result = RunOp(*inner_, call);
   if (result.status.ok()) {
-    wal_.Append(WalRecordType::kOp, /*txid=*/0, FormatTraceLine(call));
-    wal_.Flush();
+    Status logged = wal_.Append(WalRecordType::kOp, /*txid=*/0, FormatTraceLine(call));
+    if (logged.ok()) {
+      logged = SyncLocked();
+    }
+    if (!logged.ok()) {
+      // The inner op ran but its record never reached the log: the caller
+      // must see the durability failure, and the (poisoned) journal accepts
+      // nothing further.
+      return Status(Errc::kIo);
+    }
     ++logged_ops_;
   }
   return result.status;
@@ -51,12 +78,21 @@ Status JournalFs::Truncate(const Path& path, uint64_t size) {
 Result<size_t> JournalFs::Write(const Path& path, uint64_t offset,
                                 std::span<const std::byte> data) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (!wal_.ok()) {
+    return Errc::kIo;
+  }
   auto written = inner_->Write(path, offset, data);
   if (written.ok()) {
-    wal_.Append(WalRecordType::kOp, /*txid=*/0,
-                FormatTraceLine(OpCall::WriteOf(
-                    path, offset, std::vector<std::byte>(data.begin(), data.end()))));
-    wal_.Flush();
+    Status logged =
+        wal_.Append(WalRecordType::kOp, /*txid=*/0,
+                    FormatTraceLine(OpCall::WriteOf(
+                        path, offset, std::vector<std::byte>(data.begin(), data.end()))));
+    if (logged.ok()) {
+      logged = SyncLocked();
+    }
+    if (!logged.ok()) {
+      return Errc::kIo;
+    }
     ++logged_ops_;
   }
   return written;

@@ -21,8 +21,14 @@
 //   - The log serializes mutations (one mutex around log append + op), so
 //     JournalFs trades the fine-grained scalability for durability; it is a
 //     durability adapter, not a scalable journaled FS design.
-//   - fsync granularity is the OS page cache; this models the logging
-//     protocol, not storage-stack crash semantics.
+//   - By default the durability point is Flush (page cache — survives a
+//     process kill, not a power loss); Options::fsync_ops upgrades it to
+//     fdatasync per op.
+//   - Write errors fail-stop: the inner op has already run when the append
+//     fails, so the op's caller gets kIo (the mutation is NOT durable and
+//     the journal is now poisoned — every later mutation also fails with
+//     kIo) even though the in-memory state briefly ran ahead of the log.
+//     A poisoned journal's in-memory state must be treated as lost.
 
 #ifndef ATOMFS_SRC_JOURNAL_JOURNAL_FS_H_
 #define ATOMFS_SRC_JOURNAL_JOURNAL_FS_H_
@@ -39,8 +45,17 @@ namespace atomfs {
 
 class JournalFs : public FileSystem {
  public:
+  struct Options {
+    // fdatasync the log at every op's commit point (power-loss durability)
+    // instead of stopping at Flush (process-kill durability).
+    bool fsync_ops = false;
+    // Forwarded to the WalWriter (fault injection in tests).
+    WalWriterOptions wal;
+  };
+
   // Wraps `inner`, logging to `log_path` (created/appended).
   JournalFs(FileSystem* inner, const std::string& log_path);
+  JournalFs(FileSystem* inner, const std::string& log_path, Options opts);
   ~JournalFs() override;
 
   // Replays the longest well-formed prefix of the log at `log_path` onto
@@ -75,12 +90,18 @@ class JournalFs : public FileSystem {
   using FileSystem::Write;
 
   uint64_t logged_ops() const;
+  // True once a log write failed: the journal is fail-stopped and every
+  // mutation returns kIo.
+  bool failed() const;
 
  private:
   // Runs the mutation under the log lock and appends its record on success.
   Status Logged(const OpCall& call);
+  // Flush (+ optional fsync) after an append; kIo fail-stops the journal.
+  Status SyncLocked();
 
   FileSystem* inner_;
+  Options opts_;
   mutable std::mutex mu_;
   WalWriter wal_;
   uint64_t logged_ops_ = 0;

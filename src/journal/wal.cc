@@ -1,5 +1,12 @@
 #include "src/journal/wal.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
 #include <map>
 
 #include "src/afs/op.h"
@@ -18,6 +25,8 @@ std::string_view WalRecordTypeName(WalRecordType t) {
       return "commit";
     case WalRecordType::kAbort:
       return "abort";
+    case WalRecordType::kCkpt:
+      return "ckpt";
   }
   return "unknown";
 }
@@ -84,12 +93,130 @@ std::string EncodeWalRecord(WalRecordType type, uint64_t txid, std::string_view 
   return out;
 }
 
-WalWriter::WalWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::app) {}
+WalWriter::WalWriter(const std::string& path, WalWriterOptions opts)
+    : path_(path), opts_(std::move(opts)) {
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    status_ = Status(Errc::kIo);
+    return;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) == 0) {
+    bytes_ = static_cast<uint64_t>(st.st_size);
+  }
+}
 
-void WalWriter::Append(WalRecordType type, uint64_t txid, std::string_view payload) {
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status WalWriter::Poison(Status s) {
+  if (status_.ok()) {
+    status_ = s;
+  }
+  return status_;
+}
+
+Status WalWriter::WriteAll(std::string_view bytes) {
+  if (opts_.write_fault) {
+    const int err = opts_.write_fault(bytes);
+    if (err != 0) {
+      // Model a device that tore the record: land a prefix, then fail.
+      const size_t n = std::min(opts_.fault_short_bytes, bytes.size());
+      if (n > 0) {
+        ssize_t ignored = ::write(fd_, bytes.data(), n);
+        (void)ignored;
+      }
+      errno = err;
+      return Status(Errc::kIo);
+    }
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status(Errc::kIo);
+    }
+    if (n == 0) {
+      return Status(Errc::kIo);  // no forward progress
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status();
+}
+
+Status WalWriter::Append(WalRecordType type, uint64_t txid, std::string_view payload) {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (fd_ < 0) {
+    return Poison(Status(Errc::kIo));
+  }
   const std::string rec = EncodeWalRecord(type, txid, payload);
-  out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+  buf_.append(rec);
+  bytes_ += rec.size();
+  return Status();
+}
+
+Status WalWriter::Flush() {
+  if (!status_.ok()) {
+    return status_;
+  }
+  if (buf_.empty()) {
+    return Status();
+  }
+  Status s = WriteAll(buf_);
+  if (!s.ok()) {
+    // The buffer may be partially on disk as a torn record; nothing after
+    // this point can be trusted to line up with the file. Fail-stop.
+    return Poison(s);
+  }
+  buf_.clear();
+  return Status();
+}
+
+Status WalWriter::Fsync() {
+  if (!status_.ok()) {
+    return status_;
+  }
+  Status s = Flush();
+  if (!s.ok()) {
+    return s;
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Poison(Status(Errc::kIo));
+  }
+  return Status();
+}
+
+Status WalWriter::Rotate(uint64_t ckpt_id) {
+  Status s = Fsync();
+  if (!s.ok()) {
+    return s;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  const std::string prev = path_ + ".prevwal";
+  if (std::rename(path_.c_str(), prev.c_str()) != 0) {
+    return Poison(Status(Errc::kIo));
+  }
+  fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Poison(Status(Errc::kIo));
+  }
+  bytes_ = 0;
+  s = Append(WalRecordType::kCkpt, ckpt_id, {});
+  if (!s.ok()) {
+    return s;
+  }
+  // The head marker must be durable before any record lands after it:
+  // recovery pairs this file with checkpoint `ckpt_id` by reading it.
+  return Fsync();
 }
 
 WalScan ScanWalBytes(std::string_view bytes) {
@@ -106,7 +233,7 @@ WalScan ScanWalBytes(std::string_view bytes) {
     }
     const uint8_t raw_type = static_cast<uint8_t>(p[1]);
     if (raw_type < static_cast<uint8_t>(WalRecordType::kBegin) ||
-        raw_type > static_cast<uint8_t>(WalRecordType::kAbort)) {
+        raw_type > static_cast<uint8_t>(WalRecordType::kCkpt)) {
       break;
     }
     const uint64_t txid = GetU64(p + 2);
@@ -152,7 +279,7 @@ WalRecoveryStats RecoverWalBytes(std::string_view bytes, FileSystem& fs) {
   // committed later) but applied only at their commit record.
   std::map<uint64_t, std::vector<OpCall>> open;
   for (const WalRecord& rec : scan.records) {
-    if (rec.txid > stats.max_txid) {
+    if (rec.type != WalRecordType::kCkpt && rec.txid > stats.max_txid) {
       stats.max_txid = rec.txid;
     }
     switch (rec.type) {
@@ -209,6 +336,12 @@ WalRecoveryStats RecoverWalBytes(std::string_view bytes, FileSystem& fs) {
         }
         open.erase(it);
         ++stats.aborted;
+        break;
+      }
+      case WalRecordType::kCkpt: {
+        // Generation marker: states which checkpoint this file's records
+        // extend. Replay itself ignores it — RecoverJournal already decided
+        // which files to feed here.
         break;
       }
     }

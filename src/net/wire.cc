@@ -74,6 +74,8 @@ std::string_view WireOpName(WireOp op) {
       return "txcommit";
     case WireOp::kTxAbort:
       return "txabort";
+    case WireOp::kCheckpoint:
+      return "checkpoint";
   }
   return "unknown";
 }
@@ -227,6 +229,7 @@ std::vector<std::byte> EncodeRequest(const WireRequest& req) {
     case WireOp::kTraceDump:
     case WireOp::kProm:
     case WireOp::kTxBegin:
+    case WireOp::kCheckpoint:
       break;
     case WireOp::kTxCommit:
     case WireOp::kTxAbort:
@@ -323,6 +326,7 @@ Result<WireRequest> ParseRequestImpl(std::span<const std::byte> payload, bool al
     case WireOp::kTraceDump:
     case WireOp::kProm:
     case WireOp::kTxBegin:
+    case WireOp::kCheckpoint:
       break;
     case WireOp::kTxCommit:
     case WireOp::kTxAbort:

@@ -110,10 +110,14 @@ enum class WireOp : uint8_t {
   kTxBegin = 29,   // — | reply u64 txid
   kTxCommit = 30,  // u64 txid (0 = the connection's open txn) | —
   kTxAbort = 31,   // u64 txid (0 = the connection's open txn) | —
+  // Journal admin (still protocol v2, same fail-soft story): checkpoint +
+  // compact the server's journal now. EINVAL without a journaled
+  // transaction layer, EIO if the checkpoint write or WAL rotation failed.
+  kCheckpoint = 32,  // — | —
 };
 
 inline constexpr uint8_t kWireOpMin = 1;
-inline constexpr uint8_t kWireOpMax = 31;
+inline constexpr uint8_t kWireOpMax = 32;
 
 inline bool WireOpKnown(uint8_t raw) { return raw >= kWireOpMin && raw <= kWireOpMax; }
 std::string_view WireOpName(WireOp op);

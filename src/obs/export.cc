@@ -259,6 +259,28 @@ std::string EmitChromeTrace(const std::vector<TraceEvent>& events, size_t first)
         w.EndObject();
         break;
       }
+      case TraceEventType::kCkptBegin: {
+        Preamble(w, e, "i", "ckpt_begin", "journal");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("ckpt_id", e.ino);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kCkptEnd: {
+        Preamble(w, e, "i", "ckpt_end", "journal");
+        w.Field("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.Field("ckpt_id", e.ino);
+        w.Field("ops", e.arg);
+        w.Field("bytes", e.aux);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
     }
   }
   w.EndArray();

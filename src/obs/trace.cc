@@ -40,6 +40,10 @@ std::string_view TraceEventTypeName(TraceEventType type) {
       return "opt_walk_validate";
     case TraceEventType::kOptWalkFallback:
       return "opt_walk_fallback";
+    case TraceEventType::kCkptBegin:
+      return "ckpt_begin";
+    case TraceEventType::kCkptEnd:
+      return "ckpt_end";
   }
   return "unknown";
 }

@@ -65,6 +65,11 @@ enum class TraceEventType : uint8_t {
   kOptWalkStart = 14,
   kOptWalkValidate = 15,
   kOptWalkFallback = 16,
+  // Journal checkpoint/compaction events (src/journal, src/txn): ino = the
+  // checkpoint id. kCkptEnd: arg = materialized op count, aux = checkpoint
+  // file bytes.
+  kCkptBegin = 17,
+  kCkptEnd = 18,
 };
 
 std::string_view TraceEventTypeName(TraceEventType type);

@@ -1133,6 +1133,13 @@ std::vector<std::byte> AtomFsServer::DispatchOne(Conn& conn, const WireRequest& 
       return StatusResponse(req.op == WireOp::kTxCommit ? opts_.txn->TxCommit(target)
                                                         : opts_.txn->TxAbort(target));
     }
+    case WireOp::kCheckpoint:
+      // Journal admin: checkpoint + compact now. Fails soft with EINVAL on a
+      // server without a journaled transaction layer (TxnHost's default).
+      if (opts_.txn == nullptr) {
+        return StatusResponse(Status(Errc::kInval));
+      }
+      return StatusResponse(opts_.txn->TxCheckpoint());
     case WireOp::kMsgBatch:
       // Batches are unpacked in ExecuteConn and nesting is rejected at
       // parse; reaching here means a logic error upstream.

@@ -40,6 +40,10 @@ class TxnHost {
   // Executes one op inside the transaction, against its private snapshot
   // (read-your-writes; invisible to other transactions until commit).
   virtual OpResult TxApply(uint64_t txid, const OpCall& call) = 0;
+  // Admin: checkpoint + compact the journal now (wire op CHECKPOINT,
+  // atomfsd SIGHUP). Non-pure so hosts without a journal keep compiling;
+  // the default answers kInval, a journaled host kIo on a failed write.
+  virtual Status TxCheckpoint() { return Status(Errc::kInval); }
 };
 
 }  // namespace atomfs

@@ -1,8 +1,10 @@
 #include "src/txn/crash.h"
 
 #include <algorithm>
+#include <fstream>
 
 #include "src/core/atom_fs.h"
+#include "src/crlh/bundle.h"
 #include "src/util/check.h"
 #include "src/util/rand.h"
 #include "src/vfs/path.h"
@@ -134,10 +136,102 @@ SpecFs PrefixState(const std::vector<CommitDescriptor>& commit_log, uint64_t cou
 
 namespace {
 
+// Every path in `fs`, depth-first (directories before their children).
+void ListPaths(FileSystem& fs, const std::string& dir, std::vector<std::string>& out) {
+  auto res = RunOp(fs, OpCall::ReadDirOf(MustParse(dir)));
+  if (!res.status.ok()) {
+    return;
+  }
+  for (const DirEntry& e : res.entries) {
+    const std::string child = (dir == "/" ? "" : dir) + "/" + e.name;
+    out.push_back(child);
+    if (e.type == FileType::kDir) {
+      ListPaths(fs, child, out);
+    }
+  }
+}
+
+// A read whose answer distinguishes `recovered` from `golden`: a Stat of the
+// first path whose existence/type/size differs, falling back to a Read of
+// the first file whose content differs. Returns false when the two states
+// are indistinguishable through the read API (then no witness exists).
+bool FindWitness(FileSystem& recovered, FileSystem& golden, OpCall& witness_call,
+                 OpResult& recovered_answer) {
+  std::vector<std::string> paths;
+  ListPaths(recovered, "/", paths);
+  ListPaths(golden, "/", paths);
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  for (const std::string& p : paths) {
+    const OpCall stat = OpCall::StatOf(MustParse(p));
+    OpResult from_recovered = RunOp(recovered, stat);
+    OpResult from_golden = RunOp(golden, stat);
+    if (!ResultsEquivalent(OpKind::kStat, from_recovered, from_golden)) {
+      witness_call = stat;
+      recovered_answer = std::move(from_recovered);
+      return true;
+    }
+    if (from_golden.status.ok() && from_golden.attr.type == FileType::kFile) {
+      const uint64_t len =
+          std::max<uint64_t>(from_golden.attr.size, from_recovered.attr.size);
+      if (len == 0) {
+        continue;
+      }
+      const OpCall read = OpCall::ReadOf(MustParse(p), 0, len);
+      OpResult r = RunOp(recovered, read);
+      OpResult g = RunOp(golden, read);
+      if (!ResultsEquivalent(OpKind::kRead, r, g)) {
+        witness_call = read;
+        recovered_answer = std::move(r);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Packages a divergence as a post-mortem bundle (src/crlh/bundle.h): the
+// golden prefix history with its SpecFs results, plus the witness read with
+// the RECOVERED state's answer as the recorded concrete result. Replaying
+// the bundle runs that history on a fresh SpecFs and trips on the witness —
+// the durability violation, reproduced offline like a monitor violation.
+std::string BuildDivergenceBundle(const std::vector<CommitDescriptor>& commit_log,
+                                  uint64_t committed, FileSystem& recovered,
+                                  const std::string& message) {
+  PostMortemBundle bundle;
+  bundle.message = message;
+  SpecFs golden;
+  uint64_t abs_seq = 0;
+  for (uint64_t i = 0; i < committed && i < commit_log.size(); ++i) {
+    for (const OpCall& call : commit_log[i].ops) {
+      BundleHistoryEntry entry;
+      entry.tid = static_cast<Tid>(commit_log[i].txid);
+      entry.abs_seq = abs_seq++;
+      entry.call = call;
+      entry.concrete = RunOp(golden, call);
+      bundle.history.push_back(std::move(entry));
+    }
+  }
+  OpCall witness = OpCall::StatOf(MustParse("/"));
+  OpResult answer;
+  if (FindWitness(recovered, golden, witness, answer)) {
+    BundleHistoryEntry entry;
+    entry.tid = 0;
+    entry.abs_seq = abs_seq;
+    entry.call = witness;
+    entry.concrete = std::move(answer);
+    bundle.history.push_back(std::move(entry));
+  }
+  bundle.seq = abs_seq;
+  return FormatBundle(bundle);
+}
+
 // One recovery + comparison. Returns true when the recovered state equals
 // the golden prefix of the length recovery itself reports.
 bool CheckOneCase(std::string_view bytes, const std::vector<SpecFs>& prefix_states,
-                  const char* kind, uint64_t detail, CrashVerdict& verdict) {
+                  const std::vector<CommitDescriptor>& commit_log,
+                  const CrashSweepOptions& options, const char* kind, uint64_t detail,
+                  CrashVerdict& verdict) {
   AtomFs recovered;
   const WalRecoveryStats stats = RecoverWalBytes(bytes, recovered);
   ++verdict.crash_points;
@@ -148,10 +242,15 @@ bool CheckOneCase(std::string_view bytes, const std::vector<SpecFs>& prefix_stat
   }
   if (!ok) {
     ++verdict.divergences;
+    const std::string message = std::string(kind) + " case at " + std::to_string(detail) +
+                                ": recovered state does not match golden prefix of " +
+                                std::to_string(stats.committed) + " committed units";
     if (verdict.failures.size() < 32) {
-      verdict.failures.push_back(std::string(kind) + " case at " + std::to_string(detail) +
-                                 ": recovered state does not match golden prefix of " +
-                                 std::to_string(stats.committed) + " committed units");
+      verdict.failures.push_back(message);
+    }
+    if (options.bundle_on_divergence && verdict.bundles.size() < 4) {
+      verdict.bundles.push_back(
+          BuildDivergenceBundle(commit_log, stats.committed, recovered, message));
     }
   }
   return ok;
@@ -207,7 +306,8 @@ CrashVerdict VerifyCrashConsistency(std::string_view wal_bytes,
     cuts = std::move(sampled);
   }
   for (uint64_t cut : cuts) {
-    CheckOneCase(wal_bytes.substr(0, cut), prefix_states, "truncate", cut, verdict);
+    CheckOneCase(wal_bytes.substr(0, cut), prefix_states, commit_log, options, "truncate",
+                 cut, verdict);
   }
 
   // Corruption points: flip one byte in the middle of each record; the
@@ -224,7 +324,8 @@ CrashVerdict VerifyCrashConsistency(std::string_view wal_bytes,
       ++tested;
       std::string corrupted(wal_bytes);
       corrupted[flip_at] = static_cast<char>(~corrupted[flip_at]);
-      CheckOneCase(corrupted, prefix_states, "corrupt", flip_at, verdict);
+      CheckOneCase(corrupted, prefix_states, commit_log, options, "corrupt", flip_at,
+                   verdict);
     }
   }
   return verdict;

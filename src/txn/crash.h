@@ -57,6 +57,13 @@ struct CrashVerdict {
   uint64_t divergences = 0;   // cases where recovery broke prefix consistency
   uint64_t max_committed = 0; // largest recovered prefix observed
   std::vector<std::string> failures;  // one line per divergence (capped)
+  // With CrashSweepOptions::bundle_on_divergence, one formatted post-mortem
+  // bundle (src/crlh/bundle.h) per divergence, capped at 4: the golden
+  // prefix history plus a witness read of the first differing path, with
+  // the recovered state's answer recorded as the concrete result — so
+  // `atomfs_verify --bundle` / ReplayBundle reproduces the durability
+  // violation offline, the same way monitor violations are bundled.
+  std::vector<std::string> bundles;
 };
 
 struct CrashSweepOptions {
@@ -66,6 +73,8 @@ struct CrashSweepOptions {
   // Cap on crash points actually tested; 0 = unlimited. When capped, points
   // are sampled evenly across the log so the tail is still covered.
   uint64_t max_points = 0;
+  // Turn each divergence into a replayable bundle (CrashVerdict::bundles).
+  bool bundle_on_divergence = false;
 };
 
 // Sweeps the crash matrix over `wal_bytes` against the golden `commit_log`.

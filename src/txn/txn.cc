@@ -38,13 +38,19 @@ void AppendAncestors(const std::string& path, std::vector<std::string>& out) {
 
 TxnManager::TxnManager(Options options)
     : inner_(options.inner),
+      wal_path_(options.wal_path),
       ring_(options.trace_ring),
       record_commit_log_(options.record_commit_log),
+      fsync_commits_(options.fsync_commits),
+      checkpoint_bytes_(options.checkpoint_bytes),
+      checkpoint_units_(options.checkpoint_units),
       mirror_(std::move(options.initial)),
-      next_txid_(options.first_txid < 1 ? 1 : options.first_txid) {
+      next_txid_(options.first_txid < 1 ? 1 : options.first_txid),
+      next_ckpt_id_(options.first_ckpt_id < 1 ? 1 : options.first_ckpt_id),
+      recovered_units_(options.recovered_units) {
   ATOMFS_CHECK(inner_ != nullptr);
   if (!options.wal_path.empty()) {
-    wal_ = std::make_unique<WalWriter>(options.wal_path);
+    wal_ = std::make_unique<WalWriter>(options.wal_path, std::move(options.wal));
     ATOMFS_CHECK(wal_->ok() && "cannot open transaction WAL for append");
   }
   if (options.metrics != nullptr) {
@@ -54,6 +60,10 @@ TxnManager::TxnManager(Options options)
     m_conflicts_ = options.metrics->GetCounter("txn.conflicts");
     m_commit_ops_ = options.metrics->GetHistogram("txn.commit.ops");
     m_commit_latency_ = options.metrics->GetHistogram("txn.commit.latency_ns");
+    m_ckpt_count_ = options.metrics->GetCounter("journal.checkpoint.count");
+    m_ckpt_bytes_ = options.metrics->GetCounter("journal.checkpoint.bytes");
+    m_fsyncs_ = options.metrics->GetCounter("journal.fsync.count");
+    m_ckpt_ms_ = options.metrics->GetHistogram("journal.checkpoint.ms");
   }
 }
 
@@ -152,9 +162,9 @@ void TxnManager::BumpVersionsLocked(const Footprint& fp) {
   }
 }
 
-void TxnManager::LogCommittedLocked(TxnId id, const std::vector<OpCall>& ops) {
+Status TxnManager::LogCommittedLocked(TxnId id, const std::vector<OpCall>& ops) {
   if (wal_ == nullptr) {
-    return;
+    return Status::Ok();
   }
   if (id != 0) {
     wal_->Append(WalRecordType::kBegin, id, {});
@@ -165,10 +175,20 @@ void TxnManager::LogCommittedLocked(TxnId id, const std::vector<OpCall>& ops) {
   if (id != 0) {
     wal_->Append(WalRecordType::kCommit, id, {});
   }
-  // One flush per unit: the durability point. A crash before this leaves no
-  // trace of the unit (or a torn tail recovery discards); a crash after it
-  // replays the unit whole.
-  wal_->Flush();
+  // One flush (or fdatasync) per unit: the durability point. A crash before
+  // this leaves no trace of the unit (or a torn tail recovery discards); a
+  // crash after it replays the unit whole. Appends only buffer, so checking
+  // the flush checks them all; a failure means the unit may be torn on disk
+  // and the writer is now poisoned — the caller must surface kIo and apply
+  // nothing.
+  Status s = wal_->Flush();
+  if (s.ok() && fsync_commits_) {
+    s = wal_->Fsync();
+    if (s.ok()) {
+      m_fsyncs_.Inc();
+    }
+  }
+  return s.ok() ? Status::Ok() : Status(Errc::kIo);
 }
 
 void TxnManager::RecordUnitLocked(TxnId id, const std::vector<OpCall>& ops) {
@@ -176,12 +196,72 @@ void TxnManager::RecordUnitLocked(TxnId id, const std::vector<OpCall>& ops) {
     commit_log_.push_back(CommitDescriptor{id, commit_seq_, ops});
   }
   ++commit_seq_;
+  ++units_since_ckpt_;
+}
+
+// --- checkpointing -----------------------------------------------------------
+
+Status TxnManager::CheckpointLocked() {
+  if (wal_ == nullptr) {
+    return Status(Errc::kInval);
+  }
+  if (!wal_->ok()) {
+    return Status(Errc::kIo);  // fail-stopped journal: nothing to trust
+  }
+  const uint64_t t0 = NowNs();
+  const uint64_t id = next_ckpt_id_;
+  GhostEvent(TraceEventType::kCkptBegin, id, 0, 0);
+  // The mirror IS the committed state (the durability refinement keeps it
+  // equal to replaying the log), so materializing it as a recreating op
+  // sequence is exactly "the log, compacted".
+  const auto ckpt =
+      BuildCheckpoint(mirror_, id, next_txid_ - 1, recovered_units_ + commit_seq_);
+  auto wrote = WriteCheckpointFile(wal_path_, ckpt);
+  if (!wrote.ok()) {
+    // Not taken: the sidecar temp never became the checkpoint, and the live
+    // WAL still covers everything. The journal stays healthy.
+    return wrote.status();
+  }
+  // The checkpoint is durably in place; retire the log bytes it covers.
+  Status s = wal_->Rotate(id);
+  if (!s.ok()) {
+    return Status(Errc::kIo);  // writer poisoned itself
+  }
+  ++next_ckpt_id_;
+  units_since_ckpt_ = 0;
+  ++checkpoints_taken_;
+  m_ckpt_count_.Inc();
+  m_ckpt_bytes_.Inc(*wrote);
+  m_ckpt_ms_.Record((NowNs() - t0) / 1000000);
+  GhostEvent(TraceEventType::kCkptEnd, id, ckpt.ops.size(), *wrote);
+  return Status::Ok();
+}
+
+void TxnManager::MaybeCheckpointLocked() {
+  if (wal_ == nullptr || !wal_->ok()) {
+    return;
+  }
+  const bool by_bytes = checkpoint_bytes_ > 0 && wal_->bytes() >= checkpoint_bytes_;
+  const bool by_units = checkpoint_units_ > 0 && units_since_ckpt_ >= checkpoint_units_;
+  if (by_bytes || by_units) {
+    // Best-effort: a failed checkpoint write leaves the journal valid (just
+    // uncompacted) and will be retried at the next threshold crossing.
+    (void)CheckpointLocked();
+  }
+}
+
+Status TxnManager::TakeCheckpoint() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return CheckpointLocked();
 }
 
 // --- transaction interface ---------------------------------------------------
 
 Result<TxnId> TxnManager::Begin() {
   std::lock_guard<std::mutex> lk(mu_);
+  if (JournalFailedLocked()) {
+    return Errc::kIo;  // fail-stopped: no new transactions either
+  }
   auto txn = std::make_unique<Txn>();
   txn->id = next_txid_++;
   txn->begin_clock = clock_;
@@ -238,6 +318,9 @@ Status TxnManager::Commit(TxnId id) {
   std::unique_ptr<Txn> txn = std::move(it->second);
   open_.erase(it);  // OCC: a failed commit finishes the transaction too
 
+  if (JournalFailedLocked()) {
+    return Status(Errc::kIo);  // fail-stopped journal: nothing commits
+  }
   if (!ValidateLocked(*txn)) {
     ++stats_.conflicts;
     m_conflicts_.Inc();
@@ -264,7 +347,13 @@ Status TxnManager::Commit(TxnId id) {
       return st;
     }
   }
-  LogCommittedLocked(id, txn->writes);  // commit point (WAL flush)
+  // Commit point (WAL flush / fsync). A log failure reaches the client as
+  // kIo with NOTHING applied — the inner FS, the mirror, and the clocks are
+  // untouched, so the in-memory state never runs ahead of a log that
+  // rejected the unit. The poisoned writer fail-stops all later commits.
+  if (Status logged = LogCommittedLocked(id, txn->writes); !logged.ok()) {
+    return logged;
+  }
   for (const OpCall& call : txn->writes) {
     const Status inner_st = RunOp(*inner_, call).status;
     ATOMFS_CHECK(inner_st.ok() && "validated transactional op failed on inner fs");
@@ -278,6 +367,7 @@ Status TxnManager::Commit(TxnId id) {
   m_commits_.Inc();
   m_commit_ops_.Record(txn->writes.size());
   m_commit_latency_.Record(NowNs() - t0);
+  MaybeCheckpointLocked();
   return Status::Ok();
 }
 
@@ -285,13 +375,23 @@ Status TxnManager::Commit(TxnId id) {
 
 Status TxnManager::Direct(const OpCall& call) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (JournalFailedLocked()) {
+    return Status(Errc::kIo);
+  }
   OpResult result = RunOp(*inner_, call);
   if (result.status.ok()) {
-    LogCommittedLocked(/*id=*/0, {call});
+    // Unlike Commit, the inner op has already run when the append fails:
+    // the caller still gets kIo (the mutation is NOT durable), and the
+    // poisoned writer fail-stops every later mutation, confining the
+    // one-op divergence between memory and log until restart.
+    if (Status logged = LogCommittedLocked(/*id=*/0, {call}); !logged.ok()) {
+      return logged;
+    }
     const Status mirror_st = RunOp(mirror_, call).status;
     ATOMFS_CHECK(mirror_st.ok() && "mirror diverged from inner fs");
     BumpVersionsLocked(FootprintOf(call));
     RecordUnitLocked(/*id=*/0, {call});
+    MaybeCheckpointLocked();
   }
   return result.status;
 }
@@ -316,15 +416,21 @@ Status TxnManager::Truncate(const Path& path, uint64_t size) {
 Result<size_t> TxnManager::Write(const Path& path, uint64_t offset,
                                  std::span<const std::byte> data) {
   std::lock_guard<std::mutex> lk(mu_);
+  if (JournalFailedLocked()) {
+    return Errc::kIo;
+  }
   auto written = inner_->Write(path, offset, data);
   if (written.ok()) {
     const OpCall call =
         OpCall::WriteOf(path, offset, std::vector<std::byte>(data.begin(), data.end()));
-    LogCommittedLocked(/*id=*/0, {call});
+    if (Status logged = LogCommittedLocked(/*id=*/0, {call}); !logged.ok()) {
+      return logged;  // see Direct: not durable, journal fail-stopped
+    }
     const Status mirror_st = RunOp(mirror_, call).status;
     ATOMFS_CHECK(mirror_st.ok() && "mirror diverged from inner fs");
     BumpVersionsLocked(FootprintOf(call));
     RecordUnitLocked(/*id=*/0, {call});
+    MaybeCheckpointLocked();
   }
   return written;
 }
@@ -357,6 +463,16 @@ std::vector<CommitDescriptor> TxnManager::commit_log() const {
 size_t TxnManager::open_txns() const {
   std::lock_guard<std::mutex> lk(mu_);
   return open_.size();
+}
+
+bool TxnManager::journal_failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return JournalFailedLocked();
+}
+
+uint64_t TxnManager::checkpoints_taken() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return checkpoints_taken_;
 }
 
 }  // namespace atomfs

@@ -30,6 +30,16 @@
 // equals replaying a prefix of the commit descriptor sequence on SpecFs —
 // incomplete transactions are never partially visible.
 //
+// The commit point is honest about failure: a WAL append/flush (or, with
+// Options::fsync_commits, fdatasync) that fails reports kIo to the
+// committing client BEFORE anything is applied, and fail-stops the journal —
+// every later mutating call answers kIo too, because a journal that dropped
+// bytes can no longer prove anything about durability. Checkpointing
+// (TakeCheckpoint / the checkpoint_* thresholds) compacts the log by
+// materializing the committed mirror into a sidecar file and rotating the
+// WAL, so recovery cost is bounded by the checkpoint interval
+// (src/journal/checkpoint.h has the protocol).
+//
 // Commit order == lock acquisition order == WAL record order, so the commit
 // descriptor list is a legal linearization of the transactional history at
 // transaction granularity; the ghost events (kTxnBegin/Commit/Abort) fold
@@ -47,6 +57,7 @@
 
 #include "src/afs/op.h"
 #include "src/afs/spec_fs.h"
+#include "src/journal/checkpoint.h"
 #include "src/journal/wal.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -98,6 +109,27 @@ class TxnManager : public FileSystem, public TxnHost {
     // record survives in the clean prefix, and reusing its id would read as
     // a duplicate bracket on the next recovery. Values below 1 clamp to 1.
     TxnId first_txid = 1;
+    // fdatasync the WAL at every commit point: commits then survive power
+    // loss, not just a process kill. Off by default — tests and the crash
+    // harness model page-cache loss by cutting the log at byte offsets,
+    // which the cheap mode's semantics match exactly.
+    bool fsync_commits = false;
+    // Automatic checkpoint triggers: take a checkpoint when the live WAL
+    // generation exceeds this many bytes / this many committed units since
+    // the last checkpoint. 0 disables that trigger; Checkpoint() always
+    // works explicitly.
+    uint64_t checkpoint_bytes = 0;
+    uint64_t checkpoint_units = 0;
+    // Id for the next checkpoint. When reopening a journal this MUST be
+    // above every generation on disk (JournalRecoveryStats::generation + 1)
+    // so checkpoint ids stay monotonic. Values below 1 clamp to 1.
+    uint64_t first_ckpt_id = 1;
+    // Committed units already folded into the recovered state
+    // (JournalRecoveryStats::committed_units) — carried into checkpoint
+    // headers so the cumulative count survives compaction.
+    uint64_t recovered_units = 0;
+    // Forwarded to the WalWriter (fault injection in tests).
+    WalWriterOptions wal;
   };
 
   explicit TxnManager(Options options);
@@ -115,6 +147,14 @@ class TxnManager : public FileSystem, public TxnHost {
   Status TxCommit(uint64_t txid) override { return Commit(txid); }
   Status TxAbort(uint64_t txid) override { return Abort(txid); }
   OpResult TxApply(uint64_t txid, const OpCall& call) override { return Apply(txid, call); }
+  Status TxCheckpoint() override { return TakeCheckpoint(); }
+
+  // Checkpoints + compacts the journal now: writes the committed mirror as
+  // a checkpoint file (write-temp, fdatasync, atomic rename) and rotates
+  // the WAL to a fresh generation. kInval without a journal; kIo if the
+  // checkpoint could not be written (journal unaffected) or the rotation
+  // failed (journal fail-stopped).
+  Status TakeCheckpoint();
 
   // --- FileSystem interface: auto-committed direct ops ---------------------
   Status Mkdir(const Path& path) override;
@@ -148,6 +188,11 @@ class TxnManager : public FileSystem, public TxnHost {
   std::vector<CommitDescriptor> commit_log() const;
   // Open (begun, not yet finished) transactions.
   size_t open_txns() const;
+  // True once a journal write failed: the manager is fail-stopped — every
+  // mutating call (Begin/Commit/direct ops) answers kIo from then on.
+  bool journal_failed() const;
+  // Checkpoints taken by this instance (explicit + threshold-triggered).
+  uint64_t checkpoints_taken() const;
 
  private:
   // The path footprint of one op: entries whose version the op depends on,
@@ -169,21 +214,37 @@ class TxnManager : public FileSystem, public TxnHost {
 
   bool ValidateLocked(const Txn& txn) const;
   void BumpVersionsLocked(const Footprint& fp);
-  void LogCommittedLocked(TxnId id, const std::vector<OpCall>& ops);
+  // Appends + flushes (and optionally fsyncs) the unit's records — the
+  // commit point. kIo poisons the writer: the unit is NOT durable and the
+  // caller must not apply it anywhere.
+  Status LogCommittedLocked(TxnId id, const std::vector<OpCall>& ops);
   void RecordUnitLocked(TxnId id, const std::vector<OpCall>& ops);
   void GhostEvent(TraceEventType type, TxnId id, uint64_t arg, uint64_t aux);
   Status Direct(const OpCall& call);
+  Status CheckpointLocked();
+  // Threshold check after each committed unit; best-effort (a failed
+  // checkpoint write leaves the journal valid, just uncompacted).
+  void MaybeCheckpointLocked();
+  bool JournalFailedLocked() const { return wal_ != nullptr && !wal_->ok(); }
 
   FileSystem* inner_;
   std::unique_ptr<WalWriter> wal_;
+  std::string wal_path_;
   TraceRing* ring_;
   bool record_commit_log_;
+  bool fsync_commits_;
+  uint64_t checkpoint_bytes_;
+  uint64_t checkpoint_units_;
 
   mutable std::mutex mu_;
   SpecFs mirror_;
   uint64_t clock_ = 0;
   TxnId next_txid_ = 1;
   uint64_t commit_seq_ = 0;
+  uint64_t next_ckpt_id_ = 1;
+  uint64_t recovered_units_ = 0;
+  uint64_t units_since_ckpt_ = 0;
+  uint64_t checkpoints_taken_ = 0;
   std::unordered_map<TxnId, std::unique_ptr<Txn>> open_;
   std::unordered_map<std::string, uint64_t> entry_ver_;
   std::unordered_map<std::string, uint64_t> subtree_ver_;
@@ -191,7 +252,8 @@ class TxnManager : public FileSystem, public TxnHost {
   TxnStatsSnapshot stats_;
 
   Counter m_begins_, m_commits_, m_aborts_, m_conflicts_;
-  Histogram m_commit_ops_, m_commit_latency_;
+  Counter m_ckpt_count_, m_ckpt_bytes_, m_fsyncs_;
+  Histogram m_commit_ops_, m_commit_latency_, m_ckpt_ms_;
 };
 
 }  // namespace atomfs

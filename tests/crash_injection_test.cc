@@ -18,9 +18,12 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "src/core/atom_fs.h"
+#include "src/crlh/bundle.h"
+#include "src/journal/checkpoint.h"
 #include "src/journal/wal.h"
 #include "src/vfs/path.h"
 
@@ -149,6 +152,99 @@ TEST(CrashInjection, RecoverThenContinueJournalingStaysConsistent) {
   EXPECT_EQ(final_stats->committed, stats->committed + 2);
   EXPECT_TRUE(final_state.Stat("/gen2/f").ok());
   EXPECT_TRUE(StructurallyEqual(final_state.SnapshotSpec(), recovered.SnapshotSpec()));
+}
+
+// Crash sweep across a checkpoint boundary: after a checkpoint + rotation,
+// cut the LIVE WAL generation at every byte (including inside its kCkpt head
+// marker) and recover the full journal. Every cut must yield the checkpoint
+// state plus a prefix of the post-checkpoint suffix — the compaction
+// machinery must not open any new crash window.
+TEST(CrashInjection, CheckpointBoundarySweepIsPrefixConsistent) {
+  TempLog log("atomfs_crash_ckpt_sweep.wal");
+  std::remove((log.path() + ".prevwal").c_str());
+  std::remove((log.path() + ".ckpt").c_str());
+  std::remove((log.path() + ".ckpt.prev").c_str());
+  std::vector<CommitDescriptor> commit_log;
+  uint64_t pre_ckpt_units = 0;
+  {
+    AtomFs inner;
+    TxnManager::Options topt;
+    topt.inner = &inner;
+    topt.wal_path = log.path();
+    topt.record_commit_log = true;
+    TxnManager txn(topt);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(txn.Mkdir(*ParsePath("/pre" + std::to_string(i))).ok());
+    }
+    pre_ckpt_units = 5;
+    ASSERT_TRUE(txn.TakeCheckpoint().ok());
+    for (int i = 0; i < 4; ++i) {
+      const TxnId id = *txn.Begin();
+      ASSERT_TRUE(txn.Apply(id, OpCall::MkdirOf(*ParsePath("/post" + std::to_string(i))))
+                      .status.ok());
+      ASSERT_TRUE(
+          txn.Apply(id, OpCall::MknodOf(*ParsePath("/post" + std::to_string(i) + "/f")))
+              .status.ok());
+      ASSERT_TRUE(txn.Commit(id).ok());
+    }
+    commit_log = txn.commit_log();
+  }
+  ASSERT_EQ(commit_log.size(), pre_ckpt_units + 4);
+  std::string live;
+  {
+    std::ifstream in(log.path(), std::ios::binary);
+    live.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(live.empty());
+  for (size_t cut = 0; cut <= live.size(); ++cut) {
+    {
+      std::ofstream out(log.path(), std::ios::binary | std::ios::trunc);
+      out << live.substr(0, cut);
+    }
+    AtomFs recovered;
+    auto stats = RecoverJournal(log.path(), recovered);
+    ASSERT_TRUE(stats.ok()) << "cut at " << cut;
+    ASSERT_GE(stats->committed_units, pre_ckpt_units) << "cut at " << cut;
+    ASSERT_LE(stats->committed_units, commit_log.size()) << "cut at " << cut;
+    EXPECT_TRUE(StructurallyEqual(recovered.SnapshotSpec(),
+                                  PrefixState(commit_log, stats->committed_units)))
+        << "cut at " << cut << " recovered " << stats->committed_units;
+  }
+}
+
+// A divergence must come out as a replayable post-mortem bundle: doctor the
+// golden oracle so recovery genuinely mismatches it, then check the sweep
+// emits a bundle that ReplayBundle reproduces offline — the same artifact
+// pipeline monitor violations use (atomfs_verify --bundle).
+TEST(CrashInjection, InjectedDivergenceProducesReplayableBundle) {
+  TempLog log("atomfs_crash_bundle.wal");
+  CrashMixOptions mopts = MixFromEnv(/*seed=*/11);
+  mopts.txns = std::max(1, mopts.txns / 4);
+  auto mix = BuildCrashMix(log.path(), mopts);
+  ASSERT_TRUE(mix.ok());
+  ASSERT_FALSE(mix->commit_log.empty());
+  // Lie about the last committed unit (nothing later depends on it, so the
+  // oracle still replays cleanly): the oracle now expects a directory the
+  // journal never created, so every crash point whose prefix includes that
+  // unit diverges.
+  std::vector<CommitDescriptor> doctored = mix->commit_log;
+  doctored.back().ops = {OpCall::MkdirOf(*ParsePath("/never_journaled"))};
+  CrashSweepOptions sweep = SweepFromEnv();
+  sweep.bundle_on_divergence = true;
+  const CrashVerdict verdict = VerifyCrashConsistency(mix->wal_bytes, doctored, sweep);
+  EXPECT_GT(verdict.divergences, 0u);
+  ASSERT_FALSE(verdict.bundles.empty());
+
+  std::istringstream in(verdict.bundles.front());
+  auto bundle = ParseBundle(in);
+  ASSERT_TRUE(bundle.ok());
+  ASSERT_FALSE(bundle->history.empty());
+  const BundleReplay replay = ReplayBundle(*bundle);
+  EXPECT_TRUE(replay.reproduced) << replay.verdict;
+  // The sane oracle, for contrast, produces no divergences and no bundles.
+  const CrashVerdict clean = VerifyCrashConsistency(mix->wal_bytes, mix->commit_log, sweep);
+  EXPECT_EQ(clean.divergences, 0u);
+  EXPECT_TRUE(clean.bundles.empty());
 }
 
 }  // namespace

@@ -34,9 +34,20 @@
 //                                  `atomfs_verify --bundle FILE`
 //           --journal FILE         write-ahead journal (atomfs backend only):
 //                                  committed history is recovered from FILE
-//                                  before serving, every mutation is logged
-//                                  through a TxnManager, and the wire ops
-//                                  TXBEGIN/TXCOMMIT/TXABORT become available
+//                                  (newest valid checkpoint + WAL suffix, torn
+//                                  tails repaired) before serving, every
+//                                  mutation is logged through a TxnManager,
+//                                  and the wire ops TXBEGIN/TXCOMMIT/TXABORT/
+//                                  CHECKPOINT become available
+//           --journal-fsync        fdatasync the journal at every commit
+//                                  point: committed history survives power
+//                                  loss, not just process death (slower)
+//           --checkpoint-bytes N   checkpoint + rotate the journal once the
+//                                  live WAL file exceeds N bytes (0 = never)
+//           --checkpoint-units N   checkpoint + rotate after N committed
+//                                  units (transactions + direct ops; 0 =
+//                                  never). SIGHUP forces a checkpoint at any
+//                                  time, as does the wire CHECKPOINT op
 //
 // Observability: the daemon always carries an atomtrace metrics registry —
 // the wire METRICS op serves its full snapshot — and, for observer-capable
@@ -88,6 +99,7 @@ namespace {
 volatile sig_atomic_t g_stop = 0;
 volatile sig_atomic_t g_dump = 0;
 volatile sig_atomic_t g_dump2 = 0;  // SIGUSR2: Prometheus + trace refresh
+volatile sig_atomic_t g_ckpt = 0;   // SIGHUP: checkpoint + compact the journal
 int g_wake_fd = -1;  // eventfd; written by handlers, drained by the loop
 
 void WakeLoop() {
@@ -100,6 +112,7 @@ void WakeLoop() {
 void OnSignal(int) { g_stop = 1; WakeLoop(); }
 void OnDumpSignal(int) { g_dump = 1; WakeLoop(); }
 void OnDump2Signal(int) { g_dump2 = 1; WakeLoop(); }
+void OnCkptSignal(int) { g_ckpt = 1; WakeLoop(); }
 
 // Writes the flight-recorder ring to `path` as Chrome trace-event JSON.
 // Main-thread only (allocates, takes no locks the ring cares about).
@@ -132,6 +145,9 @@ int main(int argc, char** argv) {
   bool prom_dump = false;
   std::string bundle_out;
   std::string journal_path;
+  bool journal_fsync = false;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t checkpoint_units = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) { return std::strcmp(argv[i], name) == 0; };
@@ -167,6 +183,12 @@ int main(int argc, char** argv) {
       bundle_out = next();
     } else if (arg("--journal")) {
       journal_path = next();
+    } else if (arg("--journal-fsync")) {
+      journal_fsync = true;
+    } else if (arg("--checkpoint-bytes")) {
+      checkpoint_bytes = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg("--checkpoint-units")) {
+      checkpoint_units = static_cast<uint64_t>(std::atoll(next()));
     } else {
       std::fprintf(stderr, "unknown option %s (see header comment for usage)\n", argv[i]);
       return 2;
@@ -271,17 +293,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "atomfsd: --journal requires --backend atomfs\n");
       return 2;
     }
-    auto recovered = RecoverWal(journal_path, *atom_fs);
+    // Repair mode: interrupted checkpoint rotations are completed and torn
+    // WAL tails truncated, so the reopened journal appends after a clean
+    // prefix instead of burying new records behind unreadable bytes.
+    auto recovered = RecoverJournal(journal_path, *atom_fs, /*repair=*/true);
     if (!recovered.ok() && recovered.status().code() != Errc::kNoEnt) {
       std::fprintf(stderr, "atomfsd: journal recovery from %s failed: %s\n",
                    journal_path.c_str(), ErrcName(recovered.status().code()).data());
       return 1;
     }
     if (recovered.ok()) {
-      std::printf("atomfsd: recovered %llu op(s) in %llu committed unit(s) from %s%s\n",
-                  static_cast<unsigned long long>(recovered->applied_ops),
-                  static_cast<unsigned long long>(recovered->committed), journal_path.c_str(),
-                  recovered->torn_tail ? " (torn tail discarded)" : "");
+      std::printf(
+          "atomfsd: recovered %llu op(s) in %llu committed unit(s) from %s%s%s%s\n",
+          static_cast<unsigned long long>(recovered->wal.applied_ops + recovered->checkpoint_ops),
+          static_cast<unsigned long long>(recovered->committed_units), journal_path.c_str(),
+          recovered->used_checkpoint
+              ? (recovered->fell_back_to_prev ? " (checkpoint base, fell back to .ckpt.prev)"
+                                              : " (checkpoint base)")
+              : "",
+          recovered->wal.torn_tail ? " (torn tail discarded)" : "",
+          recovered->wal.discarded > 0 ? " (open txns at the tail dropped)" : "");
     }
     TxnManager::Options topt;
     topt.inner = fs.get();
@@ -289,8 +320,13 @@ int main(int argc, char** argv) {
     topt.metrics = &registry;
     topt.trace_ring = ring.get();
     topt.initial = atom_fs->SnapshotSpec();
+    topt.fsync_commits = journal_fsync;
+    topt.checkpoint_bytes = checkpoint_bytes;
+    topt.checkpoint_units = checkpoint_units;
     if (recovered.ok()) {
       topt.first_txid = recovered->max_txid + 1;
+      topt.first_ckpt_id = recovered->generation + 1;
+      topt.recovered_units = recovered->committed_units;
     }
     txn = std::make_unique<TxnManager>(std::move(topt));
   }
@@ -320,6 +356,8 @@ int main(int argc, char** argv) {
   sigaction(SIGUSR1, &sa, nullptr);
   sa.sa_handler = OnDump2Signal;
   sigaction(SIGUSR2, &sa, nullptr);
+  sa.sa_handler = OnCkptSignal;
+  sigaction(SIGHUP, &sa, nullptr);
 
   if (!trace_out.empty() && ring == nullptr) {
     std::fprintf(stderr, "atomfsd: --trace-out needs a trace ring (--trace-ring > 0)\n");
@@ -361,6 +399,21 @@ int main(int argc, char** argv) {
       g_dump = 0;
       std::fputs(registry.Snapshot().ToText().c_str(), stdout);
       std::fflush(stdout);
+    }
+    if (g_ckpt) {
+      g_ckpt = 0;
+      if (txn != nullptr) {
+        const Status st = txn->TakeCheckpoint();
+        if (st.ok()) {
+          std::printf("atomfsd: journal checkpointed + compacted (%llu total)\n",
+                      static_cast<unsigned long long>(txn->checkpoints_taken()));
+        } else {
+          std::fprintf(stderr, "atomfsd: checkpoint failed: %s\n", ErrcName(st.code()).data());
+        }
+        std::fflush(stdout);
+      } else {
+        std::fprintf(stderr, "atomfsd: SIGHUP checkpoint ignored (no --journal)\n");
+      }
     }
     if (g_dump2) {
       g_dump2 = 0;

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Crash-injection smoke (wired into ctest; see tools/CMakeLists.txt) in two
+# Crash-injection smoke (wired into ctest; see tools/CMakeLists.txt) in three
 # stages:
 #
 #   1. A bounded run of the durability refinement sweep: crash_injection_test
@@ -13,6 +13,11 @@
 #      the wire, leave a second transaction open, SIGKILL the daemon, restart
 #      it on the same journal, and require the committed data back and the
 #      uncommitted transaction invisible.
+#
+#   3. The same kill -9 across a checkpoint boundary: a checkpointing daemon
+#      (--checkpoint-units plus a SIGHUP-forced checkpoint) is SIGKILLed after
+#      committing data both before and after the rotation; restart must
+#      recover from the checkpoint + WAL suffix and see all of it.
 #
 # Usage: crash_smoke.sh /path/to/crash_injection_test /path/to/atomfsd /path/to/fsshell
 set -euo pipefail
@@ -76,4 +81,59 @@ kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || {
   echo "FAIL: gen2 daemon exited non-zero"; cat "$WORK/gen2.log"; exit 1; }
 
-echo "PASS: crash smoke (bounded sweep clean; committed txn survived kill -9, open txn invisible)"
+echo "--- stage 3: kill -9 across a forced checkpoint, recover, verify ---"
+CKJOURNAL="$WORK/ckpt.wal"
+SOCK3="$WORK/gen3.sock"
+"$ATOMFSD" --unix "$SOCK3" --journal "$CKJOURNAL" --checkpoint-units 64 --workers 2 \
+  > "$WORK/gen3.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK3" ] && break; sleep 0.1; done
+[ -S "$SOCK3" ] || { echo "FAIL: gen3 daemon never created $SOCK3"; cat "$WORK/gen3.log"; exit 1; }
+
+printf 'mkdir /pre\nwrite /pre/f before-checkpoint\n' \
+  | "$FSSHELL" --connect "unix:$SOCK3" > /dev/null
+kill -HUP "$DAEMON_PID"   # force the checkpoint + WAL rotation now
+for _ in $(seq 1 100); do
+  grep -q 'checkpointed' "$WORK/gen3.log" && break; sleep 0.1
+done
+grep -q 'checkpointed' "$WORK/gen3.log" || {
+  echo "FAIL: SIGHUP produced no checkpoint"; cat "$WORK/gen3.log"; exit 1; }
+[ -f "$CKJOURNAL.ckpt" ] || {
+  echo "FAIL: no checkpoint file next to the journal"; ls "$WORK"; exit 1; }
+
+# Post-checkpoint suffix — committed, then checkpointed again through the
+# wire op this time — then die without warning.
+printf 'txbegin\nmkdir /post\nwrite /post/f after-checkpoint\ntxcommit\ncheckpoint\n' \
+  | "$FSSHELL" --connect "unix:$SOCK3" > "$WORK/wire_ckpt.out"
+# fsshell prints a bare "ok" per successful op and "<cmd>: E..." on failure:
+# all four commands must have succeeded, the checkpoint included.
+if grep -q ': E' "$WORK/wire_ckpt.out" || \
+   [ "$(grep -cx 'ok' "$WORK/wire_ckpt.out")" -ne 4 ]; then
+  echo "FAIL: wire CHECKPOINT op did not succeed"; cat "$WORK/wire_ckpt.out"; exit 1
+fi
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+
+SOCK4="$WORK/gen4.sock"
+"$ATOMFSD" --unix "$SOCK4" --journal "$CKJOURNAL" --workers 2 \
+  > "$WORK/gen4.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK4" ] && break; sleep 0.1; done
+[ -S "$SOCK4" ] || { echo "FAIL: gen4 daemon never created $SOCK4"; cat "$WORK/gen4.log"; exit 1; }
+
+grep -q 'checkpoint base' "$WORK/gen4.log" || {
+  echo "FAIL: restart did not recover from the checkpoint"; cat "$WORK/gen4.log"; exit 1; }
+printf 'cat /pre/f\ncat /post/f\n' \
+  | "$FSSHELL" --connect "unix:$SOCK4" > "$WORK/ckpt.out"
+grep -q 'before-checkpoint' "$WORK/ckpt.out" || {
+  echo "FAIL: pre-checkpoint data lost across kill -9"
+  cat "$WORK/ckpt.out"; cat "$WORK/gen4.log"; exit 1; }
+grep -q 'after-checkpoint' "$WORK/ckpt.out" || {
+  echo "FAIL: post-checkpoint suffix lost across kill -9"
+  cat "$WORK/ckpt.out"; cat "$WORK/gen4.log"; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || {
+  echo "FAIL: gen4 daemon exited non-zero"; cat "$WORK/gen4.log"; exit 1; }
+
+echo "PASS: crash smoke (bounded sweep clean; committed txn survived kill -9, open txn invisible; checkpoint boundary survived kill -9)"
